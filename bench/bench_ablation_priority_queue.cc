@@ -1,0 +1,85 @@
+// Ablation of §5.3's priority-queue trick: the O(1) power-of-two bucket
+// queue vs a conventional O(log n) binary heap backing the unrefinement
+// thresholds, measured (a) in isolation on a synthetic push/pop-below load
+// and (b) end-to-end inside the adaptive hull on streams that exercise
+// unrefinement (growing hulls).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "container/bucket_queue.h"
+#include "core/adaptive_hull.h"
+#include "stream/generators.h"
+
+namespace {
+
+using namespace streamhull;
+
+template <class Queue>
+void QueueLoad(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> thresholds;
+  for (int i = 0; i < 1 << 14; ++i) {
+    thresholds.push_back(std::exp(rng.Uniform(0.0, 14.0)));
+  }
+  for (auto _ : state) {
+    Queue q;
+    std::vector<int> out;
+    double p = 1.0;
+    size_t i = 0;
+    while (i < thresholds.size()) {
+      // Interleave pushes with monotone pops, as the hull does.
+      for (int k = 0; k < 16 && i < thresholds.size(); ++k, ++i) {
+        q.Push(thresholds[i], static_cast<int>(i));
+      }
+      p *= 1.02;
+      q.PopBelow(p, &out);
+    }
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+
+void BM_BucketQueue(benchmark::State& state) {
+  QueueLoad<BucketThresholdQueue<int>>(state);
+}
+void BM_BinaryHeapQueue(benchmark::State& state) {
+  QueueLoad<HeapThresholdQueue<int>>(state);
+}
+
+BENCHMARK(BM_BucketQueue)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BinaryHeapQueue)->Unit(benchmark::kMicrosecond);
+
+void BM_AdaptiveHullWithQueue(benchmark::State& state) {
+  const bool bucket = state.range(0) == 0;
+  // Growing disk: radius expands, P rises steadily, unrefinement thresholds
+  // fire throughout the stream.
+  std::vector<Point2> stream;
+  {
+    DiskGenerator gen(17);
+    for (int i = 0; i < 20000; ++i) {
+      const double scale = 1.0 + 1e-3 * i;
+      stream.push_back(gen.Next() * scale);
+    }
+  }
+  AdaptiveHullOptions o;
+  o.r = 64;
+  o.queue_kind =
+      bucket ? ThresholdQueueKind::kBucket : ThresholdQueueKind::kBinaryHeap;
+  for (auto _ : state) {
+    AdaptiveHull h(o);
+    for (const Point2& p : stream) h.Insert(p);
+    benchmark::DoNotOptimize(h.stats().directions_unrefined);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+  state.SetLabel(bucket ? "bucket" : "binary-heap");
+}
+
+BENCHMARK(BM_AdaptiveHullWithQueue)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

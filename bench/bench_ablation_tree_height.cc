@@ -1,0 +1,50 @@
+// Ablation of the refinement-tree height cap k (§5.1): k = 0 degrades the
+// adaptive hull to uniform sampling; k = log2(r) is the paper's choice. The
+// bench sweeps k on the rotated skinny ellipse and reports error, sample
+// count, and refinement work, exposing the error/work trade-off the
+// parameter controls.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/adaptive_hull.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "geom/convex_hull.h"
+#include "stream/generators.h"
+
+int main() {
+  using namespace streamhull;
+  const size_t n = 60000;
+  const uint32_t r = 16;
+  constexpr double kTheta0 = 2.0 * 3.14159265358979323846 / 32.0;
+  EllipseGenerator gen(31, 16.0, kTheta0 / 4.0);
+  const auto stream = gen.Take(n);
+
+  std::printf("Tree-height ablation: ellipse aspect 16 rotated theta0/4, "
+              "r=%u, n=%zu\n\n", r, n);
+  TextTable table({"k", "samples", "max UT height", "%% outside",
+                   "hausdorff", "refines", "unrefines", "nodes visited"});
+  for (int k = 0; k <= 4; ++k) {
+    AdaptiveHullOptions o;
+    o.r = r;
+    o.max_tree_height = k;
+    AdaptiveHull h(o);
+    for (const Point2& p : stream) h.Insert(p);
+    const HullQuality q = EvaluateHull(h.Polygon(), h.Triangles(), stream);
+    table.AddRow({std::to_string(k), std::to_string(h.num_directions()),
+                  TextTable::Num(q.max_triangle_height, 6),
+                  TextTable::Num(q.pct_outside, 2),
+                  TextTable::Num(q.hausdorff_error, 6),
+                  std::to_string(h.stats().directions_refined),
+                  std::to_string(h.stats().directions_unrefined),
+                  std::to_string(h.stats().rebuild_nodes_visited)});
+  }
+  table.Print(std::cout);
+  std::printf("\nexpected shape: k=0 reproduces uniform sampling's error; "
+              "quality improves steeply with the first levels and saturates "
+              "near k=log2(r)=4 while refinement work grows.\n");
+  return 0;
+}

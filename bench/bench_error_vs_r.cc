@@ -1,0 +1,99 @@
+// The headline claim of Theorem 5.4 as a scaling experiment: sweep r and
+// measure the Hausdorff error of the uniform vs adaptive summaries against
+// the exact hull (averaged over seeds to smooth sampling noise).
+//
+// Where to look (matches §3's discussion):
+//   * skinny ellipse — uniform error decays ~1/r (its long edges keep large
+//     uncertainty triangles); adaptive decays ~1/r^2. This is the regime
+//     the paper's improvement targets.
+//   * disk — uniform is *already* O(D/r^2) ("large uncertainty triangles
+//     occur only for skinny point sets", Fig. 4), so both columns decay
+//     quadratically and adaptivity buys little.
+// The last column checks the adaptive error against the a-priori bound
+// 16*pi*P/r^2 of Corollary 5.2 (it must stay below 1).
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/adaptive_hull.h"
+#include "eval/table.h"
+#include "geom/convex_hull.h"
+#include "stream/generators.h"
+
+namespace {
+
+using namespace streamhull;
+
+double MeasureError(const ConvexPolygon& approx,
+                    const std::vector<Point2>& stream) {
+  double err = 0;
+  for (const Point2& v : ConvexHullOf(stream)) {
+    err = std::max(err, approx.DistanceOutside(v));
+  }
+  return err;
+}
+
+std::unique_ptr<PointGenerator> MakeGen(int kind, uint64_t seed) {
+  switch (kind) {
+    case 0: return std::make_unique<EllipseGenerator>(seed, 16.0, 0.11);
+    case 1: return std::make_unique<DiskGenerator>(seed);
+    default: return std::make_unique<SquareGenerator>(seed, 0.19);
+  }
+}
+
+void RunWorkload(const std::string& name, int kind, size_t n, int seeds) {
+  std::printf("== workload: %s (n=%zu, averaged over %d seeds) ==\n",
+              name.c_str(), n, seeds);
+  TextTable table({"r", "err(uniform)", "err(adaptive)", "ratio u", "ratio a",
+                   "adaptive err / bound"});
+  double prev_u = 0, prev_a = 0;
+  for (uint32_t r : {8u, 16u, 32u, 64u, 128u}) {
+    double ue = 0, ae = 0, bound_frac = 0;
+    for (int s = 0; s < seeds; ++s) {
+      auto gen = MakeGen(kind, 1000 + static_cast<uint64_t>(s));
+      const auto stream = gen->Take(n);
+      UniformHull uh(r);
+      AdaptiveHullOptions o;
+      o.r = r;
+      AdaptiveHull ah(o);
+      for (const Point2& p : stream) {
+        uh.Insert(p);
+        ah.Insert(p);
+      }
+      ue += MeasureError(uh.Polygon(), stream);
+      const double a = MeasureError(ah.Polygon(), stream);
+      ae += a;
+      bound_frac = std::max(bound_frac, a / ah.ErrorBound());
+    }
+    ue /= seeds;
+    ae /= seeds;
+    table.AddRow({std::to_string(r), TextTable::Num(ue, 7),
+                  TextTable::Num(ae, 7),
+                  prev_u > 0 && ue > 0 ? TextTable::Num(prev_u / ue, 2) : "-",
+                  prev_a > 0 && ae > 0 ? TextTable::Num(prev_a / ae, 2) : "-",
+                  TextTable::Num(bound_frac, 4)});
+    prev_u = ue;
+    prev_a = ae;
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = 40000;
+  const int seeds = 5;
+  RunWorkload("ellipse aspect 16 (rotated)", 0, n, seeds);
+  RunWorkload("disk", 1, n, seeds);
+  RunWorkload("square (rotated)", 2, n, seeds);
+  std::printf(
+      "expected shape: on the skinny ellipse, 'ratio u' ~ 2 per doubling\n"
+      "(error Theta(D/r)) while 'ratio a' ~ 4 (error O(D/r^2)); on the disk\n"
+      "both decay quadratically (§3, Fig. 4). 'adaptive err / bound' < 1\n"
+      "verifies Corollary 5.2 everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Table 1 of Hershberger & Suri: uniform (r=32) vs adaptive
+// (r=16, fixed 2r=32 directions) on disk / rotated square / rotated
+// aspect-16 ellipse streams of 10^5 points, plus the partially-adaptive vs
+// adaptive comparison on the changing-ellipse stream. Values are printed in
+// the paper's units (1e-4 x generator radius) plus the %-points-outside
+// columns.
+//
+// Usage: bench_table1 [--section=disk|square|ellipse|changing|all]
+//                     [--points=N] [--seed=S]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/experiments.h"
+
+namespace {
+
+uint64_t ParseU64(const char* s, uint64_t fallback) {
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(s, &end, 10);
+  return end != s ? v : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string section = "all";
+  streamhull::Table1Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--section=", 10) == 0) {
+      section = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--points=", 9) == 0) {
+      cfg.points = ParseU64(argv[i] + 9, cfg.points);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      cfg.seed = ParseU64(argv[i] + 7, cfg.seed);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::vector<std::string> sections;
+  if (section == "all") {
+    sections = {"disk", "square", "ellipse", "changing"};
+  } else {
+    sections = {section};
+  }
+
+  std::printf(
+      "Table 1 reproduction: n=%llu points per stream, uniform r=%u vs "
+      "adaptive r=%u (2r=%u samples each), units 1e-4 x generator radius\n\n",
+      static_cast<unsigned long long>(cfg.points), cfg.uniform_r,
+      cfg.adaptive_r, 2 * cfg.adaptive_r);
+  for (const std::string& sec : sections) {
+    const auto workloads = streamhull::Table1SectionWorkloads(sec);
+    if (workloads.empty()) {
+      std::fprintf(stderr, "unknown section '%s'\n", sec.c_str());
+      return 2;
+    }
+    std::vector<streamhull::Table1Row> rows;
+    for (const std::string& w : workloads) {
+      rows.push_back(streamhull::RunTable1Workload(w, cfg));
+    }
+    std::printf("== section: %s ==\n", sec.c_str());
+    streamhull::PrintTable1(rows, std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

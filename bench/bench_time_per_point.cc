@@ -1,0 +1,84 @@
+// Per-point processing cost (Theorem 5.4: amortized O(log r)). Sweeps r for
+// the naive O(r)-per-point uniform hull, the searchable-list uniform hull,
+// and the adaptive hull, on an isotropic disk stream and on the adversarial
+// spiral (every point displaces a sample). The naive baseline's time grows
+// linearly with r; the searchable-list structures grow ~logarithmically.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/adaptive_hull.h"
+#include "core/naive_uniform_hull.h"
+#include "stream/generators.h"
+
+namespace {
+
+using namespace streamhull;
+
+std::vector<Point2> MakeStream(bool spiral, size_t n) {
+  if (spiral) {
+    SpiralGenerator gen(99, 1e-4);
+    return gen.Take(n);
+  }
+  DiskGenerator gen(99);
+  return gen.Take(n);
+}
+
+void BM_NaiveUniformInsert(benchmark::State& state) {
+  const uint32_t r = static_cast<uint32_t>(state.range(0));
+  const bool spiral = state.range(1) != 0;
+  const auto stream = MakeStream(spiral, 20000);
+  for (auto _ : state) {
+    NaiveUniformHull h(r);
+    for (const Point2& p : stream) h.Insert(p);
+    benchmark::DoNotOptimize(h.num_points());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+
+void BM_UniformHullInsert(benchmark::State& state) {
+  const uint32_t r = static_cast<uint32_t>(state.range(0));
+  const bool spiral = state.range(1) != 0;
+  const auto stream = MakeStream(spiral, 20000);
+  for (auto _ : state) {
+    UniformHull h(r);
+    for (const Point2& p : stream) h.Insert(p);
+    benchmark::DoNotOptimize(h.num_points());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+
+void BM_AdaptiveHullInsert(benchmark::State& state) {
+  const uint32_t r = static_cast<uint32_t>(state.range(0));
+  const bool spiral = state.range(1) != 0;
+  const auto stream = MakeStream(spiral, 20000);
+  AdaptiveHullOptions o;
+  o.r = r;
+  for (auto _ : state) {
+    AdaptiveHull h(o);
+    for (const Point2& p : stream) h.Insert(p);
+    benchmark::DoNotOptimize(h.num_points());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+
+void RArgs(benchmark::internal::Benchmark* b) {
+  for (int spiral : {0, 1}) {
+    for (int r : {16, 64, 256, 1024}) {
+      b->Args({r, spiral});
+    }
+  }
+}
+
+BENCHMARK(BM_NaiveUniformInsert)->Apply(RArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UniformHullInsert)->Apply(RArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdaptiveHullInsert)->Apply(RArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

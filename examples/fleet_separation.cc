@@ -1,0 +1,89 @@
+// Two-stream monitoring (paper §1, §6): track the minimum distance between
+// the convex hulls of two vehicle fleets, report when they stop being
+// linearly separable, and detect when one fleet's extent becomes surrounded
+// by the other's. Each fleet is summarized independently by an AdaptiveHull;
+// all queries run on the summaries.
+//
+// Scenario: fleet A patrols a slowly-expanding loop; fleet B approaches from
+// the east, pushes through A's area, then encircles it.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/adaptive_hull.h"
+#include "queries/queries.h"
+
+int main() {
+  using namespace streamhull;
+
+  AdaptiveHullOptions options;
+  options.r = 16;
+  AdaptiveHull fleet_a(options);
+  AdaptiveHull fleet_b(options);
+
+  Rng rng(7);
+  const double kTwoPi = 6.283185307179586;
+
+  bool was_separable = true;
+  bool reported_containment = false;
+  std::printf("tick  |A|hull  |B|hull  distance   separable  A-inside-B\n");
+  for (int tick = 0; tick < 240; ++tick) {
+    const double t = tick / 240.0;
+    // Fleet A: ring patrol around the origin, radius ~2.
+    for (int v = 0; v < 40; ++v) {
+      const double a = rng.Uniform(0, kTwoPi);
+      const double r = 1.6 + 0.4 * rng.NextDouble();
+      fleet_a.Insert({r * std::cos(a), r * std::sin(a)});
+    }
+    // Fleet B: starts as a clump 12 units east, sweeps inward, and late in
+    // the scenario spreads into a wide surrounding ring.
+    for (int v = 0; v < 40; ++v) {
+      if (t < 0.6) {
+        const Point2 c{12.0 * (1.0 - t / 0.6) + 3.0 * (t / 0.6), 0.0};
+        fleet_b.Insert(c + Point2{0.8 * rng.Normal(), 0.8 * rng.Normal()});
+      } else {
+        const double a = rng.Uniform(0, kTwoPi);
+        const double r = 6.0 + 1.5 * rng.NextDouble();
+        fleet_b.Insert({r * std::cos(a), r * std::sin(a)});
+      }
+    }
+
+    const ConvexPolygon ha = fleet_a.Polygon();
+    const ConvexPolygon hb = fleet_b.Polygon();
+    const SeparabilityCertificate cert = LinearSeparability(ha, hb);
+    const bool contained = HullContains(hb, ha);
+
+    if (tick % 24 == 0 || cert.separable != was_separable ||
+        (contained && !reported_containment)) {
+      std::printf("%4d  %7zu  %7zu  %9.4f  %9s  %s\n", tick, ha.size(),
+                  hb.size(),
+                  cert.separable ? cert.margin : 0.0,
+                  cert.separable ? "yes" : "NO",
+                  contained ? "YES" : "no");
+    }
+    if (cert.separable != was_separable) {
+      if (!cert.separable) {
+        std::printf("      >> fleets are no longer linearly separable "
+                    "(witness point %.3f, %.3f)\n",
+                    cert.witness.x, cert.witness.y);
+      } else {
+        std::printf("      >> fleets separated again (margin %.4f)\n",
+                    cert.margin);
+      }
+      was_separable = cert.separable;
+    }
+    if (contained && !reported_containment) {
+      std::printf("      >> fleet A is now completely surrounded by "
+                  "fleet B's extent\n");
+      reported_containment = true;
+    }
+  }
+
+  const double overlap = OverlapArea(fleet_a.Polygon(), fleet_b.Polygon());
+  std::printf("\nfinal overlap area between the two extents: %.4f\n", overlap);
+  std::printf("summary sizes: A=%zu samples, B=%zu samples (budget %u each)\n",
+              fleet_a.num_directions(), fleet_b.num_directions(),
+              2 * options.r + 1);
+  return 0;
+}

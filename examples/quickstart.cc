@@ -1,0 +1,62 @@
+// Quickstart: summarize a point stream with an AdaptiveHull and ask it the
+// basic extremal questions (§6). Everything here is the public API:
+//
+//   AdaptiveHull          the streaming summary (O(log r) per point,
+//                         <= 2r+1 samples, O(D/r^2) error)
+//   ConvexPolygon         snapshot of the approximate hull
+//   queries/queries.h     diameter, width, extent, enclosing circle, ...
+
+#include <cstdio>
+
+#include "core/adaptive_hull.h"
+#include "queries/queries.h"
+#include "stream/generators.h"
+
+int main() {
+  using namespace streamhull;
+
+  // Configure a summary with r = 32 base directions. The default mode keeps
+  // the paper's weight invariant (between r and 2r+1 stored samples).
+  AdaptiveHullOptions options;
+  options.r = 32;
+  AdaptiveHull hull(options);
+
+  // Feed it a stream: 100k points from a skewed ellipse. Any source of
+  // Point2 works; the summary never stores more than 2r+1 of them.
+  EllipseGenerator stream(/*seed=*/1, /*aspect=*/8.0, /*rotation=*/0.35);
+  for (int i = 0; i < 100000; ++i) hull.Insert(stream.Next());
+
+  std::printf("stream points processed : %llu\n",
+              static_cast<unsigned long long>(hull.num_points()));
+  std::printf("samples stored          : %zu (budget 2r+1 = %u)\n",
+              hull.num_directions(), 2 * options.r + 1);
+  std::printf("a-priori error bound    : %.6f (16*pi*P/r^2)\n",
+              hull.ErrorBound());
+
+  // Snapshot the approximate hull and run extremal queries on it.
+  const ConvexPolygon poly = hull.Polygon();
+  std::printf("hull vertices           : %zu\n", poly.size());
+  std::printf("area / perimeter        : %.6f / %.6f\n", poly.Area(),
+              poly.Perimeter());
+
+  const PointPair diam = Diameter(poly);
+  std::printf("diameter                : %.6f between (%.3f,%.3f) and "
+              "(%.3f,%.3f)\n",
+              diam.value, diam.a.x, diam.a.y, diam.b.x, diam.b.y);
+  std::printf("width                   : %.6f\n", Width(poly).value);
+  std::printf("extent along x          : %.6f\n",
+              DirectionalExtent(poly, {1, 0}));
+  std::printf("extent along y          : %.6f\n",
+              DirectionalExtent(poly, {0, 1}));
+
+  const Circle circle = SmallestEnclosingCircle(poly);
+  std::printf("enclosing circle        : center (%.3f,%.3f) radius %.6f\n",
+              circle.center.x, circle.center.y, circle.radius);
+
+  // Membership tests against the summary.
+  std::printf("contains (0,0)?         : %s\n",
+              poly.Contains({0, 0}) ? "yes" : "no");
+  std::printf("contains (2,2)?         : %s\n",
+              poly.Contains({2, 2}) ? "yes" : "no");
+  return 0;
+}

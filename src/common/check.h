@@ -1,0 +1,42 @@
+// streamhull: internal invariant checking macros.
+//
+// SH_CHECK fires in all build types and is reserved for cheap, load-bearing
+// preconditions whose violation means memory-unsafe behavior would follow.
+// SH_DCHECK compiles away in NDEBUG builds and is used liberally inside the
+// data-structure code to document and enforce structural invariants.
+
+#ifndef STREAMHULL_COMMON_CHECK_H_
+#define STREAMHULL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace streamhull {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "streamhull CHECK failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace streamhull
+
+#define SH_CHECK(cond)                                              \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::streamhull::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                               \
+  } while (0)
+
+#ifdef NDEBUG
+#define SH_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define SH_DCHECK(cond) SH_CHECK(cond)
+#endif
+
+#endif  // STREAMHULL_COMMON_CHECK_H_

@@ -1,0 +1,95 @@
+// streamhull: Status / StatusOr-lite error propagation.
+//
+// The library follows the database-systems convention (RocksDB-style) of
+// returning Status objects from fallible operations instead of throwing
+// exceptions. Hot-path geometric code is noexcept and infallible by
+// construction; Status appears only on configuration and I/O boundaries.
+
+#ifndef STREAMHULL_COMMON_STATUS_H_
+#define STREAMHULL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace streamhull {
+
+/// \brief Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kIOError = 4,
+  kInternal = 5,
+};
+
+/// \brief Result of a fallible operation: a code plus a human-readable
+/// message. Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+
+  /// \name Factory functions for each error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  /// True iff the operation succeeded.
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  /// The error category.
+  StatusCode code() const noexcept { return code_; }
+  /// The error message; empty for OK.
+  const std::string& message() const noexcept { return message_; }
+
+  /// Renders "OK" or "<category>: <message>" for logs and test output.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(StatusCode code) noexcept {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kIOError: return "IOError";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Propagates a non-OK Status to the caller.
+#define STREAMHULL_RETURN_IF_ERROR(expr)            \
+  do {                                              \
+    ::streamhull::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_COMMON_STATUS_H_

@@ -1,0 +1,126 @@
+// streamhull: monotone priority queues for unrefinement thresholds.
+//
+// The streaming algorithm (§5.3) stores every internal refinement-tree node
+// in a priority queue keyed by the perimeter threshold at which the node
+// must be unrefined. Because the perimeter P only grows, the queue is
+// *monotone*: pops always ask for "every item with threshold below the
+// current P". Following Yossi Matias' suggestion in the paper, thresholds
+// are rounded down to a power of two, which lets the queue be an array of
+// buckets indexed by exponent, making every operation O(1); a conventional
+// binary-heap implementation is provided behind the same interface for the
+// ablation benchmark (bench_ablation_priority_queue).
+
+#ifndef STREAMHULL_CONTAINER_BUCKET_QUEUE_H_
+#define STREAMHULL_CONTAINER_BUCKET_QUEUE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streamhull {
+
+/// \brief Exponent of the power-of-two floor of \p x: largest e with
+/// 2^e <= x. Requires x > 0. Values below 2^-1000 saturate.
+inline int PowerOfTwoExponent(double x) {
+  SH_DCHECK(x > 0);
+  int e = 0;
+  double frac = std::frexp(x, &e);  // x = frac * 2^e, frac in [0.5, 1).
+  (void)frac;
+  int result = e - 1;
+  return result < -1000 ? -1000 : result;
+}
+
+/// \brief Bucketed monotone priority queue: items keyed by the power-of-two
+/// floor of their threshold; PopBelow(P) drains every bucket whose exponent
+/// value is below P. Push and amortized pop are O(1).
+template <class T>
+class BucketThresholdQueue {
+ public:
+  /// Inserts \p item with unrefinement threshold \p threshold (> 0). The
+  /// effective threshold is rounded down to a power of two, exactly as in
+  /// the paper ("e may be unrefined slightly too early, but the
+  /// approximation quality is asymptotically unchanged").
+  void Push(double threshold, T item) {
+    PushExponent(PowerOfTwoExponent(threshold), std::move(item));
+  }
+
+  /// Inserts \p item directly into the bucket with exponent \p e (effective
+  /// threshold 2^e). Lets callers round *up* when rounding down would make
+  /// the item immediately poppable (anti-churn; see AdaptiveHull).
+  void PushExponent(int e, T item) {
+    buckets_[e].push_back(std::move(item));
+    ++size_;
+  }
+
+  /// \brief Moves every item whose rounded threshold is strictly less than
+  /// \p p into \p out. (Threshold semantics: unrefine once P exceeds the
+  /// threshold; rounding down only makes unrefinement earlier.)
+  void PopBelow(double p, std::vector<T>* out) {
+    if (p <= 0) return;
+    // Bucket with exponent e holds effective thresholds exactly 2^e; it
+    // drains when 2^e < p, i.e. e < log2(p).
+    while (!buckets_.empty()) {
+      auto it = buckets_.begin();
+      if (std::ldexp(1.0, it->first) >= p) break;
+      for (T& t : it->second) out->push_back(std::move(t));
+      size_ -= it->second.size();
+      buckets_.erase(it);
+    }
+  }
+
+  /// Number of queued items (including logically stale ones the caller has
+  /// not yet filtered out).
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void Clear() {
+    buckets_.clear();
+    size_ = 0;
+  }
+
+ private:
+  // Exponent -> items. A std::map keeps the bucket *index* ordered; the
+  // number of live buckets is O(log(P_max / P_min)), so this map is tiny and
+  // its log factor is on the bucket count, not the item count. (The paper's
+  // RAM-model array of log r buckets is realized here as the map's keys.)
+  std::map<int, std::vector<T>> buckets_;
+  size_t size_ = 0;
+};
+
+/// \brief Binary-heap implementation of the same interface, keyed by the
+/// exact (un-rounded) threshold. O(log n) per operation; used by the
+/// priority-queue ablation to quantify what the bucket trick buys.
+template <class T>
+class HeapThresholdQueue {
+ public:
+  void Push(double threshold, T item) {
+    heap_.push(Entry{threshold, std::move(item)});
+  }
+
+  void PopBelow(double p, std::vector<T>* out) {
+    while (!heap_.empty() && heap_.top().threshold < p) {
+      out->push_back(std::move(const_cast<Entry&>(heap_.top()).item));
+      heap_.pop();
+    }
+  }
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  void Clear() { heap_ = {}; }
+
+ private:
+  struct Entry {
+    double threshold;
+    T item;
+    bool operator>(const Entry& o) const { return threshold > o.threshold; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_CONTAINER_BUCKET_QUEUE_H_

@@ -1,0 +1,291 @@
+// streamhull: rank-indexable skip list.
+//
+// The paper (§3.1) stores convex-hull vertices in a "searchable,
+// concatenable list structure, implemented as a balanced binary tree, a skip
+// list, or (concretely) a C++ STL set". An STL set supports search by key
+// but not by *rank*, which the tangent-finding binary searches need (they
+// binary search over vertex positions, not keys). This skip list augments
+// every forward pointer with the number of bottom-level links it skips, so
+// it supports both key search and rank access in O(log n) expected time —
+// the same structure RocksDB uses for its memtable, augmented with widths
+// (an "order-statistic" skip list).
+//
+// Determinism: tower heights are drawn from an internal Rng seeded at
+// construction, so a given insertion sequence always produces the same
+// structure, keeping every test and benchmark reproducible.
+
+#ifndef STREAMHULL_CONTAINER_INDEXABLE_SKIPLIST_H_
+#define STREAMHULL_CONTAINER_INDEXABLE_SKIPLIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace streamhull {
+
+/// \brief Ordered map with O(log n) expected search by key *and* by rank.
+///
+/// Keys are unique. Inserting an existing key overwrites its value.
+/// Iteration is exposed through raw node pointers (stable across unrelated
+/// insertions/erasures, invalidated only by erasing that node).
+template <class Key, class Value, class Compare = std::less<Key>>
+class IndexableSkipList {
+ public:
+  static constexpr int kMaxHeight = 20;
+
+  /// A list node. key/value are readable in place; mutating `value` through
+  /// the pointer is allowed, mutating `key` is not exposed.
+  struct Node {
+    Key key;
+    Value value;
+
+   private:
+    friend class IndexableSkipList;
+    int height = 0;
+    // next[i] / width[i]: level-i successor and the number of bottom links
+    // crossed by that pointer (width of the gap, including the destination).
+    Node* next[kMaxHeight];
+    size_t width[kMaxHeight];
+  };
+
+  explicit IndexableSkipList(uint64_t seed = 0x5eed5eedULL,
+                             Compare cmp = Compare())
+      : rng_(seed), cmp_(cmp) {
+    head_ = NewNode(kMaxHeight);
+    for (int i = 0; i < kMaxHeight; ++i) {
+      head_->next[i] = nullptr;
+      head_->width[i] = 1;
+    }
+  }
+
+  IndexableSkipList(const IndexableSkipList&) = delete;
+  IndexableSkipList& operator=(const IndexableSkipList&) = delete;
+
+  ~IndexableSkipList() { Clear(); DeleteNode(head_); }
+
+  /// Number of elements.
+  size_t size() const { return size_; }
+  /// True iff empty.
+  bool empty() const { return size_ == 0; }
+
+  /// Removes all elements.
+  void Clear() {
+    Node* n = head_->next[0];
+    while (n != nullptr) {
+      Node* nx = n->next[0];
+      DeleteNode(n);
+      n = nx;
+    }
+    for (int i = 0; i < kMaxHeight; ++i) {
+      head_->next[i] = nullptr;
+      head_->width[i] = 1;
+    }
+    size_ = 0;
+  }
+
+  /// \brief Inserts (key, value); if key exists, overwrites the value.
+  /// \returns the node holding the key.
+  Node* Insert(const Key& key, const Value& value) {
+    Node* update[kMaxHeight];
+    size_t rank[kMaxHeight];
+    Node* x = head_;
+    size_t pos = 0;
+    for (int i = kMaxHeight - 1; i >= 0; --i) {
+      while (x->next[i] != nullptr && cmp_(x->next[i]->key, key)) {
+        pos += x->width[i];
+        x = x->next[i];
+      }
+      update[i] = x;
+      rank[i] = pos;
+    }
+    Node* nxt = x->next[0];
+    if (nxt != nullptr && !cmp_(key, nxt->key)) {
+      nxt->value = value;  // Equal keys: overwrite.
+      return nxt;
+    }
+    int h = RandomHeight();
+    Node* n = NewNode(h);
+    n->key = key;
+    n->value = value;
+    size_t insert_rank = rank[0] + 1;  // 1-based rank of the new node.
+    for (int i = 0; i < kMaxHeight; ++i) {
+      if (i < h) {
+        n->next[i] = update[i]->next[i];
+        update[i]->next[i] = n;
+        // update[i] is at 1-based rank rank[i]; it now reaches n.
+        size_t left_width = insert_rank - rank[i];
+        n->width[i] = update[i]->width[i] - left_width + 1;
+        update[i]->width[i] = left_width;
+      } else {
+        update[i]->width[i] += 1;
+      }
+    }
+    ++size_;
+    return n;
+  }
+
+  /// Erases \p key if present. \returns true iff an element was removed.
+  bool Erase(const Key& key) {
+    Node* update[kMaxHeight];
+    Node* x = head_;
+    for (int i = kMaxHeight - 1; i >= 0; --i) {
+      while (x->next[i] != nullptr && cmp_(x->next[i]->key, key)) {
+        x = x->next[i];
+      }
+      update[i] = x;
+    }
+    Node* victim = x->next[0];
+    if (victim == nullptr || cmp_(key, victim->key)) return false;
+    for (int i = 0; i < kMaxHeight; ++i) {
+      if (i < victim->height && update[i]->next[i] == victim) {
+        update[i]->width[i] += victim->width[i] - 1;
+        update[i]->next[i] = victim->next[i];
+      } else {
+        update[i]->width[i] -= 1;
+      }
+    }
+    DeleteNode(victim);
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup. \returns nullptr if absent.
+  Node* Find(const Key& key) const {
+    Node* x = PredecessorOrHead(key);
+    Node* nxt = x->next[0];
+    if (nxt != nullptr && !cmp_(key, nxt->key)) return nxt;
+    return nullptr;
+  }
+
+  /// \brief Largest key <= \p key, or nullptr if all keys are greater.
+  Node* FindLessEqual(const Key& key) const {
+    Node* x = head_;
+    for (int i = kMaxHeight - 1; i >= 0; --i) {
+      while (x->next[i] != nullptr && !cmp_(key, x->next[i]->key)) {
+        x = x->next[i];
+      }
+    }
+    return x == head_ ? nullptr : x;
+  }
+
+  /// \brief Smallest key >= \p key, or nullptr if all keys are smaller.
+  Node* FindGreaterEqual(const Key& key) const {
+    Node* x = PredecessorOrHead(key);
+    return x->next[0];
+  }
+
+  /// \brief The node at 0-based rank \p r. Requires r < size().
+  Node* AtRank(size_t r) const {
+    SH_DCHECK(r < size_);
+    size_t target = r + 1;  // 1-based.
+    Node* x = head_;
+    size_t pos = 0;
+    for (int i = kMaxHeight - 1; i >= 0; --i) {
+      while (x->next[i] != nullptr && pos + x->width[i] <= target) {
+        pos += x->width[i];
+        x = x->next[i];
+      }
+    }
+    SH_DCHECK(pos == target && x != head_);
+    return x;
+  }
+
+  /// \brief 0-based rank of \p key. Requires the key to be present.
+  size_t RankOf(const Key& key) const {
+    Node* x = head_;
+    size_t pos = 0;
+    for (int i = kMaxHeight - 1; i >= 0; --i) {
+      while (x->next[i] != nullptr && cmp_(x->next[i]->key, key)) {
+        pos += x->width[i];
+        x = x->next[i];
+      }
+    }
+    Node* nxt = x->next[0];
+    SH_CHECK(nxt != nullptr && !cmp_(key, nxt->key));
+    return pos;  // pos bottom links precede nxt.
+  }
+
+  /// First node (smallest key), or nullptr if empty.
+  Node* First() const { return head_->next[0]; }
+  /// Last node (largest key), or nullptr if empty.
+  Node* Last() const {
+    Node* x = head_;
+    for (int i = kMaxHeight - 1; i >= 0; --i) {
+      while (x->next[i] != nullptr) x = x->next[i];
+    }
+    return x == head_ ? nullptr : x;
+  }
+  /// Successor, or nullptr at the end.
+  Node* Next(Node* n) const { return n->next[0]; }
+
+  /// \brief Internal structure check (test support): verifies widths sum
+  /// correctly at every level and keys are strictly increasing.
+  bool CheckIntegrity() const {
+    // Keys strictly increasing along the bottom level.
+    size_t count = 0;
+    for (Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+      ++count;
+      if (n->next[0] != nullptr && !cmp_(n->key, n->next[0]->key)) return false;
+    }
+    if (count != size_) return false;
+    // Every non-null pointer's width must equal the number of bottom-level
+    // links it skips (widths of null pointers are unused).
+    for (int i = 0; i < kMaxHeight; ++i) {
+      for (Node* n = head_; n != nullptr; n = n->next[i]) {
+        if (n->next[i] == nullptr) break;
+        size_t steps = 0;
+        Node* b = n;
+        while (b != n->next[i]) {
+          b = b->next[0];
+          ++steps;
+          if (steps > size_ + 1) return false;
+          if (b == nullptr) return false;
+        }
+        if (n->width[i] != steps) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  Node* PredecessorOrHead(const Key& key) const {
+    Node* x = head_;
+    for (int i = kMaxHeight - 1; i >= 0; --i) {
+      while (x->next[i] != nullptr && cmp_(x->next[i]->key, key)) {
+        x = x->next[i];
+      }
+    }
+    return x;
+  }
+
+  int RandomHeight() {
+    int h = 1;
+    // p = 1/4 branching, as in RocksDB.
+    while (h < kMaxHeight && (rng_.NextU64() & 3) == 0) ++h;
+    return h;
+  }
+
+  static Node* NewNode(int height) {
+    Node* n = new Node();
+    n->height = height;
+    for (int i = 0; i < kMaxHeight; ++i) {
+      n->next[i] = nullptr;
+      n->width[i] = 0;
+    }
+    return n;
+  }
+  static void DeleteNode(Node* n) { delete n; }
+
+  Node* head_;
+  size_t size_ = 0;
+  Rng rng_;
+  Compare cmp_;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_CONTAINER_INDEXABLE_SKIPLIST_H_

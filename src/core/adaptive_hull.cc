@@ -1,0 +1,1156 @@
+#include "core/adaptive_hull.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "geom/convex_view.h"
+
+namespace streamhull {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Prefix sums of sum_{j=1..i} j / 2^j (converges to 2), used by the
+// invariant-line offsets d_i of §5.3.
+double LevelSeriesPrefix(uint32_t i) {
+  static const std::vector<double> kPrefix = [] {
+    std::vector<double> v(65, 0.0);
+    for (uint32_t j = 1; j <= 64; ++j) {
+      v[j] = v[j - 1] +
+             static_cast<double>(j) * std::ldexp(1.0, -static_cast<int>(j));
+    }
+    return v;
+  }();
+  return kPrefix[std::min<uint32_t>(i, 64)];
+}
+
+// Adapter exposing the distinct-vertex skip list as a random-access CCW
+// polygon view for geom/convex_view.h.
+struct VertsView {
+  const IndexableSkipList<Direction, Point2>* list;
+  size_t size() const { return list->size(); }
+  Point2 operator[](size_t i) const { return list->AtRank(i)->value; }
+};
+
+}  // namespace
+
+AdaptiveHull::AdaptiveHull(const AdaptiveHullOptions& options)
+    : options_(options) {
+  Status st = options.Validate();
+  SH_CHECK(st.ok() && "invalid AdaptiveHullOptions");
+  cap_ = static_cast<uint32_t>(options_.EffectiveTreeHeight());
+  fixed_target_ = options_.EffectiveFixedDirections();
+  roots_.assign(options_.r, -1);
+  uniform_ext_.assign(options_.r, Point2{});
+  leaf_heaps_.resize(cap_ + 1);
+  internal_heaps_.resize(cap_ + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+int32_t AdaptiveHull::AllocNode() {
+  if (!free_nodes_.empty()) {
+    int32_t idx = free_nodes_.back();
+    free_nodes_.pop_back();
+    RefNode& n = nodes_[static_cast<size_t>(idx)];
+    const uint32_t gen = n.pq_gen;
+    n = RefNode{};
+    n.pq_gen = gen + 1;  // Invalidate any queued entries for the old tenant.
+    n.allocated = true;
+    return idx;
+  }
+  nodes_.emplace_back();
+  nodes_.back().allocated = true;
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+void AdaptiveHull::FreeNode(int32_t idx) {
+  RefNode& n = N(idx);
+  SH_DCHECK(n.allocated);
+  n.allocated = false;
+  n.pq_gen++;
+  free_nodes_.push_back(idx);
+}
+
+// ---------------------------------------------------------------------------
+// Geometry helpers
+// ---------------------------------------------------------------------------
+
+double AdaptiveHull::ComputeLTilde(const Direction& lo, const Direction& hi,
+                                   Point2 a, Point2 b) const {
+  if (a == b) return 0.0;
+  const double ab = Distance(a, b);
+  const double gap = lo.CcwGapTo(hi).Radians(options_.r);
+  const Point2 ua = lo.ToVector();
+  const Point2 ub = hi.ToVector();
+  Point2 apex;
+  double lt;
+  if (LineIntersection(a, a + ua.PerpCcw(), b, b + ub.PerpCcw(), &apex)) {
+    lt = Distance(a, apex) + Distance(apex, b);
+  } else {
+    lt = ab;  // Parallel supporting lines (gap numerically 0).
+  }
+  // ltilde lies in [ab, ab / cos(gap/2)]; clamp against numerical blowup
+  // when the supporting lines are nearly parallel.
+  const double cos_half = std::cos(0.5 * gap);
+  const double upper = ab / std::max(0.25, cos_half);
+  if (lt < ab) lt = ab;
+  if (lt > upper) lt = upper;
+  return lt;
+}
+
+double AdaptiveHull::Weight(const RefNode& n) const {
+  if (p_used_ <= 0) return -static_cast<double>(n.depth);
+  return static_cast<double>(options_.r) * n.ltilde / p_used_ -
+         static_cast<double>(n.depth);
+}
+
+double AdaptiveHull::UnrefineThreshold(const RefNode& n) const {
+  // The value of P above which Weight(n) < 1.
+  return static_cast<double>(options_.r) * n.ltilde /
+         (1.0 + static_cast<double>(n.depth));
+}
+
+// ---------------------------------------------------------------------------
+// Interval helpers (closed CCW circular intervals)
+// ---------------------------------------------------------------------------
+
+bool AdaptiveHull::InCcwInterval(const Direction& x, const Direction& lo,
+                                 const Direction& hi) const {
+  if (lo == hi) return x == lo;
+  if (lo < hi) return !(x < lo) && !(hi < x);
+  return !(x < lo) || !(hi < x);  // Wrapping interval.
+}
+
+bool AdaptiveHull::CcwIntervalsIntersect(const Direction& lo,
+                                         const Direction& hi,
+                                         const Direction& wf,
+                                         const Direction& wl) const {
+  return InCcwInterval(wf, lo, hi) || InCcwInterval(lo, wf, wl);
+}
+
+// ---------------------------------------------------------------------------
+// Circular sample iteration
+// ---------------------------------------------------------------------------
+
+AdaptiveHull::SampleMap::const_iterator AdaptiveHull::NextSample(
+    SampleMap::const_iterator it) const {
+  SH_DCHECK(!samples_.empty());
+  ++it;
+  if (it == samples_.end()) it = samples_.begin();
+  return it;
+}
+
+AdaptiveHull::SampleMap::const_iterator AdaptiveHull::PrevSample(
+    SampleMap::const_iterator it) const {
+  SH_DCHECK(!samples_.empty());
+  if (it == samples_.begin()) it = samples_.end();
+  --it;
+  return it;
+}
+
+// ---------------------------------------------------------------------------
+// Initialization
+// ---------------------------------------------------------------------------
+
+void AdaptiveHull::InitializeWith(Point2 p) {
+  const uint32_t r = options_.r;
+  for (uint32_t j = 0; j < r; ++j) {
+    samples_.emplace(Direction::Uniform(j, r), p);
+    uniform_ext_[j] = p;
+  }
+  verts_.Insert(Direction::Uniform(0, r), p);
+  uniform_runs_.clear();
+  uniform_runs_.emplace(0, p);
+  p_raw_ = 0;
+  p_used_ = 0;
+  for (uint32_t j = 0; j < r; ++j) {
+    int32_t idx = AllocNode();
+    RefNode& n = N(idx);
+    n.lo = Direction::Uniform(j, r);
+    n.hi = Direction::Uniform((j + 1) % r, r);
+    n.pa = p;
+    n.pb = p;
+    n.depth = 0;
+    n.ltilde = 0;
+    roots_[j] = idx;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Winning-set computation
+// ---------------------------------------------------------------------------
+
+std::vector<Direction> AdaptiveHull::ComputeWinningSetBrute(Point2 p) const {
+  const size_t s = samples_.size();
+  std::vector<Direction> dirs;
+  std::vector<char> won;
+  dirs.reserve(s);
+  won.reserve(s);
+  size_t num_won = 0;
+  for (const auto& [d, pt] : samples_) {
+    dirs.push_back(d);
+    const bool w = Beats(p, d, pt);
+    won.push_back(w ? 1 : 0);
+    num_won += w ? 1 : 0;
+  }
+  if (num_won == 0) return {};
+  if (num_won == s) return dirs;  // Map order is a valid CCW walk.
+  std::vector<Direction> result;
+  result.reserve(num_won);
+  // Start at a won direction whose circular predecessor is not won.
+  size_t start = s;
+  for (size_t i = 0; i < s; ++i) {
+    if (won[i] && !won[(i + s - 1) % s]) {
+      start = i;
+      break;
+    }
+  }
+  SH_DCHECK(start < s);
+  for (size_t k = 0; k < s; ++k) {
+    const size_t i = (start + k) % s;
+    if (!won[i]) break;
+    result.push_back(dirs[i]);
+  }
+  return result;
+}
+
+std::vector<Direction> AdaptiveHull::ComputeWinningSet(Point2 p) const {
+  const size_t m = verts_.size();
+  if (m <= 16) return ComputeWinningSetBrute(p);
+
+  VertsView view{&verts_};
+  auto chain = FindVisibleChain(view, p);
+  if (!chain.has_value()) return {};
+
+  const size_t r_rank = chain->first_edge;
+  const size_t l_rank = (chain->last_edge + 1) % m;
+  const Direction rnext_key = verts_.AtRank((r_rank + 1) % m)->key;
+  const Direction l_key = verts_.AtRank(l_rank)->key;
+
+  const size_t s = samples_.size();
+  std::vector<Direction> rside;  // Collected walking CW (reverse CCW).
+  std::vector<Direction> middle;
+  std::vector<Direction> lside;
+
+  // Right boundary: walk CW from just before the chain interior, absorbing
+  // every direction the new point beats. This resolves the tangent vertex's
+  // split cone exactly and tolerates an off-by-one tangent.
+  auto it0 = samples_.find(rnext_key);
+  SH_CHECK(it0 != samples_.end());
+  {
+    auto it = PrevSample(it0);
+    size_t steps = 0;
+    while (steps++ < s && Beats(p, it->first, it->second)) {
+      rside.push_back(it->first);
+      it = PrevSample(it);
+    }
+  }
+  // Interior: directions owned by vertices strictly inside the chain. These
+  // are all won in exact arithmetic; with floating-point noise the chain
+  // boundary can overshoot by a near-collinear vertex, so the walk stays
+  // predicate-driven and stops at the first direction the point fails to
+  // win (keeping the collected set one contiguous arc).
+  bool middle_complete = true;
+  {
+    auto it = it0;
+    size_t steps = 0;
+    while (it->first != l_key && steps++ < s) {
+      if (!Beats(p, it->first, it->second)) {
+        middle_complete = false;
+        break;
+      }
+      middle.push_back(it->first);
+      it = NextSample(it);
+    }
+  }
+  // Left boundary: walk CCW from the left tangent vertex's first direction.
+  if (middle_complete && rside.size() + middle.size() < s) {
+    auto it = samples_.find(l_key);
+    SH_CHECK(it != samples_.end());
+    size_t steps = 0;
+    const size_t budget = s - rside.size() - middle.size();
+    while (steps++ <= budget && Beats(p, it->first, it->second)) {
+      lside.push_back(it->first);
+      it = NextSample(it);
+      if (lside.size() >= budget) break;
+    }
+  }
+
+  std::vector<Direction> result;
+  result.reserve(rside.size() + middle.size() + lside.size());
+  for (auto rit = rside.rbegin(); rit != rside.rend(); ++rit) {
+    result.push_back(*rit);
+  }
+  result.insert(result.end(), middle.begin(), middle.end());
+  result.insert(result.end(), lside.begin(), lside.end());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Applying a win: samples, vertex runs, uniform extrema, perimeter
+// ---------------------------------------------------------------------------
+
+void AdaptiveHull::ApplyWin(Point2 p, const std::vector<Direction>& won) {
+  SH_DCHECK(!won.empty());
+  const Direction wf = won.front();
+  const Direction wl = won.back();
+  const bool all_won = won.size() == samples_.size();
+
+  // Capture the run re-anchor for the direction just past the won interval
+  // *before* mutating anything.
+  Direction after;
+  Point2 after_pt{};
+  bool need_after = false;
+  if (!all_won) {
+    auto it = samples_.find(wl);
+    SH_CHECK(it != samples_.end());
+    const auto nx = NextSample(it);
+    after = nx->first;
+    after_pt = nx->second;
+    need_after = true;
+  }
+
+  // Update the stored extremum for every won direction.
+  for (const Direction& d : won) {
+    auto it = samples_.find(d);
+    SH_CHECK(it != samples_.end());
+    it->second = p;
+  }
+
+  // Erase vertex runs whose first direction lies in [wf, wl] (circular).
+  {
+    std::vector<Direction> to_erase;
+    if (!(wl < wf)) {
+      for (auto* node = verts_.FindGreaterEqual(wf);
+           node != nullptr && !(wl < node->key); node = verts_.Next(node)) {
+        to_erase.push_back(node->key);
+      }
+    } else {
+      for (auto* node = verts_.FindGreaterEqual(wf); node != nullptr;
+           node = verts_.Next(node)) {
+        to_erase.push_back(node->key);
+      }
+      for (auto* node = verts_.First();
+           node != nullptr && !(wl < node->key); node = verts_.Next(node)) {
+        to_erase.push_back(node->key);
+      }
+    }
+    for (const Direction& d : to_erase) verts_.Erase(d);
+    stats_.vertices_deleted += to_erase.size();
+  }
+
+  // The new point's run, plus the re-anchored run for the surviving owner
+  // just past the interval.
+  verts_.Insert(wf, p);
+  if (need_after) {
+    auto* anode = verts_.Find(after);
+    if (anode == nullptr) anode = verts_.Insert(after, after_pt);
+    // Run-length compression: if the re-anchored run's circular successor
+    // holds the same point (typically across the 0-direction wrap), the two
+    // runs are one contiguous ownership range; drop the later key.
+    auto* succ = verts_.Next(anode);
+    if (succ == nullptr) succ = verts_.First();
+    if (succ != anode && succ->value == anode->value) {
+      verts_.Erase(succ->key);
+    }
+  }
+
+  // Uniform directions among the winners.
+  bool any_uniform = false;
+  uint32_t jf = 0, jl = 0;
+  for (const Direction& d : won) {
+    if (!d.IsUniform()) continue;
+    const uint32_t j = static_cast<uint32_t>(d.num());
+    if (!any_uniform) jf = j;
+    jl = j;
+    any_uniform = true;
+  }
+  if (any_uniform) UpdateUniform(p, jf, jl);
+}
+
+double AdaptiveHull::RecomputeUniformPerimeter() const {
+  const size_t k = uniform_runs_.size();
+  if (k <= 1) return 0.0;
+  double sum = 0.0;
+  auto first = uniform_runs_.begin();
+  auto prev = first;
+  for (auto it = std::next(first); it != uniform_runs_.end(); ++it) {
+    sum += Distance(prev->second, it->second);
+    prev = it;
+  }
+  sum += Distance(prev->second, first->second);
+  return sum;
+}
+
+void AdaptiveHull::UpdateUniform(Point2 p, uint32_t jf, uint32_t jl) {
+  const uint32_t r = options_.r;
+  // Update per-direction extrema over the (circular) range [jf, jl].
+  size_t won_count = 0;
+  for (uint32_t j = jf;; j = (j + 1) % r) {
+    uniform_ext_[j] = p;
+    ++won_count;
+    if (j == jl) break;
+  }
+
+  const double old_p_raw = p_raw_;
+  auto in_interval = [&](uint32_t j) {
+    if (jf <= jl) return j >= jf && j <= jl;
+    return j >= jf || j <= jl;
+  };
+
+  // Decide between the incremental perimeter update and a full recompute.
+  bool incremental = uniform_runs_.size() > 4 && won_count < r;
+  Point2 a_pt{}, b_pt{};
+  uint32_t b_key = 0;
+  if (incremental) {
+    auto ait = uniform_runs_.lower_bound(jf);  // Largest key < jf, circular.
+    if (ait == uniform_runs_.begin()) ait = uniform_runs_.end();
+    --ait;
+    auto bit = uniform_runs_.upper_bound(jl);  // Smallest key > jl, circular.
+    if (bit == uniform_runs_.end()) bit = uniform_runs_.begin();
+    if (in_interval(ait->first) || in_interval(bit->first)) {
+      incremental = false;
+    } else {
+      a_pt = ait->second;
+      b_pt = bit->second;
+      b_key = bit->first;
+    }
+  }
+
+  // Erase run starts inside the interval, remembering their points in CCW
+  // order from jf.
+  std::vector<Point2> erased_pts;
+  {
+    std::vector<uint32_t> keys;
+    for (auto it = uniform_runs_.lower_bound(jf);
+         it != uniform_runs_.end() && (jf <= jl ? it->first <= jl : true);
+         ++it) {
+      keys.push_back(it->first);
+      erased_pts.push_back(it->second);
+    }
+    if (jf > jl) {
+      for (auto it = uniform_runs_.begin();
+           it != uniform_runs_.end() && it->first <= jl; ++it) {
+        keys.push_back(it->first);
+        erased_pts.push_back(it->second);
+      }
+    }
+    for (uint32_t k : keys) uniform_runs_.erase(k);
+  }
+
+  uniform_runs_[jf] = p;
+  const uint32_t jnext = (jl + 1) % r;
+  bool inserted_jnext = false;
+  if (won_count < r && uniform_runs_.find(jnext) == uniform_runs_.end()) {
+    uniform_runs_[jnext] = uniform_ext_[jnext];
+    inserted_jnext = true;
+  }
+
+  if (!incremental) {
+    p_raw_ = RecomputeUniformPerimeter();
+  } else {
+    // Old local path a -> erased runs -> b; new local path a -> p [-> the
+    // re-anchored owner at jnext] -> b.
+    double old_len;
+    if (erased_pts.empty()) {
+      old_len = Distance(a_pt, b_pt);
+    } else {
+      old_len = Distance(a_pt, erased_pts.front());
+      for (size_t i = 0; i + 1 < erased_pts.size(); ++i) {
+        old_len += Distance(erased_pts[i], erased_pts[i + 1]);
+      }
+      old_len += Distance(erased_pts.back(), b_pt);
+    }
+    double new_len = Distance(a_pt, p);
+    if (inserted_jnext && jnext != b_key) {
+      new_len += Distance(p, uniform_ext_[jnext]) +
+                 Distance(uniform_ext_[jnext], b_pt);
+    } else {
+      new_len += Distance(p, b_pt);
+    }
+    p_raw_ = old_p_raw + (new_len - old_len);
+  }
+
+  if (p_raw_ > p_used_) {
+    p_used_ = p_raw_;
+  }
+  if (p_raw_ < old_p_raw - 1e-9 * std::max(1.0, old_p_raw)) {
+    ++stats_.perimeter_decreases;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direction activation / deactivation (refinement bookkeeping)
+// ---------------------------------------------------------------------------
+
+void AdaptiveHull::ActivateDirection(const Direction& d, Point2 pt) {
+  auto [it, inserted] = samples_.emplace(d, pt);
+  SH_CHECK(inserted);
+  // Run bookkeeping. The refined leaf's interval contains no other active
+  // direction, so d is adjacent to the runs of both endpoint samples.
+  auto* owner_run = verts_.FindLessEqual(d);
+  if (owner_run == nullptr) owner_run = verts_.Last();
+  SH_CHECK(owner_run != nullptr);
+  if (owner_run->value == pt) return;  // Merges into the predecessor's run.
+  // Otherwise pt is the successor sample's point: its run starts exactly at
+  // the leaf's hi endpoint; extend it backward to d.
+  auto nx = NextSample(it);
+  SH_DCHECK(nx->second == pt);
+  const Direction succ_key = nx->first;
+  auto* succ_run = verts_.Find(succ_key);
+  SH_DCHECK(succ_run != nullptr && succ_run->value == pt);
+  if (succ_run != nullptr) verts_.Erase(succ_key);
+  verts_.Insert(d, pt);
+}
+
+void AdaptiveHull::DeactivateDirection(const Direction& d) {
+  auto it = samples_.find(d);
+  SH_CHECK(it != samples_.end());
+  auto* run = verts_.Find(d);
+  if (run == nullptr) {
+    samples_.erase(it);  // Interior of a run; ownership map unchanged.
+    return;
+  }
+  const Point2 pt = run->value;
+  // Does d's run own more directions? It does iff the next active direction
+  // (circularly) still maps to this run node.
+  auto nx = NextSample(it);
+  const Direction next_dir = nx->first;
+  bool more = false;
+  if (next_dir != d) {
+    auto* owner = verts_.FindLessEqual(next_dir);
+    if (owner == nullptr) owner = verts_.Last();
+    more = (owner == run);
+  }
+  samples_.erase(it);
+  verts_.Erase(d);
+  if (more) {
+    verts_.Insert(next_dir, pt);
+    return;
+  }
+  // The run vanished; merge its neighbors if they now repeat a point.
+  if (verts_.size() >= 2) {
+    auto* succ = verts_.FindGreaterEqual(d);
+    if (succ == nullptr) succ = verts_.First();
+    auto* pred = verts_.FindLessEqual(d);
+    if (pred == nullptr) pred = verts_.Last();
+    if (pred != succ && pred->value == succ->value) {
+      verts_.Erase(succ->key);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Refinement / unrefinement
+// ---------------------------------------------------------------------------
+
+void AdaptiveHull::EnqueueThreshold(int32_t idx) {
+  RefNode& n = N(idx);
+  SH_DCHECK(n.IsInternal());
+  n.pq_gen++;
+  const double thresh = UnrefineThreshold(n);
+  if (thresh <= 0) return;
+  QueueEntry e{idx, n.pq_gen};
+  if (options_.queue_kind == ThresholdQueueKind::kBucket) {
+    // Round down to a power of two (§5.3). If the rounded bucket would pop
+    // immediately even though the exact threshold is still above P (churn),
+    // round *up* instead — at most 2x-late unrefinement.
+    int exp = PowerOfTwoExponent(thresh);
+    if (p_used_ > 0 && std::ldexp(1.0, exp) < p_used_) {
+      exp = PowerOfTwoExponent(p_used_) + 1;
+    }
+    bucket_queue_.PushExponent(exp, e);
+  } else {
+    heap_queue_.Push(thresh, e);
+  }
+}
+
+std::vector<AdaptiveHull::QueueEntry> AdaptiveHull::ProcessUnrefinements() {
+  std::vector<QueueEntry> ready;
+  if (options_.queue_kind == ThresholdQueueKind::kBucket) {
+    bucket_queue_.PopBelow(p_used_, &ready);
+  } else {
+    heap_queue_.PopBelow(p_used_, &ready);
+  }
+  std::vector<QueueEntry> collapsed;
+  for (const QueueEntry& e : ready) {
+    const RefNode& n = N(e.node);
+    if (!n.allocated || n.pq_gen != e.gen || !n.IsInternal()) continue;
+    Unrefine(e.node);
+    // The collapse may have been early (power-of-two rounding); the caller
+    // re-checks the resulting leaf's weight after the rebuild pass.
+    collapsed.push_back(QueueEntry{e.node, N(e.node).pq_gen});
+  }
+  return collapsed;
+}
+
+bool AdaptiveHull::RefineOnce(int32_t idx) {
+  {
+    RefNode& n0 = N(idx);
+    if (n0.IsInternal() || n0.depth >= cap_ || n0.pa == n0.pb) return false;
+  }
+  const Direction lo = N(idx).lo;
+  const Direction hi = N(idx).hi;
+  const Point2 pa = N(idx).pa;
+  const Point2 pb = N(idx).pb;
+  const uint32_t depth = N(idx).depth;
+  const Direction mid = Direction::Midpoint(lo, hi);
+  if (samples_.find(mid) != samples_.end()) return false;  // Paranoia.
+  const Point2 um = mid.ToVector();
+  // The extremum in the bisecting direction among the stored samples is one
+  // of the two endpoints (their normal cones cover the leaf's interval).
+  const Point2 winner = Dot(pb, um) > Dot(pa, um) ? pb : pa;
+  ActivateDirection(mid, winner);
+
+  const int32_t li = AllocNode();
+  const int32_t ri = AllocNode();
+  RefNode& n = N(idx);  // Re-acquire: AllocNode may grow the arena.
+  RefNode& l = N(li);
+  RefNode& r = N(ri);
+  l.lo = lo;
+  l.hi = mid;
+  l.pa = pa;
+  l.pb = winner;
+  l.depth = depth + 1;
+  l.ltilde = ComputeLTilde(l.lo, l.hi, l.pa, l.pb);
+  r.lo = mid;
+  r.hi = hi;
+  r.pa = winner;
+  r.pb = pb;
+  r.depth = depth + 1;
+  r.ltilde = ComputeLTilde(r.lo, r.hi, r.pa, r.pb);
+  n.left = li;
+  n.right = ri;
+  n.mid = mid;
+  ++stats_.directions_refined;
+  if (options_.mode == SamplingMode::kFixedSize) {
+    PushHeapEntry(li);
+    PushHeapEntry(ri);
+    PushHeapEntry(idx);
+  }
+  return true;
+}
+
+void AdaptiveHull::RefineToWeight(int32_t idx) {
+  {
+    RefNode& n = N(idx);
+    if (n.IsInternal()) return;
+    if (n.depth >= cap_ || n.pa == n.pb || Weight(n) <= 1.0) return;
+  }
+  if (!RefineOnce(idx)) return;
+  EnqueueThreshold(idx);
+  RefineToWeight(N(idx).left);
+  RefineToWeight(N(idx).right);
+}
+
+void AdaptiveHull::Unrefine(int32_t idx) {
+  RefNode& n = N(idx);
+  SH_CHECK(n.IsInternal());
+  if (N(n.left).IsInternal()) Unrefine(n.left);
+  if (N(n.right).IsInternal()) Unrefine(n.right);
+  DeactivateDirection(n.mid);
+  FreeNode(n.left);
+  FreeNode(n.right);
+  n.left = -1;
+  n.right = -1;
+  n.pq_gen++;
+  ++stats_.directions_unrefined;
+  if (options_.mode == SamplingMode::kFixedSize) PushHeapEntry(idx);
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild after an insertion
+// ---------------------------------------------------------------------------
+
+void AdaptiveHull::RebuildRange(const Direction& won_first,
+                                const Direction& won_last) {
+  const uint32_t r = options_.r;
+  auto edge_of = [&](const Direction& d, bool left_side) -> uint32_t {
+    if (d.IsUniform()) {
+      const uint32_t j = static_cast<uint32_t>(d.num());
+      return left_side ? (j + r - 1) % r : j;
+    }
+    return static_cast<uint32_t>(d.num() >> d.level());
+  };
+  const uint32_t e_first = edge_of(won_first, /*left_side=*/true);
+  const uint32_t e_last = edge_of(won_last, /*left_side=*/false);
+  uint32_t e = e_first;
+  while (true) {
+    const Direction lo = Direction::Uniform(e, r);
+    const Direction hi = Direction::Uniform((e + 1) % r, r);
+    RebuildNode(roots_[e], lo, hi, uniform_ext_[e], uniform_ext_[(e + 1) % r],
+                0, won_first, won_last);
+    if (e == e_last) break;
+    e = (e + 1) % r;
+  }
+}
+
+int32_t AdaptiveHull::RebuildNode(int32_t idx, const Direction& lo,
+                                  const Direction& hi, Point2 a, Point2 b,
+                                  uint32_t depth, const Direction& won_first,
+                                  const Direction& won_last) {
+  ++stats_.rebuild_nodes_visited;
+  {
+    RefNode& n = N(idx);
+    SH_DCHECK(n.lo == lo && n.hi == hi && n.depth == depth);
+    const bool endpoint_change = !(n.pa == a) || !(n.pb == b);
+    if (!n.IsInternal()) {
+      if (endpoint_change) {
+        n.pa = a;
+        n.pb = b;
+        n.ltilde = ComputeLTilde(lo, hi, a, b);
+        if (options_.mode == SamplingMode::kFixedSize && !frozen_) {
+          PushHeapEntry(idx);
+        }
+      }
+      if (!frozen_ && options_.mode == SamplingMode::kInvariant) {
+        RefineToWeight(idx);
+      }
+      return idx;
+    }
+  }
+
+  const Direction mid = N(idx).mid;
+  auto mit = samples_.find(mid);
+  SH_CHECK(mit != samples_.end());
+  const Point2 pm = mit->second;
+  const Point2 old_pm = N(N(idx).left).pb;
+  const bool mid_changed = !(old_pm == pm);
+  const bool endpoint_change = !(N(idx).pa == a) || !(N(idx).pb == b);
+
+  const bool left_touched = !(N(idx).pa == a) || mid_changed ||
+                            CcwIntervalsIntersect(lo, mid, won_first, won_last);
+  const bool right_touched =
+      mid_changed || !(N(idx).pb == b) ||
+      CcwIntervalsIntersect(mid, hi, won_first, won_last);
+  if (left_touched) {
+    RebuildNode(N(idx).left, lo, mid, a, pm, depth + 1, won_first, won_last);
+  }
+  if (right_touched) {
+    RebuildNode(N(idx).right, mid, hi, pm, b, depth + 1, won_first, won_last);
+  }
+  RefNode& n = N(idx);
+  n.pa = a;
+  n.pb = b;
+  n.ltilde = ComputeLTilde(lo, hi, a, b);
+  if (!frozen_) {
+    if (options_.mode == SamplingMode::kInvariant) {
+      if (Weight(n) <= 1.0) {
+        Unrefine(idx);  // Now a leaf with weight <= 1: nothing more to do.
+      } else if (endpoint_change || mid_changed) {
+        EnqueueThreshold(idx);
+      }
+    } else {
+      PushHeapEntry(idx);
+    }
+  }
+  return idx;
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-size mode: lazy per-depth heaps and the rebalance loop
+// ---------------------------------------------------------------------------
+
+void AdaptiveHull::PushHeapEntry(int32_t idx) {
+  SH_DCHECK(options_.mode == SamplingMode::kFixedSize);
+  RefNode& n = N(idx);
+  if (n.depth > cap_) return;
+  // Fixed-size mode never uses the threshold queue, so pq_gen is free to
+  // version heap entries: bumping it invalidates all earlier entries for
+  // this node, keeping at most one live entry per node.
+  n.pq_gen++;
+  HeapEntry e{n.ltilde, idx, n.pq_gen};
+  if (n.IsInternal()) {
+    internal_heaps_[n.depth].push_back(e);
+  } else {
+    leaf_heaps_[n.depth].push_back(e);
+  }
+}
+
+int32_t AdaptiveHull::PopBestLeaf() { return BestLeaf(nullptr); }
+
+int32_t AdaptiveHull::BestLeaf(double* weight_out) {
+  int32_t best = -1;
+  double best_w = -std::numeric_limits<double>::infinity();
+  for (uint32_t d = 0; d <= cap_; ++d) {
+    auto& h = leaf_heaps_[d];
+    // Compact permanently-stale entries; track the best refinable leaf.
+    size_t write = 0;
+    int32_t local = -1;
+    double local_lt = -1.0;
+    for (size_t i = 0; i < h.size(); ++i) {
+      const HeapEntry& e = h[i];
+      const RefNode& n = N(e.node);
+      const bool live = n.allocated && !n.IsInternal() && n.depth == d &&
+                        n.pq_gen == e.gen;
+      if (!live) continue;
+      h[write++] = e;
+      const bool refinable = !(n.pa == n.pb) && n.depth < cap_;
+      if (refinable && e.ltilde > local_lt) {
+        local_lt = e.ltilde;
+        local = e.node;
+      }
+    }
+    h.resize(write);
+    if (local < 0) continue;
+    const double w =
+        (p_used_ > 0
+             ? static_cast<double>(options_.r) * local_lt / p_used_
+             : local_lt) -
+        static_cast<double>(d);
+    if (w > best_w) {
+      best_w = w;
+      best = local;
+    }
+  }
+  if (weight_out != nullptr) *weight_out = best_w;
+  return best;
+}
+
+int32_t AdaptiveHull::PopWorstInternal() { return WorstInternal(nullptr); }
+
+int32_t AdaptiveHull::WorstInternal(double* weight_out) {
+  int32_t best = -1;
+  double best_w = std::numeric_limits<double>::infinity();
+  for (uint32_t d = 0; d <= cap_; ++d) {
+    auto& h = internal_heaps_[d];
+    size_t write = 0;
+    int32_t local = -1;
+    double local_lt = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < h.size(); ++i) {
+      const HeapEntry& e = h[i];
+      const RefNode& n = N(e.node);
+      const bool live = n.allocated && n.IsInternal() && n.depth == d &&
+                        n.pq_gen == e.gen;
+      if (!live) continue;
+      h[write++] = e;
+      // Collapsible only when both children are leaves (transient property;
+      // the entry stays queued either way).
+      if (N(n.left).IsInternal() || N(n.right).IsInternal()) continue;
+      if (e.ltilde < local_lt) {
+        local_lt = e.ltilde;
+        local = e.node;
+      }
+    }
+    h.resize(write);
+    if (local < 0) continue;
+    const double w =
+        (p_used_ > 0
+             ? static_cast<double>(options_.r) * local_lt / p_used_
+             : local_lt) -
+        static_cast<double>(d);
+    if (w < best_w) {
+      best_w = w;
+      best = local;
+    }
+  }
+  if (weight_out != nullptr) *weight_out = best_w;
+  return best;
+}
+
+void AdaptiveHull::Rebalance() {
+  if (frozen_) return;
+  const size_t target = fixed_target_;
+  int guard = static_cast<int>(8 * options_.r + 64);
+
+  // Pad: spend unused budget on the heaviest edges (§7: refine even when
+  // w <= 1 until 2r directions are in use).
+  while (samples_.size() < target && guard-- > 0) {
+    const int32_t leaf = PopBestLeaf();
+    if (leaf < 0) break;
+    if (!RefineOnce(leaf)) continue;
+  }
+  // Trim: give back over-budget directions from the lightest edges.
+  while (samples_.size() > target && guard-- > 0) {
+    const int32_t node = PopWorstInternal();
+    if (node < 0) break;
+    Unrefine(node);
+  }
+  // Exchange: migrate budget from the lightest collapsible refinement to the
+  // heaviest unrefined edge while doing so reduces the maximum weight. This
+  // is what lets the fixed-size variant track changing distributions
+  // (Table 1, "changing ellipse").
+  while (guard-- > 0) {
+    double w_leaf = 0, w_int = 0;
+    const int32_t leaf = BestLeaf(&w_leaf);
+    const int32_t internal = WorstInternal(&w_int);
+    if (leaf < 0 || internal < 0) break;
+    if (w_leaf <= w_int + 1.0 + 1e-9) break;
+    {
+      const RefNode& ni = N(internal);
+      if (ni.left == leaf || ni.right == leaf) break;  // Degenerate.
+    }
+    Unrefine(internal);
+    {
+      const RefNode& nl = N(leaf);
+      if (!nl.allocated || nl.IsInternal()) break;  // Paranoia.
+    }
+    if (!RefineOnce(leaf)) break;
+    ++stats_.rebalance_exchanges;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Insert
+// ---------------------------------------------------------------------------
+
+void AdaptiveHull::Insert(Point2 p) {
+  ++stats_.points_processed;
+  if (num_points_++ == 0) {
+    InitializeWith(p);
+    return;
+  }
+  std::vector<Direction> won = ComputeWinningSet(p);
+  if (won.empty()) {
+    ++stats_.points_discarded;
+    return;
+  }
+  ApplyWin(p, won);
+  std::vector<QueueEntry> collapsed;
+  if (!frozen_ && options_.mode == SamplingMode::kInvariant) {
+    collapsed = ProcessUnrefinements();
+  }
+  RebuildRange(won.front(), won.back());
+  // Power-of-two rounding can unrefine early; restore the weight invariant
+  // on any collapsed node the rebuild did not already revisit.
+  for (const QueueEntry& e : collapsed) {
+    const RefNode& n = N(e.node);
+    if (n.allocated && n.pq_gen == e.gen && !n.IsInternal()) {
+      RefineToWeight(e.node);
+    }
+  }
+  if (!frozen_ && options_.mode == SamplingMode::kFixedSize) {
+    Rebalance();
+  }
+}
+
+void AdaptiveHull::MergeFrom(const AdaptiveHull& other) {
+  // Deduplicate: a sample point can own many directions; inserting it once
+  // suffices (repeats would be discarded anyway, this just skips the work).
+  Point2 last{};
+  bool have_last = false;
+  for (auto* node = other.verts_.First(); node != nullptr;
+       node = other.verts_.Next(node)) {
+    if (have_last && node->value == last) continue;
+    Insert(node->value);
+    last = node->value;
+    have_last = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
+size_t AdaptiveHull::num_sample_points() const {
+  std::set<std::pair<double, double>> pts;
+  for (auto* node = verts_.First(); node != nullptr;
+       node = verts_.Next(node)) {
+    pts.emplace(node->value.x, node->value.y);
+  }
+  return pts.size();
+}
+
+ConvexPolygon AdaptiveHull::Polygon() const {
+  std::vector<Point2> verts;
+  verts.reserve(verts_.size());
+  for (auto* node = verts_.First(); node != nullptr;
+       node = verts_.Next(node)) {
+    if (verts.empty() || !(verts.back() == node->value)) {
+      verts.push_back(node->value);
+    }
+  }
+  while (verts.size() > 1 && verts.back() == verts.front()) verts.pop_back();
+  return ConvexPolygon(std::move(verts));
+}
+
+std::vector<HullSample> AdaptiveHull::Samples() const {
+  std::vector<HullSample> out;
+  out.reserve(samples_.size());
+  for (const auto& [d, pt] : samples_) out.push_back(HullSample{d, pt});
+  return out;
+}
+
+void AdaptiveHull::CollectLeaves(int32_t idx,
+                                 std::vector<int32_t>* out) const {
+  const RefNode& n = N(idx);
+  if (!n.IsInternal()) {
+    out->push_back(idx);
+    return;
+  }
+  CollectLeaves(n.left, out);
+  CollectLeaves(n.right, out);
+}
+
+std::vector<UncertaintyTriangle> AdaptiveHull::Triangles() const {
+  std::vector<UncertaintyTriangle> out;
+  if (num_points_ == 0) return out;
+  std::vector<int32_t> leaves;
+  for (uint32_t e = 0; e < options_.r; ++e) CollectLeaves(roots_[e], &leaves);
+  out.reserve(leaves.size());
+  for (int32_t idx : leaves) {
+    const RefNode& n = N(idx);
+    if (n.pa == n.pb) continue;
+    UncertaintyTriangle t;
+    t.a = n.pa;
+    t.b = n.pb;
+    t.dir_a = n.lo;
+    t.dir_b = n.hi;
+    const Point2 ua = n.lo.ToVector();
+    const Point2 ub = n.hi.ToVector();
+    if (!LineIntersection(n.pa, n.pa + ua.PerpCcw(), n.pb, n.pb + ub.PerpCcw(),
+                          &t.apex)) {
+      t.apex = (n.pa + n.pb) * 0.5;
+    }
+    t.height = DistanceToLine(t.apex, n.pa, n.pb);
+    out.push_back(t);
+  }
+  return out;
+}
+
+double AdaptiveHull::ErrorBound() const {
+  const double r = static_cast<double>(options_.r);
+  return 16.0 * kPi * p_used_ / (r * r);
+}
+
+double AdaptiveHull::OffsetForLevel(uint32_t level) const {
+  const double r = static_cast<double>(options_.r);
+  return (8.0 * kPi * p_used_ / (r * r)) * LevelSeriesPrefix(level);
+}
+
+// ---------------------------------------------------------------------------
+// Consistency checking (test support)
+// ---------------------------------------------------------------------------
+
+namespace {
+Status Fail(const std::string& what) { return Status::Internal(what); }
+}  // namespace
+
+Status AdaptiveHull::CheckConsistency() const {
+  if (num_points_ == 0) return Status::OK();
+  const uint32_t r = options_.r;
+
+  // Uniform directions always active; extrema mirror samples_.
+  for (uint32_t j = 0; j < r; ++j) {
+    auto it = samples_.find(Direction::Uniform(j, r));
+    if (it == samples_.end()) return Fail("uniform direction inactive");
+    if (!(it->second == uniform_ext_[j])) {
+      return Fail("uniform extremum mismatch");
+    }
+  }
+
+  // Vertex runs: keys active, values match samples_, adjacent runs distinct.
+  {
+    const size_t m = verts_.size();
+    if (m == 0) return Fail("no vertex runs");
+    auto* prev = verts_.Last();
+    for (auto* node = verts_.First(); node != nullptr;
+         node = verts_.Next(node)) {
+      auto it = samples_.find(node->key);
+      if (it == samples_.end()) return Fail("run key not an active direction");
+      if (!(it->second == node->value)) return Fail("run value mismatch");
+      if (m > 1 && prev != node && prev->value == node->value) {
+        return Fail("adjacent runs with identical points");
+      }
+      prev = node;
+    }
+  }
+
+  // Ownership: owner-by-runs equals the stored sample for every active
+  // direction; the stored sample is a (possibly tied) argmax.
+  for (const auto& [d, pt] : samples_) {
+    auto* run = verts_.FindLessEqual(d);
+    if (run == nullptr) run = verts_.Last();
+    if (!(run->value == pt)) return Fail("run ownership mismatch");
+  }
+  if (samples_.size() <= 300) {
+    for (const auto& [d, pt] : samples_) {
+      const Point2 u = d.ToVector();
+      const double mine = Dot(pt, u);
+      for (const auto& [d2, pt2] : samples_) {
+        (void)d2;
+        if (Dot(pt2, u) > mine + 1e-9 * std::max(1.0, std::abs(mine))) {
+          return Fail("stored sample is not the argmax in its direction");
+        }
+      }
+    }
+  }
+
+  // Perimeter bookkeeping.
+  {
+    const double recomputed = RecomputeUniformPerimeter();
+    if (std::abs(recomputed - p_raw_) >
+        1e-6 * std::max(1.0, std::abs(recomputed))) {
+      return Fail("incremental perimeter diverged from recomputation");
+    }
+    if (p_used_ + 1e-12 < p_raw_) return Fail("p_used below p_raw");
+  }
+
+  // Trees: structure, endpoint consistency, weights, direction census.
+  size_t internal_count = 0;
+  struct Frame {
+    int32_t idx;
+    Direction lo, hi;
+    uint32_t depth;
+  };
+  std::vector<Frame> stack;
+  for (uint32_t e = 0; e < r; ++e) {
+    stack.push_back(Frame{roots_[e], Direction::Uniform(e, r),
+                          Direction::Uniform((e + 1) % r, r), 0});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const RefNode& n = N(f.idx);
+    if (!n.allocated) return Fail("tree references a freed node");
+    if (!(n.lo == f.lo) || !(n.hi == f.hi) || n.depth != f.depth) {
+      return Fail("node interval/depth mismatch");
+    }
+    auto alo = samples_.find(n.lo);
+    auto ahi = samples_.find(n.hi);
+    if (alo == samples_.end() || ahi == samples_.end()) {
+      return Fail("node endpoint direction inactive");
+    }
+    if (!(n.pa == alo->second) || !(n.pb == ahi->second)) {
+      return Fail("node endpoint point stale");
+    }
+    const double lt = ComputeLTilde(n.lo, n.hi, n.pa, n.pb);
+    if (std::abs(lt - n.ltilde) > 1e-6 * std::max(1.0, lt)) {
+      return Fail("node ltilde stale");
+    }
+    if (n.depth > cap_) return Fail("node beyond depth cap");
+    if (n.IsInternal()) {
+      ++internal_count;
+      if (samples_.find(n.mid) == samples_.end()) {
+        return Fail("bisection direction inactive");
+      }
+      stack.push_back(Frame{n.left, n.lo, n.mid, n.depth + 1});
+      stack.push_back(Frame{n.right, n.mid, n.hi, n.depth + 1});
+    } else if (!frozen_ && options_.mode == SamplingMode::kInvariant &&
+               n.depth < cap_ && !(n.pa == n.pb)) {
+      if (Weight(n) > 1.0 + 1e-9) return Fail("leaf weight above 1");
+    }
+  }
+  if (samples_.size() != static_cast<size_t>(r) + internal_count) {
+    return Fail("active direction census mismatch");
+  }
+  if (!frozen_ && options_.mode == SamplingMode::kInvariant &&
+      samples_.size() > 2 * static_cast<size_t>(r) + 1) {
+    return Fail("more than 2r+1 sample directions");
+  }
+  if (options_.mode == SamplingMode::kFixedSize && !frozen_ &&
+      samples_.size() > fixed_target_) {
+    return Fail("fixed-size mode exceeded its direction budget");
+  }
+  return Status::OK();
+}
+
+}  // namespace streamhull

@@ -1,0 +1,322 @@
+// streamhull: the adaptively sampled streaming convex hull
+// (Hershberger & Suri, §4-§5) — the paper's primary contribution.
+//
+// The summary maintains, for a stream of 2-D points and a parameter r:
+//
+//   * extrema in r fixed uniform directions j * 2*pi/r (the uniformly
+//     sampled hull of §3), plus
+//   * up to r+1 adaptively chosen extra directions, organized as a binary
+//     *refinement tree* per uniform hull edge (§5.1). A tree node covers an
+//     angular interval; refining a node bisects its interval and stores the
+//     extremum in the bisecting direction.
+//
+// An edge e (tree leaf) has sample weight
+//
+//     w(e) = r * ltilde(e) / P  -  log2(theta0 / theta(e)),
+//
+// where ltilde(e) is the length of the two free sides of e's uncertainty
+// triangle, P the perimeter of the uniformly sampled hull, and theta(e) the
+// edge's angular span (theta0 / 2^depth). The structure keeps w(e) <= 1 for
+// every edge, which yields Hausdorff error O(D / r^2) between the true hull
+// of the whole stream and the sampled hull (Theorem 5.4), using at most
+// 2r + 1 sample points. Growth of P makes old refinements unnecessary; each
+// internal node carries the threshold value of P at which it must be
+// unrefined, managed by a monotone bucket priority queue (§5.3).
+//
+// Data structures:
+//   samples_   ordered map: active sample direction -> its extreme point.
+//   verts_     rank-indexable skip list of the *distinct* hull vertices in
+//              CCW order (run-length compressed by first owned direction);
+//              this is the "searchable list" that makes per-point processing
+//              O(log r) amortized.
+//   nodes_     arena of refinement-tree nodes, one tree per uniform edge.
+//   queue_     monotone priority queue of unrefinement thresholds.
+//
+// All structural decisions use exact integer direction arithmetic
+// (geom/direction.h); doubles appear only in dot-product comparisons.
+
+#ifndef STREAMHULL_CORE_ADAPTIVE_HULL_H_
+#define STREAMHULL_CORE_ADAPTIVE_HULL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "container/bucket_queue.h"
+#include "container/indexable_skiplist.h"
+#include "core/options.h"
+#include "geom/convex_polygon.h"
+#include "geom/direction.h"
+#include "geom/point.h"
+
+namespace streamhull {
+
+/// \brief One sample of the summary: the stored extremum for an active
+/// sample direction.
+struct HullSample {
+  Direction direction;
+  Point2 point;
+};
+
+/// \brief The uncertainty triangle over one edge of the sampled hull (§2):
+/// the true hull boundary between a and b lies inside triangle (a, apex, b).
+struct UncertaintyTriangle {
+  Point2 a;          ///< Edge start (extreme in dir_a).
+  Point2 b;          ///< Edge end (extreme in dir_b).
+  Point2 apex;       ///< Intersection of the two supporting lines.
+  Direction dir_a;   ///< Sample direction of a.
+  Direction dir_b;   ///< Sample direction of b.
+  double height = 0; ///< Distance from apex to segment ab: the error bound.
+};
+
+/// \brief Streaming convex-hull summary with adaptive directional sampling.
+///
+/// Thread-compatible (no internal synchronization). Single pass: points not
+/// retained as samples are forgotten.
+class AdaptiveHull {
+ public:
+  /// Constructs the summary. CHECK-fails on invalid options; use
+  /// options.Validate() first when the options are untrusted.
+  explicit AdaptiveHull(const AdaptiveHullOptions& options);
+
+  AdaptiveHull(const AdaptiveHull&) = delete;
+  AdaptiveHull& operator=(const AdaptiveHull&) = delete;
+
+  /// Processes one stream point in amortized O(log r) time.
+  void Insert(Point2 p);
+
+  /// \brief Merges another summary into this one by inserting its stored
+  /// sample points (the sensor-aggregation operation from the paper's
+  /// motivation: nodes ship 2r+1-point summaries, the sink merges them).
+  ///
+  /// The merged summary approximates the hull of the union of the two
+  /// underlying streams; its Hausdorff error is at most other.ErrorBound()
+  /// (what other's samples already lost) plus this->ErrorBound() (what the
+  /// merge itself may drop). O(r log r).
+  void MergeFrom(const AdaptiveHull& other);
+
+  /// Number of stream points processed so far.
+  uint64_t num_points() const { return num_points_; }
+  /// True before the first point.
+  bool empty() const { return num_points_ == 0; }
+  /// The base direction count r.
+  uint32_t r() const { return options_.r; }
+  /// The options this summary was built with.
+  const AdaptiveHullOptions& options() const { return options_; }
+
+  /// Number of active sample directions (r <= n <= 2r+1 in invariant mode).
+  size_t num_directions() const { return samples_.size(); }
+  /// Number of distinct stored sample points (<= num_directions()).
+  size_t num_sample_points() const;
+
+  /// \brief Perimeter of the uniformly sampled hull (running maximum; see
+  /// DESIGN.md on the monotonicity guard). This is the P in all weights.
+  double perimeter() const { return p_used_; }
+
+  /// \brief The current approximate hull: distinct sample points in CCW
+  /// order. The true hull of the entire stream contains this polygon and
+  /// lies within ErrorBound() of it (Corollary 5.2).
+  ConvexPolygon Polygon() const;
+
+  /// All active samples in CCW direction order.
+  std::vector<HullSample> Samples() const;
+
+  /// \brief Uncertainty triangles of all (non-degenerate) current edges, in
+  /// CCW order. The true hull is sandwiched between Polygon() and the union
+  /// of these triangles.
+  std::vector<UncertaintyTriangle> Triangles() const;
+
+  /// \brief The a-priori Hausdorff error bound 16*pi*P/r^2 of Corollary 5.2
+  /// (invariant mode with the default tree height).
+  double ErrorBound() const;
+
+  /// \brief Offset d_i of the invariant line L(theta) for a direction with
+  /// index(theta) == i (§5.3): d_i = (8*pi*P/r^2) * sum_{j<=i} j/2^j.
+  /// Exposed so tests can verify the paper's containment invariant.
+  double OffsetForLevel(uint32_t level) const;
+
+  /// \brief Freezes the sample-direction set: subsequent inserts still
+  /// update extrema but never add, remove, or re-weight directions. This is
+  /// the "partially adaptive" scheme of §7 (Table 1, fourth section).
+  void FreezeDirections() { frozen_ = true; }
+  /// True once FreezeDirections() has been called.
+  bool frozen() const { return frozen_; }
+
+  /// Operation counters.
+  const AdaptiveHullStats& stats() const { return stats_; }
+
+  /// \brief Exhaustive structural self-check (test support; cost O(r + m)
+  /// plus O(#samples^2) owner verification). Returns the first violated
+  /// invariant as an error Status.
+  Status CheckConsistency() const;
+
+ private:
+  struct RefNode {
+    Direction lo, hi;   // Angular interval endpoints (hi may wrap past 0).
+    Point2 pa, pb;      // Extrema at lo / hi.
+    double ltilde = 0;  // Free-side length of the uncertainty triangle.
+    uint32_t depth = 0;
+    int32_t left = -1, right = -1;  // Arena indices; -1 for a leaf.
+    Direction mid;                  // Bisection direction (internal nodes).
+    uint32_t pq_gen = 0;  // Staleness stamp for queue/heap entries.
+    bool allocated = false;
+    bool IsInternal() const { return left >= 0; }
+  };
+
+  struct QueueEntry {
+    int32_t node;
+    uint32_t gen;
+  };
+
+  // Lazy heap entry for fixed-size mode (per-depth heaps keyed by ltilde).
+  struct HeapEntry {
+    double ltilde;
+    int32_t node;
+    uint32_t gen;
+  };
+
+  // --- Arena ---
+  int32_t AllocNode();
+  void FreeNode(int32_t idx);
+  RefNode& N(int32_t idx) { return nodes_[static_cast<size_t>(idx)]; }
+  const RefNode& N(int32_t idx) const {
+    return nodes_[static_cast<size_t>(idx)];
+  }
+
+  // --- Geometry helpers ---
+  double ComputeLTilde(const Direction& lo, const Direction& hi, Point2 a,
+                       Point2 b) const;
+  double Weight(const RefNode& n) const;
+  double UnrefineThreshold(const RefNode& n) const;
+  bool Beats(Point2 p, const Direction& d, Point2 incumbent) const {
+    Point2 u = d.ToVector();
+    return Dot(p, u) > Dot(incumbent, u);
+  }
+
+  // --- Sample/vertex bookkeeping ---
+  void InitializeWith(Point2 p);
+  // The directions a new exterior point wins, in CCW order (contiguous,
+  // possibly wrapping). Empty when the point is inside the uncertainty ring.
+  std::vector<Direction> ComputeWinningSet(Point2 p) const;
+  std::vector<Direction> ComputeWinningSetBrute(Point2 p) const;
+  // Applies the win: samples_, verts_ runs, uniform extrema and perimeter.
+  void ApplyWin(Point2 p, const std::vector<Direction>& won);
+  // Adds direction d owned by point pt (refinement). d must be inactive.
+  void ActivateDirection(const Direction& d, Point2 pt);
+  // Removes direction d (unrefinement). d must be active and non-uniform.
+  void DeactivateDirection(const Direction& d);
+
+  // --- Tree maintenance ---
+  // Returns the collapsed nodes (with their post-collapse generation) so the
+  // caller can restore the weight invariant after the rebuild pass.
+  std::vector<QueueEntry> ProcessUnrefinements();
+  void RebuildRange(const Direction& won_first, const Direction& won_last);
+  int32_t RebuildNode(int32_t idx, const Direction& lo, const Direction& hi,
+                      Point2 a, Point2 b, uint32_t depth,
+                      const Direction& won_first, const Direction& won_last);
+  // Collapses an internal node to a leaf, recursively (removes directions).
+  void Unrefine(int32_t idx);
+  // Splits a leaf once (adds one direction); returns false when the depth
+  // cap or degeneracy prevents it.
+  bool RefineOnce(int32_t idx);
+  // Refines a leaf while its weight exceeds 1 (invariant mode).
+  void RefineToWeight(int32_t idx);
+  void EnqueueThreshold(int32_t idx);
+  void PushHeapEntry(int32_t idx);
+  void Rebalance();  // Fixed-size mode direction budget enforcement.
+  // Best (max-weight) refinable leaf / (min-weight) collapsible internal
+  // node across the per-depth lazy heaps; -1 when none. The weight of the
+  // returned node is stored through weight_out when non-null.
+  int32_t BestLeaf(double* weight_out);
+  int32_t WorstInternal(double* weight_out);
+  int32_t PopBestLeaf();
+  int32_t PopWorstInternal();
+
+  // Interval helpers: does the closed CCW interval [lo, hi] intersect the
+  // closed CCW won interval [wf, wl]?
+  bool CcwIntervalsIntersect(const Direction& lo, const Direction& hi,
+                             const Direction& wf, const Direction& wl) const;
+  bool InCcwInterval(const Direction& x, const Direction& lo,
+                     const Direction& hi) const;
+
+  // Uniform-extrema / perimeter maintenance.
+  void UpdateUniform(Point2 p, uint32_t j_first, uint32_t j_last);
+  double RecomputeUniformPerimeter() const;
+
+  // Circular iteration over samples_.
+  using SampleMap = std::map<Direction, Point2>;
+  SampleMap::const_iterator NextSample(SampleMap::const_iterator it) const;
+  SampleMap::const_iterator PrevSample(SampleMap::const_iterator it) const;
+
+  void CollectLeaves(int32_t idx, std::vector<int32_t>* out) const;
+
+  // --- State ---
+  AdaptiveHullOptions options_;
+  uint32_t cap_;        // Effective tree height limit.
+  uint32_t fixed_target_ = 0;  // Fixed-size mode direction budget.
+  bool frozen_ = false;
+  uint64_t num_points_ = 0;
+
+  SampleMap samples_;
+  // Distinct-vertex runs: first owned direction -> vertex point.
+  IndexableSkipList<Direction, Point2> verts_;
+
+  std::vector<RefNode> nodes_;
+  std::vector<int32_t> free_nodes_;
+  std::vector<int32_t> roots_;  // One per uniform edge.
+
+  std::vector<Point2> uniform_ext_;        // Extremum per uniform direction.
+  std::map<uint32_t, Point2> uniform_runs_;  // Run starts among uniform dirs.
+  double p_raw_ = 0;   // Current uniformly-sampled-hull perimeter.
+  double p_used_ = 0;  // Running maximum (the P in all formulas).
+
+  BucketThresholdQueue<QueueEntry> bucket_queue_;
+  HeapThresholdQueue<QueueEntry> heap_queue_;
+
+  // Fixed-size mode: per-depth lazy heaps (index = depth).
+  std::vector<std::vector<HeapEntry>> leaf_heaps_;
+  std::vector<std::vector<HeapEntry>> internal_heaps_;
+
+  AdaptiveHullStats stats_;
+};
+
+/// \brief The uniformly sampled hull of §3 behind the fast searchable-list
+/// implementation: an AdaptiveHull with the refinement machinery disabled
+/// (tree height 0). Kept as a distinct type because it is the baseline the
+/// paper evaluates against.
+class UniformHull {
+ public:
+  /// \param r number of sample directions (>= 8).
+  explicit UniformHull(uint32_t r) : hull_(MakeOptions(r)) {}
+
+  /// Processes one stream point in amortized O(log r) time.
+  void Insert(Point2 p) { hull_.Insert(p); }
+
+  uint64_t num_points() const { return hull_.num_points(); }
+  uint32_t r() const { return hull_.r(); }
+  double perimeter() const { return hull_.perimeter(); }
+  /// The approximate hull (distinct extrema, CCW).
+  ConvexPolygon Polygon() const { return hull_.Polygon(); }
+  std::vector<HullSample> Samples() const { return hull_.Samples(); }
+  std::vector<UncertaintyTriangle> Triangles() const {
+    return hull_.Triangles();
+  }
+  const AdaptiveHullStats& stats() const { return hull_.stats(); }
+  Status CheckConsistency() const { return hull_.CheckConsistency(); }
+  /// Access to the underlying engine (test support).
+  const AdaptiveHull& engine() const { return hull_; }
+
+ private:
+  static AdaptiveHullOptions MakeOptions(uint32_t r) {
+    AdaptiveHullOptions o;
+    o.r = r;
+    o.max_tree_height = 0;
+    return o;
+  }
+  AdaptiveHull hull_;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_CORE_ADAPTIVE_HULL_H_

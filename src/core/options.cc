@@ -1,0 +1,48 @@
+#include "core/options.h"
+
+#include <cmath>
+#include <string>
+
+namespace streamhull {
+
+int AdaptiveHullOptions::EffectiveTreeHeight() const {
+  if (max_tree_height >= 0) return max_tree_height;
+  // The paper's choice: k = log2(r), rounded up so every r gets the full
+  // quadratic error improvement.
+  int k = 0;
+  while ((uint32_t{1} << k) < r) ++k;
+  return k;
+}
+
+Status AdaptiveHullOptions::Validate() const {
+  if (r < 8) {
+    return Status::InvalidArgument("r must be at least 8 (got " +
+                                   std::to_string(r) + ")");
+  }
+  if (r > (uint32_t{1} << 20)) {
+    return Status::InvalidArgument("r must be at most 2^20");
+  }
+  if (max_tree_height > 30) {
+    return Status::InvalidArgument("max_tree_height must be at most 30");
+  }
+  if (mode == SamplingMode::kFixedSize) {
+    const uint32_t target = EffectiveFixedDirections();
+    if (target < r) {
+      return Status::InvalidArgument(
+          "fixed_directions must be at least r (the uniform directions are "
+          "always active)");
+    }
+    const int k = EffectiveTreeHeight();
+    // Each of the r trees can hold at most 2^k - 1 internal nodes, i.e.
+    // 2^k - 1 extra directions.
+    const double capacity =
+        static_cast<double>(r) * std::ldexp(1.0, k);
+    if (static_cast<double>(target) > capacity) {
+      return Status::InvalidArgument(
+          "fixed_directions exceeds the refinement-tree capacity r * 2^k");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace streamhull

@@ -1,0 +1,62 @@
+// streamhull: the "partially adaptive" baseline of §7.
+//
+// Table 1's fourth section compares the continuously adaptive hull against a
+// scheme "inspired by (a particularly bad example of) machine learning": run
+// adaptive sampling on a training prefix of the stream, then freeze the
+// chosen sample directions and process the rest of the stream with fixed
+// directions. On a distribution shift (the "changing ellipse" workload) the
+// frozen directions are tuned to the wrong distribution and the summary
+// degrades to roughly a uniform hull of the same size.
+
+#ifndef STREAMHULL_CORE_PARTIALLY_ADAPTIVE_H_
+#define STREAMHULL_CORE_PARTIALLY_ADAPTIVE_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "core/adaptive_hull.h"
+#include "core/options.h"
+
+namespace streamhull {
+
+/// \brief Adaptive hull that adapts only during a training prefix.
+class PartiallyAdaptiveHull {
+ public:
+  /// \param options adaptive-hull configuration (typically the same
+  ///        fixed-size setup as the adaptive competitor).
+  /// \param training_points number of initial stream points during which the
+  ///        directions may adapt; afterwards they are frozen.
+  PartiallyAdaptiveHull(const AdaptiveHullOptions& options,
+                        uint64_t training_points)
+      : hull_(options), training_points_(training_points) {
+    SH_CHECK(training_points > 0);
+  }
+
+  /// Processes one stream point; freezes the direction set once the
+  /// training prefix has been consumed.
+  void Insert(Point2 p) {
+    hull_.Insert(p);
+    if (!hull_.frozen() && hull_.num_points() >= training_points_) {
+      hull_.FreezeDirections();
+    }
+  }
+
+  uint64_t num_points() const { return hull_.num_points(); }
+  bool training() const { return !hull_.frozen(); }
+  ConvexPolygon Polygon() const { return hull_.Polygon(); }
+  std::vector<HullSample> Samples() const { return hull_.Samples(); }
+  std::vector<UncertaintyTriangle> Triangles() const {
+    return hull_.Triangles();
+  }
+  const AdaptiveHullStats& stats() const { return hull_.stats(); }
+  Status CheckConsistency() const { return hull_.CheckConsistency(); }
+  const AdaptiveHull& engine() const { return hull_; }
+
+ private:
+  AdaptiveHull hull_;
+  uint64_t training_points_;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_CORE_PARTIALLY_ADAPTIVE_H_

@@ -1,0 +1,135 @@
+#include "core/snapshot.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace streamhull {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53484c31;  // "SHL1".
+constexpr uint32_t kVersion = 1;
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void AppendF64(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadF64(double* v) { return ReadRaw(v, sizeof(*v)); }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool ReadRaw(void* out, size_t n) {
+    if (bytes_.size() - pos_ < n) return false;
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeSnapshot(const AdaptiveHull& hull) {
+  const std::vector<HullSample> samples = hull.Samples();
+  std::string out;
+  out.reserve(40 + samples.size() * 28);
+  AppendU32(&out, kMagic);
+  AppendU32(&out, kVersion);
+  AppendU32(&out, hull.r());
+  AppendU32(&out, static_cast<uint32_t>(samples.size()));
+  AppendU64(&out, hull.num_points());
+  AppendF64(&out, hull.perimeter());
+  for (const HullSample& s : samples) {
+    AppendU64(&out, s.direction.num());
+    AppendU32(&out, s.direction.level());
+    AppendF64(&out, s.point.x);
+    AppendF64(&out, s.point.y);
+  }
+  return out;
+}
+
+Status DecodeSnapshot(std::string_view bytes, HullSnapshot* out) {
+  Reader r(bytes);
+  uint32_t magic = 0, version = 0, base_r = 0, count = 0;
+  if (!r.ReadU32(&magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad snapshot magic");
+  }
+  if (!r.ReadU32(&version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  if (!r.ReadU32(&base_r) || base_r < 8 || base_r > (uint32_t{1} << 20)) {
+    return Status::InvalidArgument("snapshot r out of range");
+  }
+  if (!r.ReadU32(&count) || count == 0 || count > 4 * base_r + 4) {
+    return Status::InvalidArgument("snapshot sample count out of range");
+  }
+  HullSnapshot snap;
+  snap.r = base_r;
+  if (!r.ReadU64(&snap.num_points) || !r.ReadF64(&snap.perimeter)) {
+    return Status::InvalidArgument("truncated snapshot header");
+  }
+  if (!(snap.perimeter >= 0) || !std::isfinite(snap.perimeter)) {
+    return Status::InvalidArgument("snapshot perimeter not finite");
+  }
+  snap.samples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t num = 0;
+    uint32_t level = 0;
+    Point2 p;
+    if (!r.ReadU64(&num) || !r.ReadU32(&level) || !r.ReadF64(&p.x) ||
+        !r.ReadF64(&p.y)) {
+      return Status::InvalidArgument("truncated snapshot sample");
+    }
+    if (level > Direction::kMaxLevel) {
+      return Status::InvalidArgument("snapshot direction level out of range");
+    }
+    if (level > 0 && (num & 1) == 0) {
+      return Status::InvalidArgument("snapshot direction not canonical");
+    }
+    if (num >= (static_cast<uint64_t>(base_r) << level)) {
+      return Status::InvalidArgument("snapshot direction out of range");
+    }
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      return Status::InvalidArgument("snapshot point not finite");
+    }
+    const Direction d = Direction::FromRaw(num, level, base_r);
+    if (!snap.samples.empty() &&
+        !(snap.samples.back().direction < d)) {
+      return Status::InvalidArgument("snapshot directions not ascending");
+    }
+    snap.samples.push_back(HullSample{d, p});
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("trailing snapshot bytes");
+  *out = std::move(snap);
+  return Status::OK();
+}
+
+std::unique_ptr<AdaptiveHull> RestoreHull(const HullSnapshot& snapshot,
+                                          const AdaptiveHullOptions& options) {
+  auto hull = std::make_unique<AdaptiveHull>(options);
+  Point2 last{};
+  bool have_last = false;
+  for (const HullSample& s : snapshot.samples) {
+    if (have_last && s.point == last) continue;
+    hull->Insert(s.point);
+    last = s.point;
+    have_last = true;
+  }
+  return hull;
+}
+
+}  // namespace streamhull

@@ -1,0 +1,52 @@
+// streamhull: compact binary snapshots of hull summaries.
+//
+// The paper's sensor-network motivation (§1) is that nodes should "transmit
+// and receive summaries [rather] than raw data". A snapshot is the wire
+// format for that: the active sample directions (exact dyadic integers) and
+// their points, plus the effective perimeter, in a versioned little-endian
+// encoding of ~20 bytes per sample — a complete r=16 summary fits in well
+// under a kilobyte. Snapshots can be decoded for inspection or restored
+// into a live AdaptiveHull at the receiver (whose own r may differ), which
+// continues streaming or merges further summaries.
+
+#ifndef STREAMHULL_CORE_SNAPSHOT_H_
+#define STREAMHULL_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/adaptive_hull.h"
+
+namespace streamhull {
+
+/// \brief Decoded summary snapshot.
+struct HullSnapshot {
+  uint32_t r = 0;              ///< Base direction count of the producer.
+  uint64_t num_points = 0;     ///< Stream length the producer had seen.
+  double perimeter = 0;        ///< Producer's effective P (running max).
+  std::vector<HullSample> samples;  ///< Active samples, CCW direction order.
+};
+
+/// \brief Serializes the summary's samples into the versioned binary wire
+/// format (little-endian; this library targets little-endian hosts).
+std::string EncodeSnapshot(const AdaptiveHull& hull);
+
+/// \brief Parses and validates a snapshot. Rejects truncated input, bad
+/// magic/version, non-canonical or out-of-range directions, and
+/// non-ascending direction order.
+Status DecodeSnapshot(std::string_view bytes, HullSnapshot* out);
+
+/// \brief Builds a live summary from a snapshot by replaying its sample
+/// points into a fresh AdaptiveHull configured by \p options (r need not
+/// match the producer's). The result approximates the producer's stream
+/// within the producer's error bound plus the new summary's own bound.
+std::unique_ptr<AdaptiveHull> RestoreHull(const HullSnapshot& snapshot,
+                                          const AdaptiveHullOptions& options);
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_CORE_SNAPSHOT_H_

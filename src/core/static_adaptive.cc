@@ -1,0 +1,197 @@
+#include "core/static_adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "geom/point.h"
+
+namespace streamhull {
+
+namespace {
+
+// Extremum of the full point set in direction u (first of ties).
+Point2 ExtremumOf(const std::vector<Point2>& points, Point2 u) {
+  Point2 best = points[0];
+  double best_dot = Dot(best, u);
+  for (const Point2& p : points) {
+    const double d = Dot(p, u);
+    if (d > best_dot) {
+      best_dot = d;
+      best = p;
+    }
+  }
+  return best;
+}
+
+struct Edge {
+  Direction lo, hi;
+  Point2 pa, pb;
+  uint32_t depth;
+  double ltilde;
+};
+
+double EdgeLTilde(const Edge& e, uint32_t r) {
+  if (e.pa == e.pb) return 0.0;
+  const double ab = Distance(e.pa, e.pb);
+  const Point2 ua = e.lo.ToVector();
+  const Point2 ub = e.hi.ToVector();
+  Point2 apex;
+  double lt = ab;
+  if (LineIntersection(e.pa, e.pa + ua.PerpCcw(), e.pb, e.pb + ub.PerpCcw(),
+                       &apex)) {
+    lt = Distance(e.pa, apex) + Distance(apex, e.pb);
+  }
+  const double gap = e.lo.CcwGapTo(e.hi).Radians(r);
+  const double upper = ab / std::max(0.25, std::cos(0.5 * gap));
+  return std::clamp(lt, ab, std::max(ab, upper));
+}
+
+UncertaintyTriangle MakeTriangle(const Edge& e) {
+  UncertaintyTriangle t;
+  t.a = e.pa;
+  t.b = e.pb;
+  t.dir_a = e.lo;
+  t.dir_b = e.hi;
+  const Point2 ua = e.lo.ToVector();
+  const Point2 ub = e.hi.ToVector();
+  if (!LineIntersection(e.pa, e.pa + ua.PerpCcw(), e.pb, e.pb + ub.PerpCcw(),
+                        &t.apex)) {
+    t.apex = (e.pa + e.pb) * 0.5;
+  }
+  t.height = e.pa == e.pb ? 0.0 : DistanceToLine(t.apex, e.pa, e.pb);
+  return t;
+}
+
+StaticAdaptiveSample Finish(std::map<Direction, Point2> samples,
+                            std::vector<Edge> edges, double perimeter,
+                            uint32_t refinements, uint32_t r) {
+  StaticAdaptiveSample out;
+  out.uniform_perimeter = perimeter;
+  out.refinements = refinements;
+  out.samples.reserve(samples.size());
+  for (const auto& [d, pt] : samples) {
+    out.samples.push_back(HullSample{d, pt});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.lo < b.lo; });
+  out.triangles.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.pa == e.pb) continue;
+    out.triangles.push_back(MakeTriangle(e));
+  }
+  (void)r;
+  return out;
+}
+
+}  // namespace
+
+ConvexPolygon StaticAdaptiveSample::Polygon() const {
+  std::vector<Point2> verts;
+  verts.reserve(samples.size());
+  for (const HullSample& s : samples) {
+    if (verts.empty() || !(verts.back() == s.point)) verts.push_back(s.point);
+  }
+  while (verts.size() > 1 && verts.back() == verts.front()) verts.pop_back();
+  return ConvexPolygon(std::move(verts));
+}
+
+StaticAdaptiveSample BuildStaticUniformSample(
+    const std::vector<Point2>& points, uint32_t r) {
+  SH_CHECK(!points.empty() && r >= 8);
+  std::map<Direction, Point2> samples;
+  for (uint32_t j = 0; j < r; ++j) {
+    const Direction d = Direction::Uniform(j, r);
+    samples.emplace(d, ExtremumOf(points, d.ToVector()));
+  }
+  // Perimeter of the distinct extrema polygon.
+  std::vector<Point2> distinct;
+  for (const auto& [d, pt] : samples) {
+    (void)d;
+    if (distinct.empty() || !(distinct.back() == pt)) distinct.push_back(pt);
+  }
+  while (distinct.size() > 1 && distinct.back() == distinct.front()) {
+    distinct.pop_back();
+  }
+  const double perimeter = ConvexPolygon(distinct).Perimeter();
+
+  std::vector<Edge> edges;
+  edges.reserve(r);
+  for (uint32_t j = 0; j < r; ++j) {
+    Edge e;
+    e.lo = Direction::Uniform(j, r);
+    e.hi = Direction::Uniform((j + 1) % r, r);
+    e.pa = samples.at(e.lo);
+    e.pb = samples.at(e.hi);
+    e.depth = 0;
+    e.ltilde = EdgeLTilde(e, r);
+    edges.push_back(e);
+  }
+  return Finish(std::move(samples), std::move(edges), perimeter, 0, r);
+}
+
+StaticAdaptiveSample BuildStaticAdaptiveSample(
+    const std::vector<Point2>& points, uint32_t r, int max_tree_height) {
+  SH_CHECK(!points.empty() && r >= 8);
+  uint32_t cap;
+  if (max_tree_height >= 0) {
+    cap = static_cast<uint32_t>(max_tree_height);
+  } else {
+    cap = 0;
+    while ((uint32_t{1} << cap) < r) ++cap;
+  }
+
+  StaticAdaptiveSample uniform = BuildStaticUniformSample(points, r);
+  const double perimeter = uniform.uniform_perimeter;
+
+  std::map<Direction, Point2> samples;
+  for (const HullSample& s : uniform.samples) {
+    samples.emplace(s.direction, s.point);
+  }
+
+  std::vector<Edge> work;
+  std::vector<Edge> done;
+  for (uint32_t j = 0; j < r; ++j) {
+    Edge e;
+    e.lo = Direction::Uniform(j, r);
+    e.hi = Direction::Uniform((j + 1) % r, r);
+    e.pa = samples.at(e.lo);
+    e.pb = samples.at(e.hi);
+    e.depth = 0;
+    e.ltilde = EdgeLTilde(e, r);
+    work.push_back(e);
+  }
+
+  auto weight = [&](const Edge& e) {
+    if (perimeter <= 0) return -static_cast<double>(e.depth);
+    return static_cast<double>(r) * e.ltilde / perimeter -
+           static_cast<double>(e.depth);
+  };
+
+  uint32_t refinements = 0;
+  while (!work.empty()) {
+    Edge e = work.back();
+    work.pop_back();
+    if (e.depth >= cap || e.pa == e.pb || weight(e) <= 1.0) {
+      done.push_back(e);
+      continue;
+    }
+    // Refine: bisect the angular interval and sample the true extremum of
+    // the full point set in the bisecting direction (§4).
+    const Direction mid = Direction::Midpoint(e.lo, e.hi);
+    const Point2 pm = ExtremumOf(points, mid.ToVector());
+    samples.emplace(mid, pm);
+    ++refinements;
+    Edge l{e.lo, mid, e.pa, pm, e.depth + 1, 0};
+    Edge rr{mid, e.hi, pm, e.pb, e.depth + 1, 0};
+    l.ltilde = EdgeLTilde(l, r);
+    rr.ltilde = EdgeLTilde(rr, r);
+    work.push_back(l);
+    work.push_back(rr);
+  }
+  return Finish(std::move(samples), std::move(done), perimeter, refinements,
+                r);
+}
+
+}  // namespace streamhull

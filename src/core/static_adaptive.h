@@ -1,0 +1,55 @@
+// streamhull: offline adaptive sampling (§4).
+//
+// For a *fixed* point set, the adaptive sample is built directly: take the
+// extrema in the r uniform directions, then greedily refine any edge whose
+// sample weight exceeds 1, choosing true extrema of the full point set in
+// each bisecting direction. Lemmas 4.1-4.3 guarantee at most r+1 added
+// directions and uncertainty-triangle heights of O(D/r^2).
+//
+// This module is the reference the streaming structure is measured against
+// in tests, and the offline half of the static-vs-streaming comparison
+// benchmarks.
+
+#ifndef STREAMHULL_CORE_STATIC_ADAPTIVE_H_
+#define STREAMHULL_CORE_STATIC_ADAPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adaptive_hull.h"
+#include "geom/convex_polygon.h"
+#include "geom/direction.h"
+#include "geom/point.h"
+
+namespace streamhull {
+
+/// \brief Result of offline adaptive sampling.
+struct StaticAdaptiveSample {
+  /// Active sample directions with their extreme points, CCW.
+  std::vector<HullSample> samples;
+  /// Uncertainty triangles of the final edges, CCW.
+  std::vector<UncertaintyTriangle> triangles;
+  /// Perimeter of the uniformly sampled hull (the P in all weights).
+  double uniform_perimeter = 0;
+  /// Number of adaptively added directions (Lemma 4.2: at most r+1).
+  uint32_t refinements = 0;
+  /// The sampled hull polygon (distinct sample points, CCW).
+  ConvexPolygon Polygon() const;
+};
+
+/// \brief Runs §4's adaptive sampling on a static point set.
+///
+/// \param points the full (offline) point set; must be non-empty.
+/// \param r number of uniform directions (>= 8).
+/// \param max_tree_height refinement depth cap; -1 selects log2(r).
+StaticAdaptiveSample BuildStaticAdaptiveSample(
+    const std::vector<Point2>& points, uint32_t r, int max_tree_height = -1);
+
+/// \brief The uniformly sampled hull of a static point set (§3): extrema in
+/// r evenly spaced directions. The offline counterpart of UniformHull.
+StaticAdaptiveSample BuildStaticUniformSample(const std::vector<Point2>& points,
+                                              uint32_t r);
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_CORE_STATIC_ADAPTIVE_H_

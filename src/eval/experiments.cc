@@ -1,0 +1,88 @@
+#include "eval/experiments.h"
+
+#include <memory>
+
+#include "common/check.h"
+#include "core/adaptive_hull.h"
+#include "core/partially_adaptive.h"
+#include "eval/table.h"
+
+namespace streamhull {
+
+Table1Row RunTable1Workload(const std::string& workload,
+                            const Table1Config& config) {
+  const bool changing = workload.rfind("changing", 0) == 0;
+  std::unique_ptr<PointGenerator> gen =
+      MakeTable1Workload(workload, config.seed, config.points);
+  SH_CHECK(gen != nullptr && "unknown Table 1 workload");
+  const uint64_t n = changing ? 2 * config.points : config.points;
+  const std::vector<Point2> stream = gen->Take(n);
+
+  // The adaptive competitor: fixed-size mode with exactly 2r directions.
+  AdaptiveHullOptions adaptive_opts;
+  adaptive_opts.r = config.adaptive_r;
+  adaptive_opts.mode = SamplingMode::kFixedSize;
+  adaptive_opts.fixed_directions = 2 * config.adaptive_r;
+  AdaptiveHull adaptive(adaptive_opts);
+  for (const Point2& p : stream) adaptive.Insert(p);
+
+  Table1Row row;
+  row.workload = workload;
+  row.adaptive = EvaluateHull(adaptive.Polygon(), adaptive.Triangles(), stream);
+  row.adaptive_samples = adaptive.num_directions();
+
+  if (!changing) {
+    UniformHull uniform(config.uniform_r);
+    for (const Point2& p : stream) uniform.Insert(p);
+    row.baseline_name = "uniform";
+    row.baseline = EvaluateHull(uniform.Polygon(), uniform.Triangles(), stream);
+    row.baseline_samples = uniform.Samples().size();
+  } else {
+    // "Partially adaptive": adapt during the first phase, then freeze the
+    // directions while the distribution changes underneath.
+    PartiallyAdaptiveHull partial(adaptive_opts, config.points);
+    for (const Point2& p : stream) partial.Insert(p);
+    row.baseline_name = "partial";
+    row.baseline = EvaluateHull(partial.Polygon(), partial.Triangles(), stream);
+    row.baseline_samples = partial.Samples().size();
+  }
+  return row;
+}
+
+std::vector<std::string> Table1SectionWorkloads(const std::string& section) {
+  if (section == "disk") return {"disk"};
+  if (section == "square") {
+    return {"square@0", "square@1/4", "square@1/3", "square@1/2"};
+  }
+  if (section == "ellipse") {
+    return {"ellipse@0", "ellipse@1/4", "ellipse@1/3", "ellipse@1/2"};
+  }
+  if (section == "changing") {
+    return {"changing@0", "changing@1/4", "changing@1/3", "changing@1/2"};
+  }
+  return {};
+}
+
+void PrintTable1(const std::vector<Table1Row>& rows, std::ostream& os) {
+  if (rows.empty()) return;
+  const std::string b = rows.front().baseline_name;
+  TextTable table({"workload", "maxUT(" + b + ")", "maxUT(adapt)",
+                   "avgUT(" + b + ")", "avgUT(adapt)", "maxDist(" + b + ")",
+                   "maxDist(adapt)", "%out(" + b + ")", "%out(adapt)"});
+  for (const Table1Row& row : rows) {
+    // The paper reports fixed-point values in units of 1e-4 x the generator
+    // radius (unit radius for every Table 1 shape).
+    const double s = 1e4;
+    table.AddRow({row.workload, TextTable::Num(s * row.baseline.max_triangle_height, 0),
+                  TextTable::Num(s * row.adaptive.max_triangle_height, 0),
+                  TextTable::Num(s * row.baseline.avg_triangle_height, 0),
+                  TextTable::Num(s * row.adaptive.avg_triangle_height, 0),
+                  TextTable::Num(s * row.baseline.max_outside_distance, 0),
+                  TextTable::Num(s * row.adaptive.max_outside_distance, 0),
+                  TextTable::Num(row.baseline.pct_outside, 2),
+                  TextTable::Num(row.adaptive.pct_outside, 2)});
+  }
+  table.Print(os);
+}
+
+}  // namespace streamhull

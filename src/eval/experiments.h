@@ -1,0 +1,60 @@
+// streamhull: the Table 1 experiment runner (§7).
+//
+// The paper's protocol: streams of 10^5 points; the uniformly sampled hull
+// runs with r = 32 directions while the adaptive hull runs with r = 16 in
+// fixed-size mode (exactly 2r = 32 directions), so both summaries store the
+// same number of samples. The fourth table section replaces the uniform
+// baseline with the "partially adaptive" scheme (adapt on the first half,
+// freeze for the second) on the changing-ellipse stream.
+//
+// Values are reported in units of 1e-4 x the workload's generator radius
+// (all Table 1 workloads have unit radius/semi-major axis), matching the
+// magnitudes printed in the paper.
+
+#ifndef STREAMHULL_EVAL_EXPERIMENTS_H_
+#define STREAMHULL_EVAL_EXPERIMENTS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "stream/generators.h"
+
+namespace streamhull {
+
+/// \brief Configuration shared by the Table 1 rows.
+struct Table1Config {
+  uint32_t adaptive_r = 16;   ///< Adaptive base directions (paper: 16).
+  uint32_t uniform_r = 32;    ///< Uniform directions (paper: 32 = 2x16).
+  uint64_t points = 100000;   ///< Stream length (per phase for "changing").
+  uint64_t seed = 20040614;   ///< Workload seed.
+};
+
+/// \brief One measured Table 1 row: a workload evaluated under two competing
+/// summaries ("uniform" vs "adaptive", or "partial" vs "adaptive").
+struct Table1Row {
+  std::string workload;
+  std::string baseline_name;
+  HullQuality baseline;
+  HullQuality adaptive;
+  size_t baseline_samples = 0;
+  size_t adaptive_samples = 0;
+};
+
+/// \brief Runs one Table 1 workload (see MakeTable1Workload for names).
+/// For "changing@..." workloads the baseline is the partially adaptive hull
+/// trained on the first phase; otherwise it is the uniformly sampled hull.
+Table1Row RunTable1Workload(const std::string& workload,
+                            const Table1Config& config);
+
+/// The workload names of each Table 1 section, in paper order.
+std::vector<std::string> Table1SectionWorkloads(const std::string& section);
+
+/// \brief Renders rows in the paper's layout (values scaled by 1e4).
+void PrintTable1(const std::vector<Table1Row>& rows, std::ostream& os);
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_EVAL_EXPERIMENTS_H_

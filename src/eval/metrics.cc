@@ -1,0 +1,47 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "geom/convex_hull.h"
+#include "queries/queries.h"
+
+namespace streamhull {
+
+HullQuality EvaluateHull(const ConvexPolygon& poly,
+                         const std::vector<UncertaintyTriangle>& triangles,
+                         const std::vector<Point2>& stream) {
+  HullQuality q;
+  if (!triangles.empty()) {
+    double sum = 0;
+    for (const UncertaintyTriangle& t : triangles) {
+      q.max_triangle_height = std::max(q.max_triangle_height, t.height);
+      sum += t.height;
+    }
+    q.avg_triangle_height = sum / static_cast<double>(triangles.size());
+  }
+
+  size_t outside = 0;
+  double sum_out = 0;
+  for (const Point2& p : stream) {
+    const double d = poly.DistanceOutside(p);
+    if (d > 1e-12) {
+      ++outside;
+      sum_out += d;
+      q.max_outside_distance = std::max(q.max_outside_distance, d);
+    }
+  }
+  if (!stream.empty()) {
+    q.pct_outside =
+        100.0 * static_cast<double>(outside) / static_cast<double>(stream.size());
+  }
+  if (outside > 0) q.avg_outside_distance = sum_out / static_cast<double>(outside);
+
+  const std::vector<Point2> true_hull = ConvexHullOf(stream);
+  for (const Point2& v : true_hull) {
+    q.hausdorff_error = std::max(q.hausdorff_error, poly.DistanceOutside(v));
+  }
+  q.true_diameter = Diameter(ConvexPolygon(true_hull)).value;
+  return q;
+}
+
+}  // namespace streamhull

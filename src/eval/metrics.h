@@ -1,0 +1,48 @@
+// streamhull: hull-approximation quality metrics.
+//
+// These are exactly the quantities reported in the paper's Table 1 for each
+// summary/workload combination:
+//   * max / average uncertainty-triangle height,
+//   * max distance from the approximate hull to any stream point outside it,
+//   * the percentage of stream points falling outside the approximate hull.
+// The harness additionally measures the true Hausdorff error against the
+// exact hull of the full stream (ground truth the paper's streaming setting
+// cannot afford, but our evaluation can).
+
+#ifndef STREAMHULL_EVAL_METRICS_H_
+#define STREAMHULL_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/adaptive_hull.h"
+#include "geom/convex_polygon.h"
+#include "geom/point.h"
+
+namespace streamhull {
+
+/// \brief Quality measurements of an approximate hull against the stream it
+/// summarized.
+struct HullQuality {
+  double max_triangle_height = 0;  ///< Worst-case a-priori error bound.
+  double avg_triangle_height = 0;  ///< Mean over non-degenerate edges.
+  double max_outside_distance = 0; ///< Max distance of any point outside.
+  double avg_outside_distance = 0; ///< Mean over the outside points.
+  double pct_outside = 0;          ///< Percent of stream points outside.
+  double hausdorff_error = 0;      ///< Max distance from true hull vertices.
+  double true_diameter = 0;        ///< Diameter of the full stream.
+};
+
+/// \brief Evaluates an approximate hull (with its uncertainty triangles)
+/// against every point of the stream.
+///
+/// \param poly the approximate hull.
+/// \param triangles its uncertainty triangles (may be empty for summaries
+///        without them, zeroing the triangle statistics).
+/// \param stream all points of the stream (kept by the harness).
+HullQuality EvaluateHull(const ConvexPolygon& poly,
+                         const std::vector<UncertaintyTriangle>& triangles,
+                         const std::vector<Point2>& stream);
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_EVAL_METRICS_H_

@@ -1,0 +1,155 @@
+#include "eval/svg.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace streamhull {
+
+void SvgCanvas::Bound(Point2 p) {
+  min_x_ = std::min(min_x_, p.x);
+  max_x_ = std::max(max_x_, p.x);
+  min_y_ = std::min(min_y_, p.y);
+  max_y_ = std::max(max_y_, p.y);
+}
+
+void SvgCanvas::AddPoints(const std::vector<Point2>& pts,
+                          const std::string& color, double radius_px) {
+  for (const Point2& p : pts) {
+    Shape s;
+    s.kind = "circle";
+    s.pts = {p};
+    s.color = color;
+    s.a = radius_px;
+    shapes_.push_back(std::move(s));
+    Bound(p);
+  }
+}
+
+void SvgCanvas::AddPolygon(const ConvexPolygon& poly, const std::string& stroke,
+                           double stroke_px, const std::string& fill) {
+  if (poly.empty()) return;
+  Shape s;
+  s.kind = "polygon";
+  s.pts = poly.vertices();
+  s.color = stroke;
+  s.fill = fill;
+  s.a = stroke_px;
+  for (const Point2& p : s.pts) Bound(p);
+  shapes_.push_back(std::move(s));
+}
+
+void SvgCanvas::AddTriangle(Point2 a, Point2 b, Point2 c,
+                            const std::string& fill, double opacity) {
+  Shape s;
+  s.kind = "polygon";
+  s.pts = {a, b, c};
+  s.color = "none";
+  s.fill = fill;
+  s.a = 0;
+  s.b = opacity;
+  Bound(a);
+  Bound(b);
+  Bound(c);
+  shapes_.push_back(std::move(s));
+}
+
+void SvgCanvas::AddSegment(Point2 a, Point2 b, const std::string& stroke,
+                           double stroke_px) {
+  Shape s;
+  s.kind = "segment";
+  s.pts = {a, b};
+  s.color = stroke;
+  s.a = stroke_px;
+  Bound(a);
+  Bound(b);
+  shapes_.push_back(std::move(s));
+}
+
+void SvgCanvas::AddLabel(Point2 at, const std::string& text,
+                         const std::string& color) {
+  Shape s;
+  s.kind = "text";
+  s.pts = {at};
+  s.color = color;
+  s.text = text;
+  Bound(at);
+  shapes_.push_back(std::move(s));
+}
+
+void SvgCanvas::AddHullFigure(const AdaptiveHull& hull,
+                              const std::string& hull_color,
+                              const std::string& triangle_color) {
+  // Sample-direction rays from the centroid, as in Fig. 10.
+  const ConvexPolygon poly = hull.Polygon();
+  const Point2 c = poly.VertexCentroid();
+  for (const HullSample& s : hull.Samples()) {
+    AddSegment(c, s.point, "#bbbbbb", 0.5);
+  }
+  for (const UncertaintyTriangle& t : hull.Triangles()) {
+    AddTriangle(t.a, t.apex, t.b, triangle_color, 0.55);
+  }
+  AddPolygon(poly, hull_color, 1.5);
+}
+
+Status SvgCanvas::WriteFile(const std::string& path) const {
+  if (shapes_.empty()) {
+    return Status::FailedPrecondition("SVG canvas is empty");
+  }
+  const double span_x = std::max(1e-12, max_x_ - min_x_);
+  const double span_y = std::max(1e-12, max_y_ - min_y_);
+  const double margin = 0.05;
+  const double sx = static_cast<double>(width_) / (span_x * (1 + 2 * margin));
+  const double sy = static_cast<double>(height_) / (span_y * (1 + 2 * margin));
+  const double s = std::min(sx, sy);
+  const double ox = min_x_ - span_x * margin;
+  const double oy = min_y_ - span_y * margin;
+  auto tx = [&](Point2 p) {
+    // Flip y so the document reads in mathematical orientation.
+    return Point2{(p.x - ox) * s, height_ - (p.y - oy) * s};
+  };
+
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+      << "\" height=\"" << height_ << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  char buf[256];
+  for (const Shape& sh : shapes_) {
+    if (sh.kind == "circle") {
+      const Point2 p = tx(sh.pts[0]);
+      std::snprintf(buf, sizeof(buf),
+                    "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\"/>\n",
+                    p.x, p.y, sh.a, sh.color.c_str());
+      out << buf;
+    } else if (sh.kind == "polygon") {
+      out << "<polygon points=\"";
+      for (const Point2& v : sh.pts) {
+        const Point2 p = tx(v);
+        std::snprintf(buf, sizeof(buf), "%.2f,%.2f ", p.x, p.y);
+        out << buf;
+      }
+      out << "\" fill=\"" << (sh.fill.empty() ? "none" : sh.fill) << "\"";
+      if (sh.b > 0) out << " fill-opacity=\"" << sh.b << "\"";
+      out << " stroke=\"" << sh.color << "\" stroke-width=\"" << sh.a
+          << "\"/>\n";
+    } else if (sh.kind == "segment") {
+      const Point2 a = tx(sh.pts[0]);
+      const Point2 b = tx(sh.pts[1]);
+      std::snprintf(buf, sizeof(buf),
+                    "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" "
+                    "stroke=\"%s\" stroke-width=\"%.2f\"/>\n",
+                    a.x, a.y, b.x, b.y, sh.color.c_str(), sh.a);
+      out << buf;
+    } else if (sh.kind == "text") {
+      const Point2 p = tx(sh.pts[0]);
+      out << "<text x=\"" << p.x << "\" y=\"" << p.y << "\" fill=\""
+          << sh.color << "\" font-size=\"14\">" << sh.text << "</text>\n";
+    }
+  }
+  out << "</svg>\n";
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace streamhull

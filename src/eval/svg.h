@@ -1,0 +1,67 @@
+// streamhull: minimal SVG renderer for hull visualizations (Fig. 10).
+//
+// Renders point clouds, polygons, uncertainty triangles, and sample
+// direction rays into a standalone .svg file, reproducing the style of the
+// paper's Figure 10 (adaptive vs uniform hulls on the rotated ellipse).
+
+#ifndef STREAMHULL_EVAL_SVG_H_
+#define STREAMHULL_EVAL_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/adaptive_hull.h"
+#include "geom/convex_polygon.h"
+#include "geom/point.h"
+
+namespace streamhull {
+
+/// \brief Accumulates SVG primitives in stream coordinates and writes a
+/// scaled, y-flipped document.
+class SvgCanvas {
+ public:
+  /// \param width/height output pixel dimensions.
+  SvgCanvas(int width, int height) : width_(width), height_(height) {}
+
+  /// Adds a point cloud (small dots).
+  void AddPoints(const std::vector<Point2>& pts, const std::string& color,
+                 double radius_px = 1.0);
+  /// Adds a closed polygon outline.
+  void AddPolygon(const ConvexPolygon& poly, const std::string& stroke,
+                  double stroke_px = 1.5, const std::string& fill = "none");
+  /// Adds a filled triangle.
+  void AddTriangle(Point2 a, Point2 b, Point2 c, const std::string& fill,
+                   double opacity = 0.6);
+  /// Adds a line segment.
+  void AddSegment(Point2 a, Point2 b, const std::string& stroke,
+                  double stroke_px = 0.75);
+  /// Adds the uncertainty triangles and sample-direction rays of a summary,
+  /// in the style of Fig. 10.
+  void AddHullFigure(const AdaptiveHull& hull, const std::string& hull_color,
+                     const std::string& triangle_color);
+  /// Adds a text label at a stream-coordinate anchor.
+  void AddLabel(Point2 at, const std::string& text, const std::string& color);
+
+  /// Writes the document; the viewport is fit to the bounding box of all
+  /// added geometry with 5% margin.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Shape {
+    std::string kind;  // "circle" | "polygon" | "segment" | "text"
+    std::vector<Point2> pts;
+    std::string color, fill;
+    double a = 0, b = 0;
+    std::string text;
+  };
+  void Bound(Point2 p);
+
+  int width_, height_;
+  std::vector<Shape> shapes_;
+  double min_x_ = 1e300, min_y_ = 1e300, max_x_ = -1e300, max_y_ = -1e300;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_EVAL_SVG_H_

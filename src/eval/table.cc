@@ -1,0 +1,70 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace streamhull {
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  SH_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << "\n";
+  };
+  line(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) line(row);
+}
+
+void TextTable::PrintMarkdown(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (const auto& cell : row) os << " " << cell << " |";
+    os << "\n";
+  };
+  line(header_);
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) os << "---|";
+  os << "\n";
+  for (const auto& row : rows_) line(row);
+}
+
+void TextTable::PrintCsv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) os << ",";
+    }
+    os << "\n";
+  };
+  line(header_);
+  for (const auto& row : rows_) line(row);
+}
+
+std::string TextTable::Num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return std::string(buf);
+}
+
+}  // namespace streamhull

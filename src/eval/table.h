@@ -1,0 +1,39 @@
+// streamhull: plain-text / markdown / CSV table rendering for the benchmark
+// harness. Deliberately tiny — aligned columns, one header row.
+
+#ifndef STREAMHULL_EVAL_TABLE_H_
+#define STREAMHULL_EVAL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace streamhull {
+
+/// \brief A simple column-aligned table accumulated row by row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; its size must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with space-aligned columns.
+  void Print(std::ostream& os) const;
+  /// Renders as a GitHub-flavored markdown table.
+  void PrintMarkdown(std::ostream& os) const;
+  /// Renders as CSV.
+  void PrintCsv(std::ostream& os) const;
+
+  /// Fixed-point formatting helper (width-free, trimmed).
+  static std::string Num(double v, int decimals = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_EVAL_TABLE_H_

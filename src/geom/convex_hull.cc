@@ -1,0 +1,80 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace streamhull {
+
+std::vector<Point2> ConvexHullOf(std::vector<Point2> points) {
+  std::sort(points.begin(), points.end(), [](Point2 a, Point2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const size_t n = points.size();
+  if (n <= 2) return points;
+
+  std::vector<Point2> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Orient(hull[k - 2], hull[k - 1], points[i]) <= 0) --k;
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  const size_t lower_size = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size && Orient(hull[k - 2], hull[k - 1], points[i]) <= 0)
+      --k;
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  return hull;
+}
+
+std::vector<Point2> ConvexHullBrute(const std::vector<Point2>& points) {
+  // Deduplicate.
+  std::vector<Point2> pts = points;
+  std::sort(pts.begin(), pts.end(), [](Point2 a, Point2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const size_t n = pts.size();
+  if (n <= 2) return pts;
+
+  // A point v is a hull vertex iff some open half-plane through v contains
+  // all other points strictly; equivalently v is extreme. Use the O(n^2)
+  // test: v is NOT a vertex if it lies inside or on a segment of the hull of
+  // the others — implemented via the "strictly inside some triangle or on a
+  // segment between others" criterion would be O(n^3); instead use gift
+  // wrapping, which is O(n * h) and independent of the monotone-chain code
+  // it checks.
+  size_t start = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (pts[i].x < pts[start].x ||
+        (pts[i].x == pts[start].x && pts[i].y < pts[start].y)) {
+      start = i;
+    }
+  }
+  std::vector<Point2> hull;
+  size_t cur = start;
+  do {
+    hull.push_back(pts[cur]);
+    size_t next = (cur + 1) % n;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == cur) continue;
+      double o = Orient(pts[cur], pts[next], pts[i]);
+      // Pick the most clockwise candidate; on ties take the farthest so
+      // collinear intermediate points are skipped.
+      if (o < 0 || (o == 0 && SquaredDistance(pts[cur], pts[i]) >
+                                  SquaredDistance(pts[cur], pts[next]))) {
+        next = i;
+      }
+    }
+    cur = next;
+    SH_CHECK(hull.size() <= n);  // Gift wrapping must terminate.
+  } while (cur != start);
+  return hull;
+}
+
+}  // namespace streamhull

@@ -1,0 +1,33 @@
+// streamhull: exact static convex hulls (Andrew's monotone chain).
+//
+// The streaming summaries in src/core approximate the hull; this module
+// computes it exactly in O(n log n) for ground truth in tests, error
+// measurement in the evaluation harness, and the offline half of the
+// comparison experiments.
+
+#ifndef STREAMHULL_GEOM_CONVEX_HULL_H_
+#define STREAMHULL_GEOM_CONVEX_HULL_H_
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace streamhull {
+
+/// \brief Exact convex hull of \p points, counterclockwise, starting from
+/// the lexicographically smallest vertex.
+///
+/// Collinear boundary points are excluded (only true corners are returned);
+/// duplicates are handled. Degenerate inputs yield degenerate hulls: a
+/// single point for n==1 or all-coincident inputs, two points for collinear
+/// inputs.
+std::vector<Point2> ConvexHullOf(std::vector<Point2> points);
+
+/// \brief O(n^2) reference hull used by the differential tests: a point is
+/// on the hull iff it is not strictly inside the hull of the others.
+/// Returns vertices in CCW order.
+std::vector<Point2> ConvexHullBrute(const std::vector<Point2>& points);
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_GEOM_CONVEX_HULL_H_

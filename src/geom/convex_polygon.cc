@@ -1,0 +1,161 @@
+#include "geom/convex_polygon.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "geom/convex_hull.h"
+
+namespace streamhull {
+
+ConvexPolygon ConvexPolygon::HullOf(std::vector<Point2> points) {
+  return ConvexPolygon(ConvexHullOf(std::move(points)));
+}
+
+double ConvexPolygon::Perimeter() const {
+  const size_t n = vertices_.size();
+  if (n <= 1) return 0.0;
+  if (n == 2) return 2.0 * Distance(vertices_[0], vertices_[1]);
+  double p = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    p += Distance(vertices_[i], vertices_[(i + 1) % n]);
+  }
+  return p;
+}
+
+double ConvexPolygon::Area() const {
+  const size_t n = vertices_.size();
+  if (n < 3) return 0.0;
+  double a = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    a += Cross(vertices_[i], vertices_[(i + 1) % n]);
+  }
+  return 0.5 * a;
+}
+
+Point2 ConvexPolygon::VertexCentroid() const {
+  if (vertices_.empty()) return {0, 0};
+  Point2 c{0, 0};
+  for (Point2 v : vertices_) c += v;
+  return c / static_cast<double>(vertices_.size());
+}
+
+bool ConvexPolygon::Contains(Point2 q) const {
+  const size_t n = vertices_.size();
+  if (n == 0) return false;
+  if (n == 1) return vertices_[0] == q;
+  return !FindVisibleChain(*this, q).has_value();
+}
+
+bool ConvexPolygon::ContainsBrute(Point2 q) const {
+  const size_t n = vertices_.size();
+  if (n == 0) return false;
+  if (n == 1) return vertices_[0] == q;
+  if (n == 2) return DistanceToSegment(q, vertices_[0], vertices_[1]) == 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    Point2 a = vertices_[i];
+    Point2 b = vertices_[(i + 1) % n];
+    if (a == b) continue;
+    if (Orient(a, b, q) < 0) return false;
+  }
+  return true;
+}
+
+size_t ConvexPolygon::ExtremeVertexBrute(Point2 dir) const {
+  SH_CHECK(!vertices_.empty());
+  size_t best = 0;
+  double best_dot = Dot(vertices_[0], dir);
+  for (size_t i = 1; i < vertices_.size(); ++i) {
+    double d = Dot(vertices_[i], dir);
+    if (d > best_dot) {
+      best_dot = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+size_t ConvexPolygon::ExtremeVertex(Point2 dir) const {
+  const size_t n = vertices_.size();
+  SH_CHECK(n >= 1);
+  if (n <= 32) return ExtremeVertexBrute(dir);
+  // Binary search over the circular bitonic sequence dot(v_i, dir).
+  // Invariant-free formulation (O'Rourke-style): find i such that moving to
+  // either neighbor does not increase the dot product, guided by edge
+  // direction signs. To stay robust with collinear runs, use a bounded
+  // number of iterations and fall back to the scan on failure.
+  auto dot_at = [&](size_t i) { return Dot(vertices_[i % n], dir); };
+  size_t lo = 0, hi = n;  // Search window [lo, hi).
+  // Classify edge at lo: ascending if dot increases along it.
+  auto ascending = [&](size_t i) { return dot_at(i + 1) >= dot_at(i); };
+  const bool lo_ascending = ascending(0);
+  size_t iterations = 0;
+  while (hi - lo > 1) {
+    if (++iterations > 64) return ExtremeVertexBrute(dir);  // Degenerate.
+    size_t mid = lo + (hi - lo) / 2;
+    const double dlo = dot_at(lo);
+    const double dmid = dot_at(mid);
+    const bool mid_ascending = ascending(mid);
+    bool go_right;  // True: maximum lies in (mid, hi).
+    if (lo_ascending) {
+      if (!mid_ascending && dmid >= dlo) {
+        go_right = false;
+      } else if (dmid < dlo) {
+        go_right = false;
+      } else {
+        go_right = true;
+      }
+    } else {
+      if (mid_ascending && dmid <= dlo) {
+        go_right = true;
+      } else if (dmid > dlo) {
+        go_right = false;
+      } else {
+        go_right = true;
+      }
+    }
+    if (go_right) {
+      lo = mid;
+    } else {
+      hi = mid + 1;
+    }
+  }
+  // Numerical safety: compare against neighbors; the scan fallback protects
+  // the contract when collinearity confused the search.
+  size_t cand = lo % n;
+  double dc = dot_at(cand);
+  if (dot_at(cand + 1) > dc || dot_at(cand + n - 1) > dc || dot_at(0) > dc) {
+    return ExtremeVertexBrute(dir);
+  }
+  return cand;
+}
+
+std::optional<std::pair<size_t, size_t>> ConvexPolygon::TangentsFrom(
+    Point2 q) const {
+  auto chain = FindVisibleChain(*this, q);
+  if (!chain.has_value()) return std::nullopt;
+  const size_t n = vertices_.size();
+  return std::make_pair(chain->first_edge, (chain->last_edge + 1) % n);
+}
+
+double ConvexPolygon::DistanceOutside(Point2 q) const {
+  const size_t n = vertices_.size();
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  if (n == 1) return Distance(q, vertices_[0]);
+  if (n == 2) return DistanceToSegment(q, vertices_[0], vertices_[1]);
+  auto chain = FindVisibleChain(*this, q);
+  if (!chain.has_value()) return 0.0;
+  // The closest boundary point of an exterior point lies on the visible
+  // chain.
+  double best = std::numeric_limits<double>::infinity();
+  size_t e = chain->first_edge;
+  while (true) {
+    best = std::min(best,
+                    DistanceToSegment(q, vertices_[e], vertices_[(e + 1) % n]));
+    if (e == chain->last_edge) break;
+    e = (e + 1) % n;
+  }
+  return best;
+}
+
+}  // namespace streamhull

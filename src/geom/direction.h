@@ -1,0 +1,176 @@
+// streamhull: exact dyadic directions.
+//
+// The adaptive sampling algorithm (Hershberger & Suri §4-§5) chooses its
+// sample directions by repeatedly *bisecting* angular intervals whose
+// endpoints start at multiples of theta_0 = 2*pi/r. Every direction that can
+// ever occur is therefore of the form
+//
+//     theta = 2*pi * num / (r * 2^level),
+//
+// a dyadic multiple of the base angle. Representing directions as the exact
+// integer pair (num, level) — rather than as floating-point angles — makes
+// all structural decisions in the refinement trees (interval membership,
+// bisection, equality, the index(theta) of Section 5.3) exact integer
+// arithmetic, immune to accumulated FP error. Doubles appear only when a
+// direction is converted to a unit vector for dot products.
+
+#ifndef STREAMHULL_GEOM_DIRECTION_H_
+#define STREAMHULL_GEOM_DIRECTION_H_
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/check.h"
+#include "geom/point.h"
+
+namespace streamhull {
+
+/// \brief An exact direction on the unit circle: angle 2*pi*num/(r*2^level).
+///
+/// Invariants (canonical form): level == 0, or num is odd; and
+/// num < r << level. `r` is the number of base (uniform) directions and must
+/// match between directions that are compared or combined. The maximum
+/// refinement depth is bounded (kMaxLevel) so that all comparisons fit in
+/// 64-bit arithmetic.
+class Direction {
+ public:
+  /// Depth cap: supports r up to 2^20 with refinement trees up to 2^20 deep,
+  /// far beyond anything the algorithm instantiates (it caps depth at
+  /// log2(r)).
+  static constexpr uint32_t kMaxLevel = 40;
+
+  Direction() : r_(1), num_(0), level_(0) {}
+
+  /// The j-th uniform direction, j in [0, r): angle j * 2*pi/r.
+  static Direction Uniform(uint32_t j, uint32_t r) {
+    SH_CHECK(r > 0 && j < r);
+    return Direction(r, j, 0);
+  }
+
+  /// \brief Reconstructs a direction from its raw (num, level) integers
+  /// (e.g. decoded from a serialized snapshot). The representation must be
+  /// canonical (num odd when level > 0) and in range (num < r * 2^level,
+  /// level <= kMaxLevel); CHECK-fails otherwise — validate untrusted input
+  /// before calling.
+  static Direction FromRaw(uint64_t num, uint32_t level, uint32_t r) {
+    SH_CHECK(r > 0 && level <= kMaxLevel);
+    SH_CHECK(num < (static_cast<uint64_t>(r) << level));
+    SH_CHECK(level == 0 || (num & 1) == 1);
+    return Direction(r, num, level);
+  }
+
+  /// \brief Exact bisector of the CCW interval from \p a to \p b.
+  ///
+  /// Requires a and b share the same r and the CCW angular gap from a to b
+  /// is non-zero. The result's level is one more than the wider of the two
+  /// inputs' levels (before canonicalization).
+  static Direction Midpoint(const Direction& a, const Direction& b) {
+    SH_CHECK(a.r_ == b.r_);
+    uint32_t lvl = (a.level_ > b.level_ ? a.level_ : b.level_) + 1;
+    SH_CHECK(lvl <= kMaxLevel);
+    uint64_t mod = static_cast<uint64_t>(a.r_) << lvl;
+    uint64_t an = a.num_ << (lvl - a.level_);
+    uint64_t bn = b.num_ << (lvl - b.level_);
+    // CCW gap from a to b, in units of theta0 / 2^lvl.
+    uint64_t gap = (bn + mod - an) % mod;
+    if (gap == 0) gap = mod;  // Full circle (a == b): bisect the whole turn.
+    SH_CHECK(gap % 2 == 0);   // Both endpoints were lifted by >= 1 level.
+    uint64_t mid = (an + gap / 2) % mod;
+    return Direction(a.r_, mid, lvl).Canonical();
+  }
+
+  /// Number of base directions this direction is expressed over.
+  uint32_t base_r() const { return r_; }
+  /// Refinement depth: 0 for uniform directions; equals index(theta) from
+  /// the paper's Section 5.3 (smallest i with theta a multiple of
+  /// theta0/2^i).
+  uint32_t level() const { return level_; }
+  /// Numerator over denominator r * 2^level.
+  uint64_t num() const { return num_; }
+
+  /// True iff this is one of the r uniform directions (level 0).
+  bool IsUniform() const { return level_ == 0; }
+
+  /// Angle in radians, in [0, 2*pi).
+  double Radians() const {
+    const double kTwoPi = 6.283185307179586476925286766559;
+    return kTwoPi * static_cast<double>(num_) /
+           (static_cast<double>(r_) * static_cast<double>(uint64_t{1} << level_));
+  }
+
+  /// Unit vector (cos theta, sin theta).
+  Point2 ToVector() const { return UnitVector(Radians()); }
+
+  /// \brief Numerator lifted to a common denominator r * 2^lvl.
+  /// Requires lvl >= level().
+  uint64_t ScaledNum(uint32_t lvl) const {
+    SH_DCHECK(lvl >= level_ && lvl <= kMaxLevel);
+    return num_ << (lvl - level_);
+  }
+
+  /// \brief CCW angular gap from this direction to \p b, as a fraction of a
+  /// full turn expressed in units of theta0/2^lvl where
+  /// lvl = max(level(), b.level()). Returns the (gap, lvl) pair.
+  struct Gap {
+    uint64_t units;  ///< Gap in units of theta0 / 2^level.
+    uint32_t level;  ///< The level the units are expressed at.
+    /// The gap as radians.
+    double Radians(uint32_t r) const {
+      const double kTwoPi = 6.283185307179586476925286766559;
+      return kTwoPi * static_cast<double>(units) /
+             (static_cast<double>(r) *
+              static_cast<double>(uint64_t{1} << level));
+    }
+  };
+  Gap CcwGapTo(const Direction& b) const {
+    SH_CHECK(r_ == b.r_);
+    uint32_t lvl = level_ > b.level_ ? level_ : b.level_;
+    uint64_t mod = static_cast<uint64_t>(r_) << lvl;
+    uint64_t an = ScaledNum(lvl);
+    uint64_t bn = b.ScaledNum(lvl);
+    return Gap{(bn + mod - an) % mod, lvl};
+  }
+
+  /// Total order by angle in [0, 2*pi). Only meaningful for equal base_r.
+  bool operator<(const Direction& o) const {
+    SH_DCHECK(r_ == o.r_);
+    uint32_t lvl = level_ > o.level_ ? level_ : o.level_;
+    return ScaledNum(lvl) < o.ScaledNum(lvl);
+  }
+  bool operator==(const Direction& o) const {
+    return r_ == o.r_ && num_ == o.num_ && level_ == o.level_;
+  }
+  bool operator!=(const Direction& o) const { return !(*this == o); }
+  bool operator>(const Direction& o) const { return o < *this; }
+  bool operator<=(const Direction& o) const { return !(o < *this); }
+  bool operator>=(const Direction& o) const { return !(*this < o); }
+
+ private:
+  Direction(uint32_t r, uint64_t num, uint32_t level)
+      : r_(r), num_(num), level_(level) {
+    SH_DCHECK(num_ < (static_cast<uint64_t>(r_) << level_));
+  }
+
+  /// Reduces to canonical form (num odd or level 0).
+  Direction Canonical() const {
+    uint64_t n = num_;
+    uint32_t l = level_;
+    while (l > 0 && (n & 1) == 0) {
+      n >>= 1;
+      --l;
+    }
+    return Direction(r_, n, l);
+  }
+
+  uint32_t r_;
+  uint64_t num_;
+  uint32_t level_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Direction& d) {
+  return os << d.num() << "/(" << d.base_r() << "*2^" << d.level() << ")";
+}
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_GEOM_DIRECTION_H_

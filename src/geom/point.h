@@ -1,0 +1,147 @@
+// streamhull: 2-D point/vector type and the basic geometric predicates the
+// rest of the library is built on (orientation, dot/cross products,
+// distances, projections).
+//
+// Coordinates are IEEE doubles. The streaming algorithms in src/core never
+// branch on exact FP equality for their *structural* decisions (those use
+// exact integer direction arithmetic; see geom/direction.h); the predicates
+// here are used for extremum comparisons and error measurement, where the
+// paper's analysis is robust to last-ulp noise.
+
+#ifndef STREAMHULL_GEOM_POINT_H_
+#define STREAMHULL_GEOM_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace streamhull {
+
+/// \brief A point (equivalently, a vector) in the plane.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point2() = default;
+  constexpr Point2(double px, double py) : x(px), y(py) {}
+
+  constexpr Point2 operator+(Point2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Point2 operator-(Point2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Point2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Point2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Point2 operator-() const { return {-x, -y}; }
+
+  Point2& operator+=(Point2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Point2& operator-=(Point2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+
+  constexpr bool operator==(Point2 o) const { return x == o.x && y == o.y; }
+  constexpr bool operator!=(Point2 o) const { return !(*this == o); }
+
+  /// Euclidean norm when the point is interpreted as a vector.
+  double Norm() const { return std::hypot(x, y); }
+  /// Squared Euclidean norm; exact for modest coordinates, no sqrt.
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+  /// The vector rotated +90 degrees (counterclockwise).
+  constexpr Point2 PerpCcw() const { return {-y, x}; }
+  /// The vector rotated -90 degrees (clockwise).
+  constexpr Point2 PerpCw() const { return {y, -x}; }
+  /// Unit vector in the same direction; (0,0) maps to (0,0).
+  Point2 Normalized() const {
+    double n = Norm();
+    return n == 0 ? Point2{0, 0} : Point2{x / n, y / n};
+  }
+};
+
+/// Scalar-first multiplication so `2.0 * v` reads naturally.
+constexpr inline Point2 operator*(double s, Point2 p) { return p * s; }
+
+inline std::ostream& operator<<(std::ostream& os, Point2 p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+/// Dot product.
+constexpr inline double Dot(Point2 a, Point2 b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// 2-D cross product (z-component of the 3-D cross product).
+constexpr inline double Cross(Point2 a, Point2 b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// \brief Signed area of triangle (a, b, c), times two.
+///
+/// Positive when c lies to the left of the directed line a->b, i.e. when
+/// (a, b, c) make a counterclockwise turn.
+constexpr inline double Orient(Point2 a, Point2 b, Point2 c) {
+  return Cross(b - a, c - a);
+}
+
+/// Euclidean distance between two points.
+inline double Distance(Point2 a, Point2 b) { return (a - b).Norm(); }
+
+/// Squared Euclidean distance between two points.
+constexpr inline double SquaredDistance(Point2 a, Point2 b) {
+  return (a - b).SquaredNorm();
+}
+
+/// \brief Distance from point \p p to the infinite line through \p a and
+/// \p b. Requires a != b.
+inline double DistanceToLine(Point2 p, Point2 a, Point2 b) {
+  return std::abs(Orient(a, b, p)) / Distance(a, b);
+}
+
+/// \brief Signed distance from \p p to the directed line a->b; positive on
+/// the left side. Requires a != b.
+inline double SignedDistanceToLine(Point2 p, Point2 a, Point2 b) {
+  return Orient(a, b, p) / Distance(a, b);
+}
+
+/// \brief Distance from point \p p to the closed segment [a, b].
+/// Degenerate segments (a == b) are handled as a point.
+inline double DistanceToSegment(Point2 p, Point2 a, Point2 b) {
+  Point2 ab = b - a;
+  double len2 = ab.SquaredNorm();
+  if (len2 == 0) return Distance(p, a);
+  double t = Dot(p - a, ab) / len2;
+  if (t <= 0) return Distance(p, a);
+  if (t >= 1) return Distance(p, b);
+  return Distance(p, a + ab * t);
+}
+
+/// \brief Intersection of lines (a1,a2) and (b1,b2).
+///
+/// \returns false when the lines are (numerically) parallel, in which case
+/// \p out is untouched.
+inline bool LineIntersection(Point2 a1, Point2 a2, Point2 b1, Point2 b2,
+                             Point2* out) {
+  Point2 da = a2 - a1;
+  Point2 db = b2 - b1;
+  double denom = Cross(da, db);
+  if (denom == 0) return false;
+  double t = Cross(b1 - a1, db) / denom;
+  *out = a1 + da * t;
+  return true;
+}
+
+/// Unit vector at angle \p theta (radians, CCW from +x axis).
+inline Point2 UnitVector(double theta) {
+  return {std::cos(theta), std::sin(theta)};
+}
+
+/// \brief Rotates \p p about the origin by \p theta radians (CCW).
+inline Point2 Rotate(Point2 p, double theta) {
+  double c = std::cos(theta), s = std::sin(theta);
+  return {c * p.x - s * p.y, s * p.x + c * p.y};
+}
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_GEOM_POINT_H_

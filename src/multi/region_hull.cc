@@ -1,0 +1,67 @@
+#include "multi/region_hull.h"
+
+#include "geom/convex_hull.h"
+
+namespace streamhull {
+
+std::unique_ptr<RegionPartitionedHull> RegionPartitionedHull::Create(
+    std::vector<ConvexPolygon> regions, const AdaptiveHullOptions& options,
+    Status* status) {
+  *status = options.Validate();
+  if (!status->ok()) return nullptr;
+  if (regions.empty()) {
+    *status = Status::InvalidArgument("at least one region is required");
+    return nullptr;
+  }
+  for (const ConvexPolygon& region : regions) {
+    if (region.size() < 3) {
+      *status = Status::InvalidArgument(
+          "regions must be non-degenerate convex polygons (>= 3 vertices)");
+      return nullptr;
+    }
+  }
+  *status = Status::OK();
+  return std::unique_ptr<RegionPartitionedHull>(
+      new RegionPartitionedHull(std::move(regions), options));
+}
+
+RegionPartitionedHull::RegionPartitionedHull(
+    std::vector<ConvexPolygon> regions, const AdaptiveHullOptions& options)
+    : regions_(std::move(regions)) {
+  hulls_.reserve(regions_.size());
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    hulls_.push_back(std::make_unique<AdaptiveHull>(options));
+  }
+  outliers_ = std::make_unique<AdaptiveHull>(options);
+}
+
+void RegionPartitionedHull::Insert(Point2 p) {
+  ++total_;
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].Contains(p)) {
+      hulls_[i]->Insert(p);
+      return;
+    }
+  }
+  outliers_->Insert(p);
+}
+
+std::vector<ConvexPolygon> RegionPartitionedHull::Shape() const {
+  std::vector<ConvexPolygon> shape;
+  for (const auto& hull : hulls_) {
+    if (!hull->empty()) shape.push_back(hull->Polygon());
+  }
+  if (!outliers_->empty()) shape.push_back(outliers_->Polygon());
+  return shape;
+}
+
+ConvexPolygon RegionPartitionedHull::UnionHull() const {
+  std::vector<Point2> vertices;
+  for (const ConvexPolygon& poly : Shape()) {
+    vertices.insert(vertices.end(), poly.vertices().begin(),
+                    poly.vertices().end());
+  }
+  return ConvexPolygon::HullOf(std::move(vertices));
+}
+
+}  // namespace streamhull

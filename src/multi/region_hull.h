@@ -1,0 +1,78 @@
+// streamhull: region-partitioned hulls (§8).
+//
+// The paper's discussion section: "suppose that the points naturally form
+// multiple clusters ... If we have some a priori knowledge of the extent and
+// separation of clusters, then we can easily maintain a separate convex hull
+// for each cluster: partition the plane into disjoint regions such that
+// points of one cluster fall within one region; then maintain separate
+// approximate hulls for points in each region."
+//
+// RegionPartitionedHull implements exactly that scheme: caller-supplied
+// convex regions route arriving points to per-region adaptive summaries
+// (plus a catch-all for points outside every region), so an "L"-shaped or
+// multi-cluster stream is summarized without the single convex hull's
+// cavity-hiding behavior.
+
+#ifndef STREAMHULL_MULTI_REGION_HULL_H_
+#define STREAMHULL_MULTI_REGION_HULL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/adaptive_hull.h"
+#include "geom/convex_polygon.h"
+
+namespace streamhull {
+
+/// \brief Per-region adaptive summaries under an a-priori plane partition.
+class RegionPartitionedHull {
+ public:
+  /// \param regions disjoint convex regions (disjointness is the caller's
+  ///        contract, as in the paper; points in several regions go to the
+  ///        first match). Must be non-empty, each with >= 3 vertices.
+  /// \param options per-region summary configuration.
+  static std::unique_ptr<RegionPartitionedHull> Create(
+      std::vector<ConvexPolygon> regions, const AdaptiveHullOptions& options,
+      Status* status);
+
+  /// Routes the point to its region's summary (or the catch-all).
+  void Insert(Point2 p);
+
+  /// Number of configured regions (excluding the catch-all).
+  size_t num_regions() const { return regions_.size(); }
+  /// The i-th region polygon.
+  const ConvexPolygon& Region(size_t i) const { return regions_[i]; }
+  /// The i-th region's summary.
+  const AdaptiveHull& RegionHull(size_t i) const { return *hulls_[i]; }
+  /// Summary of points that fell outside every region.
+  const AdaptiveHull& OutlierHull() const { return *outliers_; }
+  /// Points routed to the i-th region so far.
+  uint64_t RegionCount(size_t i) const { return hulls_[i]->num_points(); }
+  /// Points routed to the catch-all so far.
+  uint64_t OutlierCount() const { return outliers_->num_points(); }
+  /// Total points processed.
+  uint64_t num_points() const { return total_; }
+
+  /// \brief The per-region hull polygons (skipping empty regions), the
+  /// multi-cluster "shape of the stream" the paper contrasts with the
+  /// single hull.
+  std::vector<ConvexPolygon> Shape() const;
+
+  /// \brief Hull of all region summaries combined — equals (within summary
+  /// error) what a single AdaptiveHull over the whole stream would report.
+  ConvexPolygon UnionHull() const;
+
+ private:
+  RegionPartitionedHull(std::vector<ConvexPolygon> regions,
+                        const AdaptiveHullOptions& options);
+
+  std::vector<ConvexPolygon> regions_;
+  std::vector<std::unique_ptr<AdaptiveHull>> hulls_;
+  std::unique_ptr<AdaptiveHull> outliers_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_MULTI_REGION_HULL_H_

@@ -1,0 +1,108 @@
+#include "multi/stream_group.h"
+
+#include <algorithm>
+
+namespace streamhull {
+
+Status StreamGroup::AddStream(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty stream name");
+  if (streams_.count(name) > 0) {
+    return Status::InvalidArgument("stream '" + name + "' already exists");
+  }
+  STREAMHULL_RETURN_IF_ERROR(options_.Validate());
+  streams_.emplace(name, std::make_unique<AdaptiveHull>(options_));
+  return Status::OK();
+}
+
+Status StreamGroup::Insert(const std::string& name, Point2 p) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::InvalidArgument("unknown stream '" + name + "'");
+  }
+  it->second->Insert(p);
+  return Status::OK();
+}
+
+const AdaptiveHull* StreamGroup::Hull(const std::string& name) const {
+  auto it = streams_.find(name);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> StreamGroup::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, hull] : streams_) names.push_back(name);
+  return names;
+}
+
+Status StreamGroup::Report(const std::string& a, const std::string& b,
+                           PairReport* out) const {
+  const AdaptiveHull* ha = Hull(a);
+  const AdaptiveHull* hb = Hull(b);
+  if (ha == nullptr) return Status::InvalidArgument("unknown stream '" + a + "'");
+  if (hb == nullptr) return Status::InvalidArgument("unknown stream '" + b + "'");
+  if (ha->empty() || hb->empty()) {
+    return Status::FailedPrecondition("both streams need at least one point");
+  }
+  const ConvexPolygon pa = ha->Polygon();
+  const ConvexPolygon pb = hb->Polygon();
+  PairReport report;
+  const SeparationResult sep = Separation(pa, pb);
+  report.distance = sep.distance;
+  report.separable = sep.separated;
+  report.overlap_area = OverlapArea(pa, pb);
+  report.a_contains_b = HullContains(pa, pb);
+  report.b_contains_a = HullContains(pb, pa);
+  *out = report;
+  return Status::OK();
+}
+
+Status StreamGroup::WatchPair(const std::string& a, const std::string& b) {
+  if (streams_.count(a) == 0) {
+    return Status::InvalidArgument("unknown stream '" + a + "'");
+  }
+  if (streams_.count(b) == 0) {
+    return Status::InvalidArgument("unknown stream '" + b + "'");
+  }
+  if (a == b) return Status::InvalidArgument("cannot watch a stream against itself");
+  for (const Watch& w : watches_) {
+    if ((w.a == a && w.b == b) || (w.a == b && w.b == a)) {
+      return Status::OK();  // Idempotent.
+    }
+  }
+  watches_.push_back(Watch{a, b, true, false, false});
+  return Status::OK();
+}
+
+std::vector<PairEvent> StreamGroup::Poll() {
+  std::vector<PairEvent> events;
+  const uint64_t poll_index = polls_++;
+  for (Watch& w : watches_) {
+    PairReport report;
+    if (!Report(w.a, w.b, &report).ok()) continue;  // Streams still empty.
+    if (report.separable != w.was_separable) {
+      events.push_back(PairEvent{report.separable
+                                     ? PairEvent::Kind::kSeparabilityGained
+                                     : PairEvent::Kind::kSeparabilityLost,
+                                 w.a, w.b, poll_index});
+      w.was_separable = report.separable;
+    }
+    if (report.b_contains_a != w.was_a_in_b) {
+      events.push_back(PairEvent{report.b_contains_a
+                                     ? PairEvent::Kind::kContainmentStarted
+                                     : PairEvent::Kind::kContainmentEnded,
+                                 w.a, w.b, poll_index});
+      w.was_a_in_b = report.b_contains_a;
+    }
+    if (report.a_contains_b != w.was_b_in_a) {
+      events.push_back(PairEvent{report.a_contains_b
+                                     ? PairEvent::Kind::kContainmentStarted
+                                     : PairEvent::Kind::kContainmentEnded,
+                                 w.b, w.a, poll_index});
+      w.was_b_in_a = report.a_contains_b;
+    }
+  }
+  return events;
+}
+
+}  // namespace streamhull

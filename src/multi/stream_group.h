@@ -1,0 +1,99 @@
+// streamhull: multi-stream monitoring (§1, §6).
+//
+// The paper's query section is explicitly multi-stream: "track the minimum
+// distance between the convex hulls of two data streams; report when data
+// streams A and B are no longer linearly separable; ... report when points
+// of data stream A become completely surrounded by points of data stream B.
+// These queries are easily extended to more than two streams."
+//
+// StreamGroup manages a set of named summaries and watches registered pairs
+// for state *transitions* — separability gained/lost, containment
+// started/ended — so a monitoring application polls for events instead of
+// re-deriving them from raw query values.
+
+#ifndef STREAMHULL_MULTI_STREAM_GROUP_H_
+#define STREAMHULL_MULTI_STREAM_GROUP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/adaptive_hull.h"
+#include "queries/queries.h"
+
+namespace streamhull {
+
+/// \brief Point-in-time relationship between two summarized streams.
+struct PairReport {
+  double distance = 0;       ///< Min distance between the two hulls.
+  bool separable = false;    ///< Strictly linearly separable.
+  double overlap_area = 0;   ///< Area of hull intersection.
+  bool a_contains_b = false; ///< B's hull inside A's hull.
+  bool b_contains_a = false; ///< A's hull inside B's hull.
+};
+
+/// \brief A detected state transition on a watched pair.
+struct PairEvent {
+  enum class Kind {
+    kSeparabilityLost,
+    kSeparabilityGained,
+    kContainmentStarted,  ///< `first` became contained in `second`.
+    kContainmentEnded,
+  };
+  Kind kind;
+  std::string first, second;
+  uint64_t poll_index = 0;  ///< Which Poll() call surfaced the event.
+};
+
+/// \brief Named collection of stream summaries with pairwise monitoring.
+class StreamGroup {
+ public:
+  /// \param options configuration applied to every stream's summary.
+  explicit StreamGroup(const AdaptiveHullOptions& options)
+      : options_(options) {}
+
+  /// Registers a new stream. Fails if the name already exists or options
+  /// are invalid.
+  Status AddStream(const std::string& name);
+
+  /// Feeds one point to the named stream. Fails on unknown names.
+  Status Insert(const std::string& name, Point2 p);
+
+  /// The named stream's summary, or nullptr if unknown.
+  const AdaptiveHull* Hull(const std::string& name) const;
+
+  /// Registered stream names, sorted.
+  std::vector<std::string> StreamNames() const;
+
+  /// Computes the current relationship of two streams. Fails on unknown
+  /// names; both summaries must have received at least one point.
+  Status Report(const std::string& a, const std::string& b,
+                PairReport* out) const;
+
+  /// Starts watching the (unordered) pair for transitions. Idempotent.
+  Status WatchPair(const std::string& a, const std::string& b);
+
+  /// \brief Re-evaluates every watched pair and returns the transitions
+  /// since the previous poll. The first poll establishes baselines and
+  /// reports transitions from the "separable, uncontained" initial state.
+  std::vector<PairEvent> Poll();
+
+ private:
+  struct Watch {
+    std::string a, b;
+    bool was_separable = true;
+    bool was_a_in_b = false;
+    bool was_b_in_a = false;
+  };
+
+  AdaptiveHullOptions options_;
+  std::map<std::string, std::unique_ptr<AdaptiveHull>> streams_;
+  std::vector<Watch> watches_;
+  uint64_t polls_ = 0;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_MULTI_STREAM_GROUP_H_

@@ -1,0 +1,459 @@
+#include "queries/queries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace streamhull {
+
+namespace {
+
+double SegmentSegmentDistance(Point2 a1, Point2 a2, Point2 b1, Point2 b2) {
+  // Segments intersect -> 0; otherwise min over endpoint-segment distances.
+  const double d1 = Orient(a1, a2, b1);
+  const double d2 = Orient(a1, a2, b2);
+  const double d3 = Orient(b1, b2, a1);
+  const double d4 = Orient(b1, b2, a2);
+  if (((d1 > 0) != (d2 > 0)) && ((d3 > 0) != (d4 > 0)) && d1 != 0 && d2 != 0 &&
+      d3 != 0 && d4 != 0) {
+    return 0.0;
+  }
+  return std::min(std::min(DistanceToSegment(b1, a1, a2),
+                           DistanceToSegment(b2, a1, a2)),
+                  std::min(DistanceToSegment(a1, b1, b2),
+                           DistanceToSegment(a2, b1, b2)));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Diameter
+// ---------------------------------------------------------------------------
+
+PointPair DiameterBrute(const ConvexPolygon& poly) {
+  PointPair best{};
+  const size_t n = poly.size();
+  if (n == 0) return best;
+  best = {poly[0], poly[0], 0};
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = Distance(poly[i], poly[j]);
+      if (d > best.value) best = {poly[i], poly[j], d};
+    }
+  }
+  return best;
+}
+
+PointPair Diameter(const ConvexPolygon& poly) {
+  const size_t n = poly.size();
+  if (n <= 3) return DiameterBrute(poly);
+  // Rotating calipers over antipodal pairs.
+  PointPair best{poly[0], poly[0], 0};
+  size_t j = 1;
+  auto area2 = [&](size_t a, size_t b, size_t c) {
+    return std::abs(Orient(poly.At(a), poly.At(b), poly.At(c)));
+  };
+  for (size_t i = 0; i < n; ++i) {
+    // Advance j while the triangle area (distance from edge i,i+1) grows.
+    while (area2(i, i + 1, j + 1) > area2(i, i + 1, j)) {
+      j = (j + 1) % n;
+    }
+    for (size_t cand : {j, (j + 1) % n}) {
+      const double d = Distance(poly[i], poly.At(cand));
+      if (d > best.value) best = {poly[i], poly.At(cand), d};
+      const double d2 = Distance(poly.At(i + 1), poly.At(cand));
+      if (d2 > best.value) best = {poly.At(i + 1), poly.At(cand), d2};
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Width
+// ---------------------------------------------------------------------------
+
+PointPair WidthBrute(const ConvexPolygon& poly) {
+  const size_t n = poly.size();
+  PointPair best{};
+  if (n < 3) {
+    if (n >= 1) best = {poly[0], poly[0], 0};
+    return best;
+  }
+  best.value = std::numeric_limits<double>::infinity();
+  // Width is realized by an edge and the farthest vertex from it.
+  for (size_t i = 0; i < n; ++i) {
+    const Point2 a = poly[i];
+    const Point2 b = poly.At(i + 1);
+    if (a == b) continue;
+    double far_d = 0;
+    Point2 far_v = a;
+    for (size_t k = 0; k < n; ++k) {
+      const double d = DistanceToLine(poly[k], a, b);
+      if (d > far_d) {
+        far_d = d;
+        far_v = poly[k];
+      }
+    }
+    if (far_d < best.value) best = {a, far_v, far_d};
+  }
+  if (!std::isfinite(best.value)) best = {poly[0], poly[0], 0};
+  return best;
+}
+
+PointPair Width(const ConvexPolygon& poly) {
+  const size_t n = poly.size();
+  if (n < 16) return WidthBrute(poly);
+  // Rotating calipers: for each edge, track the farthest vertex; it only
+  // advances as the edge does.
+  PointPair best{};
+  best.value = std::numeric_limits<double>::infinity();
+  size_t j = 1;
+  for (size_t i = 0; i < n; ++i) {
+    const Point2 a = poly[i];
+    const Point2 b = poly.At(i + 1);
+    if (a == b) continue;
+    while (DistanceToLine(poly.At(j + 1), a, b) >=
+           DistanceToLine(poly.At(j), a, b)) {
+      j = (j + 1) % n;
+      if (j == i) break;  // Safety for degenerate rings.
+    }
+    const double d = DistanceToLine(poly.At(j), a, b);
+    if (d < best.value) best = {a, poly.At(j), d};
+  }
+  if (!std::isfinite(best.value)) return WidthBrute(poly);
+  return best;
+}
+
+double DirectionalExtent(const ConvexPolygon& poly, Point2 dir) {
+  if (poly.empty()) return 0;
+  const Point2 u = dir.Normalized();
+  if (u == Point2{0, 0}) return 0;
+  return Dot(poly[poly.ExtremeVertex(u)], u) -
+         Dot(poly[poly.ExtremeVertex(-u)], u);
+}
+
+// ---------------------------------------------------------------------------
+// Oriented bounding box / Hausdorff
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Box flush with direction u (unit), extents from the polygon's support.
+OrientedBox BoxForAxis(const ConvexPolygon& poly, Point2 u, bool brute) {
+  const Point2 v = u.PerpCcw();
+  auto sup = [&](Point2 d) {
+    return Dot(poly[brute ? poly.ExtremeVertexBrute(d) : poly.ExtremeVertex(d)],
+               d);
+  };
+  const double umax = sup(u), umin = -sup(-u);
+  const double vmax = sup(v), vmin = -sup(-v);
+  OrientedBox box;
+  box.axis = u;
+  box.extent_u = umax - umin;
+  box.extent_v = vmax - vmin;
+  box.center = u * ((umax + umin) * 0.5) + v * ((vmax + vmin) * 0.5);
+  return box;
+}
+
+OrientedBox MinAreaBoxImpl(const ConvexPolygon& poly, bool brute) {
+  const size_t n = poly.size();
+  OrientedBox best;
+  if (n == 0) return best;
+  if (n == 1) {
+    best.center = poly[0];
+    return best;
+  }
+  best.extent_u = best.extent_v = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (size_t i = 0; i < n; ++i) {
+    const Point2 a = poly[i];
+    const Point2 b = poly.At(i + 1);
+    if (a == b) continue;
+    const OrientedBox box = BoxForAxis(poly, (b - a).Normalized(), brute);
+    if (!found || box.Area() < best.Area()) {
+      best = box;
+      found = true;
+    }
+  }
+  if (!found) {
+    best = OrientedBox{};
+    best.center = poly[0];
+  }
+  return best;
+}
+
+}  // namespace
+
+OrientedBox MinAreaBoundingBox(const ConvexPolygon& poly) {
+  return MinAreaBoxImpl(poly, /*brute=*/false);
+}
+
+OrientedBox MinAreaBoundingBoxBrute(const ConvexPolygon& poly) {
+  return MinAreaBoxImpl(poly, /*brute=*/true);
+}
+
+double HausdorffDistance(const ConvexPolygon& p, const ConvexPolygon& q) {
+  if (p.empty() || q.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double h = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    h = std::max(h, q.DistanceOutside(p[i]));
+  }
+  for (size_t j = 0; j < q.size(); ++j) {
+    h = std::max(h, p.DistanceOutside(q[j]));
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Separation
+// ---------------------------------------------------------------------------
+
+SeparationResult Separation(const ConvexPolygon& p, const ConvexPolygon& q) {
+  SeparationResult out;
+  const size_t n = p.size();
+  const size_t m = q.size();
+  if (n == 0 || m == 0) {
+    out.distance = std::numeric_limits<double>::infinity();
+    out.separated = true;
+    return out;
+  }
+  // Containment of one polygon in the other makes all boundary distances
+  // positive while the true distance is zero; check it first.
+  if (m >= 1 && p.size() >= 3 && p.Contains(q[0])) {
+    out.distance = 0;
+    out.separated = false;
+    out.a = out.b = q[0];
+    return out;
+  }
+  if (n >= 1 && q.size() >= 3 && q.Contains(p[0])) {
+    out.distance = 0;
+    out.separated = false;
+    out.a = out.b = p[0];
+    return out;
+  }
+  // Boundary-to-boundary minimum over all edge pairs. O(n*m); exact and
+  // robust for every degeneracy. (The O(n+m) caliper merge exists, but the
+  // summary polygons have at most 2r+1 vertices, so the quadratic sweep is
+  // at worst ~(2r)^2 cheap distance evaluations.)
+  double best = std::numeric_limits<double>::infinity();
+  Point2 ba = p[0], bb = q[0];
+  for (size_t i = 0; i < n; ++i) {
+    const Point2 a1 = p[i];
+    const Point2 a2 = p.At(i + 1);
+    for (size_t j = 0; j < m; ++j) {
+      const Point2 b1 = q[j];
+      const Point2 b2 = q.At(j + 1);
+      const double d = SegmentSegmentDistance(a1, a2, b1, b2);
+      if (d < best) {
+        best = d;
+        // Recover witness points: the pair realizing the min among the four
+        // endpoint projections (or an intersection point).
+        double bd = std::numeric_limits<double>::infinity();
+        auto consider = [&](Point2 x, Point2 s1, Point2 s2, bool x_on_p) {
+          const Point2 seg = s2 - s1;
+          const double len2 = seg.SquaredNorm();
+          double t = len2 == 0 ? 0 : Dot(x - s1, seg) / len2;
+          t = std::clamp(t, 0.0, 1.0);
+          const Point2 y = s1 + seg * t;
+          const double dd = Distance(x, y);
+          if (dd < bd) {
+            bd = dd;
+            ba = x_on_p ? x : y;
+            bb = x_on_p ? y : x;
+          }
+        };
+        consider(a1, b1, b2, true);
+        consider(a2, b1, b2, true);
+        consider(b1, a1, a2, false);
+        consider(b2, a1, a2, false);
+        if (d == 0 && bd > 0) {
+          // Proper crossing: intersection point as witness.
+          Point2 x;
+          if (LineIntersection(a1, a2, b1, b2, &x)) {
+            ba = bb = x;
+          }
+        }
+      }
+    }
+  }
+  out.distance = best;
+  out.separated = best > 0;
+  out.a = ba;
+  out.b = bb;
+  return out;
+}
+
+SeparationResult SeparationMinkowski(const ConvexPolygon& p,
+                                     const ConvexPolygon& q) {
+  SeparationResult out;
+  if (p.empty() || q.empty()) {
+    out.distance = std::numeric_limits<double>::infinity();
+    out.separated = true;
+    return out;
+  }
+  std::vector<Point2> diff;
+  diff.reserve(p.size() * q.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    for (size_t j = 0; j < q.size(); ++j) {
+      diff.push_back(p[i] - q[j]);
+    }
+  }
+  const ConvexPolygon mink = ConvexPolygon::HullOf(std::move(diff));
+  out.distance = mink.DistanceOutside({0, 0});
+  out.separated = out.distance > 0;
+  return out;
+}
+
+SeparabilityCertificate LinearSeparability(const ConvexPolygon& p,
+                                           const ConvexPolygon& q) {
+  SeparabilityCertificate cert;
+  const SeparationResult sep = Separation(p, q);
+  if (!sep.separated || !std::isfinite(sep.distance)) {
+    cert.separable = std::isfinite(sep.distance) ? false : true;
+    if (!cert.separable) cert.witness = sep.a;
+    if (cert.separable) cert.margin = sep.distance;
+    return cert;
+  }
+  cert.separable = true;
+  cert.margin = sep.distance;
+  // Separating line: perpendicular bisector of the closest pair.
+  cert.line_point = (sep.a + sep.b) * 0.5;
+  cert.line_dir = (sep.b - sep.a).PerpCcw().Normalized();
+  return cert;
+}
+
+// ---------------------------------------------------------------------------
+// Containment / overlap
+// ---------------------------------------------------------------------------
+
+bool HullContains(const ConvexPolygon& outer, const ConvexPolygon& inner) {
+  if (inner.empty()) return true;
+  if (outer.empty()) return false;
+  for (size_t i = 0; i < inner.size(); ++i) {
+    if (!outer.Contains(inner[i])) return false;
+  }
+  return true;
+}
+
+ConvexPolygon IntersectConvex(const ConvexPolygon& p, const ConvexPolygon& q) {
+  if (p.size() < 3 || q.size() < 3) return ConvexPolygon();
+  // Sutherland-Hodgman: clip p by each supporting half-plane of q.
+  std::vector<Point2> subject(p.vertices());
+  for (size_t j = 0; j < q.size(); ++j) {
+    const Point2 a = q[j];
+    const Point2 b = q.At(j + 1);
+    if (a == b) continue;
+    std::vector<Point2> next;
+    next.reserve(subject.size() + 1);
+    const size_t n = subject.size();
+    for (size_t i = 0; i < n; ++i) {
+      const Point2 cur = subject[i];
+      const Point2 prev = subject[(i + n - 1) % n];
+      const double oc = Orient(a, b, cur);
+      const double op = Orient(a, b, prev);
+      const bool cur_in = oc >= 0;
+      const bool prev_in = op >= 0;
+      if (cur_in) {
+        if (!prev_in) {
+          Point2 x;
+          if (LineIntersection(a, b, prev, cur, &x)) next.push_back(x);
+        }
+        next.push_back(cur);
+      } else if (prev_in) {
+        Point2 x;
+        if (LineIntersection(a, b, prev, cur, &x)) next.push_back(x);
+      }
+    }
+    subject = std::move(next);
+    if (subject.empty()) break;
+  }
+  // Remove consecutive duplicates produced by clipping at vertices.
+  std::vector<Point2> cleaned;
+  for (const Point2& v : subject) {
+    if (cleaned.empty() || Distance(cleaned.back(), v) > 1e-12) {
+      cleaned.push_back(v);
+    }
+  }
+  while (cleaned.size() > 1 && Distance(cleaned.back(), cleaned.front()) <= 1e-12) {
+    cleaned.pop_back();
+  }
+  return ConvexPolygon(std::move(cleaned));
+}
+
+double OverlapArea(const ConvexPolygon& p, const ConvexPolygon& q) {
+  return IntersectConvex(p, q).Area();
+}
+
+// ---------------------------------------------------------------------------
+// Enclosing circle / farthest neighbor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Circle CircleFrom2(Point2 a, Point2 b) {
+  const Point2 c = (a + b) * 0.5;
+  return Circle{c, Distance(a, b) * 0.5};
+}
+
+Circle CircleFrom3(Point2 a, Point2 b, Point2 c) {
+  // Circumcircle; falls back to the best 2-point circle when collinear.
+  const double d = 2.0 * Orient(a, b, c);
+  if (std::abs(d) < 1e-12) {
+    Circle best = CircleFrom2(a, b);
+    for (const Circle& cand : {CircleFrom2(a, c), CircleFrom2(b, c)}) {
+      if (cand.radius > best.radius) best = cand;
+    }
+    return best;
+  }
+  const double a2 = a.SquaredNorm(), b2 = b.SquaredNorm(), c2 = c.SquaredNorm();
+  const Point2 center{
+      (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+      (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d};
+  return Circle{center, Distance(center, a)};
+}
+
+bool InCircle(const Circle& c, Point2 p) {
+  return Distance(c.center, p) <= c.radius * (1 + 1e-12) + 1e-12;
+}
+
+Circle WelzlIterative(const std::vector<Point2>& pts) {
+  // Deterministic incremental (Welzl without shuffling: inputs here are hull
+  // vertices in CCW order, already "random enough"; worst case O(n^3) on
+  // adversarial order is acceptable for n <= 2r+1).
+  Circle c{pts[0], 0};
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (InCircle(c, pts[i])) continue;
+    c = Circle{pts[i], 0};
+    for (size_t j = 0; j < i; ++j) {
+      if (InCircle(c, pts[j])) continue;
+      c = CircleFrom2(pts[i], pts[j]);
+      for (size_t k = 0; k < j; ++k) {
+        if (InCircle(c, pts[k])) continue;
+        c = CircleFrom3(pts[i], pts[j], pts[k]);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Circle SmallestEnclosingCircle(const ConvexPolygon& poly) {
+  if (poly.empty()) return Circle{};
+  return WelzlIterative(poly.vertices());
+}
+
+PointPair FarthestVertex(const ConvexPolygon& poly, Point2 q) {
+  PointPair out{q, q, 0};
+  for (size_t i = 0; i < poly.size(); ++i) {
+    const double d = Distance(q, poly[i]);
+    if (d > out.value) out = {q, poly[i], d};
+  }
+  return out;
+}
+
+}  // namespace streamhull

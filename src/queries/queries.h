@@ -1,0 +1,160 @@
+// streamhull: extremal queries over convex-hull summaries (§6).
+//
+// Every query here operates on ConvexPolygon values, which the streaming
+// summaries materialize via Polygon(). The paper's promise is that once the
+// O(D/r^2)-accurate sampled hull is available, classical computational-
+// geometry algorithms answer each query in O(log r) or O(r) time:
+//
+//   diameter, width           rotating calipers, O(r)
+//   directional extent        extreme-vertex search, O(log r)
+//   min distance / separation calipers (exact) or GJK (iterative), O(r)
+//   linear separability       from the distance computation, with witnesses
+//   containment               point-in-polygon per vertex, O(r log r)
+//   spatial overlap           convex clipping, O(r^2) worst case
+//   smallest enclosing circle Welzl's algorithm, expected O(r)
+//
+// Each primary algorithm has a brute-force reference (suffix "Brute") used
+// by the differential test suites.
+
+#ifndef STREAMHULL_QUERIES_QUERIES_H_
+#define STREAMHULL_QUERIES_QUERIES_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "geom/convex_polygon.h"
+#include "geom/point.h"
+
+namespace streamhull {
+
+// ---------------------------------------------------------------------------
+// Diameter / width / extent
+// ---------------------------------------------------------------------------
+
+/// \brief A pair of points realizing an extremal distance, plus its value.
+struct PointPair {
+  Point2 a, b;
+  double value = 0;
+};
+
+/// \brief Diameter (farthest pair) of a convex polygon via rotating
+/// calipers, O(n). Degenerate polygons supported. Empty polygon -> value 0.
+PointPair Diameter(const ConvexPolygon& poly);
+
+/// O(n^2) reference for Diameter.
+PointPair DiameterBrute(const ConvexPolygon& poly);
+
+/// \brief Width: the minimum distance between two parallel supporting lines,
+/// via rotating calipers, O(n). The returned pair is (edge point, farthest
+/// vertex); value is the width. Degenerate polygons have width 0.
+PointPair Width(const ConvexPolygon& poly);
+
+/// O(n^2) reference for Width.
+PointPair WidthBrute(const ConvexPolygon& poly);
+
+/// \brief Extent of the polygon along direction \p dir (need not be unit
+/// length; the result is normalized to unit direction): max projection minus
+/// min projection. O(log n).
+double DirectionalExtent(const ConvexPolygon& poly, Point2 dir);
+
+/// \brief An oriented rectangle: center, unit axis `u` (the other axis is
+/// u rotated +90 degrees), and full extents along each axis.
+struct OrientedBox {
+  Point2 center;
+  Point2 axis{1, 0};
+  double extent_u = 0;  ///< Full width along `axis`.
+  double extent_v = 0;  ///< Full width along the perpendicular axis.
+  double Area() const { return extent_u * extent_v; }
+};
+
+/// \brief Minimum-area oriented bounding rectangle of a convex polygon
+/// (rotating calipers over edge directions: some edge of the polygon is
+/// flush with the optimal box). O(n log n). Degenerate polygons yield
+/// degenerate (zero-area) boxes.
+OrientedBox MinAreaBoundingBox(const ConvexPolygon& poly);
+
+/// O(n^2) reference for MinAreaBoundingBox.
+OrientedBox MinAreaBoundingBoxBrute(const ConvexPolygon& poly);
+
+/// \brief Hausdorff distance between two convex polygons (as convex sets):
+/// max over both directed distances; the directed distance from P to Q is
+/// attained at a vertex of P. O(n log m + m log n).
+double HausdorffDistance(const ConvexPolygon& p, const ConvexPolygon& q);
+
+// ---------------------------------------------------------------------------
+// Separation of two hulls
+// ---------------------------------------------------------------------------
+
+/// \brief Separation report for two convex polygons.
+struct SeparationResult {
+  /// Minimum distance between the two polygons; 0 when they intersect.
+  double distance = 0;
+  /// True iff the polygons have disjoint interiors with positive gap.
+  bool separated = false;
+  /// Closest points (a on the first polygon, b on the second) when
+  /// separated; a witness common point (a == b) when not.
+  Point2 a, b;
+};
+
+/// \brief Minimum distance between two convex polygons, O(n + m) via edge
+/// and vertex sweeps. Exact for all degenerate cases.
+SeparationResult Separation(const ConvexPolygon& p, const ConvexPolygon& q);
+
+/// \brief Independent second implementation of hull distance via the
+/// Minkowski difference: dist(P, Q) equals the distance from the origin to
+/// conv{p - q : p in P, q in Q}. O(n*m log(n*m)); used for differential
+/// testing of Separation. Witness points are not produced (a == b == {0,0}).
+SeparationResult SeparationMinkowski(const ConvexPolygon& p,
+                                     const ConvexPolygon& q);
+
+/// \brief Certificate of linear separability: when separable, `line_point`
+/// and `line_dir` describe a separating line and margin is the gap; when not
+/// separable, `witness` is a point contained in both hulls.
+struct SeparabilityCertificate {
+  bool separable = false;
+  Point2 line_point, line_dir;
+  double margin = 0;
+  Point2 witness;
+};
+
+/// \brief Decides linear separability of two convex polygons and produces a
+/// checkable certificate. Touching hulls (distance 0) count as inseparable.
+SeparabilityCertificate LinearSeparability(const ConvexPolygon& p,
+                                           const ConvexPolygon& q);
+
+// ---------------------------------------------------------------------------
+// Containment and overlap
+// ---------------------------------------------------------------------------
+
+/// \brief True iff every point of \p inner lies inside (or on) \p outer.
+/// O(n log m).
+bool HullContains(const ConvexPolygon& outer, const ConvexPolygon& inner);
+
+/// \brief Intersection of two convex polygons via Sutherland-Hodgman
+/// clipping, O(n*m). The result is convex (possibly empty or degenerate).
+ConvexPolygon IntersectConvex(const ConvexPolygon& p, const ConvexPolygon& q);
+
+/// \brief Area of the intersection of two convex polygons.
+double OverlapArea(const ConvexPolygon& p, const ConvexPolygon& q);
+
+// ---------------------------------------------------------------------------
+// Enclosing circle / farthest neighbor
+// ---------------------------------------------------------------------------
+
+/// \brief A circle (center, radius).
+struct Circle {
+  Point2 center;
+  double radius = 0;
+};
+
+/// \brief Smallest circle enclosing the polygon's vertices (Welzl's
+/// algorithm, expected O(n); deterministic order for reproducibility).
+Circle SmallestEnclosingCircle(const ConvexPolygon& poly);
+
+/// \brief The polygon vertex farthest from \p q, O(n).
+PointPair FarthestVertex(const ConvexPolygon& poly, Point2 q);
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_QUERIES_QUERIES_H_

@@ -1,0 +1,147 @@
+#include "stream/generators.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamhull {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTwoPi = 2.0 * kPi;
+// Table 1 uses r = 32 uniform directions, i.e. theta0 = 2*pi/32 = pi/8.
+constexpr double kTable1Theta0 = kTwoPi / 32.0;
+}  // namespace
+
+Point2 DiskGenerator::Next() {
+  // Rejection-free: sqrt-radius times random angle is uniform over the disk.
+  const double a = rng_.Uniform(0, kTwoPi);
+  const double rr = radius_ * std::sqrt(rng_.NextDouble());
+  return center_ + Point2{rr * std::cos(a), rr * std::sin(a)};
+}
+
+Point2 SquareGenerator::Next() {
+  const Point2 p{rng_.Uniform(-half_side_, half_side_),
+                 rng_.Uniform(-half_side_, half_side_)};
+  return center_ + Rotate(p, rotation_);
+}
+
+Point2 EllipseGenerator::Next() {
+  // Uniform over the ellipse interior: uniform over the unit disk, scaled.
+  const double a = rng_.Uniform(0, kTwoPi);
+  const double rr = std::sqrt(rng_.NextDouble());
+  const Point2 p{semi_major_ * rr * std::cos(a),
+                 (semi_major_ / aspect_) * rr * std::sin(a)};
+  return center_ + Rotate(p, rotation_);
+}
+
+ChangingEllipseGenerator::ChangingEllipseGenerator(uint64_t seed,
+                                                   uint64_t phase_length,
+                                                   double rotation,
+                                                   double aspect)
+    : phase_length_(phase_length),
+      // Phase 1: near-vertical ellipse (major axis along y).
+      first_(seed, aspect, rotation + kPi / 2.0, /*semi_major=*/1.0),
+      // Phase 2: near-horizontal ellipse, scaled up so it completely
+      // contains the first (its minor semi-axis exceeds the first's major
+      // semi-axis).
+      second_(seed + 1, aspect, rotation, /*semi_major=*/1.25 * aspect) {
+  SH_CHECK(phase_length > 0);
+}
+
+Point2 ChangingEllipseGenerator::Next() {
+  ++emitted_;
+  if (emitted_ <= phase_length_) return first_.Next();
+  return second_.Next();
+}
+
+CircleGenerator::CircleGenerator(uint64_t seed, size_t count, double radius) {
+  SH_CHECK(count > 0);
+  pts_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const double a = kTwoPi * static_cast<double>(i) / static_cast<double>(count);
+    pts_.push_back(Point2{radius * std::cos(a), radius * std::sin(a)});
+  }
+  // Deterministic Fisher-Yates shuffle so arrival order is not adversarially
+  // sorted.
+  Rng rng(seed);
+  for (size_t i = count; i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.UniformInt(i));
+    std::swap(pts_[i - 1], pts_[j]);
+  }
+}
+
+Point2 CircleGenerator::Next() {
+  const Point2 p = pts_[next_];
+  next_ = (next_ + 1) % pts_.size();
+  return p;
+}
+
+ClusterGenerator::ClusterGenerator(uint64_t seed, int k, double stddev)
+    : rng_(seed), stddev_(stddev) {
+  SH_CHECK(k > 0);
+  for (int i = 0; i < k; ++i) {
+    centers_.push_back(Point2{rng_.Uniform(-1, 1), rng_.Uniform(-1, 1)});
+  }
+}
+
+Point2 ClusterGenerator::Next() {
+  const Point2 c = centers_[rng_.UniformInt(centers_.size())];
+  return c + Point2{stddev_ * rng_.Normal(), stddev_ * rng_.Normal()};
+}
+
+DriftWalkGenerator::DriftWalkGenerator(uint64_t seed, double step)
+    : rng_(seed), step_(step) {
+  heading_ = rng_.Uniform(0, kTwoPi);
+}
+
+Point2 DriftWalkGenerator::Next() {
+  heading_ += 0.2 * rng_.Normal();
+  pos_ += Point2{step_ * std::cos(heading_), step_ * std::sin(heading_)};
+  // Small isotropic jitter around the trajectory.
+  return pos_ + Point2{0.1 * step_ * rng_.Normal(), 0.1 * step_ * rng_.Normal()};
+}
+
+SpiralGenerator::SpiralGenerator(uint64_t seed, double growth)
+    : growth_(growth) {
+  Rng rng(seed);
+  angle_ = rng.Uniform(0, kTwoPi);
+}
+
+Point2 SpiralGenerator::Next() {
+  // Golden-angle increments spread vertices around the hull evenly.
+  angle_ += kTwoPi * 0.3819660112501051;
+  radius_ *= (1.0 + growth_);
+  return Point2{radius_ * std::cos(angle_), radius_ * std::sin(angle_)};
+}
+
+std::unique_ptr<PointGenerator> MakeTable1Workload(const std::string& name,
+                                                   uint64_t seed,
+                                                   uint64_t phase_length) {
+  auto rot = [&](const std::string& spec) -> double {
+    if (spec == "0") return 0.0;
+    if (spec == "1/4") return kTable1Theta0 / 4.0;
+    if (spec == "1/3") return kTable1Theta0 / 3.0;
+    if (spec == "1/2") return kTable1Theta0 / 2.0;
+    return -1.0;
+  };
+  if (name == "disk") return std::make_unique<DiskGenerator>(seed);
+  const auto at = name.find('@');
+  if (at == std::string::npos) return nullptr;
+  const std::string base = name.substr(0, at);
+  const double rotation = rot(name.substr(at + 1));
+  if (rotation < 0) return nullptr;
+  if (base == "square") {
+    return std::make_unique<SquareGenerator>(seed, rotation);
+  }
+  if (base == "ellipse") {
+    return std::make_unique<EllipseGenerator>(seed, 16.0, rotation);
+  }
+  if (base == "changing") {
+    return std::make_unique<ChangingEllipseGenerator>(seed, phase_length,
+                                                      rotation);
+  }
+  return nullptr;
+}
+
+}  // namespace streamhull

@@ -1,0 +1,188 @@
+// streamhull: synthetic geometric stream generators.
+//
+// These reproduce the workloads of the paper's experimental section (§7) —
+// points uniform in a disk, a (rotated) square, a (rotated) aspect-16
+// ellipse, and the two-phase "changing ellipse" — plus additional families
+// used by the wider test/benchmark suites: evenly spaced circle points (the
+// lower-bound instance of Theorem 5.5), Gaussian clusters, a drifting random
+// walk (sensor-like correlated stream), and an adversarial spiral on which
+// every point is a hull vertex.
+//
+// All generators are deterministic functions of their seed.
+
+#ifndef STREAMHULL_STREAM_GENERATORS_H_
+#define STREAMHULL_STREAM_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+
+namespace streamhull {
+
+/// \brief A deterministic stream of 2-D points.
+class PointGenerator {
+ public:
+  virtual ~PointGenerator() = default;
+  /// The next stream point.
+  virtual Point2 Next() = 0;
+  /// Human-readable workload name (used in benchmark tables).
+  virtual std::string Name() const = 0;
+
+  /// Convenience: materializes the next \p n points.
+  std::vector<Point2> Take(size_t n) {
+    std::vector<Point2> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(Next());
+    return out;
+  }
+};
+
+/// Uniform distribution over a disk of radius \p radius centered at
+/// \p center.
+class DiskGenerator : public PointGenerator {
+ public:
+  explicit DiskGenerator(uint64_t seed, double radius = 1.0,
+                         Point2 center = {0, 0})
+      : rng_(seed), radius_(radius), center_(center) {}
+  Point2 Next() override;
+  std::string Name() const override { return "disk"; }
+
+ private:
+  Rng rng_;
+  double radius_;
+  Point2 center_;
+};
+
+/// Uniform distribution over a square with half side \p half_side, rotated
+/// by \p rotation radians about \p center.
+class SquareGenerator : public PointGenerator {
+ public:
+  SquareGenerator(uint64_t seed, double rotation, double half_side = 1.0,
+                  Point2 center = {0, 0})
+      : rng_(seed),
+        rotation_(rotation),
+        half_side_(half_side),
+        center_(center) {}
+  Point2 Next() override;
+  std::string Name() const override { return "square"; }
+
+ private:
+  Rng rng_;
+  double rotation_;
+  double half_side_;
+  Point2 center_;
+};
+
+/// Uniform distribution over an axis ratio `aspect` ellipse (semi-major axis
+/// \p semi_major along x before rotation), rotated by \p rotation radians.
+class EllipseGenerator : public PointGenerator {
+ public:
+  EllipseGenerator(uint64_t seed, double aspect, double rotation,
+                   double semi_major = 1.0, Point2 center = {0, 0})
+      : rng_(seed),
+        aspect_(aspect),
+        rotation_(rotation),
+        semi_major_(semi_major),
+        center_(center) {}
+  Point2 Next() override;
+  std::string Name() const override { return "ellipse"; }
+
+ private:
+  Rng rng_;
+  double aspect_;
+  double rotation_;
+  double semi_major_;
+  Point2 center_;
+};
+
+/// \brief The §7 "changing distribution": \p phase_length points from a
+/// near-vertical ellipse, then points from a near-horizontal ellipse that
+/// completely contains the first.
+class ChangingEllipseGenerator : public PointGenerator {
+ public:
+  ChangingEllipseGenerator(uint64_t seed, uint64_t phase_length,
+                           double rotation, double aspect = 16.0);
+  Point2 Next() override;
+  std::string Name() const override { return "changing-ellipse"; }
+
+ private:
+  uint64_t phase_length_;
+  uint64_t emitted_ = 0;
+  EllipseGenerator first_;
+  EllipseGenerator second_;
+};
+
+/// \brief Exactly \p count evenly spaced points on a circle, emitted in a
+/// seed-shuffled order, then repeating. This is the lower-bound instance of
+/// Theorem 5.5: any r-point summary errs by Omega(D/r^2) on it.
+class CircleGenerator : public PointGenerator {
+ public:
+  CircleGenerator(uint64_t seed, size_t count, double radius = 1.0);
+  Point2 Next() override;
+  std::string Name() const override { return "circle"; }
+
+ private:
+  std::vector<Point2> pts_;
+  size_t next_ = 0;
+};
+
+/// Mixture of \p k isotropic Gaussian clusters with the given standard
+/// deviation, centers uniform in [-1,1]^2.
+class ClusterGenerator : public PointGenerator {
+ public:
+  ClusterGenerator(uint64_t seed, int k, double stddev = 0.05);
+  Point2 Next() override;
+  std::string Name() const override { return "clusters"; }
+
+ private:
+  Rng rng_;
+  std::vector<Point2> centers_;
+  double stddev_;
+};
+
+/// \brief Correlated drift: a random walk whose step directions evolve
+/// slowly, imitating a sensor/vehicle trajectory. The convex hull keeps
+/// growing in changing directions, stressing re-adaptation.
+class DriftWalkGenerator : public PointGenerator {
+ public:
+  explicit DriftWalkGenerator(uint64_t seed, double step = 0.01);
+  Point2 Next() override;
+  std::string Name() const override { return "drift-walk"; }
+
+ private:
+  Rng rng_;
+  Point2 pos_{0, 0};
+  double heading_ = 0;
+  double step_;
+};
+
+/// \brief Adversarial spiral: radius grows monotonically, so *every* emitted
+/// point is a vertex of the true convex hull and almost every arrival
+/// displaces a stored sample.
+class SpiralGenerator : public PointGenerator {
+ public:
+  explicit SpiralGenerator(uint64_t seed, double growth = 1e-4);
+  Point2 Next() override;
+  std::string Name() const override { return "spiral"; }
+
+ private:
+  double angle_;
+  double radius_ = 1.0;
+  double growth_;
+};
+
+/// \brief Factory for the Table 1 workloads by name:
+/// "disk", "square@<rot>", "ellipse@<rot>", "changing@<rot>" where <rot> is
+/// a multiple of theta0 = 2*pi/32 expressed as a fraction (0, 1/4, 1/3,
+/// 1/2). Returns nullptr for unknown names.
+std::unique_ptr<PointGenerator> MakeTable1Workload(const std::string& name,
+                                                   uint64_t seed,
+                                                   uint64_t phase_length);
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_STREAM_GENERATORS_H_

@@ -1,0 +1,121 @@
+// Tests for the monotone threshold queues (container/bucket_queue.h).
+
+#include "container/bucket_queue.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace streamhull {
+namespace {
+
+TEST(PowerOfTwoExponentTest, ExactPowers) {
+  EXPECT_EQ(PowerOfTwoExponent(1.0), 0);
+  EXPECT_EQ(PowerOfTwoExponent(2.0), 1);
+  EXPECT_EQ(PowerOfTwoExponent(1024.0), 10);
+  EXPECT_EQ(PowerOfTwoExponent(0.5), -1);
+}
+
+TEST(PowerOfTwoExponentTest, FloorsBetweenPowers) {
+  EXPECT_EQ(PowerOfTwoExponent(3.0), 1);
+  EXPECT_EQ(PowerOfTwoExponent(1023.9), 9);
+  EXPECT_EQ(PowerOfTwoExponent(0.75), -1);
+}
+
+TEST(BucketQueueTest, PopBelowDrainsRoundedThresholds) {
+  BucketThresholdQueue<int> q;
+  q.Push(10.0, 1);   // Bucket 2^3 = 8.
+  q.Push(100.0, 2);  // Bucket 2^6 = 64.
+  q.Push(7.9, 3);    // Bucket 2^2 = 4.
+  std::vector<int> out;
+  q.PopBelow(8.0, &out);  // Strictly below 8: drains only bucket 4.
+  EXPECT_EQ(out, std::vector<int>{3});
+  q.PopBelow(8.1, &out);  // Now bucket 8 drains too.
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{1, 3}));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BucketQueueTest, RoundingMakesPopsEarlyNeverLate) {
+  // An item with threshold T must pop no later than P = T (rounded down to
+  // 2^floor(lg T) <= T), and may pop as early as P just above T/2.
+  BucketThresholdQueue<int> q;
+  q.Push(100.0, 1);  // Bucket 64.
+  std::vector<int> out;
+  q.PopBelow(64.0, &out);
+  EXPECT_TRUE(out.empty());
+  q.PopBelow(64.5, &out);  // Early pop: P well below T=100.
+  EXPECT_EQ(out, std::vector<int>{1});
+}
+
+TEST(BucketQueueTest, PushExponentOverridesRounding) {
+  BucketThresholdQueue<int> q;
+  q.PushExponent(7, 1);  // Threshold 128 regardless of any value.
+  std::vector<int> out;
+  q.PopBelow(128.0, &out);
+  EXPECT_TRUE(out.empty());
+  q.PopBelow(129.0, &out);
+  EXPECT_EQ(out, std::vector<int>{1});
+}
+
+TEST(BucketQueueTest, TinyThresholdsSaturate) {
+  BucketThresholdQueue<int> q;
+  q.Push(1e-320, 1);  // Denormal range: saturates, must not crash.
+  std::vector<int> out;
+  q.PopBelow(1e-300, &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(HeapQueueTest, ExactThresholdSemantics) {
+  HeapThresholdQueue<int> q;
+  q.Push(10.0, 1);
+  q.Push(5.0, 2);
+  q.Push(20.0, 3);
+  std::vector<int> out;
+  q.PopBelow(10.0, &out);  // Strictly below 10.
+  EXPECT_EQ(out, std::vector<int>{2});
+  q.PopBelow(25.0, &out);
+  EXPECT_EQ(out, (std::vector<int>{2, 1, 3}));  // Ascending threshold order.
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(QueueEquivalenceTest, MonotonePopSequencesAgreeWithinRounding) {
+  // Under a monotone P schedule, every item the heap pops by P must have
+  // been popped by the bucket queue no later than 2*P (rounding halves the
+  // effective threshold at worst).
+  Rng rng(17);
+  BucketThresholdQueue<int> bucket;
+  HeapThresholdQueue<int> heap;
+  std::vector<double> thresholds;
+  for (int i = 0; i < 500; ++i) {
+    const double t = std::exp(rng.Uniform(0.0, 12.0));
+    thresholds.push_back(t);
+    bucket.Push(t, i);
+    heap.Push(t, i);
+  }
+  double p = 1.0;
+  std::vector<int> bucket_popped, heap_popped;
+  for (int step = 0; step < 40; ++step) {
+    p *= 1.5;
+    bucket.PopBelow(p, &bucket_popped);
+    heap.PopBelow(p, &heap_popped);
+    // Heap-popped items have exact threshold < p, so their rounded
+    // thresholds are < p too: the bucket queue must have popped them.
+    for (int id : heap_popped) {
+      EXPECT_NE(std::find(bucket_popped.begin(), bucket_popped.end(), id),
+                bucket_popped.end())
+          << "item " << id << " threshold " << thresholds[static_cast<size_t>(id)]
+          << " p " << p;
+    }
+    // Conversely the bucket queue pops at most 2x early.
+    for (int id : bucket_popped) {
+      EXPECT_LT(thresholds[static_cast<size_t>(id)], 2.0 * p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamhull

@@ -1,0 +1,163 @@
+// Tests for the rank-indexable skip list, including randomized differential
+// testing against std::map plus rank cross-checks against a sorted vector.
+
+#include "container/indexable_skiplist.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace streamhull {
+namespace {
+
+TEST(SkipListTest, EmptyBasics) {
+  IndexableSkipList<int, std::string> sl;
+  EXPECT_EQ(sl.size(), 0u);
+  EXPECT_TRUE(sl.empty());
+  EXPECT_EQ(sl.First(), nullptr);
+  EXPECT_EQ(sl.Last(), nullptr);
+  EXPECT_EQ(sl.Find(1), nullptr);
+  EXPECT_EQ(sl.FindLessEqual(5), nullptr);
+  EXPECT_EQ(sl.FindGreaterEqual(5), nullptr);
+  EXPECT_TRUE(sl.CheckIntegrity());
+}
+
+TEST(SkipListTest, InsertFindErase) {
+  IndexableSkipList<int, std::string> sl;
+  sl.Insert(5, "five");
+  sl.Insert(1, "one");
+  sl.Insert(9, "nine");
+  EXPECT_EQ(sl.size(), 3u);
+  ASSERT_NE(sl.Find(5), nullptr);
+  EXPECT_EQ(sl.Find(5)->value, "five");
+  EXPECT_EQ(sl.Find(7), nullptr);
+  EXPECT_TRUE(sl.Erase(5));
+  EXPECT_FALSE(sl.Erase(5));
+  EXPECT_EQ(sl.size(), 2u);
+  EXPECT_TRUE(sl.CheckIntegrity());
+}
+
+TEST(SkipListTest, InsertOverwritesExistingKey) {
+  IndexableSkipList<int, int> sl;
+  sl.Insert(3, 30);
+  sl.Insert(3, 31);
+  EXPECT_EQ(sl.size(), 1u);
+  EXPECT_EQ(sl.Find(3)->value, 31);
+}
+
+TEST(SkipListTest, OrderedIteration) {
+  IndexableSkipList<int, int> sl;
+  for (int k : {7, 1, 9, 3, 5}) sl.Insert(k, k * 10);
+  std::vector<int> keys;
+  for (auto* n = sl.First(); n != nullptr; n = sl.Next(n)) keys.push_back(n->key);
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(sl.Last()->key, 9);
+}
+
+TEST(SkipListTest, RankAccess) {
+  IndexableSkipList<int, int> sl;
+  for (int k : {20, 10, 40, 30}) sl.Insert(k, 0);
+  EXPECT_EQ(sl.AtRank(0)->key, 10);
+  EXPECT_EQ(sl.AtRank(1)->key, 20);
+  EXPECT_EQ(sl.AtRank(3)->key, 40);
+  EXPECT_EQ(sl.RankOf(10), 0u);
+  EXPECT_EQ(sl.RankOf(40), 3u);
+}
+
+TEST(SkipListTest, BoundQueries) {
+  IndexableSkipList<int, int> sl;
+  for (int k : {10, 20, 30}) sl.Insert(k, 0);
+  EXPECT_EQ(sl.FindLessEqual(25)->key, 20);
+  EXPECT_EQ(sl.FindLessEqual(20)->key, 20);
+  EXPECT_EQ(sl.FindLessEqual(5), nullptr);
+  EXPECT_EQ(sl.FindGreaterEqual(25)->key, 30);
+  EXPECT_EQ(sl.FindGreaterEqual(30)->key, 30);
+  EXPECT_EQ(sl.FindGreaterEqual(31), nullptr);
+}
+
+TEST(SkipListTest, Clear) {
+  IndexableSkipList<int, int> sl;
+  for (int i = 0; i < 100; ++i) sl.Insert(i, i);
+  sl.Clear();
+  EXPECT_EQ(sl.size(), 0u);
+  EXPECT_TRUE(sl.CheckIntegrity());
+  sl.Insert(1, 1);
+  EXPECT_EQ(sl.size(), 1u);
+}
+
+TEST(SkipListTest, DeterministicStructure) {
+  // Same seed + same operations -> identical iteration and ranks.
+  IndexableSkipList<int, int> a(123), b(123);
+  for (int i = 0; i < 500; ++i) {
+    a.Insert(i * 7 % 501, i);
+    b.Insert(i * 7 % 501, i);
+  }
+  for (size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a.AtRank(r)->key, b.AtRank(r)->key);
+  }
+}
+
+class SkipListFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkipListFuzzTest, MatchesStdMapUnderRandomOps) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6364136223846793005ULL + 42);
+  IndexableSkipList<int, int> sl(GetParam());
+  std::map<int, int> ref;
+  for (int step = 0; step < 2000; ++step) {
+    const int key = static_cast<int>(rng.UniformInt(300));
+    const int op = static_cast<int>(rng.UniformInt(4));
+    if (op <= 1) {
+      sl.Insert(key, step);
+      ref[key] = step;
+    } else if (op == 2) {
+      EXPECT_EQ(sl.Erase(key), ref.erase(key) > 0);
+    } else {
+      auto* n = sl.Find(key);
+      auto it = ref.find(key);
+      ASSERT_EQ(n != nullptr, it != ref.end());
+      if (n != nullptr) {
+        EXPECT_EQ(n->value, it->second);
+      }
+    }
+    ASSERT_EQ(sl.size(), ref.size());
+  }
+  ASSERT_TRUE(sl.CheckIntegrity());
+  // Rank order must match the sorted reference exactly.
+  size_t r = 0;
+  for (const auto& [k, v] : ref) {
+    auto* n = sl.AtRank(r);
+    ASSERT_EQ(n->key, k);
+    ASSERT_EQ(n->value, v);
+    ASSERT_EQ(sl.RankOf(k), r);
+    ++r;
+  }
+  // Bound queries at random probes.
+  for (int probe = 0; probe < 100; ++probe) {
+    const int key = static_cast<int>(rng.UniformInt(320)) - 10;
+    auto* le = sl.FindLessEqual(key);
+    auto it = ref.upper_bound(key);
+    if (it == ref.begin()) {
+      EXPECT_EQ(le, nullptr);
+    } else {
+      ASSERT_NE(le, nullptr);
+      EXPECT_EQ(le->key, std::prev(it)->first);
+    }
+    auto* ge = sl.FindGreaterEqual(key);
+    auto it2 = ref.lower_bound(key);
+    if (it2 == ref.end()) {
+      EXPECT_EQ(ge, nullptr);
+    } else {
+      ASSERT_NE(ge, nullptr);
+      EXPECT_EQ(ge->key, it2->first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListFuzzTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace streamhull

@@ -1,0 +1,197 @@
+// Tests for summary merging (sensor aggregation) and the binary snapshot
+// wire format: round-trips, validation of corrupted input, restore-and-
+// continue semantics, and the error-composition guarantee of MergeFrom.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_hull.h"
+#include "core/snapshot.h"
+#include "eval/metrics.h"
+#include "geom/convex_hull.h"
+#include "stream/generators.h"
+
+namespace streamhull {
+namespace {
+
+AdaptiveHullOptions Opts(uint32_t r) {
+  AdaptiveHullOptions o;
+  o.r = r;
+  return o;
+}
+
+double HausdorffTo(const ConvexPolygon& approx,
+                   const std::vector<Point2>& stream) {
+  double err = 0;
+  for (const Point2& v : ConvexHullOf(stream)) {
+    err = std::max(err, approx.DistanceOutside(v));
+  }
+  return err;
+}
+
+TEST(MergeTest, MergeOfDisjointStreamsCoversBoth) {
+  DiskGenerator gen_a(1, 1.0, {0, 0});
+  DiskGenerator gen_b(2, 1.0, {10, 0});
+  AdaptiveHull a(Opts(16)), b(Opts(16));
+  std::vector<Point2> all;
+  for (int i = 0; i < 4000; ++i) {
+    const Point2 pa = gen_a.Next(), pb = gen_b.Next();
+    a.Insert(pa);
+    b.Insert(pb);
+    all.push_back(pa);
+    all.push_back(pb);
+  }
+  a.MergeFrom(b);
+  ASSERT_TRUE(a.CheckConsistency().ok()) << a.CheckConsistency().ToString();
+  // Error of the merged summary vs the union stream is bounded by what b's
+  // summary had lost plus the merged summary's own bound.
+  const double err = HausdorffTo(a.Polygon(), all);
+  EXPECT_LE(err, a.ErrorBound() + b.ErrorBound() + 1e-9);
+  // The merged hull spans both disks.
+  EXPECT_TRUE(a.Polygon().Contains({0, 0}));
+  EXPECT_TRUE(a.Polygon().Contains({10, 0}));
+}
+
+TEST(MergeTest, MergeIsIdempotentForContainedSummaries) {
+  DiskGenerator gen(3);
+  AdaptiveHull a(Opts(16)), b(Opts(16));
+  for (int i = 0; i < 2000; ++i) {
+    const Point2 p = gen.Next();
+    a.Insert(p);
+    b.Insert(p);  // Same stream.
+  }
+  const double area_before = a.Polygon().Area();
+  a.MergeFrom(b);
+  // b's samples are points a has already seen: the hull cannot shrink and
+  // can only grow within the summary error.
+  EXPECT_GE(a.Polygon().Area(), area_before - 1e-12);
+  EXPECT_LE(a.Polygon().Area(), area_before + a.ErrorBound());
+}
+
+TEST(MergeTest, KWayMergeMatchesCentralizedSummary) {
+  // The sensor scenario: 8 nodes each summarize their share; the sink merges
+  // the summaries. The merged hull must be within the composed bounds of a
+  // single summary that saw everything.
+  const int kNodes = 8;
+  std::vector<Point2> all;
+  AdaptiveHull sink(Opts(16));
+  AdaptiveHull centralized(Opts(16));
+  double node_bound = 0;
+  for (int node = 0; node < kNodes; ++node) {
+    EllipseGenerator gen(100 + node, 8.0, 0.1 * node);
+    AdaptiveHull local(Opts(16));
+    for (int i = 0; i < 2000; ++i) {
+      const Point2 p = gen.Next();
+      local.Insert(p);
+      centralized.Insert(p);
+      all.push_back(p);
+    }
+    node_bound = std::max(node_bound, local.ErrorBound());
+    sink.MergeFrom(local);
+  }
+  ASSERT_TRUE(sink.CheckConsistency().ok());
+  const double merged_err = HausdorffTo(sink.Polygon(), all);
+  const double central_err = HausdorffTo(centralized.Polygon(), all);
+  EXPECT_LE(merged_err, sink.ErrorBound() + node_bound + 1e-9);
+  // Merging summaries loses at most one extra round of summarization.
+  EXPECT_LE(merged_err, central_err + sink.ErrorBound() + node_bound + 1e-9);
+}
+
+TEST(SnapshotTest, RoundTripPreservesSamples) {
+  EllipseGenerator gen(5, 16.0, 0.2);
+  AdaptiveHull h(Opts(16));
+  for (int i = 0; i < 3000; ++i) h.Insert(gen.Next());
+  const std::string bytes = EncodeSnapshot(h);
+  // ~24 bytes/sample + header: a full summary is sub-kilobyte.
+  EXPECT_LT(bytes.size(), 1200u);
+  HullSnapshot snap;
+  ASSERT_TRUE(DecodeSnapshot(bytes, &snap).ok());
+  EXPECT_EQ(snap.r, 16u);
+  EXPECT_EQ(snap.num_points, h.num_points());
+  EXPECT_DOUBLE_EQ(snap.perimeter, h.perimeter());
+  const auto samples = h.Samples();
+  ASSERT_EQ(snap.samples.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(snap.samples[i].direction, samples[i].direction);
+    EXPECT_EQ(snap.samples[i].point, samples[i].point);
+  }
+}
+
+TEST(SnapshotTest, RestoreApproximatesProducer) {
+  DiskGenerator gen(6);
+  AdaptiveHull producer(Opts(16));
+  std::vector<Point2> stream;
+  for (int i = 0; i < 5000; ++i) {
+    const Point2 p = gen.Next();
+    producer.Insert(p);
+    stream.push_back(p);
+  }
+  HullSnapshot snap;
+  ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(producer), &snap).ok());
+  auto restored = RestoreHull(snap, Opts(16));
+  ASSERT_TRUE(restored->CheckConsistency().ok());
+  const double err = HausdorffTo(restored->Polygon(), stream);
+  EXPECT_LE(err, producer.ErrorBound() + restored->ErrorBound() + 1e-9);
+}
+
+TEST(SnapshotTest, RestoreWithDifferentR) {
+  DiskGenerator gen(7);
+  AdaptiveHull producer(Opts(32));
+  for (int i = 0; i < 2000; ++i) producer.Insert(gen.Next());
+  HullSnapshot snap;
+  ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(producer), &snap).ok());
+  auto restored = RestoreHull(snap, Opts(8));  // Coarser receiver.
+  EXPECT_TRUE(restored->CheckConsistency().ok());
+  EXPECT_LE(restored->num_directions(), 17u);
+}
+
+TEST(SnapshotTest, RejectsCorruptedInput) {
+  DiskGenerator gen(8);
+  AdaptiveHull h(Opts(16));
+  for (int i = 0; i < 500; ++i) h.Insert(gen.Next());
+  const std::string good = EncodeSnapshot(h);
+  HullSnapshot snap;
+
+  EXPECT_FALSE(DecodeSnapshot("", &snap).ok());
+  EXPECT_FALSE(DecodeSnapshot("garbage", &snap).ok());
+  // Truncations at every prefix length must fail cleanly.
+  for (size_t len = 0; len < good.size(); len += 7) {
+    EXPECT_FALSE(DecodeSnapshot(std::string_view(good.data(), len), &snap).ok())
+        << "prefix " << len;
+  }
+  // Trailing bytes.
+  EXPECT_FALSE(DecodeSnapshot(good + "x", &snap).ok());
+  // Bad magic.
+  std::string bad = good;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(DecodeSnapshot(bad, &snap).ok());
+  // Bad version.
+  bad = good;
+  bad[4] ^= 0x1;
+  EXPECT_FALSE(DecodeSnapshot(bad, &snap).ok());
+  // Corrupt a direction numerator: either non-canonical/out-of-range
+  // (decode fails) or still-valid but out of order (decode fails), or in
+  // rare cases a different valid direction (decode succeeds). Just check we
+  // never crash and the result is deterministic.
+  bad = good;
+  bad[24] = static_cast<char>(0xfe);
+  HullSnapshot tmp;
+  (void)DecodeSnapshot(bad, &tmp);
+  // The original still decodes.
+  EXPECT_TRUE(DecodeSnapshot(good, &snap).ok());
+}
+
+TEST(SnapshotTest, EmptyHullEncodesButHasNoSamples) {
+  AdaptiveHull h(Opts(16));
+  const std::string bytes = EncodeSnapshot(h);
+  HullSnapshot snap;
+  // Zero samples is rejected (count == 0): an empty summary is not a valid
+  // transmission.
+  EXPECT_FALSE(DecodeSnapshot(bytes, &snap).ok());
+}
+
+}  // namespace
+}  // namespace streamhull

@@ -1,0 +1,132 @@
+// Tests for offline adaptive sampling (§4): Lemma 4.2 (at most r+1 added
+// directions), Lemma 4.3 (uncertainty heights O(D/r^2)), and agreement in
+// spirit with the streaming structure.
+
+#include "core/static_adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/convex_hull.h"
+#include "queries/queries.h"
+#include "stream/generators.h"
+
+namespace streamhull {
+namespace {
+
+std::vector<Point2> MakeWorkload(int kind, uint64_t seed, int n) {
+  std::unique_ptr<PointGenerator> gen;
+  switch (kind % 4) {
+    case 0: gen = std::make_unique<DiskGenerator>(seed); break;
+    case 1: gen = std::make_unique<SquareGenerator>(seed, 0.21); break;
+    case 2: gen = std::make_unique<EllipseGenerator>(seed, 16.0, 0.13); break;
+    default: gen = std::make_unique<ClusterGenerator>(seed, 4); break;
+  }
+  return gen->Take(static_cast<size_t>(n));
+}
+
+TEST(StaticUniformTest, SamplesAreExtrema) {
+  const auto pts = MakeWorkload(0, 1, 500);
+  const auto s = BuildStaticUniformSample(pts, 16);
+  EXPECT_EQ(s.samples.size(), 16u);
+  for (const HullSample& hs : s.samples) {
+    const Point2 u = hs.direction.ToVector();
+    double best = -1e300;
+    for (const Point2& p : pts) best = std::max(best, Dot(p, u));
+    EXPECT_NEAR(Dot(hs.point, u), best, 1e-12);
+  }
+}
+
+TEST(StaticUniformTest, SinglePoint) {
+  const auto s = BuildStaticUniformSample({{2, 3}}, 16);
+  EXPECT_EQ(s.samples.size(), 16u);
+  EXPECT_DOUBLE_EQ(s.uniform_perimeter, 0.0);
+  EXPECT_TRUE(s.triangles.empty());
+  EXPECT_EQ(s.Polygon().size(), 1u);
+}
+
+class StaticAdaptiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaticAdaptiveSweep, Lemma42RefinementBudget) {
+  const int kind = GetParam();
+  const auto pts = MakeWorkload(kind, static_cast<uint64_t>(kind) + 7, 800);
+  for (uint32_t r : {8u, 16u, 32u, 64u}) {
+    const auto s = BuildStaticAdaptiveSample(pts, r);
+    // Lemma 4.2: at most r+1 adaptive refinements.
+    EXPECT_LE(s.refinements, r + 1) << "kind " << kind << " r " << r;
+    EXPECT_EQ(s.samples.size(), static_cast<size_t>(r) + s.refinements);
+  }
+}
+
+TEST_P(StaticAdaptiveSweep, Lemma43ErrorBound) {
+  const int kind = GetParam();
+  const auto pts = MakeWorkload(kind, static_cast<uint64_t>(kind) + 31, 800);
+  const double d =
+      Diameter(ConvexPolygon(ConvexHullOf(pts))).value;
+  if (d <= 0) return;
+  for (uint32_t r : {16u, 32u, 64u}) {
+    const auto s = BuildStaticAdaptiveSample(pts, r);
+    double max_h = 0;
+    for (const UncertaintyTriangle& t : s.triangles) {
+      max_h = std::max(max_h, t.height);
+    }
+    // Lemma 4.3 constant: heights are O(D/r^2); 16*pi covers the worst
+    // constant in the paper's derivation.
+    const double bound =
+        16.0 * 3.14159265358979323846 * d / (static_cast<double>(r) * r);
+    EXPECT_LE(max_h, bound) << "kind " << kind << " r " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, StaticAdaptiveSweep,
+                         ::testing::Range(0, 8));
+
+TEST(StaticAdaptiveTest, QuadraticallyBetterThanUniformOnSkinnyEllipse) {
+  EllipseGenerator gen(5, 16.0, 0.13);
+  const auto pts = gen.Take(20000);
+  const uint32_t r = 16;
+  const auto uniform = BuildStaticUniformSample(pts, 2 * r);
+  const auto adaptive = BuildStaticAdaptiveSample(pts, r);
+  auto max_height = [](const StaticAdaptiveSample& s) {
+    double m = 0;
+    for (const auto& t : s.triangles) m = std::max(m, t.height);
+    return m;
+  };
+  // Same or smaller sample budget, materially better worst-case bound.
+  EXPECT_LE(adaptive.samples.size(), 2 * static_cast<size_t>(r) + 1);
+  EXPECT_LT(max_height(adaptive), 0.5 * max_height(uniform));
+}
+
+TEST(StaticAdaptiveTest, AllSamplesOnTrueHullBoundary) {
+  const auto pts = MakeWorkload(2, 77, 1000);
+  const ConvexPolygon truth(ConvexHullOf(pts));
+  const auto s = BuildStaticAdaptiveSample(pts, 16);
+  for (const HullSample& hs : s.samples) {
+    EXPECT_TRUE(truth.ContainsBrute(hs.point));
+  }
+}
+
+TEST(StaticAdaptiveTest, DegenerateCollinearInput) {
+  std::vector<Point2> pts;
+  for (int i = 0; i <= 100; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  const auto s = BuildStaticAdaptiveSample(pts, 16);
+  EXPECT_LE(s.refinements, 17u);
+  const ConvexPolygon poly = s.Polygon();
+  EXPECT_TRUE(poly.Contains({0, 0}));
+  EXPECT_TRUE(poly.Contains({100, 0}));
+}
+
+TEST(StaticAdaptiveTest, TreeHeightCapLimitsLevels) {
+  const auto pts = MakeWorkload(2, 91, 500);
+  const auto s = BuildStaticAdaptiveSample(pts, 16, /*max_tree_height=*/1);
+  for (const HullSample& hs : s.samples) {
+    EXPECT_LE(hs.direction.level(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace streamhull

@@ -1,0 +1,125 @@
+// Tests for the exact static convex hull (monotone chain), checked
+// differentially against an independent gift-wrapping implementation.
+
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/convex_polygon.h"
+
+namespace streamhull {
+namespace {
+
+// Canonical form for hull comparison: rotate so the lexicographically
+// smallest vertex comes first.
+std::vector<Point2> Canonical(std::vector<Point2> hull) {
+  if (hull.empty()) return hull;
+  size_t best = 0;
+  for (size_t i = 1; i < hull.size(); ++i) {
+    if (hull[i].x < hull[best].x ||
+        (hull[i].x == hull[best].x && hull[i].y < hull[best].y)) {
+      best = i;
+    }
+  }
+  std::rotate(hull.begin(), hull.begin() + static_cast<long>(best), hull.end());
+  return hull;
+}
+
+TEST(ConvexHullTest, EmptyAndSingle) {
+  EXPECT_TRUE(ConvexHullOf({}).empty());
+  const auto h = ConvexHullOf({{1, 2}});
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0], Point2(1, 2));
+}
+
+TEST(ConvexHullTest, DuplicatesCollapse) {
+  const auto h = ConvexHullOf({{1, 2}, {1, 2}, {1, 2}});
+  ASSERT_EQ(h.size(), 1u);
+}
+
+TEST(ConvexHullTest, CollinearInputGivesSegment) {
+  const auto h = ConvexHullOf({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], Point2(0, 0));
+  EXPECT_EQ(h[1], Point2(3, 3));
+}
+
+TEST(ConvexHullTest, SquareWithInteriorAndEdgePoints) {
+  const auto h = ConvexHullOf({{0, 0},
+                               {2, 0},
+                               {2, 2},
+                               {0, 2},
+                               {1, 1},    // Interior.
+                               {1, 0},    // On an edge: not a corner.
+                               {0, 1}});  // On an edge.
+  ASSERT_EQ(h.size(), 4u);
+}
+
+TEST(ConvexHullTest, OrientationIsCcw) {
+  const auto h = ConvexHullOf({{0, 0}, {4, 0}, {4, 3}, {0, 3}, {2, 1}});
+  ASSERT_EQ(h.size(), 4u);
+  double area2 = 0;
+  for (size_t i = 0; i < h.size(); ++i) {
+    area2 += Cross(h[i], h[(i + 1) % h.size()]);
+  }
+  EXPECT_GT(area2, 0);  // CCW orientation has positive signed area.
+}
+
+TEST(ConvexHullTest, AllPointsContainedInHull) {
+  Rng rng(7);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.Uniform(-10, 10), rng.Uniform(-10, 10)});
+  }
+  const ConvexPolygon hull(ConvexHullOf(pts));
+  for (const Point2& p : pts) {
+    EXPECT_TRUE(hull.ContainsBrute(p)) << p;
+  }
+}
+
+class HullDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HullDifferentialTest, MonotoneChainMatchesGiftWrapping) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  const int n = 3 + static_cast<int>(rng.UniformInt(60));
+  std::vector<Point2> pts;
+  for (int i = 0; i < n; ++i) {
+    // Small integer grid: plenty of duplicates and collinear triples.
+    pts.push_back({static_cast<double>(rng.UniformInt(12)),
+                   static_cast<double>(rng.UniformInt(12))});
+  }
+  const auto fast = Canonical(ConvexHullOf(pts));
+  const auto slow = Canonical(ConvexHullBrute(pts));
+  ASSERT_EQ(fast.size(), slow.size()) << "case " << GetParam();
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i], slow[i]) << "case " << GetParam() << " vertex " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGrids, HullDifferentialTest,
+                         ::testing::Range(0, 200));
+
+class HullContinuousTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HullContinuousTest, MonotoneChainMatchesGiftWrappingContinuous) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 1);
+  const int n = 3 + static_cast<int>(rng.UniformInt(100));
+  std::vector<Point2> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(-1, 1), rng.Uniform(-1, 1)});
+  }
+  const auto fast = Canonical(ConvexHullOf(pts));
+  const auto slow = Canonical(ConvexHullBrute(pts));
+  ASSERT_EQ(fast.size(), slow.size());
+  for (size_t i = 0; i < fast.size(); ++i) EXPECT_EQ(fast[i], slow[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomContinuous, HullContinuousTest,
+                         ::testing::Range(0, 100));
+
+}  // namespace
+}  // namespace streamhull

@@ -1,0 +1,138 @@
+// Tests for ConvexPolygon: aggregates, containment, extreme-vertex search,
+// tangents, and distance queries, with differential checks against the
+// brute-force reference implementations.
+
+#include "geom/convex_polygon.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/convex_hull.h"
+
+namespace streamhull {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+ConvexPolygon UnitSquare() {
+  return ConvexPolygon({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+}
+
+TEST(ConvexPolygonTest, PerimeterAndArea) {
+  const ConvexPolygon sq = UnitSquare();
+  EXPECT_DOUBLE_EQ(sq.Perimeter(), 8.0);
+  EXPECT_DOUBLE_EQ(sq.Area(), 4.0);
+}
+
+TEST(ConvexPolygonTest, DegenerateAggregates) {
+  EXPECT_DOUBLE_EQ(ConvexPolygon().Perimeter(), 0.0);
+  EXPECT_DOUBLE_EQ(ConvexPolygon({{1, 1}}).Perimeter(), 0.0);
+  // A 2-gon boundary traverses the segment twice.
+  EXPECT_DOUBLE_EQ(ConvexPolygon({{0, 0}, {3, 4}}).Perimeter(), 10.0);
+  EXPECT_DOUBLE_EQ(ConvexPolygon({{0, 0}, {3, 4}}).Area(), 0.0);
+}
+
+TEST(ConvexPolygonTest, VertexCentroid) {
+  const Point2 c = UnitSquare().VertexCentroid();
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+}
+
+TEST(ConvexPolygonTest, ContainsBasicCases) {
+  const ConvexPolygon sq = UnitSquare();
+  EXPECT_TRUE(sq.Contains({1, 1}));
+  EXPECT_TRUE(sq.Contains({0, 0}));    // Vertex.
+  EXPECT_TRUE(sq.Contains({1, 0}));    // Edge.
+  EXPECT_FALSE(sq.Contains({3, 1}));
+  EXPECT_FALSE(sq.Contains({-0.001, 1}));
+}
+
+TEST(ConvexPolygonTest, ContainsDegenerate) {
+  EXPECT_FALSE(ConvexPolygon().Contains({0, 0}));
+  EXPECT_TRUE(ConvexPolygon({{1, 1}}).Contains({1, 1}));
+  EXPECT_FALSE(ConvexPolygon({{1, 1}}).Contains({1, 2}));
+  const ConvexPolygon seg({{0, 0}, {2, 2}});
+  EXPECT_TRUE(seg.Contains({1, 1}));
+  EXPECT_FALSE(seg.Contains({1, 1.1}));
+}
+
+TEST(ConvexPolygonTest, ExtremeVertexAxisDirections) {
+  const ConvexPolygon sq = UnitSquare();
+  EXPECT_EQ(sq[sq.ExtremeVertex({1, 0})].x, 2.0);
+  EXPECT_EQ(sq[sq.ExtremeVertex({-1, 0})].x, 0.0);
+  EXPECT_EQ(sq[sq.ExtremeVertex({0, 1})].y, 2.0);
+}
+
+TEST(ConvexPolygonTest, SupportAndExtent) {
+  const ConvexPolygon sq = UnitSquare();
+  EXPECT_DOUBLE_EQ(sq.Support({1, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(sq.Extent({1, 0}), 2.0);
+  EXPECT_NEAR(sq.Extent(Point2{1, 1}.Normalized()), 2 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(ConvexPolygonTest, DistanceOutside) {
+  const ConvexPolygon sq = UnitSquare();
+  EXPECT_DOUBLE_EQ(sq.DistanceOutside({1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(sq.DistanceOutside({2, 1}), 0.0);   // On boundary.
+  EXPECT_DOUBLE_EQ(sq.DistanceOutside({5, 1}), 3.0);   // Beyond right edge.
+  EXPECT_DOUBLE_EQ(sq.DistanceOutside({5, 6}), 5.0);   // Beyond corner.
+}
+
+TEST(ConvexPolygonTest, TangentsFromExteriorPoint) {
+  const ConvexPolygon sq = UnitSquare();
+  const auto t = sq.TangentsFrom({1, -3});
+  ASSERT_TRUE(t.has_value());
+  // From below, the visible chain is the bottom edge: tangents are its ends.
+  EXPECT_EQ(sq[t->first], Point2(0, 0));
+  EXPECT_EQ(sq[t->second], Point2(2, 0));
+  EXPECT_FALSE(sq.TangentsFrom({1, 1}).has_value());
+}
+
+class PolygonDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolygonDifferentialTest, ContainsMatchesBrute) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 5);
+  std::vector<Point2> pts;
+  const int n = 20 + static_cast<int>(rng.UniformInt(150));
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(0, kTwoPi);
+    const double r = 0.3 + rng.NextDouble();
+    pts.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  const ConvexPolygon poly(ConvexHullOf(pts));
+  for (int t = 0; t < 40; ++t) {
+    const Point2 q{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    EXPECT_EQ(poly.Contains(q), poly.ContainsBrute(q))
+        << "case " << GetParam() << " q=" << q;
+  }
+}
+
+TEST_P(PolygonDifferentialTest, ExtremeVertexMatchesBrute) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 11);
+  std::vector<Point2> pts;
+  const int n = 40 + static_cast<int>(rng.UniformInt(200));
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(0, kTwoPi);
+    const double r = 0.3 + rng.NextDouble();
+    pts.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  const ConvexPolygon poly(ConvexHullOf(pts));
+  if (poly.size() < 3) return;
+  for (int t = 0; t < 60; ++t) {
+    const Point2 dir = UnitVector(rng.Uniform(0, kTwoPi));
+    const size_t fast = poly.ExtremeVertex(dir);
+    const size_t slow = poly.ExtremeVertexBrute(dir);
+    // Indices may differ on (near-)ties; the support values must agree.
+    EXPECT_NEAR(Dot(poly[fast], dir), Dot(poly[slow], dir), 1e-9)
+        << "case " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PolygonDifferentialTest,
+                         ::testing::Range(0, 100));
+
+}  // namespace
+}  // namespace streamhull

@@ -1,0 +1,175 @@
+// Differential tests for the visible-chain search (geom/convex_view.h): the
+// O(log m) fan/gallop implementation must agree with the linear scan on
+// random convex polygons and random query points, including points inside,
+// on edges, and far outside.
+
+#include "geom/convex_view.h"
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/convex_hull.h"
+
+namespace streamhull {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+struct VecView {
+  const std::vector<Point2>* v;
+  size_t size() const { return v->size(); }
+  Point2 operator[](size_t i) const { return (*v)[i]; }
+};
+
+std::vector<Point2> RandomConvexPolygon(Rng& rng, int min_n, int max_n) {
+  const int n = min_n + static_cast<int>(rng.UniformInt(
+                            static_cast<uint64_t>(max_n - min_n + 1)));
+  std::vector<Point2> pts;
+  for (int i = 0; i < n * 3; ++i) {
+    const double a = rng.Uniform(0, kTwoPi);
+    const double r = 0.5 + rng.NextDouble();
+    pts.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  return ConvexHullOf(pts);
+}
+
+TEST(VisibleChainTest, PointInsideSeesNothing) {
+  const std::vector<Point2> square{{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  VecView view{&square};
+  EXPECT_FALSE(FindVisibleChain(view, {2, 2}).has_value());
+  EXPECT_FALSE(FindVisibleChainBrute(view, {2, 2}).has_value());
+}
+
+TEST(VisibleChainTest, PointOnBoundarySeesNothing) {
+  const std::vector<Point2> square{{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  VecView view{&square};
+  EXPECT_FALSE(FindVisibleChain(view, {2, 0}).has_value());
+  EXPECT_FALSE(FindVisibleChain(view, {4, 4}).has_value());
+}
+
+TEST(VisibleChainTest, SingleEdgeVisible) {
+  const std::vector<Point2> square{{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  VecView view{&square};
+  const auto chain = FindVisibleChain(view, {2, -1});
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->first_edge, 0u);  // Bottom edge (v0, v1).
+  EXPECT_EQ(chain->last_edge, 0u);
+}
+
+TEST(VisibleChainTest, CornerSeesTwoEdges) {
+  const std::vector<Point2> square{{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  VecView view{&square};
+  const auto chain = FindVisibleChain(view, {6, -2});
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->first_edge, 0u);
+  EXPECT_EQ(chain->last_edge, 1u);
+}
+
+TEST(VisibleChainTest, WrappingChain) {
+  // A point "behind" vertex 0 produces a chain that wraps past index 0.
+  const std::vector<Point2> square{{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  VecView view{&square};
+  const auto chain = FindVisibleChain(view, {-2, -2});
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->first_edge, 3u);  // Left edge (v3, v0).
+  EXPECT_EQ(chain->last_edge, 0u);   // Bottom edge, wrapping through v0.
+}
+
+TEST(VisibleChainTest, SegmentPolygon) {
+  const std::vector<Point2> seg{{0, 0}, {4, 0}};
+  VecView view{&seg};
+  // Above the segment: sees the "edge" running left (v1->v0)... visibility
+  // for a 2-gon: edge 0 = (v0,v1), edge 1 = (v1,v0).
+  const auto above = FindVisibleChain(view, {2, 1});
+  ASSERT_TRUE(above.has_value());
+  const auto below = FindVisibleChain(view, {2, -1});
+  ASSERT_TRUE(below.has_value());
+  EXPECT_NE(above->first_edge, below->first_edge);
+  // Collinear beyond the end: no strict visibility.
+  EXPECT_FALSE(FindVisibleChain(view, {9, 0}).has_value());
+}
+
+class VisibleChainDifferentialTest : public ::testing::TestWithParam<int> {};
+
+// True iff some edge's visibility from q is numerically ambiguous (its
+// orientation margin is within FP noise of zero). Near-collinear hull chains
+// make the visible set legitimately non-unique for such queries.
+bool VisibilityIsFuzzy(const std::vector<Point2>& poly, Point2 q) {
+  const size_t m = poly.size();
+  for (size_t i = 0; i < m; ++i) {
+    const Point2 a = poly[i];
+    const Point2 b = poly[(i + 1) % m];
+    const double scale = Distance(a, b) * (Distance(a, q) + 1.0);
+    if (std::abs(Orient(a, b, q)) <= 1e-9 * scale) return true;
+  }
+  return false;
+}
+
+TEST_P(VisibleChainDifferentialTest, FastMatchesBrute) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 99);
+  const std::vector<Point2> poly = RandomConvexPolygon(rng, 17, 120);
+  if (poly.size() < 17) return;  // Hull collapsed; brute path is trivial.
+  VecView view{&poly};
+  for (int t = 0; t < 60; ++t) {
+    // Mix of nearby, inside-ish, and far query points.
+    const double scale = t % 3 == 0 ? 0.5 : (t % 3 == 1 ? 1.5 : 20.0);
+    const Point2 q{scale * rng.Uniform(-2, 2), scale * rng.Uniform(-2, 2)};
+    if (VisibilityIsFuzzy(poly, q)) continue;  // Answer not unique.
+    const auto fast = FindVisibleChain(view, q);
+    const auto slow = FindVisibleChainBrute(view, q);
+    ASSERT_EQ(fast.has_value(), slow.has_value())
+        << "case " << GetParam() << " q=" << q;
+    if (fast.has_value()) {
+      EXPECT_EQ(fast->first_edge, slow->first_edge)
+          << "case " << GetParam() << " q=" << q;
+      EXPECT_EQ(fast->last_edge, slow->last_edge)
+          << "case " << GetParam() << " q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPolygons, VisibleChainDifferentialTest,
+                         ::testing::Range(0, 150));
+
+TEST(VisibleChainTest, LargeRegularPolygonAllQueries) {
+  // Regular 256-gon: every vertex-adjacent geometry is near-degenerate, a
+  // good stress for the fan search.
+  std::vector<Point2> poly;
+  const size_t n = 256;
+  for (size_t i = 0; i < n; ++i) {
+    const double a = kTwoPi * static_cast<double>(i) / static_cast<double>(n);
+    poly.push_back({std::cos(a), std::sin(a)});
+  }
+  VecView view{&poly};
+  Rng rng(5);
+  for (int t = 0; t < 500; ++t) {
+    const double a = rng.Uniform(0, kTwoPi);
+    const double r = rng.Uniform(0.8, 3.0);
+    const Point2 q{r * std::cos(a), r * std::sin(a)};
+    if (VisibilityIsFuzzy(poly, q)) continue;
+    const auto fast = FindVisibleChain(view, q);
+    const auto slow = FindVisibleChainBrute(view, q);
+    ASSERT_EQ(fast.has_value(), slow.has_value()) << q;
+    if (fast.has_value()) {
+      EXPECT_EQ(fast->first_edge, slow->first_edge) << q;
+      EXPECT_EQ(fast->last_edge, slow->last_edge) << q;
+    }
+  }
+}
+
+TEST(VisibleChainTest, DuplicateVerticesHandledByBrute) {
+  // Zero-length edges are never visible.
+  const std::vector<Point2> poly{{0, 0}, {4, 0}, {4, 0}, {4, 4}, {0, 4}};
+  VecView view{&poly};
+  const auto chain = FindVisibleChainBrute(view, {2, -1});
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->first_edge, 0u);
+  EXPECT_EQ(chain->last_edge, 0u);
+}
+
+}  // namespace
+}  // namespace streamhull

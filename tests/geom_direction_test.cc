@@ -1,0 +1,193 @@
+// Unit tests for exact dyadic direction arithmetic (geom/direction.h).
+
+#include "geom/direction.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace streamhull {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+TEST(DirectionTest, UniformBasics) {
+  const Direction d = Direction::Uniform(3, 16);
+  EXPECT_EQ(d.base_r(), 16u);
+  EXPECT_EQ(d.num(), 3u);
+  EXPECT_EQ(d.level(), 0u);
+  EXPECT_TRUE(d.IsUniform());
+  EXPECT_NEAR(d.Radians(), kTwoPi * 3 / 16, 1e-15);
+}
+
+TEST(DirectionTest, ToVectorMatchesRadians) {
+  const Direction d = Direction::Uniform(5, 32);
+  const Point2 v = d.ToVector();
+  EXPECT_NEAR(v.x, std::cos(d.Radians()), 1e-15);
+  EXPECT_NEAR(v.y, std::sin(d.Radians()), 1e-15);
+}
+
+TEST(DirectionTest, MidpointOfAdjacentUniform) {
+  const Direction a = Direction::Uniform(2, 8);
+  const Direction b = Direction::Uniform(3, 8);
+  const Direction m = Direction::Midpoint(a, b);
+  EXPECT_EQ(m.level(), 1u);
+  EXPECT_EQ(m.num(), 5u);  // 2.5 at level 1 over denominator 8*2.
+  EXPECT_FALSE(m.IsUniform());
+  EXPECT_NEAR(m.Radians(), kTwoPi * 2.5 / 8, 1e-15);
+}
+
+TEST(DirectionTest, MidpointAcrossWrap) {
+  // Midpoint of the last uniform edge [r-1, 0) wraps past zero.
+  const Direction a = Direction::Uniform(7, 8);
+  const Direction b = Direction::Uniform(0, 8);
+  const Direction m = Direction::Midpoint(a, b);
+  EXPECT_NEAR(m.Radians(), kTwoPi * 7.5 / 8, 1e-15);
+  EXPECT_EQ(m.level(), 1u);
+}
+
+TEST(DirectionTest, RepeatedBisectionLevels) {
+  // index(theta) == level: one more than the depth where theta bisects.
+  Direction lo = Direction::Uniform(0, 8);
+  Direction hi = Direction::Uniform(1, 8);
+  for (uint32_t depth = 0; depth < 20; ++depth) {
+    const Direction mid = Direction::Midpoint(lo, hi);
+    EXPECT_EQ(mid.level(), depth + 1);
+    hi = mid;  // Always refine toward lo.
+  }
+}
+
+TEST(DirectionTest, MidpointCanonicalizes) {
+  // Bisecting [0/8, 1/8] then the right half [1/16, 1/8] gives 3/32; further
+  // bisection of [3/32, 4/32] gives 7/64, all in lowest terms (odd num).
+  const Direction a = Direction::Uniform(0, 8);
+  const Direction b = Direction::Uniform(1, 8);
+  const Direction m1 = Direction::Midpoint(a, b);  // 1/16.
+  const Direction m2 = Direction::Midpoint(m1, b);  // 3/32.
+  EXPECT_EQ(m2.level(), 2u);
+  EXPECT_EQ(m2.num(), 3u);
+  // Midpoint of [m1, m2] = 5/64 -> odd numerator at level 3... wait:
+  // (2/32 + 3/32)/2 = 5/64.
+  const Direction m3 = Direction::Midpoint(m1, m2);
+  EXPECT_EQ(m3.level(), 3u);
+  EXPECT_EQ(m3.num(), 5u);
+}
+
+TEST(DirectionTest, MidpointOfEqualEndpointsBisectsFullTurn) {
+  const Direction a = Direction::Uniform(2, 8);
+  const Direction m = Direction::Midpoint(a, a);
+  // Half a turn past 2/8 = 2/8 + 4/8 = 6/8.
+  EXPECT_TRUE(m.IsUniform());
+  EXPECT_EQ(m.num(), 6u);
+}
+
+TEST(DirectionTest, ComparisonAcrossLevels) {
+  const Direction a = Direction::Uniform(1, 8);                    // 1/8.
+  const Direction b = Direction::Midpoint(a, Direction::Uniform(2, 8));  // 1.5/8
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_GE(a, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Direction::Uniform(1, 8));
+}
+
+TEST(DirectionTest, OrderingMatchesRadians) {
+  // Build a mixed-level set and verify operator< agrees with angle order.
+  std::vector<Direction> dirs;
+  for (uint32_t j = 0; j < 8; ++j) dirs.push_back(Direction::Uniform(j, 8));
+  for (uint32_t j = 0; j < 8; ++j) {
+    const Direction m = Direction::Midpoint(Direction::Uniform(j, 8),
+                                            Direction::Uniform((j + 1) % 8, 8));
+    dirs.push_back(m);
+    dirs.push_back(Direction::Midpoint(Direction::Uniform(j, 8), m));
+  }
+  for (const Direction& x : dirs) {
+    for (const Direction& y : dirs) {
+      EXPECT_EQ(x < y, x.Radians() < y.Radians() - 1e-15)
+          << x << " vs " << y;
+    }
+  }
+}
+
+TEST(DirectionTest, CcwGapBasics) {
+  const Direction a = Direction::Uniform(1, 8);
+  const Direction b = Direction::Uniform(3, 8);
+  const auto gap = a.CcwGapTo(b);
+  EXPECT_NEAR(gap.Radians(8), kTwoPi * 2 / 8, 1e-15);
+  // Reverse direction wraps the other way.
+  const auto rgap = b.CcwGapTo(a);
+  EXPECT_NEAR(rgap.Radians(8), kTwoPi * 6 / 8, 1e-15);
+}
+
+TEST(DirectionTest, CcwGapZeroForEqual) {
+  const Direction a = Direction::Uniform(5, 16);
+  EXPECT_EQ(a.CcwGapTo(a).units, 0u);
+}
+
+TEST(DirectionTest, CcwGapMixedLevels) {
+  const Direction a = Direction::Uniform(0, 8);
+  const Direction b = Direction::Uniform(1, 8);
+  const Direction m = Direction::Midpoint(a, b);
+  EXPECT_NEAR(a.CcwGapTo(m).Radians(8), kTwoPi / 16, 1e-15);
+  EXPECT_NEAR(m.CcwGapTo(b).Radians(8), kTwoPi / 16, 1e-15);
+}
+
+TEST(DirectionTest, ScaledNumLifting) {
+  const Direction d = Direction::Uniform(3, 8);
+  EXPECT_EQ(d.ScaledNum(0), 3u);
+  EXPECT_EQ(d.ScaledNum(2), 12u);
+}
+
+TEST(DirectionTest, DeepBisectionStaysExact) {
+  // 30 levels of bisection toward the same endpoint: gaps halve exactly.
+  Direction lo = Direction::Uniform(0, 16);
+  Direction hi = Direction::Uniform(1, 16);
+  double expected = kTwoPi / 16;
+  for (int i = 0; i < 30; ++i) {
+    const Direction mid = Direction::Midpoint(lo, hi);
+    expected /= 2;
+    EXPECT_NEAR(lo.CcwGapTo(mid).Radians(16), expected, expected * 1e-12);
+    hi = mid;
+  }
+}
+
+TEST(DirectionTest, FromRawRoundTrip) {
+  // Every direction the refinement process can produce must survive the
+  // (num, level) -> FromRaw round trip used by the snapshot codec.
+  std::vector<Direction> dirs;
+  for (uint32_t j = 0; j < 8; ++j) dirs.push_back(Direction::Uniform(j, 8));
+  for (uint32_t j = 0; j < 8; ++j) {
+    Direction lo = Direction::Uniform(j, 8);
+    Direction hi = Direction::Uniform((j + 1) % 8, 8);
+    for (int d = 0; d < 6; ++d) {
+      const Direction mid = Direction::Midpoint(lo, hi);
+      dirs.push_back(mid);
+      if (d % 2 == 0) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+  for (const Direction& d : dirs) {
+    const Direction back = Direction::FromRaw(d.num(), d.level(), d.base_r());
+    EXPECT_EQ(back, d);
+    EXPECT_DOUBLE_EQ(back.Radians(), d.Radians());
+  }
+}
+
+TEST(DirectionDeathTest, FromRawRejectsNonCanonical) {
+  EXPECT_DEATH(Direction::FromRaw(2, 1, 8), "CHECK");   // Even num, level>0.
+  EXPECT_DEATH(Direction::FromRaw(99, 0, 8), "CHECK");  // Out of range.
+}
+
+TEST(DirectionDeathTest, MidpointRequiresSameBase) {
+  const Direction a = Direction::Uniform(0, 8);
+  const Direction b = Direction::Uniform(0, 16);
+  EXPECT_DEATH(Direction::Midpoint(a, b), "CHECK");
+}
+
+}  // namespace
+}  // namespace streamhull

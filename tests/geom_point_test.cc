@@ -1,0 +1,144 @@
+// Unit tests for the 2-D point/vector kernel (geom/point.h).
+
+#include "geom/point.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace streamhull {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Point2Test, ArithmeticOperators) {
+  const Point2 a{1, 2}, b{3, -4};
+  EXPECT_EQ(a + b, Point2(4, -2));
+  EXPECT_EQ(a - b, Point2(-2, 6));
+  EXPECT_EQ(a * 2.0, Point2(2, 4));
+  EXPECT_EQ(2.0 * a, Point2(2, 4));
+  EXPECT_EQ(b / 2.0, Point2(1.5, -2));
+  EXPECT_EQ(-a, Point2(-1, -2));
+}
+
+TEST(Point2Test, CompoundAssignment) {
+  Point2 p{1, 1};
+  p += {2, 3};
+  EXPECT_EQ(p, Point2(3, 4));
+  p -= {1, 1};
+  EXPECT_EQ(p, Point2(2, 3));
+}
+
+TEST(Point2Test, NormAndSquaredNorm) {
+  const Point2 p{3, 4};
+  EXPECT_DOUBLE_EQ(p.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(p.SquaredNorm(), 25.0);
+}
+
+TEST(Point2Test, PerpRotations) {
+  const Point2 p{1, 0};
+  EXPECT_EQ(p.PerpCcw(), Point2(0, 1));
+  EXPECT_EQ(p.PerpCw(), Point2(0, -1));
+  // Perp is norm-preserving and orthogonal.
+  const Point2 q{3, -7};
+  EXPECT_DOUBLE_EQ(q.PerpCcw().Norm(), q.Norm());
+  EXPECT_DOUBLE_EQ(Dot(q, q.PerpCcw()), 0.0);
+}
+
+TEST(Point2Test, Normalized) {
+  const Point2 p{3, 4};
+  const Point2 u = p.Normalized();
+  EXPECT_NEAR(u.Norm(), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+  EXPECT_EQ(Point2(0, 0).Normalized(), Point2(0, 0));
+}
+
+TEST(PredicatesTest, DotAndCross) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2}, {3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(Cross({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Cross({0, 1}, {1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(Cross({2, 3}, {4, 6}), 0.0);
+}
+
+TEST(PredicatesTest, OrientSign) {
+  // CCW turn -> positive.
+  EXPECT_GT(Orient({0, 0}, {1, 0}, {1, 1}), 0);
+  // CW turn -> negative.
+  EXPECT_LT(Orient({0, 0}, {1, 0}, {1, -1}), 0);
+  // Collinear -> zero.
+  EXPECT_DOUBLE_EQ(Orient({0, 0}, {1, 1}, {2, 2}), 0.0);
+}
+
+TEST(PredicatesTest, OrientIsTwiceTriangleArea) {
+  EXPECT_DOUBLE_EQ(Orient({0, 0}, {2, 0}, {0, 3}), 6.0);
+}
+
+TEST(DistanceTest, PointToPoint) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(DistanceTest, PointToLine) {
+  EXPECT_DOUBLE_EQ(DistanceToLine({0, 5}, {-1, 0}, {1, 0}), 5.0);
+  // Signed: positive on the left of the directed line.
+  EXPECT_DOUBLE_EQ(SignedDistanceToLine({0, 5}, {-1, 0}, {1, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(SignedDistanceToLine({0, -5}, {-1, 0}, {1, 0}), -5.0);
+}
+
+TEST(DistanceTest, PointToSegmentInterior) {
+  EXPECT_DOUBLE_EQ(DistanceToSegment({0, 3}, {-2, 0}, {2, 0}), 3.0);
+}
+
+TEST(DistanceTest, PointToSegmentEndpoints) {
+  // Beyond the ends, the distance is to the nearer endpoint.
+  EXPECT_DOUBLE_EQ(DistanceToSegment({5, 4}, {-2, 0}, {2, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceToSegment({-5, 4}, {-2, 0}, {2, 0}), 5.0);
+}
+
+TEST(DistanceTest, DegenerateSegmentIsAPoint) {
+  EXPECT_DOUBLE_EQ(DistanceToSegment({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(LineIntersectionTest, BasicCrossing) {
+  Point2 x;
+  ASSERT_TRUE(LineIntersection({0, 0}, {2, 2}, {0, 2}, {2, 0}, &x));
+  EXPECT_NEAR(x.x, 1.0, 1e-15);
+  EXPECT_NEAR(x.y, 1.0, 1e-15);
+}
+
+TEST(LineIntersectionTest, ParallelLinesReportFailure) {
+  Point2 x{99, 99};
+  EXPECT_FALSE(LineIntersection({0, 0}, {1, 0}, {0, 1}, {1, 1}, &x));
+  EXPECT_EQ(x, Point2(99, 99));  // Output untouched.
+}
+
+TEST(LineIntersectionTest, IntersectionBeyondSegments) {
+  // Lines (not segments): intersection may lie outside the defining pairs.
+  Point2 x;
+  ASSERT_TRUE(LineIntersection({0, 0}, {1, 0}, {5, 1}, {5, 2}, &x));
+  EXPECT_NEAR(x.x, 5.0, 1e-15);
+  EXPECT_NEAR(x.y, 0.0, 1e-15);
+}
+
+TEST(AngleTest, UnitVector) {
+  const Point2 u = UnitVector(kPi / 2);
+  EXPECT_NEAR(u.x, 0.0, 1e-15);
+  EXPECT_NEAR(u.y, 1.0, 1e-15);
+}
+
+TEST(AngleTest, RotatePreservesNormAndAngle) {
+  const Point2 p{1, 0};
+  const Point2 q = Rotate(p, kPi / 3);
+  EXPECT_NEAR(q.Norm(), 1.0, 1e-15);
+  EXPECT_NEAR(std::atan2(q.y, q.x), kPi / 3, 1e-15);
+}
+
+TEST(AngleTest, RotateComposition) {
+  const Point2 p{2, 5};
+  const Point2 q = Rotate(Rotate(p, 0.7), -0.7);
+  EXPECT_NEAR(q.x, p.x, 1e-12);
+  EXPECT_NEAR(q.y, p.y, 1e-12);
+}
+
+}  // namespace
+}  // namespace streamhull

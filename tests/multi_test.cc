@@ -1,0 +1,198 @@
+// Tests for the multi-stream extensions: StreamGroup (named summaries,
+// pairwise monitoring with transition events) and RegionPartitionedHull
+// (§8's a-priori cluster partition).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "multi/region_hull.h"
+#include "multi/stream_group.h"
+#include "stream/generators.h"
+
+namespace streamhull {
+namespace {
+
+AdaptiveHullOptions Opts(uint32_t r = 16) {
+  AdaptiveHullOptions o;
+  o.r = r;
+  return o;
+}
+
+TEST(StreamGroupTest, StreamLifecycle) {
+  StreamGroup group(Opts());
+  EXPECT_TRUE(group.AddStream("a").ok());
+  EXPECT_TRUE(group.AddStream("b").ok());
+  EXPECT_FALSE(group.AddStream("a").ok());  // Duplicate.
+  EXPECT_FALSE(group.AddStream("").ok());   // Empty name.
+  EXPECT_EQ(group.StreamNames(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(group.Insert("a", {1, 2}).ok());
+  EXPECT_FALSE(group.Insert("zzz", {1, 2}).ok());
+  ASSERT_NE(group.Hull("a"), nullptr);
+  EXPECT_EQ(group.Hull("a")->num_points(), 1u);
+  EXPECT_EQ(group.Hull("zzz"), nullptr);
+}
+
+TEST(StreamGroupTest, ReportRequiresDataAndKnownNames) {
+  StreamGroup group(Opts());
+  ASSERT_TRUE(group.AddStream("a").ok());
+  ASSERT_TRUE(group.AddStream("b").ok());
+  PairReport report;
+  EXPECT_FALSE(group.Report("a", "zzz", &report).ok());
+  EXPECT_FALSE(group.Report("a", "b", &report).ok());  // Both empty.
+  ASSERT_TRUE(group.Insert("a", {0, 0}).ok());
+  ASSERT_TRUE(group.Insert("b", {5, 0}).ok());
+  ASSERT_TRUE(group.Report("a", "b", &report).ok());
+  EXPECT_TRUE(report.separable);
+  EXPECT_NEAR(report.distance, 5.0, 1e-12);
+}
+
+TEST(StreamGroupTest, ReportRelationships) {
+  StreamGroup group(Opts());
+  ASSERT_TRUE(group.AddStream("inner").ok());
+  ASSERT_TRUE(group.AddStream("outer").ok());
+  // Outer: big ring; inner: small blob at the center.
+  CircleGenerator ring(1, 128, 10.0);
+  DiskGenerator blob(2, 0.5);
+  for (int i = 0; i < 128; ++i) ASSERT_TRUE(group.Insert("outer", ring.Next()).ok());
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(group.Insert("inner", blob.Next()).ok());
+  PairReport report;
+  ASSERT_TRUE(group.Report("inner", "outer", &report).ok());
+  EXPECT_FALSE(report.separable);
+  EXPECT_TRUE(report.b_contains_a);
+  EXPECT_FALSE(report.a_contains_b);
+  EXPECT_GT(report.overlap_area, 0.0);
+}
+
+TEST(StreamGroupTest, PollEmitsTransitionsOnce) {
+  StreamGroup group(Opts());
+  ASSERT_TRUE(group.AddStream("a").ok());
+  ASSERT_TRUE(group.AddStream("b").ok());
+  ASSERT_TRUE(group.WatchPair("a", "b").ok());
+  ASSERT_TRUE(group.WatchPair("b", "a").ok());  // Idempotent (same pair).
+  EXPECT_FALSE(group.WatchPair("a", "a").ok());
+  EXPECT_FALSE(group.WatchPair("a", "zzz").ok());
+
+  // Phase 1: far apart -> no events (initial state is separable).
+  DiskGenerator gen_a(3, 1.0, {0, 0});
+  DiskGenerator gen_b(4, 1.0, {10, 0});
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(group.Insert("a", gen_a.Next()).ok());
+    ASSERT_TRUE(group.Insert("b", gen_b.Next()).ok());
+  }
+  EXPECT_TRUE(group.Poll().empty());
+
+  // Phase 2: b marches onto a -> exactly one separability-lost event.
+  DiskGenerator gen_b2(5, 1.0, {0.5, 0});
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(group.Insert("b", gen_b2.Next()).ok());
+  }
+  auto events = group.Poll();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, PairEvent::Kind::kSeparabilityLost);
+  EXPECT_TRUE(group.Poll().empty());  // No re-report without a transition.
+
+  // Phase 3: b surrounds a -> containment event.
+  CircleGenerator ring(6, 64, 30.0);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(group.Insert("b", ring.Next()).ok());
+  }
+  events = group.Poll();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, PairEvent::Kind::kContainmentStarted);
+  EXPECT_EQ(events[0].first, "a");
+  EXPECT_EQ(events[0].second, "b");
+}
+
+TEST(RegionHullTest, CreateValidation) {
+  Status st;
+  EXPECT_EQ(RegionPartitionedHull::Create({}, Opts(), &st), nullptr);
+  EXPECT_FALSE(st.ok());
+  // Degenerate region.
+  EXPECT_EQ(RegionPartitionedHull::Create(
+                {ConvexPolygon({{0, 0}, {1, 1}})}, Opts(), &st),
+            nullptr);
+  EXPECT_FALSE(st.ok());
+  auto ok = RegionPartitionedHull::Create(
+      {ConvexPolygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}})}, Opts(), &st);
+  EXPECT_TRUE(st.ok());
+  EXPECT_NE(ok, nullptr);
+}
+
+TEST(RegionHullTest, RoutesPointsToRegions) {
+  Status st;
+  auto rp = RegionPartitionedHull::Create(
+      {ConvexPolygon({{-10, -10}, {0, -10}, {0, 10}, {-10, 10}}),
+       ConvexPolygon({{1, -10}, {10, -10}, {10, 10}, {1, 10}})},
+      Opts(), &st);
+  ASSERT_TRUE(st.ok());
+  rp->Insert({-5, 0});   // Region 0.
+  rp->Insert({5, 0});    // Region 1.
+  rp->Insert({0.5, 0});  // Gap between regions -> outliers.
+  rp->Insert({50, 50});  // Far outside -> outliers.
+  EXPECT_EQ(rp->RegionCount(0), 1u);
+  EXPECT_EQ(rp->RegionCount(1), 1u);
+  EXPECT_EQ(rp->OutlierCount(), 2u);
+  EXPECT_EQ(rp->num_points(), 4u);
+}
+
+TEST(RegionHullTest, LShapePreservesCavity) {
+  // The §8 motivation: an "L"-shaped stream. A single hull hides the cavity;
+  // the partitioned shape does not.
+  Status st;
+  auto rp = RegionPartitionedHull::Create(
+      {// Vertical bar of the L.
+       ConvexPolygon({{0, 0}, {2, 0}, {2, 10}, {0, 10}}),
+       // Horizontal bar.
+       ConvexPolygon({{2, 0}, {10, 0}, {10, 2}, {2, 2}})},
+      Opts(), &st);
+  ASSERT_TRUE(st.ok());
+  Rng rng(7);
+  AdaptiveHull single(Opts());
+  for (int i = 0; i < 6000; ++i) {
+    // Sample uniformly from the L.
+    Point2 p;
+    if (rng.Bernoulli(0.5)) {
+      p = {rng.Uniform(0, 2), rng.Uniform(0, 10)};
+    } else {
+      p = {rng.Uniform(2, 10), rng.Uniform(0, 2)};
+    }
+    rp->Insert(p);
+    single.Insert(p);
+  }
+  // The cavity point (7, 7) is inside the single hull's approximation but
+  // outside every region hull.
+  const Point2 cavity{5, 5};
+  EXPECT_TRUE(single.Polygon().Contains(cavity));
+  for (const ConvexPolygon& poly : rp->Shape()) {
+    EXPECT_FALSE(poly.Contains(cavity));
+  }
+  // Total shape area ~ area of the L (= 36), far below the single hull's.
+  double shape_area = 0;
+  for (const ConvexPolygon& poly : rp->Shape()) shape_area += poly.Area();
+  EXPECT_NEAR(shape_area, 36.0, 4.0);
+  EXPECT_GT(single.Polygon().Area(), 55.0);
+  // And the union hull agrees with the single summary's hull (within error).
+  EXPECT_NEAR(rp->UnionHull().Area(), single.Polygon().Area(),
+              0.1 * single.Polygon().Area());
+}
+
+TEST(RegionHullTest, PerRegionSummariesAreConsistent) {
+  Status st;
+  auto rp = RegionPartitionedHull::Create(
+      {ConvexPolygon({{-20, -20}, {0, -20}, {0, 20}, {-20, 20}}),
+       ConvexPolygon({{0, -20}, {20, -20}, {20, 20}, {0, 20}})},
+      Opts(), &st);
+  ASSERT_TRUE(st.ok());
+  ClusterGenerator gen(9, 6);
+  for (int i = 0; i < 3000; ++i) rp->Insert(gen.Next() * 10.0);
+  for (size_t i = 0; i < rp->num_regions(); ++i) {
+    EXPECT_TRUE(rp->RegionHull(i).CheckConsistency().ok());
+  }
+  EXPECT_TRUE(rp->OutlierHull().CheckConsistency().ok());
+}
+
+}  // namespace
+}  // namespace streamhull

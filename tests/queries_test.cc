@@ -1,0 +1,371 @@
+// Tests for the query layer (§6): diameter/width calipers vs brute force,
+// directional extent, separation (sweep vs GJK), separability certificates,
+// containment, convex intersection, smallest enclosing circle.
+
+#include "queries/queries.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/convex_hull.h"
+
+namespace streamhull {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+ConvexPolygon RandomHull(Rng& rng, int n, Point2 center = {0, 0},
+                         double scale = 1.0) {
+  std::vector<Point2> pts;
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(0, kTwoPi);
+    const double r = scale * (0.2 + rng.NextDouble());
+    pts.push_back(center + Point2{r * std::cos(a), r * std::sin(a)});
+  }
+  return ConvexPolygon(ConvexHullOf(pts));
+}
+
+// --- Diameter ---
+
+TEST(DiameterTest, Square) {
+  const ConvexPolygon sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_NEAR(Diameter(sq).value, 2 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(DiameterTest, Degenerate) {
+  EXPECT_DOUBLE_EQ(Diameter(ConvexPolygon()).value, 0.0);
+  EXPECT_DOUBLE_EQ(Diameter(ConvexPolygon({{1, 1}})).value, 0.0);
+  EXPECT_DOUBLE_EQ(Diameter(ConvexPolygon({{0, 0}, {3, 4}})).value, 5.0);
+}
+
+class DiameterDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiameterDifferentialTest, CalipersMatchBrute) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 22695477u + 3);
+  const ConvexPolygon poly = RandomHull(rng, 20 + GetParam() * 5);
+  if (poly.size() < 3) return;
+  EXPECT_NEAR(Diameter(poly).value, DiameterBrute(poly).value, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DiameterDifferentialTest,
+                         ::testing::Range(0, 80));
+
+// --- Width ---
+
+TEST(WidthTest, RectangleWidthIsShortSide) {
+  const ConvexPolygon rect({{0, 0}, {10, 0}, {10, 2}, {0, 2}});
+  EXPECT_NEAR(Width(rect).value, 2.0, 1e-12);
+}
+
+TEST(WidthTest, Degenerate) {
+  EXPECT_DOUBLE_EQ(Width(ConvexPolygon({{0, 0}, {5, 5}})).value, 0.0);
+  EXPECT_DOUBLE_EQ(Width(ConvexPolygon({{3, 3}})).value, 0.0);
+}
+
+class WidthDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidthDifferentialTest, CalipersMatchBrute) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 134775813u + 19);
+  const ConvexPolygon poly = RandomHull(rng, 25 + GetParam() * 3);
+  if (poly.size() < 3) return;
+  EXPECT_NEAR(Width(poly).value, WidthBrute(poly).value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, WidthDifferentialTest,
+                         ::testing::Range(0, 80));
+
+// --- Extent ---
+
+TEST(ExtentTest, SquareAlongAxes) {
+  const ConvexPolygon sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_NEAR(DirectionalExtent(sq, {1, 0}), 2.0, 1e-12);
+  EXPECT_NEAR(DirectionalExtent(sq, {0, 1}), 2.0, 1e-12);
+  EXPECT_NEAR(DirectionalExtent(sq, {3, 0}), 2.0, 1e-12);  // Normalized.
+  EXPECT_NEAR(DirectionalExtent(sq, {1, 1}), 2 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(ExtentTest, WidthIsMinExtentDiameterIsMaxExtent) {
+  Rng rng(77);
+  const ConvexPolygon poly = RandomHull(rng, 60);
+  double min_e = 1e300, max_e = 0;
+  for (int k = 0; k < 720; ++k) {
+    const double e = DirectionalExtent(poly, UnitVector(kTwoPi * k / 720));
+    min_e = std::min(min_e, e);
+    max_e = std::max(max_e, e);
+  }
+  EXPECT_NEAR(min_e, Width(poly).value, 0.01 * Width(poly).value + 1e-9);
+  EXPECT_NEAR(max_e, Diameter(poly).value, 0.01 * Diameter(poly).value);
+}
+
+// --- Separation ---
+
+TEST(SeparationTest, DisjointSquares) {
+  const ConvexPolygon a({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  const ConvexPolygon b({{3, 0}, {4, 0}, {4, 1}, {3, 1}});
+  const auto s = Separation(a, b);
+  EXPECT_TRUE(s.separated);
+  EXPECT_NEAR(s.distance, 2.0, 1e-12);
+  EXPECT_NEAR(Distance(s.a, s.b), s.distance, 1e-12);
+}
+
+TEST(SeparationTest, OverlappingSquares) {
+  const ConvexPolygon a({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  const ConvexPolygon b({{1, 1}, {3, 1}, {3, 3}, {1, 3}});
+  const auto s = Separation(a, b);
+  EXPECT_FALSE(s.separated);
+  EXPECT_DOUBLE_EQ(s.distance, 0.0);
+}
+
+TEST(SeparationTest, NestedSquares) {
+  const ConvexPolygon outer({{-5, -5}, {5, -5}, {5, 5}, {-5, 5}});
+  const ConvexPolygon inner({{-1, -1}, {1, -1}, {1, 1}, {-1, 1}});
+  EXPECT_FALSE(Separation(outer, inner).separated);
+  EXPECT_FALSE(Separation(inner, outer).separated);
+}
+
+TEST(SeparationTest, TouchingSquaresHaveZeroDistance) {
+  const ConvexPolygon a({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  const ConvexPolygon b({{1, 0}, {2, 0}, {2, 1}, {1, 1}});
+  const auto s = Separation(a, b);
+  EXPECT_DOUBLE_EQ(s.distance, 0.0);
+  EXPECT_FALSE(s.separated);
+}
+
+class SeparationDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeparationDifferentialTest, MinkowskiMatchesSweep) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 69069u + 5);
+  const double gap = rng.Uniform(-1.0, 4.0);  // Negative -> likely overlap.
+  const ConvexPolygon a = RandomHull(rng, 30, {0, 0});
+  const ConvexPolygon b = RandomHull(rng, 30, {2.4 + gap, 0});
+  if (a.size() < 3 || b.size() < 3) return;
+  const auto exact = Separation(a, b);
+  const auto mink = SeparationMinkowski(a, b);
+  EXPECT_EQ(exact.separated, mink.separated) << "case " << GetParam();
+  EXPECT_NEAR(exact.distance, mink.distance,
+              1e-6 * std::max(1.0, exact.distance))
+      << "case " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SeparationDifferentialTest,
+                         ::testing::Range(0, 120));
+
+TEST(SeparabilityTest, CertificateIsVerifiable) {
+  Rng rng(11);
+  for (int t = 0; t < 50; ++t) {
+    const double off = rng.Uniform(2.5, 6.0);
+    const ConvexPolygon a = RandomHull(rng, 25, {0, 0});
+    const ConvexPolygon b = RandomHull(rng, 25, {off, 0});
+    if (a.size() < 3 || b.size() < 3) continue;
+    const auto cert = LinearSeparability(a, b);
+    ASSERT_TRUE(cert.separable);
+    // All of a on one side, all of b on the other.
+    const Point2 n = cert.line_dir.PerpCw();
+    double max_a = -1e300, min_b = 1e300;
+    for (size_t i = 0; i < a.size(); ++i) {
+      max_a = std::max(max_a, Dot(a[i] - cert.line_point, n));
+    }
+    for (size_t i = 0; i < b.size(); ++i) {
+      min_b = std::min(min_b, Dot(b[i] - cert.line_point, n));
+    }
+    const bool a_below_b = max_a <= 1e-9 && min_b >= -1e-9;
+    const bool b_below_a = min_b <= 1e-9 && max_a >= -1e-9;
+    EXPECT_TRUE(a_below_b || b_below_a) << max_a << " " << min_b;
+  }
+}
+
+TEST(SeparabilityTest, InseparableWitnessInBothHulls) {
+  const ConvexPolygon a({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  const ConvexPolygon b({{2, 2}, {6, 2}, {6, 6}, {2, 6}});
+  const auto cert = LinearSeparability(a, b);
+  ASSERT_FALSE(cert.separable);
+  EXPECT_TRUE(a.Contains(cert.witness));
+  EXPECT_TRUE(b.Contains(cert.witness));
+}
+
+// --- Containment ---
+
+TEST(ContainmentTest, Basics) {
+  const ConvexPolygon outer({{-5, -5}, {5, -5}, {5, 5}, {-5, 5}});
+  const ConvexPolygon inner({{-1, 0}, {1, 0}, {0, 1}});
+  EXPECT_TRUE(HullContains(outer, inner));
+  EXPECT_FALSE(HullContains(inner, outer));
+  EXPECT_TRUE(HullContains(outer, outer));  // Closed containment.
+  EXPECT_TRUE(HullContains(outer, ConvexPolygon()));
+  EXPECT_FALSE(HullContains(ConvexPolygon(), inner));
+}
+
+// --- Intersection / overlap ---
+
+TEST(IntersectTest, OverlappingSquares) {
+  const ConvexPolygon a({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  const ConvexPolygon b({{1, 1}, {3, 1}, {3, 3}, {1, 3}});
+  const ConvexPolygon x = IntersectConvex(a, b);
+  EXPECT_NEAR(x.Area(), 1.0, 1e-12);
+  EXPECT_NEAR(OverlapArea(a, b), 1.0, 1e-12);
+}
+
+TEST(IntersectTest, DisjointGivesEmpty) {
+  const ConvexPolygon a({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  const ConvexPolygon b({{5, 5}, {6, 5}, {6, 6}, {5, 6}});
+  EXPECT_DOUBLE_EQ(OverlapArea(a, b), 0.0);
+}
+
+TEST(IntersectTest, NestedGivesInner) {
+  const ConvexPolygon outer({{-5, -5}, {5, -5}, {5, 5}, {-5, 5}});
+  const ConvexPolygon inner({{-1, -1}, {1, -1}, {1, 1}, {-1, 1}});
+  EXPECT_NEAR(OverlapArea(outer, inner), inner.Area(), 1e-12);
+  EXPECT_NEAR(OverlapArea(inner, outer), inner.Area(), 1e-12);
+}
+
+TEST(IntersectTest, AreaBoundsAndSymmetry) {
+  Rng rng(13);
+  for (int t = 0; t < 60; ++t) {
+    const ConvexPolygon a = RandomHull(rng, 20, {0, 0});
+    const ConvexPolygon b =
+        RandomHull(rng, 20, {rng.Uniform(-1.5, 1.5), rng.Uniform(-1.5, 1.5)});
+    if (a.size() < 3 || b.size() < 3) continue;
+    const double ab = OverlapArea(a, b);
+    const double ba = OverlapArea(b, a);
+    EXPECT_NEAR(ab, ba, 1e-9 * std::max(1.0, ab));
+    EXPECT_LE(ab, std::min(a.Area(), b.Area()) + 1e-9);
+    EXPECT_GE(ab, -1e-12);
+  }
+}
+
+// --- Oriented bounding box ---
+
+TEST(BoundingBoxTest, AxisAlignedRectangle) {
+  const ConvexPolygon rect({{0, 0}, {4, 0}, {4, 2}, {0, 2}});
+  const OrientedBox box = MinAreaBoundingBox(rect);
+  EXPECT_NEAR(box.Area(), 8.0, 1e-9);
+  EXPECT_NEAR(box.center.x, 2.0, 1e-9);
+  EXPECT_NEAR(box.center.y, 1.0, 1e-9);
+}
+
+TEST(BoundingBoxTest, RotatedRectangleRecoversItsOwnBox) {
+  std::vector<Point2> corners{{0, 0}, {4, 0}, {4, 2}, {0, 2}};
+  for (Point2& c : corners) c = Rotate(c, 0.7);
+  const OrientedBox box = MinAreaBoundingBox(ConvexPolygon(ConvexHullOf(corners)));
+  EXPECT_NEAR(box.Area(), 8.0, 1e-9);
+}
+
+TEST(BoundingBoxTest, Degenerate) {
+  EXPECT_DOUBLE_EQ(MinAreaBoundingBox(ConvexPolygon()).Area(), 0.0);
+  EXPECT_DOUBLE_EQ(MinAreaBoundingBox(ConvexPolygon({{3, 4}})).Area(), 0.0);
+  const OrientedBox seg = MinAreaBoundingBox(ConvexPolygon({{0, 0}, {3, 4}}));
+  EXPECT_NEAR(seg.Area(), 0.0, 1e-12);
+  EXPECT_NEAR(seg.extent_u, 5.0, 1e-12);  // Box flush with the segment.
+}
+
+class BoundingBoxDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundingBoxDifferentialTest, FastMatchesBrute) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 48271u + 23);
+  const ConvexPolygon poly = RandomHull(rng, 40 + GetParam());
+  if (poly.size() < 3) return;
+  const OrientedBox fast = MinAreaBoundingBox(poly);
+  const OrientedBox brute = MinAreaBoundingBoxBrute(poly);
+  EXPECT_NEAR(fast.Area(), brute.Area(), 1e-9 * std::max(1.0, brute.Area()));
+  // The box must actually contain every vertex.
+  for (size_t i = 0; i < poly.size(); ++i) {
+    const Point2 d = poly[i] - fast.center;
+    EXPECT_LE(std::abs(Dot(d, fast.axis)), fast.extent_u / 2 + 1e-9);
+    EXPECT_LE(std::abs(Dot(d, fast.axis.PerpCcw())), fast.extent_v / 2 + 1e-9);
+  }
+  // Optimality sanity: no sampled rotation beats it.
+  for (int k = 0; k < 90; ++k) {
+    const Point2 u = UnitVector(kTwoPi * k / 180.0);
+    double umax = -1e300, umin = 1e300, vmax = -1e300, vmin = 1e300;
+    for (size_t i = 0; i < poly.size(); ++i) {
+      umax = std::max(umax, Dot(poly[i], u));
+      umin = std::min(umin, Dot(poly[i], u));
+      vmax = std::max(vmax, Dot(poly[i], u.PerpCcw()));
+      vmin = std::min(vmin, Dot(poly[i], u.PerpCcw()));
+    }
+    EXPECT_LE(fast.Area(), (umax - umin) * (vmax - vmin) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BoundingBoxDifferentialTest,
+                         ::testing::Range(0, 40));
+
+// --- Hausdorff distance ---
+
+TEST(HausdorffTest, IdenticalPolygonsAreAtDistanceZero) {
+  const ConvexPolygon sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_DOUBLE_EQ(HausdorffDistance(sq, sq), 0.0);
+}
+
+TEST(HausdorffTest, NestedSquares) {
+  const ConvexPolygon outer({{-2, -2}, {2, -2}, {2, 2}, {-2, 2}});
+  const ConvexPolygon inner({{-1, -1}, {1, -1}, {1, 1}, {-1, 1}});
+  // Farthest point of outer from inner: a corner, distance sqrt(2).
+  EXPECT_NEAR(HausdorffDistance(outer, inner), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(HausdorffDistance(inner, outer), std::sqrt(2.0), 1e-12);  // Symmetric.
+}
+
+TEST(HausdorffTest, DisjointTranslates) {
+  const ConvexPolygon a({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  const ConvexPolygon b({{5, 0}, {6, 0}, {6, 1}, {5, 1}});
+  EXPECT_NEAR(HausdorffDistance(a, b), 5.0, 1e-12);
+}
+
+TEST(HausdorffTest, TriangleInequalityOnRandomHulls) {
+  Rng rng(91);
+  for (int t = 0; t < 30; ++t) {
+    const ConvexPolygon a = RandomHull(rng, 20, {0, 0});
+    const ConvexPolygon b = RandomHull(rng, 20, {rng.Uniform(-1, 1), 0});
+    const ConvexPolygon c = RandomHull(rng, 20, {0, rng.Uniform(-1, 1)});
+    if (a.size() < 3 || b.size() < 3 || c.size() < 3) continue;
+    EXPECT_LE(HausdorffDistance(a, c),
+              HausdorffDistance(a, b) + HausdorffDistance(b, c) + 1e-9);
+  }
+}
+
+// --- Smallest enclosing circle ---
+
+TEST(EnclosingCircleTest, Square) {
+  const ConvexPolygon sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  const Circle c = SmallestEnclosingCircle(sq);
+  EXPECT_NEAR(c.center.x, 1.0, 1e-9);
+  EXPECT_NEAR(c.center.y, 1.0, 1e-9);
+  EXPECT_NEAR(c.radius, std::sqrt(2.0), 1e-9);
+}
+
+TEST(EnclosingCircleTest, ObtuseTriangleUsesLongestSide) {
+  // For an obtuse triangle the circle is the diameter circle of the longest
+  // side, not the circumcircle.
+  const ConvexPolygon tri({{0, 0}, {10, 0}, {5, 1}});
+  const Circle c = SmallestEnclosingCircle(tri);
+  EXPECT_NEAR(c.radius, 5.0, 1e-9);
+}
+
+TEST(EnclosingCircleTest, EnclosesAllAndIsTight) {
+  Rng rng(29);
+  for (int t = 0; t < 40; ++t) {
+    const ConvexPolygon poly = RandomHull(rng, 40);
+    if (poly.empty()) continue;
+    const Circle c = SmallestEnclosingCircle(poly);
+    double farthest = 0;
+    for (size_t i = 0; i < poly.size(); ++i) {
+      farthest = std::max(farthest, Distance(c.center, poly[i]));
+    }
+    EXPECT_LE(farthest, c.radius * (1 + 1e-9) + 1e-9);
+    // Tight: radius can't beat half the diameter.
+    EXPECT_GE(c.radius, Diameter(poly).value / 2 - 1e-9);
+  }
+}
+
+TEST(FarthestVertexTest, Basics) {
+  const ConvexPolygon sq({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  const auto f = FarthestVertex(sq, {0, 0});
+  EXPECT_EQ(f.b, Point2(2, 2));
+  EXPECT_NEAR(f.value, 2 * std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace streamhull

@@ -1,0 +1,149 @@
+// Tests for the workload generators (stream/generators.h): determinism,
+// geometric support, and factory behavior.
+
+#include "stream/generators.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "geom/convex_hull.h"
+#include "geom/convex_polygon.h"
+
+namespace streamhull {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(GeneratorsTest, Determinism) {
+  DiskGenerator a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const Point2 pa = a.Next();
+    EXPECT_EQ(pa, b.Next());
+    if (!(pa == c.Next())) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);  // Different seeds give different streams.
+}
+
+TEST(GeneratorsTest, DiskSupport) {
+  DiskGenerator gen(1, 2.0, {5, 5});
+  for (const Point2& p : gen.Take(2000)) {
+    EXPECT_LE(Distance(p, {5, 5}), 2.0 + 1e-12);
+  }
+}
+
+TEST(GeneratorsTest, SquareSupport) {
+  const double rot = 0.3;
+  SquareGenerator gen(2, rot, 1.5);
+  for (const Point2& p : gen.Take(2000)) {
+    const Point2 q = Rotate(p, -rot);
+    EXPECT_LE(std::abs(q.x), 1.5 + 1e-9);
+    EXPECT_LE(std::abs(q.y), 1.5 + 1e-9);
+  }
+}
+
+TEST(GeneratorsTest, EllipseSupportAndAspect) {
+  EllipseGenerator gen(3, 16.0, 0.0);
+  double max_x = 0, max_y = 0;
+  for (const Point2& p : gen.Take(20000)) {
+    max_x = std::max(max_x, std::abs(p.x));
+    max_y = std::max(max_y, std::abs(p.y));
+    EXPECT_LE(p.x * p.x + 256.0 * p.y * p.y, 1.0 + 1e-9);
+  }
+  EXPECT_GT(max_x, 0.95);          // Fills the major axis.
+  EXPECT_LT(max_y, 1.0 / 16 + 1e-9);  // Minor axis is 1/16.
+  EXPECT_GT(max_y, 0.9 / 16);
+}
+
+TEST(GeneratorsTest, ChangingEllipsePhases) {
+  ChangingEllipseGenerator gen(4, 1000, 0.0);
+  // Phase 1 is the near-vertical unit ellipse: |x| <= 1/16.
+  for (const Point2& p : gen.Take(1000)) {
+    EXPECT_LE(std::abs(p.x), 1.0 / 16 + 1e-9);
+    EXPECT_LE(std::abs(p.y), 1.0 + 1e-9);
+  }
+  // Phase 2 is much wider than tall and contains phase 1's extent.
+  double max_x = 0;
+  for (const Point2& p : gen.Take(5000)) {
+    max_x = std::max(max_x, std::abs(p.x));
+    EXPECT_LE(std::abs(p.y), 1.25 + 1e-9);
+  }
+  EXPECT_GT(max_x, 10.0);
+}
+
+TEST(GeneratorsTest, ChangingEllipseSecondContainsFirst) {
+  // The paper requires the second ellipse to completely contain the first:
+  // sample both densely and verify hull containment.
+  ChangingEllipseGenerator gen(5, 4000, 0.1);
+  const auto phase1 = gen.Take(4000);
+  const auto phase2 = gen.Take(4000);
+  const ConvexPolygon hull2(ConvexHullOf(phase2));
+  size_t outside = 0;
+  for (const Point2& p : phase1) {
+    if (!hull2.ContainsBrute(p)) ++outside;
+  }
+  // Sampled hulls are finite approximations; allow a sliver.
+  EXPECT_LT(outside, phase1.size() / 100);
+}
+
+TEST(GeneratorsTest, CirclePointsExactlyOnCircle) {
+  CircleGenerator gen(6, 64, 3.0);
+  auto pts = gen.Take(64);
+  for (const Point2& p : pts) {
+    EXPECT_NEAR(p.Norm(), 3.0, 1e-12);
+  }
+  // All 64 distinct and evenly spaced: sorted angles differ by 2*pi/64.
+  std::vector<double> angles;
+  for (const Point2& p : pts) angles.push_back(std::atan2(p.y, p.x));
+  std::sort(angles.begin(), angles.end());
+  for (size_t i = 1; i < angles.size(); ++i) {
+    EXPECT_NEAR(angles[i] - angles[i - 1], 2 * kPi / 64, 1e-9);
+  }
+  // Repeats after a full cycle.
+  EXPECT_EQ(gen.Next(), pts[0]);
+}
+
+TEST(GeneratorsTest, SpiralRadiusGrowsMonotonically) {
+  SpiralGenerator gen(7, 1e-3);
+  double prev = 0;
+  for (const Point2& p : gen.Take(500)) {
+    EXPECT_GT(p.Norm(), prev);
+    prev = p.Norm();
+  }
+}
+
+TEST(GeneratorsTest, DriftWalkIsContinuous) {
+  DriftWalkGenerator gen(8, 0.01);
+  Point2 prev = gen.Next();
+  for (const Point2& p : gen.Take(500)) {
+    EXPECT_LE(Distance(prev, p), 0.05);
+    prev = p;
+  }
+}
+
+TEST(GeneratorsTest, ClustersStayNearCenters) {
+  ClusterGenerator gen(9, 3, 0.01);
+  for (const Point2& p : gen.Take(500)) {
+    EXPECT_LE(std::abs(p.x), 1.2);
+    EXPECT_LE(std::abs(p.y), 1.2);
+  }
+}
+
+TEST(Table1FactoryTest, KnownNames) {
+  EXPECT_NE(MakeTable1Workload("disk", 1, 100), nullptr);
+  EXPECT_NE(MakeTable1Workload("square@0", 1, 100), nullptr);
+  EXPECT_NE(MakeTable1Workload("square@1/4", 1, 100), nullptr);
+  EXPECT_NE(MakeTable1Workload("ellipse@1/3", 1, 100), nullptr);
+  EXPECT_NE(MakeTable1Workload("changing@1/2", 1, 100), nullptr);
+}
+
+TEST(Table1FactoryTest, UnknownNamesReturnNull) {
+  EXPECT_EQ(MakeTable1Workload("torus", 1, 100), nullptr);
+  EXPECT_EQ(MakeTable1Workload("square@2/3", 1, 100), nullptr);
+  EXPECT_EQ(MakeTable1Workload("square", 1, 100), nullptr);
+}
+
+}  // namespace
+}  // namespace streamhull
