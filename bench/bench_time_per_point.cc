@@ -1,15 +1,15 @@
 // Per-point processing cost (Theorem 5.4: amortized O(log r)). Sweeps r for
-// the naive O(r)-per-point uniform hull, the searchable-list uniform hull,
-// and the adaptive hull, on an isotropic disk stream and on the adversarial
-// spiral (every point displaces a sample). The naive baseline's time grows
-// linearly with r; the searchable-list structures grow ~logarithmically.
+// the naive O(r)-per-point uniform hull and for every HullEngine kind, on an
+// isotropic disk stream and on the adversarial spiral (every point displaces
+// a sample). The naive baseline's time grows linearly with r; the
+// searchable-list engines grow ~logarithmically.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <vector>
 
-#include "core/adaptive_hull.h"
+#include "core/hull_engine.h"
 #include "core/naive_uniform_hull.h"
 #include "stream/generators.h"
 
@@ -39,29 +39,19 @@ void BM_NaiveUniformInsert(benchmark::State& state) {
                           static_cast<int64_t>(stream.size()));
 }
 
-void BM_UniformHullInsert(benchmark::State& state) {
-  const uint32_t r = static_cast<uint32_t>(state.range(0));
-  const bool spiral = state.range(1) != 0;
+// One benchmark for every engine kind: the engine is selected by argument,
+// so new kinds join the sweep by extending AllEngineKinds().
+void BM_EngineInsert(benchmark::State& state) {
+  const EngineKind kind = static_cast<EngineKind>(state.range(0));
+  const uint32_t r = static_cast<uint32_t>(state.range(1));
+  const bool spiral = state.range(2) != 0;
   const auto stream = MakeStream(spiral, 20000);
+  EngineOptions o;
+  o.hull.r = r;
   for (auto _ : state) {
-    UniformHull h(r);
-    for (const Point2& p : stream) h.Insert(p);
-    benchmark::DoNotOptimize(h.num_points());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(stream.size()));
-}
-
-void BM_AdaptiveHullInsert(benchmark::State& state) {
-  const uint32_t r = static_cast<uint32_t>(state.range(0));
-  const bool spiral = state.range(1) != 0;
-  const auto stream = MakeStream(spiral, 20000);
-  AdaptiveHullOptions o;
-  o.r = r;
-  for (auto _ : state) {
-    AdaptiveHull h(o);
-    for (const Point2& p : stream) h.Insert(p);
-    benchmark::DoNotOptimize(h.num_points());
+    auto engine = MakeEngine(kind, o);
+    for (const Point2& p : stream) engine->Insert(p);
+    benchmark::DoNotOptimize(engine->num_points());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(stream.size()));
@@ -75,9 +65,19 @@ void RArgs(benchmark::internal::Benchmark* b) {
   }
 }
 
+void EngineRArgs(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"engine", "r", "spiral"});
+  for (EngineKind kind : AllEngineKinds()) {
+    for (int spiral : {0, 1}) {
+      for (int r : {16, 64, 256, 1024}) {
+        b->Args({static_cast<int64_t>(kind), r, spiral});
+      }
+    }
+  }
+}
+
 BENCHMARK(BM_NaiveUniformInsert)->Apply(RArgs)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_UniformHullInsert)->Apply(RArgs)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_AdaptiveHullInsert)->Apply(RArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineInsert)->Apply(EngineRArgs)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

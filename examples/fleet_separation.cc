@@ -1,89 +1,106 @@
 // Two-stream monitoring (paper §1, §6): track the minimum distance between
 // the convex hulls of two vehicle fleets, report when they stop being
 // linearly separable, and detect when one fleet's extent becomes surrounded
-// by the other's. Each fleet is summarized independently by an AdaptiveHull;
-// all queries run on the summaries.
+// by the other's. The fleets live in a StreamGroup: each is summarized by
+// its own HullEngine (fleet A affords the adaptive engine; fleet B's denser
+// feed runs the uniform engine), position fixes arrive through the batched
+// ingestion path, and the separability/containment transitions come from
+// the group's event poll instead of hand-rolled state tracking.
 //
 // Scenario: fleet A patrols a slowly-expanding loop; fleet B approaches from
 // the east, pushes through A's area, then encircles it.
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.h"
-#include "core/adaptive_hull.h"
-#include "queries/queries.h"
+#include "multi/stream_group.h"
 
 int main() {
   using namespace streamhull;
 
-  AdaptiveHullOptions options;
-  options.r = 16;
-  AdaptiveHull fleet_a(options);
-  AdaptiveHull fleet_b(options);
+  EngineOptions options;
+  options.hull.r = 16;
+  StreamGroup fleets(options);
+  if (!fleets.AddStream("A", EngineKind::kAdaptive).ok() ||
+      !fleets.AddStream("B", EngineKind::kUniform).ok() ||
+      !fleets.WatchPair("A", "B").ok()) {
+    std::printf("stream setup failed\n");
+    return 1;
+  }
 
   Rng rng(7);
   const double kTwoPi = 6.283185307179586;
 
-  bool was_separable = true;
-  bool reported_containment = false;
   std::printf("tick  |A|hull  |B|hull  distance   separable  A-inside-B\n");
   for (int tick = 0; tick < 240; ++tick) {
     const double t = tick / 240.0;
-    // Fleet A: ring patrol around the origin, radius ~2.
+    // Fleet A: ring patrol around the origin, radius ~2. Each tick's 40
+    // position fixes arrive as one batch.
+    std::vector<Point2> fixes_a, fixes_b;
     for (int v = 0; v < 40; ++v) {
       const double a = rng.Uniform(0, kTwoPi);
       const double r = 1.6 + 0.4 * rng.NextDouble();
-      fleet_a.Insert({r * std::cos(a), r * std::sin(a)});
+      fixes_a.push_back({r * std::cos(a), r * std::sin(a)});
     }
     // Fleet B: starts as a clump 12 units east, sweeps inward, and late in
     // the scenario spreads into a wide surrounding ring.
     for (int v = 0; v < 40; ++v) {
       if (t < 0.6) {
         const Point2 c{12.0 * (1.0 - t / 0.6) + 3.0 * (t / 0.6), 0.0};
-        fleet_b.Insert(c + Point2{0.8 * rng.Normal(), 0.8 * rng.Normal()});
+        fixes_b.push_back(c + Point2{0.8 * rng.Normal(), 0.8 * rng.Normal()});
       } else {
         const double a = rng.Uniform(0, kTwoPi);
         const double r = 6.0 + 1.5 * rng.NextDouble();
-        fleet_b.Insert({r * std::cos(a), r * std::sin(a)});
+        fixes_b.push_back({r * std::cos(a), r * std::sin(a)});
       }
     }
+    (void)fleets.InsertBatch("A", fixes_a);
+    (void)fleets.InsertBatch("B", fixes_b);
 
-    const ConvexPolygon ha = fleet_a.Polygon();
-    const ConvexPolygon hb = fleet_b.Polygon();
-    const SeparabilityCertificate cert = LinearSeparability(ha, hb);
-    const bool contained = HullContains(hb, ha);
-
-    if (tick % 24 == 0 || cert.separable != was_separable ||
-        (contained && !reported_containment)) {
-      std::printf("%4d  %7zu  %7zu  %9.4f  %9s  %s\n", tick, ha.size(),
-                  hb.size(),
-                  cert.separable ? cert.margin : 0.0,
-                  cert.separable ? "yes" : "NO",
-                  contained ? "YES" : "no");
+    PairReport report;
+    if (!fleets.Report("A", "B", &report).ok()) continue;
+    if (tick % 24 == 0) {
+      std::printf("%4d  %7zu  %7zu  %9.4f  %9s  %s\n", tick,
+                  fleets.Hull("A")->Polygon().size(),
+                  fleets.Hull("B")->Polygon().size(), report.distance,
+                  report.separable ? "yes" : "NO",
+                  report.b_contains_a ? "YES" : "no");
     }
-    if (cert.separable != was_separable) {
-      if (!cert.separable) {
-        std::printf("      >> fleets are no longer linearly separable "
-                    "(witness point %.3f, %.3f)\n",
-                    cert.witness.x, cert.witness.y);
-      } else {
-        std::printf("      >> fleets separated again (margin %.4f)\n",
-                    cert.margin);
+    for (const PairEvent& event : fleets.Poll()) {
+      switch (event.kind) {
+        case PairEvent::Kind::kSeparabilityLost:
+          std::printf("      >> fleets are no longer linearly separable\n");
+          break;
+        case PairEvent::Kind::kSeparabilityGained:
+          std::printf("      >> fleets separated again (margin %.4f)\n",
+                      report.distance);
+          break;
+        case PairEvent::Kind::kContainmentStarted:
+          std::printf("      >> fleet %s is now completely surrounded by "
+                      "fleet %s's extent\n",
+                      event.first.c_str(), event.second.c_str());
+          break;
+        case PairEvent::Kind::kContainmentEnded:
+          std::printf("      >> fleet %s is no longer surrounded by "
+                      "fleet %s\n",
+                      event.first.c_str(), event.second.c_str());
+          break;
       }
-      was_separable = cert.separable;
-    }
-    if (contained && !reported_containment) {
-      std::printf("      >> fleet A is now completely surrounded by "
-                  "fleet B's extent\n");
-      reported_containment = true;
     }
   }
 
-  const double overlap = OverlapArea(fleet_a.Polygon(), fleet_b.Polygon());
-  std::printf("\nfinal overlap area between the two extents: %.4f\n", overlap);
-  std::printf("summary sizes: A=%zu samples, B=%zu samples (budget %u each)\n",
-              fleet_a.num_directions(), fleet_b.num_directions(),
-              2 * options.r + 1);
+  PairReport final_report;
+  if (fleets.Report("A", "B", &final_report).ok()) {
+    std::printf("\nfinal overlap area between the two extents: %.4f\n",
+                final_report.overlap_area);
+  }
+  for (const char* name : {"A", "B"}) {
+    const HullEngine* h = fleets.Hull(name);
+    std::printf("fleet %s: %s engine, %zu samples from %llu fixes\n", name,
+                EngineKindName(h->kind()), h->Samples().size(),
+                static_cast<unsigned long long>(h->num_points()));
+  }
   return 0;
 }

@@ -1,40 +1,55 @@
-// Quickstart: summarize a point stream with an AdaptiveHull and ask it the
+// Quickstart: summarize a point stream with a HullEngine and ask it the
 // basic extremal questions (§6). Everything here is the public API:
 //
-//   AdaptiveHull          the streaming summary (O(log r) per point,
-//                         <= 2r+1 samples, O(D/r^2) error)
-//   ConvexPolygon         snapshot of the approximate hull
-//   queries/queries.h     diameter, width, extent, enclosing circle, ...
+//   MakeEngine / HullEngine   the streaming summary behind a strategy enum
+//                             (EngineKind::kAdaptive: O(log r) per point,
+//                             <= 2r+1 samples, O(D/r^2) error)
+//   InsertBatch               batched ingestion fast path
+//   ConvexPolygon             snapshot of the approximate hull
+//   queries/queries.h         diameter, width, extent, enclosing circle, ...
 
 #include <cstdio>
 
-#include "core/adaptive_hull.h"
+#include "core/hull_engine.h"
 #include "queries/queries.h"
 #include "stream/generators.h"
 
 int main() {
   using namespace streamhull;
 
-  // Configure a summary with r = 32 base directions. The default mode keeps
-  // the paper's weight invariant (between r and 2r+1 stored samples).
-  AdaptiveHullOptions options;
-  options.r = 32;
-  AdaptiveHull hull(options);
+  // Configure a summary with r = 32 base directions. The default adaptive
+  // engine keeps the paper's weight invariant (between r and 2r+1 stored
+  // samples); swap the EngineKind to change the maintenance strategy
+  // without touching anything below.
+  EngineOptions options;
+  options.hull.r = 32;
+  auto hull = MakeEngine(EngineKind::kAdaptive, options);
+  std::printf("engine                  : %s\n", EngineKindName(hull->kind()));
 
-  // Feed it a stream: 100k points from a skewed ellipse. Any source of
-  // Point2 works; the summary never stores more than 2r+1 of them.
+  // Feed it a stream: 100k points from a skewed ellipse, ingested in
+  // batches of 4096. Any source of Point2 works; the summary never stores
+  // more than 2r+1 of them, and batching lets interior points be rejected
+  // with an O(log r) test instead of the full update machinery.
   EllipseGenerator stream(/*seed=*/1, /*aspect=*/8.0, /*rotation=*/0.35);
-  for (int i = 0; i < 100000; ++i) hull.Insert(stream.Next());
+  for (size_t remaining = 100000; remaining > 0;) {
+    const size_t take = remaining < 4096 ? remaining : 4096;
+    const auto chunk = stream.Take(take);
+    hull->InsertBatch(chunk);
+    remaining -= take;
+  }
 
   std::printf("stream points processed : %llu\n",
-              static_cast<unsigned long long>(hull.num_points()));
+              static_cast<unsigned long long>(hull->num_points()));
   std::printf("samples stored          : %zu (budget 2r+1 = %u)\n",
-              hull.num_directions(), 2 * options.r + 1);
+              hull->Samples().size(), 2 * options.hull.r + 1);
+  std::printf("prefilter rejections    : %llu\n",
+              static_cast<unsigned long long>(
+                  hull->stats().batch_prefilter_rejections));
   std::printf("a-priori error bound    : %.6f (16*pi*P/r^2)\n",
-              hull.ErrorBound());
+              hull->ErrorBound());
 
   // Snapshot the approximate hull and run extremal queries on it.
-  const ConvexPolygon poly = hull.Polygon();
+  const ConvexPolygon poly = hull->Polygon();
   std::printf("hull vertices           : %zu\n", poly.size());
   std::printf("area / perimeter        : %.6f / %.6f\n", poly.Area(),
               poly.Perimeter());

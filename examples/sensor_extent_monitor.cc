@@ -1,6 +1,6 @@
 // Sensor-network scenario from the paper's introduction: sensors report the
 // locations where a chemical leak has been detected; the monitoring station
-// keeps an AdaptiveHull as a tiny, mergeable summary and periodically
+// keeps a hull engine as a tiny, mergeable summary and periodically
 // answers "what is the smallest convex region containing every detection,
 // and how large is it in each direction?" — with provable O(D/r^2) slack.
 //
@@ -12,16 +12,17 @@
 #include <cstdio>
 
 #include "common/rng.h"
-#include "core/adaptive_hull.h"
+#include "core/hull_engine.h"
 #include "eval/svg.h"
 #include "queries/queries.h"
 
 int main() {
   using namespace streamhull;
 
-  AdaptiveHullOptions options;
-  options.r = 24;
-  AdaptiveHull leak_region(options);
+  EngineOptions options;
+  options.hull.r = 24;
+  auto engine = MakeEngine(EngineKind::kAdaptive, options);
+  HullEngine& leak_region = *engine;
 
   Rng rng(2026);
   std::vector<Point2> all_detections;  // Kept only to draw the picture.
@@ -36,18 +37,20 @@ int main() {
     const Point2 center{0.8 * t, 0.25 * t};
     const double sx = 0.4 + 0.22 * t;  // Along-wind spread.
     const double sy = 0.15 + 0.07 * t; // Cross-wind spread.
+    // The hour's detections arrive as one batch through the fast path.
+    std::vector<Point2> hourly;
+    hourly.reserve(reports_per_hour);
     for (int i = 0; i < reports_per_hour; ++i) {
-      const Point2 detection =
-          center + Point2{sx * rng.Normal(), sy * rng.Normal()};
-      leak_region.Insert(detection);
-      all_detections.push_back(detection);
+      hourly.push_back(center + Point2{sx * rng.Normal(), sy * rng.Normal()});
     }
+    leak_region.InsertBatch(hourly);
+    all_detections.insert(all_detections.end(), hourly.begin(), hourly.end());
 
     const ConvexPolygon region = leak_region.Polygon();
     std::printf("%4d  %10llu  %7zu  %9.4f  %8.4f  %7.4f  %10.4f  %.5f\n",
                 hour,
                 static_cast<unsigned long long>(leak_region.num_points()),
-                leak_region.num_directions(), region.Area(),
+                leak_region.Samples().size(), region.Area(),
                 Diameter(region).value, Width(region).value,
                 DirectionalExtent(region, {1, 0}), leak_region.ErrorBound());
   }
@@ -64,9 +67,9 @@ int main() {
 
   std::printf("summary memory: %zu samples for %llu detections "
               "(%.4f%% of the stream)\n",
-              leak_region.num_directions(),
+              leak_region.Samples().size(),
               static_cast<unsigned long long>(leak_region.num_points()),
-              100.0 * static_cast<double>(leak_region.num_directions()) /
+              100.0 * static_cast<double>(leak_region.Samples().size()) /
                   static_cast<double>(leak_region.num_points()));
   return 0;
 }

@@ -1,8 +1,8 @@
-// Shape explorer: runs every built-in workload generator through uniform and
-// adaptive summaries of the same sample budget and prints a side-by-side
-// quality comparison — a quick way to see where adaptivity pays off (skinny
-// and rotating shapes) and where it doesn't (isotropic disks). Also writes
-// an SVG gallery of the adaptive summaries.
+// Shape explorer: runs every built-in workload generator through every
+// HullEngine kind and prints a side-by-side quality comparison — a quick
+// way to see where adaptivity pays off (skinny and rotating shapes), where
+// it doesn't (isotropic disks), and how the frozen / offline strategies
+// compare. Also writes an SVG gallery of the adaptive summaries.
 
 #include <cstdio>
 #include <iostream>
@@ -10,7 +10,8 @@
 #include <string>
 #include <vector>
 
-#include "core/adaptive_hull.h"
+#include "core/hull_engine.h"
+#include "eval/experiments.h"
 #include "eval/metrics.h"
 #include "eval/svg.h"
 #include "eval/table.h"
@@ -37,41 +38,61 @@ int main() {
   workloads.push_back({"circle ring",
                        std::make_unique<CircleGenerator>(7, 4 * r)});
 
-  TextTable table({"workload", "%out uniform", "%out adaptive",
-                   "maxdist uniform", "maxdist adaptive", "adaptive dirs"});
+  // All engines run with the same sample budget: the uniform hull gets 2r
+  // directions, the adaptive family r base directions in fixed-size mode
+  // (exactly 2r directions), as in Table 1. The partially adaptive engine
+  // trains on the first half of the stream.
+  std::vector<std::string> header{"workload"};
+  for (EngineKind kind : AllEngineKinds()) {
+    header.push_back(std::string("%out ") + EngineKindName(kind));
+  }
+  header.push_back("maxdist adaptive");
+  TextTable table(header);
+
   int gallery_index = 0;
   for (Entry& w : workloads) {
     const auto stream = w.gen->Take(n);
-    UniformHull uniform(2 * r);
-    AdaptiveHullOptions o;
-    o.r = r;
-    o.mode = SamplingMode::kFixedSize;
-    AdaptiveHull adaptive(o);
-    for (const Point2& p : stream) {
-      uniform.Insert(p);
-      adaptive.Insert(p);
-    }
-    const HullQuality uq =
-        EvaluateHull(uniform.Polygon(), uniform.Triangles(), stream);
+    // The adaptive engine is built once and reused for both its table row
+    // and the SVG gallery.
+    EngineOptions ao;
+    ao.hull.r = r;
+    ao.hull.mode = SamplingMode::kFixedSize;
+    auto adaptive = MakeEngine(EngineKind::kAdaptive, ao);
+    adaptive->InsertBatch(stream);
     const HullQuality aq =
-        EvaluateHull(adaptive.Polygon(), adaptive.Triangles(), stream);
-    table.AddRow({w.name, TextTable::Num(uq.pct_outside, 2),
-                  TextTable::Num(aq.pct_outside, 2),
-                  TextTable::Num(uq.max_outside_distance, 5),
-                  TextTable::Num(aq.max_outside_distance, 5),
-                  std::to_string(adaptive.num_directions())});
+        EvaluateHull(adaptive->Polygon(), adaptive->Triangles(), stream);
 
+    std::vector<std::string> row{w.name};
+    for (EngineKind kind : AllEngineKinds()) {
+      if (kind == EngineKind::kAdaptive) {
+        row.push_back(TextTable::Num(aq.pct_outside, 2));
+        continue;
+      }
+      EngineOptions o;
+      if (kind == EngineKind::kUniform) {
+        o.hull.r = 2 * r;
+      } else {
+        o.hull.r = r;
+        o.hull.mode = SamplingMode::kFixedSize;
+        o.training_points = n / 2;
+      }
+      const EngineResult res = RunEngineOnStream(kind, o, stream);
+      row.push_back(TextTable::Num(res.quality.pct_outside, 2));
+    }
+    row.push_back(TextTable::Num(aq.max_outside_distance, 5));
+    table.AddRow(row);
+
+    // Gallery: the adaptive engine's summary, with triangles and rays.
     SvgCanvas canvas(600, 400);
     canvas.AddPoints(stream, "#cccccc", 0.6);
-    canvas.AddHullFigure(adaptive, "#b40426", "#6a9fd8");
+    canvas.AddHullFigure(*adaptive, "#b40426", "#6a9fd8");
     const std::string file =
         "shape_" + std::to_string(gallery_index++) + ".svg";
     if (canvas.WriteFile(file).ok()) {
       std::printf("wrote %s (%s)\n", file.c_str(), w.name.c_str());
     }
   }
-  std::printf("\nBoth summaries store %u samples; lower is better.\n\n",
-              2 * r);
+  std::printf("\nAll engines store ~%u samples; lower is better.\n\n", 2 * r);
   table.Print(std::cout);
   return 0;
 }

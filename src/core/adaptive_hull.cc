@@ -908,10 +908,14 @@ void AdaptiveHull::Insert(Point2 p) {
     InitializeWith(p);
     return;
   }
+  InsertNonEmpty(p);
+}
+
+bool AdaptiveHull::InsertNonEmpty(Point2 p) {
   std::vector<Direction> won = ComputeWinningSet(p);
   if (won.empty()) {
     ++stats_.points_discarded;
-    return;
+    return false;
   }
   ApplyWin(p, won);
   std::vector<QueueEntry> collapsed;
@@ -929,6 +933,122 @@ void AdaptiveHull::Insert(Point2 p) {
   }
   if (!frozen_ && options_.mode == SamplingMode::kFixedSize) {
     Rebalance();
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Batched ingestion
+// ---------------------------------------------------------------------------
+
+void AdaptiveHull::RefreshBatchCache() {
+  batch_cache_.clear();
+  for (auto* node = verts_.First(); node != nullptr;
+       node = verts_.Next(node)) {
+    if (batch_cache_.empty() || !(batch_cache_.back() == node->value)) {
+      batch_cache_.push_back(node->value);
+    }
+  }
+  while (batch_cache_.size() > 1 &&
+         batch_cache_.back() == batch_cache_.front()) {
+    batch_cache_.pop_back();
+  }
+  double scale = 0;
+  for (const Point2& v : batch_cache_) {
+    scale = std::max({scale, std::abs(v.x), std::abs(v.y)});
+  }
+  batch_cache_scale_ = scale;
+}
+
+namespace {
+
+// Strict left-of-segment test with a certified margin: returns true only
+// when Orient(a, b, p) is positive in exact arithmetic AND p is at least
+// ~1e-12 * scale away from the supporting line. The first summand covers
+// the rounding error of the determinant itself (Shewchuk's A-estimate has
+// constant ~3.3e-16; 1e-12 gives >1000x slack), the second converts the
+// required Euclidean clearance into determinant units via |b - a|_1.
+bool StrictlyLeftByMargin(Point2 a, Point2 b, Point2 p, double scale) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double t1 = dx * (p.y - a.y);
+  const double t2 = dy * (p.x - a.x);
+  const double margin =
+      1e-12 * (std::abs(t1) + std::abs(t2) +
+               scale * (std::abs(dx) + std::abs(dy)));
+  return t1 - t2 > margin;
+}
+
+}  // namespace
+
+bool AdaptiveHull::BatchCacheRejects(Point2 p) const {
+  const std::vector<Point2>& v = batch_cache_;
+  const size_t m = v.size();
+  if (m < 3) return false;
+  const double scale =
+      std::max({batch_cache_scale_, std::abs(p.x), std::abs(p.y)});
+  // Wedge binary search from v[0] (plain predicates; a wrong wedge near a
+  // degeneracy only makes the final margin tests fail, never misreject).
+  const Point2 v0 = v[0];
+  if (Orient(v0, v[1], p) < 0 || Orient(v0, v[m - 1], p) > 0) return false;
+  size_t lo = 1, hi = m - 1;
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (Orient(v0, v[mid], p) >= 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // p must be strictly inside triangle (v0, v[lo], v[hi]) by the certified
+  // margin. The triangle is contained in the sampled polygon, so clearance
+  // from its sides lower-bounds clearance from the polygon boundary, which
+  // in turn dominates the dot-product noise of every Beats() predicate: the
+  // point provably wins no sample direction (see DESIGN.md).
+  return StrictlyLeftByMargin(v0, v[lo], p, scale) &&
+         StrictlyLeftByMargin(v[lo], v[hi], p, scale) &&
+         StrictlyLeftByMargin(v[hi], v0, p, scale);
+}
+
+void AdaptiveHull::InsertBatch(std::span<const Point2> points) {
+  size_t i = 0;
+  if (num_points_ == 0) {
+    if (points.empty()) return;
+    Insert(points[0]);
+    i = 1;
+  }
+  ++stats_.batches;
+  bool cache_valid = false;
+  // Each accepted point invalidates the cache; rebuilding it costs O(r).
+  // The cooldown makes the next rebuild wait for ~cache/8 offered points
+  // (which meanwhile take the plain Insert path), so accept-heavy streams
+  // pay O(1) amortized refresh work per point instead of O(r), while
+  // interior-heavy streams — where accepts are rare — still spend almost
+  // the whole batch in the prefilter.
+  size_t cooldown = 0;
+  for (; i < points.size(); ++i) {
+    const Point2 p = points[i];
+    ++stats_.points_processed;
+    ++num_points_;
+    if (!cache_valid) {
+      if (cooldown > 0) {
+        --cooldown;
+        InsertNonEmpty(p);
+        continue;
+      }
+      RefreshBatchCache();
+      cache_valid = true;
+    }
+    if (BatchCacheRejects(p)) {
+      ++stats_.points_discarded;
+      ++stats_.batch_prefilter_rejections;
+      continue;
+    }
+    // Full per-point pipeline; identical to Insert().
+    if (InsertNonEmpty(p)) {
+      cache_valid = false;
+      cooldown = batch_cache_.size() / 8;
+    }
   }
 }
 

@@ -40,11 +40,13 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
 #include "container/bucket_queue.h"
 #include "container/indexable_skiplist.h"
+#include "core/hull_engine.h"
 #include "core/options.h"
 #include "geom/convex_polygon.h"
 #include "geom/direction.h"
@@ -52,29 +54,11 @@
 
 namespace streamhull {
 
-/// \brief One sample of the summary: the stored extremum for an active
-/// sample direction.
-struct HullSample {
-  Direction direction;
-  Point2 point;
-};
-
-/// \brief The uncertainty triangle over one edge of the sampled hull (§2):
-/// the true hull boundary between a and b lies inside triangle (a, apex, b).
-struct UncertaintyTriangle {
-  Point2 a;          ///< Edge start (extreme in dir_a).
-  Point2 b;          ///< Edge end (extreme in dir_b).
-  Point2 apex;       ///< Intersection of the two supporting lines.
-  Direction dir_a;   ///< Sample direction of a.
-  Direction dir_b;   ///< Sample direction of b.
-  double height = 0; ///< Distance from apex to segment ab: the error bound.
-};
-
 /// \brief Streaming convex-hull summary with adaptive directional sampling.
 ///
 /// Thread-compatible (no internal synchronization). Single pass: points not
 /// retained as samples are forgotten.
-class AdaptiveHull {
+class AdaptiveHull : public HullEngine {
  public:
   /// Constructs the summary. CHECK-fails on invalid options; use
   /// options.Validate() first when the options are untrusted.
@@ -83,8 +67,24 @@ class AdaptiveHull {
   AdaptiveHull(const AdaptiveHull&) = delete;
   AdaptiveHull& operator=(const AdaptiveHull&) = delete;
 
+  /// This class is the engine behind EngineKind::kAdaptive (the wrapper
+  /// types report their own kinds).
+  EngineKind kind() const override { return EngineKind::kAdaptive; }
+
   /// Processes one stream point in amortized O(log r) time.
-  void Insert(Point2 p);
+  void Insert(Point2 p) override;
+
+  /// \brief Batched ingestion fast path. Produces exactly the summary a
+  /// point-at-a-time Insert() loop would, but prefilters each point with an
+  /// O(log r) strictly-inside test against a cached copy of the current
+  /// sampled polygon: an interior point can never win a sample direction,
+  /// so it skips the winning-set machinery, and the cache (and therefore
+  /// the per-point perimeter / unrefinement bookkeeping it guards) is
+  /// refreshed at most once per accepted point rather than once per offered
+  /// point. On interior-heavy streams almost every point takes the
+  /// contiguous-memory rejection test instead of the skip-list search. See
+  /// DESIGN.md, "Batched ingestion".
+  void InsertBatch(std::span<const Point2> points) override;
 
   /// \brief Merges another summary into this one by inserting its stored
   /// sample points (the sensor-aggregation operation from the paper's
@@ -97,11 +97,9 @@ class AdaptiveHull {
   void MergeFrom(const AdaptiveHull& other);
 
   /// Number of stream points processed so far.
-  uint64_t num_points() const { return num_points_; }
-  /// True before the first point.
-  bool empty() const { return num_points_ == 0; }
+  uint64_t num_points() const override { return num_points_; }
   /// The base direction count r.
-  uint32_t r() const { return options_.r; }
+  uint32_t r() const override { return options_.r; }
   /// The options this summary was built with.
   const AdaptiveHullOptions& options() const { return options_; }
 
@@ -117,19 +115,19 @@ class AdaptiveHull {
   /// \brief The current approximate hull: distinct sample points in CCW
   /// order. The true hull of the entire stream contains this polygon and
   /// lies within ErrorBound() of it (Corollary 5.2).
-  ConvexPolygon Polygon() const;
+  ConvexPolygon Polygon() const override;
 
   /// All active samples in CCW direction order.
-  std::vector<HullSample> Samples() const;
+  std::vector<HullSample> Samples() const override;
 
   /// \brief Uncertainty triangles of all (non-degenerate) current edges, in
   /// CCW order. The true hull is sandwiched between Polygon() and the union
   /// of these triangles.
-  std::vector<UncertaintyTriangle> Triangles() const;
+  std::vector<UncertaintyTriangle> Triangles() const override;
 
   /// \brief The a-priori Hausdorff error bound 16*pi*P/r^2 of Corollary 5.2
   /// (invariant mode with the default tree height).
-  double ErrorBound() const;
+  double ErrorBound() const override;
 
   /// \brief Offset d_i of the invariant line L(theta) for a direction with
   /// index(theta) == i (§5.3): d_i = (8*pi*P/r^2) * sum_{j<=i} j/2^j.
@@ -144,12 +142,12 @@ class AdaptiveHull {
   bool frozen() const { return frozen_; }
 
   /// Operation counters.
-  const AdaptiveHullStats& stats() const { return stats_; }
+  const AdaptiveHullStats& stats() const override { return stats_; }
 
   /// \brief Exhaustive structural self-check (test support; cost O(r + m)
   /// plus O(#samples^2) owner verification). Returns the first violated
   /// invariant as an error Status.
-  Status CheckConsistency() const;
+  Status CheckConsistency() const override;
 
  private:
   struct RefNode {
@@ -193,6 +191,20 @@ class AdaptiveHull {
     Point2 u = d.ToVector();
     return Dot(p, u) > Dot(incumbent, u);
   }
+
+  // --- Insertion internals ---
+  // The non-initial insertion path shared by Insert and InsertBatch; stats
+  // and num_points_ are already updated by the caller. Returns false when
+  // the point won nothing (summary unchanged).
+  bool InsertNonEmpty(Point2 p);
+  // Rebuilds the batch prefilter cache (distinct sampled-polygon vertices
+  // as a flat CCW array, plus the coordinate scale for error margins).
+  void RefreshBatchCache();
+  // True only when p is strictly inside the cached sampled polygon by a
+  // margin that dominates every floating-point predicate error, so the
+  // point provably cannot win any sample direction. False answers are
+  // allowed (the point just takes the full Insert path).
+  bool BatchCacheRejects(Point2 p) const;
 
   // --- Sample/vertex bookkeeping ---
   void InitializeWith(Point2 p);
@@ -278,6 +290,11 @@ class AdaptiveHull {
   std::vector<std::vector<HeapEntry>> leaf_heaps_;
   std::vector<std::vector<HeapEntry>> internal_heaps_;
 
+  // Batch prefilter cache: flat CCW copy of the distinct sampled-polygon
+  // vertices, valid only within InsertBatch between accepted points.
+  std::vector<Point2> batch_cache_;
+  double batch_cache_scale_ = 0;
+
   AdaptiveHullStats stats_;
 };
 
@@ -285,25 +302,35 @@ class AdaptiveHull {
 /// implementation: an AdaptiveHull with the refinement machinery disabled
 /// (tree height 0). Kept as a distinct type because it is the baseline the
 /// paper evaluates against.
-class UniformHull {
+class UniformHull final : public HullEngine {
  public:
   /// \param r number of sample directions (>= 8).
   explicit UniformHull(uint32_t r) : hull_(MakeOptions(r)) {}
 
-  /// Processes one stream point in amortized O(log r) time.
-  void Insert(Point2 p) { hull_.Insert(p); }
+  EngineKind kind() const override { return EngineKind::kUniform; }
 
-  uint64_t num_points() const { return hull_.num_points(); }
-  uint32_t r() const { return hull_.r(); }
+  /// Processes one stream point in amortized O(log r) time.
+  void Insert(Point2 p) override { hull_.Insert(p); }
+  /// Batched ingestion (AdaptiveHull's prefiltered fast path).
+  void InsertBatch(std::span<const Point2> points) override {
+    hull_.InsertBatch(points);
+  }
+
+  uint64_t num_points() const override { return hull_.num_points(); }
+  uint32_t r() const override { return hull_.r(); }
   double perimeter() const { return hull_.perimeter(); }
   /// The approximate hull (distinct extrema, CCW).
-  ConvexPolygon Polygon() const { return hull_.Polygon(); }
-  std::vector<HullSample> Samples() const { return hull_.Samples(); }
-  std::vector<UncertaintyTriangle> Triangles() const {
+  ConvexPolygon Polygon() const override { return hull_.Polygon(); }
+  std::vector<HullSample> Samples() const override { return hull_.Samples(); }
+  std::vector<UncertaintyTriangle> Triangles() const override {
     return hull_.Triangles();
   }
-  const AdaptiveHullStats& stats() const { return hull_.stats(); }
-  Status CheckConsistency() const { return hull_.CheckConsistency(); }
+  /// \brief A-posteriori bound: the maximum uncertainty-triangle height.
+  /// (The adaptive 16*pi*P/r^2 formula needs the weight invariant, which
+  /// uniform sampling does not maintain — its worst case is Theta(P/r).)
+  double ErrorBound() const override { return MaxTriangleHeight(Triangles()); }
+  const AdaptiveHullStats& stats() const override { return hull_.stats(); }
+  Status CheckConsistency() const override { return hull_.CheckConsistency(); }
   /// Access to the underlying engine (test support).
   const AdaptiveHull& engine() const { return hull_; }
 

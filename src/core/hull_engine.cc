@@ -1,0 +1,77 @@
+#include "core/hull_engine.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "core/adaptive_hull.h"
+#include "core/partially_adaptive.h"
+#include "core/static_adaptive.h"
+
+namespace streamhull {
+
+namespace {
+
+constexpr std::array<EngineKind, 4> kAllKinds = {
+    EngineKind::kUniform,
+    EngineKind::kAdaptive,
+    EngineKind::kPartiallyAdaptive,
+    EngineKind::kStaticAdaptive,
+};
+
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kUniform: return "uniform";
+    case EngineKind::kAdaptive: return "adaptive";
+    case EngineKind::kPartiallyAdaptive: return "partially-adaptive";
+    case EngineKind::kStaticAdaptive: return "static-adaptive";
+  }
+  return "unknown";
+}
+
+bool ParseEngineKind(std::string_view name, EngineKind* out) {
+  for (EngineKind kind : kAllKinds) {
+    if (name == EngineKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::span<const EngineKind> AllEngineKinds() { return kAllKinds; }
+
+Status EngineOptions::Validate(EngineKind kind) const {
+  STREAMHULL_RETURN_IF_ERROR(hull.Validate());
+  // training_points == 0 is the "use the default" sentinel, so any value is
+  // acceptable; the field is simply ignored by the other kinds.
+  (void)kind;
+  return Status::OK();
+}
+
+std::unique_ptr<HullEngine> MakeEngine(EngineKind kind,
+                                       const EngineOptions& options) {
+  switch (kind) {
+    case EngineKind::kUniform:
+      return std::make_unique<UniformHull>(options.hull.r);
+    case EngineKind::kAdaptive:
+      return std::make_unique<AdaptiveHull>(options.hull);
+    case EngineKind::kPartiallyAdaptive:
+      return std::make_unique<PartiallyAdaptiveHull>(
+          options.hull, options.EffectiveTrainingPoints());
+    case EngineKind::kStaticAdaptive:
+      return std::make_unique<StaticAdaptiveHull>(options.hull);
+  }
+  SH_CHECK(false && "unknown EngineKind");
+  return nullptr;
+}
+
+double MaxTriangleHeight(const std::vector<UncertaintyTriangle>& triangles) {
+  double h = 0;
+  for (const UncertaintyTriangle& t : triangles) h = std::max(h, t.height);
+  return h;
+}
+
+}  // namespace streamhull

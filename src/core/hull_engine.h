@@ -1,0 +1,164 @@
+// streamhull: the engine boundary for all hull summaries.
+//
+// The paper is a family of summaries, not one algorithm: the uniformly
+// sampled hull (§3), the continuously adaptive hull (§4-§5), the offline
+// adaptive sample (§4), and the "partially adaptive" freeze-after-training
+// scheme (§7). HullEngine is the one interface they all implement, so the
+// consumer layers (StreamGroup, the Table 1 runner, the benches, the
+// examples) select a maintenance strategy by EngineKind instead of naming a
+// concrete type.
+//
+// The interface has two ingestion entry points. Insert() is the per-point
+// path. InsertBatch() is the batched fast path: engines that can cheaply
+// prove a point irrelevant (AdaptiveHull's O(log r) inner-polygon rejection
+// test) amortize that proof over the whole batch. Both paths are required
+// to produce bit-identical summaries: InsertBatch over any partition of a
+// stream must leave the engine in exactly the state point-at-a-time
+// insertion would (the differential suite in tests/core_hull_engine_test.cc
+// enforces this for every kind). See DESIGN.md, "The HullEngine boundary".
+
+#ifndef STREAMHULL_CORE_HULL_ENGINE_H_
+#define STREAMHULL_CORE_HULL_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/options.h"
+#include "geom/convex_polygon.h"
+#include "geom/direction.h"
+#include "geom/point.h"
+
+namespace streamhull {
+
+/// \brief One sample of a summary: the stored extremum for an active
+/// sample direction.
+struct HullSample {
+  Direction direction;
+  Point2 point;
+};
+
+/// \brief The uncertainty triangle over one edge of the sampled hull (§2):
+/// the true hull boundary between a and b lies inside triangle (a, apex, b).
+struct UncertaintyTriangle {
+  Point2 a;          ///< Edge start (extreme in dir_a).
+  Point2 b;          ///< Edge end (extreme in dir_b).
+  Point2 apex;       ///< Intersection of the two supporting lines.
+  Direction dir_a;   ///< Sample direction of a.
+  Direction dir_b;   ///< Sample direction of b.
+  double height = 0; ///< Distance from apex to segment ab: the error bound.
+};
+
+/// \brief The hull-summary strategies constructible through MakeEngine.
+enum class EngineKind {
+  kUniform,            ///< Uniformly sampled hull, r fixed directions (§3).
+  kAdaptive,           ///< Continuously adaptive streaming hull (§4-§5).
+  kPartiallyAdaptive,  ///< Adapt on a training prefix, then freeze (§7).
+  kStaticAdaptive,     ///< Offline §4 sampling behind a buffering adapter.
+};
+
+/// \brief Streaming convex-hull summary interface.
+///
+/// Implementations are thread-compatible (no internal synchronization;
+/// StaticAdaptiveHull's lazily-rebuilt cache is the documented exception —
+/// its const accessors are not safe to call concurrently) and single-pass:
+/// points not retained as samples are forgotten.
+class HullEngine {
+ public:
+  virtual ~HullEngine() = default;
+
+  /// Which strategy this engine runs.
+  virtual EngineKind kind() const = 0;
+
+  /// Processes one stream point.
+  virtual void Insert(Point2 p) = 0;
+
+  /// \brief Processes a batch of stream points. Equivalent to calling
+  /// Insert() on each point in order — engines override this only to go
+  /// faster, never to change the resulting summary.
+  virtual void InsertBatch(std::span<const Point2> points) {
+    for (const Point2& p : points) Insert(p);
+  }
+
+  /// Number of stream points processed so far.
+  virtual uint64_t num_points() const = 0;
+  /// True before the first point.
+  bool empty() const { return num_points() == 0; }
+  /// The base direction count r.
+  virtual uint32_t r() const = 0;
+
+  /// \brief The current approximate hull: distinct sample points in CCW
+  /// order. The true hull of the entire stream contains this polygon and
+  /// lies within ErrorBound() of it.
+  virtual ConvexPolygon Polygon() const = 0;
+
+  /// All active samples in CCW direction order.
+  virtual std::vector<HullSample> Samples() const = 0;
+
+  /// \brief Uncertainty triangles of all (non-degenerate) current edges, in
+  /// CCW order. The true hull is sandwiched between Polygon() and the union
+  /// of these triangles.
+  virtual std::vector<UncertaintyTriangle> Triangles() const = 0;
+
+  /// \brief An upper bound on the Hausdorff distance between Polygon() and
+  /// the true hull of the stream. AdaptiveHull reports the a-priori
+  /// 16*pi*P/r^2 of Corollary 5.2; engines whose invariants do not support
+  /// that formula report the a-posteriori maximum uncertainty-triangle
+  /// height (§2), which is always a valid bound.
+  virtual double ErrorBound() const = 0;
+
+  /// Operation counters.
+  virtual const AdaptiveHullStats& stats() const = 0;
+
+  /// \brief Exhaustive structural self-check (test support). Returns the
+  /// first violated invariant as an error Status.
+  virtual Status CheckConsistency() const = 0;
+};
+
+/// \brief Options for MakeEngine. `hull` configures every kind (kUniform
+/// uses only hull.r; the refinement machinery is forced off). The remaining
+/// fields apply to individual kinds as documented.
+struct EngineOptions {
+  AdaptiveHullOptions hull;
+
+  /// kPartiallyAdaptive: number of initial stream points during which the
+  /// direction set may adapt; 0 selects the default of 1024.
+  uint64_t training_points = 0;
+
+  /// The effective training prefix after resolving the 0 default.
+  uint64_t EffectiveTrainingPoints() const {
+    return training_points == 0 ? 1024 : training_points;
+  }
+
+  /// Validates option consistency for the given kind.
+  Status Validate(EngineKind kind) const;
+};
+
+/// Stable lowercase identifier for a kind ("uniform", "adaptive",
+/// "partially-adaptive", "static-adaptive"); used in tables and CLIs.
+const char* EngineKindName(EngineKind kind);
+
+/// Parses EngineKindName output back to the kind. Returns false (leaving
+/// *out untouched) for unknown names.
+bool ParseEngineKind(std::string_view name, EngineKind* out);
+
+/// Every EngineKind, in declaration order — the idiom for consumers that
+/// sweep strategies generically.
+std::span<const EngineKind> AllEngineKinds();
+
+/// \brief Constructs an engine of the requested kind. CHECK-fails on
+/// invalid options; use options.Validate(kind) first when they are
+/// untrusted.
+std::unique_ptr<HullEngine> MakeEngine(EngineKind kind,
+                                       const EngineOptions& options);
+
+/// \brief The a-posteriori error bound shared by the non-adaptive engines:
+/// the maximum uncertainty-triangle height (0 when there are no triangles).
+double MaxTriangleHeight(const std::vector<UncertaintyTriangle>& triangles);
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_CORE_HULL_ENGINE_H_

@@ -70,6 +70,10 @@ struct AdaptiveHullStats {
   uint64_t directions_refined = 0; ///< Refinement steps (directions added).
   uint64_t directions_unrefined = 0;  ///< Unrefinement steps.
   uint64_t vertices_deleted = 0;   ///< Sample vertices displaced by arrivals.
+  uint64_t batches = 0;            ///< InsertBatch calls taking the fast path.
+  /// Batched points rejected by the O(log r) inner-polygon prefilter
+  /// without touching the winning-set machinery.
+  uint64_t batch_prefilter_rejections = 0;
   uint64_t rebuild_nodes_visited = 0;  ///< Refinement-tree nodes touched.
   uint64_t rebalance_exchanges = 0;    ///< Fixed-size mode migrations.
   /// Times the uniformly-sampled-hull perimeter measured *lower* than its

@@ -11,16 +11,19 @@
 #ifndef STREAMHULL_CORE_PARTIALLY_ADAPTIVE_H_
 #define STREAMHULL_CORE_PARTIALLY_ADAPTIVE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 
 #include "common/check.h"
 #include "core/adaptive_hull.h"
+#include "core/hull_engine.h"
 #include "core/options.h"
 
 namespace streamhull {
 
 /// \brief Adaptive hull that adapts only during a training prefix.
-class PartiallyAdaptiveHull {
+class PartiallyAdaptiveHull final : public HullEngine {
  public:
   /// \param options adaptive-hull configuration (typically the same
   ///        fixed-size setup as the adaptive competitor).
@@ -32,27 +35,59 @@ class PartiallyAdaptiveHull {
     SH_CHECK(training_points > 0);
   }
 
+  EngineKind kind() const override { return EngineKind::kPartiallyAdaptive; }
+
   /// Processes one stream point; freezes the direction set once the
   /// training prefix has been consumed.
-  void Insert(Point2 p) {
+  void Insert(Point2 p) override {
     hull_.Insert(p);
+    MaybeFreeze();
+  }
+
+  /// \brief Batched ingestion. Splits the batch at the training boundary so
+  /// the freeze fires after exactly training_points points, same as the
+  /// point-at-a-time path, and forwards each piece to AdaptiveHull's
+  /// prefiltered fast path.
+  void InsertBatch(std::span<const Point2> points) override {
+    while (!points.empty()) {
+      if (hull_.frozen()) {
+        hull_.InsertBatch(points);
+        return;
+      }
+      const uint64_t room = training_points_ > hull_.num_points()
+                                ? training_points_ - hull_.num_points()
+                                : 1;
+      const size_t take =
+          static_cast<size_t>(std::min<uint64_t>(room, points.size()));
+      hull_.InsertBatch(points.first(take));
+      MaybeFreeze();
+      points = points.subspan(take);
+    }
+  }
+
+  uint64_t num_points() const override { return hull_.num_points(); }
+  uint32_t r() const override { return hull_.r(); }
+  bool training() const { return !hull_.frozen(); }
+  ConvexPolygon Polygon() const override { return hull_.Polygon(); }
+  std::vector<HullSample> Samples() const override { return hull_.Samples(); }
+  std::vector<UncertaintyTriangle> Triangles() const override {
+    return hull_.Triangles();
+  }
+  /// \brief A-posteriori bound: the maximum uncertainty-triangle height.
+  /// (Once frozen the weight invariant lapses, so the a-priori adaptive
+  /// formula no longer applies.)
+  double ErrorBound() const override { return MaxTriangleHeight(Triangles()); }
+  const AdaptiveHullStats& stats() const override { return hull_.stats(); }
+  Status CheckConsistency() const override { return hull_.CheckConsistency(); }
+  const AdaptiveHull& engine() const { return hull_; }
+
+ private:
+  void MaybeFreeze() {
     if (!hull_.frozen() && hull_.num_points() >= training_points_) {
       hull_.FreezeDirections();
     }
   }
 
-  uint64_t num_points() const { return hull_.num_points(); }
-  bool training() const { return !hull_.frozen(); }
-  ConvexPolygon Polygon() const { return hull_.Polygon(); }
-  std::vector<HullSample> Samples() const { return hull_.Samples(); }
-  std::vector<UncertaintyTriangle> Triangles() const {
-    return hull_.Triangles();
-  }
-  const AdaptiveHullStats& stats() const { return hull_.stats(); }
-  Status CheckConsistency() const { return hull_.CheckConsistency(); }
-  const AdaptiveHull& engine() const { return hull_; }
-
- private:
   AdaptiveHull hull_;
   uint64_t training_points_;
 };

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "geom/convex_hull.h"
 #include "geom/point.h"
 
 namespace streamhull {
@@ -192,6 +193,107 @@ StaticAdaptiveSample BuildStaticAdaptiveSample(
   }
   return Finish(std::move(samples), std::move(done), perimeter, refinements,
                 r);
+}
+
+// ---------------------------------------------------------------------------
+// StaticAdaptiveHull: the offline sampler as a HullEngine
+// ---------------------------------------------------------------------------
+
+StaticAdaptiveHull::StaticAdaptiveHull(const AdaptiveHullOptions& options)
+    : options_(options) {
+  Status st = options.Validate();
+  SH_CHECK(st.ok() && "invalid AdaptiveHullOptions");
+}
+
+void StaticAdaptiveHull::Append(Point2 p) {
+  buffer_.push_back(p);
+  ++num_points_;
+  ++stats_.points_processed;
+  dirty_ = true;
+  if (buffer_.size() >= compact_at_) Compact();
+}
+
+void StaticAdaptiveHull::Compact() {
+  const size_t before = buffer_.size();
+  buffer_ = ConvexHullOf(std::move(buffer_));
+  stats_.points_discarded += before - buffer_.size();
+  // Next compaction once the buffer has doubled (floor keeps tiny hulls
+  // from compacting on every insert).
+  compact_at_ = std::max<size_t>(1024, 2 * buffer_.size());
+}
+
+const StaticAdaptiveSample& StaticAdaptiveHull::Build() const {
+  if (dirty_) {
+    cache_ = BuildStaticAdaptiveSample(buffer_, options_.r,
+                                       options_.max_tree_height);
+    // The build is from scratch each time; report the latest build's
+    // refinement count rather than accumulating across rebuilds.
+    stats_.directions_refined = cache_.refinements;
+    dirty_ = false;
+  }
+  return cache_;
+}
+
+const StaticAdaptiveSample& StaticAdaptiveHull::Sample() const {
+  SH_CHECK(num_points_ > 0);
+  return Build();
+}
+
+ConvexPolygon StaticAdaptiveHull::Polygon() const {
+  if (num_points_ == 0) return ConvexPolygon();
+  return Build().Polygon();
+}
+
+std::vector<HullSample> StaticAdaptiveHull::Samples() const {
+  if (num_points_ == 0) return {};
+  return Build().samples;
+}
+
+std::vector<UncertaintyTriangle> StaticAdaptiveHull::Triangles() const {
+  if (num_points_ == 0) return {};
+  return Build().triangles;
+}
+
+double StaticAdaptiveHull::ErrorBound() const {
+  if (num_points_ == 0) return 0;
+  return MaxTriangleHeight(Build().triangles);
+}
+
+const AdaptiveHullStats& StaticAdaptiveHull::stats() const {
+  if (num_points_ > 0) Build();  // Refresh directions_refined.
+  return stats_;
+}
+
+Status StaticAdaptiveHull::CheckConsistency() const {
+  if (num_points_ == 0) return Status::OK();
+  const StaticAdaptiveSample& s = Build();
+  if (s.samples.empty()) return Status::Internal("empty sample set");
+  // Samples strictly ordered by direction, each storing a true extremum of
+  // the buffered candidate set.
+  for (size_t i = 0; i + 1 < s.samples.size(); ++i) {
+    if (!(s.samples[i].direction < s.samples[i + 1].direction)) {
+      return Status::Internal("samples not in CCW direction order");
+    }
+  }
+  for (const HullSample& hs : s.samples) {
+    const Point2 u = hs.direction.ToVector();
+    const double mine = Dot(hs.point, u);
+    for (const Point2& q : buffer_) {
+      if (Dot(q, u) > mine + 1e-9 * std::max(1.0, std::abs(mine))) {
+        return Status::Internal("sample is not an extremum of the buffer");
+      }
+    }
+  }
+  const uint32_t cap =
+      static_cast<uint32_t>(options_.EffectiveTreeHeight());
+  if (s.samples.size() >
+      static_cast<size_t>(options_.r) * (size_t{1} << cap) + 1) {
+    return Status::Internal("sample count exceeds the r * 2^k capacity");
+  }
+  for (const UncertaintyTriangle& t : s.triangles) {
+    if (t.height < 0) return Status::Internal("negative triangle height");
+  }
+  return Status::OK();
 }
 
 }  // namespace streamhull

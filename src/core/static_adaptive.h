@@ -14,9 +14,11 @@
 #define STREAMHULL_CORE_STATIC_ADAPTIVE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/adaptive_hull.h"
+#include "core/hull_engine.h"
 #include "geom/convex_polygon.h"
 #include "geom/direction.h"
 #include "geom/point.h"
@@ -49,6 +51,68 @@ StaticAdaptiveSample BuildStaticAdaptiveSample(
 /// r evenly spaced directions. The offline counterpart of UniformHull.
 StaticAdaptiveSample BuildStaticUniformSample(const std::vector<Point2>& points,
                                               uint32_t r);
+
+/// \brief The offline §4 sampler behind the streaming HullEngine interface
+/// (EngineKind::kStaticAdaptive): buffers the candidate hull vertices of the
+/// stream seen so far and rebuilds the static adaptive sample lazily on
+/// query.
+///
+/// Unlike the true streaming engines this adapter is not O(r) memory — it
+/// keeps the exact convex hull of the prefix (compacted geometrically as the
+/// buffer doubles), which for n random points is typically O(log n) but
+/// adversarially O(n). It exists as the offline reference the streaming
+/// summaries are measured against, now sweepable through the same engine
+/// harness.
+///
+/// Exception to the HullEngine thread-compatibility contract: the lazy
+/// rebuild means the const accessors (Polygon, Samples, Triangles,
+/// ErrorBound, stats, CheckConsistency) mutate an internal cache and are
+/// NOT safe to call concurrently. The other engines' const accessors are.
+class StaticAdaptiveHull final : public HullEngine {
+ public:
+  /// Uses options.r and options.max_tree_height; the streaming-only fields
+  /// (mode, queue_kind) are ignored. CHECK-fails on invalid options.
+  explicit StaticAdaptiveHull(const AdaptiveHullOptions& options);
+
+  EngineKind kind() const override { return EngineKind::kStaticAdaptive; }
+
+  void Insert(Point2 p) override { Append(p); }
+  /// Batched ingestion: appends are already O(1) amortized, so the batch
+  /// path only amortizes the virtual dispatch. Compaction runs on the same
+  /// num_points() schedule as point-at-a-time insertion, keeping the two
+  /// paths bit-identical.
+  void InsertBatch(std::span<const Point2> points) override {
+    for (const Point2& p : points) Append(p);
+  }
+
+  uint64_t num_points() const override { return num_points_; }
+  uint32_t r() const override { return options_.r; }
+  ConvexPolygon Polygon() const override;
+  std::vector<HullSample> Samples() const override;
+  std::vector<UncertaintyTriangle> Triangles() const override;
+  /// A-posteriori bound: the maximum uncertainty-triangle height (Lemma 4.3
+  /// guarantees it is O(D/r^2)).
+  double ErrorBound() const override;
+  const AdaptiveHullStats& stats() const override;
+  Status CheckConsistency() const override;
+
+  /// The full offline sample of the current prefix (test support).
+  const StaticAdaptiveSample& Sample() const;
+
+ private:
+  void Append(Point2 p);
+  void Compact();
+  const StaticAdaptiveSample& Build() const;
+
+  AdaptiveHullOptions options_;
+  uint64_t num_points_ = 0;
+  std::vector<Point2> buffer_;  // Hull candidates of the prefix.
+  size_t compact_at_ = 1024;
+
+  mutable bool dirty_ = false;
+  mutable StaticAdaptiveSample cache_;
+  mutable AdaptiveHullStats stats_;
+};
 
 }  // namespace streamhull
 

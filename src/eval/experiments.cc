@@ -3,11 +3,23 @@
 #include <memory>
 
 #include "common/check.h"
-#include "core/adaptive_hull.h"
-#include "core/partially_adaptive.h"
+#include "core/hull_engine.h"
 #include "eval/table.h"
 
 namespace streamhull {
+
+EngineResult RunEngineOnStream(EngineKind kind, const EngineOptions& options,
+                               const std::vector<Point2>& stream) {
+  std::unique_ptr<HullEngine> engine = MakeEngine(kind, options);
+  engine->InsertBatch(stream);
+  EngineResult result;
+  result.kind = kind;
+  result.quality =
+      EvaluateHull(engine->Polygon(), engine->Triangles(), stream);
+  result.samples = engine->Samples().size();
+  result.error_bound = engine->ErrorBound();
+  return result;
+}
 
 Table1Row RunTable1Workload(const std::string& workload,
                             const Table1Config& config) {
@@ -19,33 +31,38 @@ Table1Row RunTable1Workload(const std::string& workload,
   const std::vector<Point2> stream = gen->Take(n);
 
   // The adaptive competitor: fixed-size mode with exactly 2r directions.
-  AdaptiveHullOptions adaptive_opts;
-  adaptive_opts.r = config.adaptive_r;
-  adaptive_opts.mode = SamplingMode::kFixedSize;
-  adaptive_opts.fixed_directions = 2 * config.adaptive_r;
-  AdaptiveHull adaptive(adaptive_opts);
-  for (const Point2& p : stream) adaptive.Insert(p);
+  EngineOptions adaptive_opts;
+  adaptive_opts.hull.r = config.adaptive_r;
+  adaptive_opts.hull.mode = SamplingMode::kFixedSize;
+  adaptive_opts.hull.fixed_directions = 2 * config.adaptive_r;
+
+  // The baseline: the uniformly sampled hull with the same sample budget,
+  // except on the distribution-shift workloads, where the paper swaps in
+  // the "partially adaptive" scheme (adapt on the first phase, freeze for
+  // the second).
+  EngineKind baseline_kind;
+  EngineOptions baseline_opts;
+  if (changing) {
+    baseline_kind = EngineKind::kPartiallyAdaptive;
+    baseline_opts = adaptive_opts;
+    baseline_opts.training_points = config.points;
+  } else {
+    baseline_kind = EngineKind::kUniform;
+    baseline_opts.hull.r = config.uniform_r;
+  }
+
+  const EngineResult adaptive =
+      RunEngineOnStream(EngineKind::kAdaptive, adaptive_opts, stream);
+  const EngineResult baseline =
+      RunEngineOnStream(baseline_kind, baseline_opts, stream);
 
   Table1Row row;
   row.workload = workload;
-  row.adaptive = EvaluateHull(adaptive.Polygon(), adaptive.Triangles(), stream);
-  row.adaptive_samples = adaptive.num_directions();
-
-  if (!changing) {
-    UniformHull uniform(config.uniform_r);
-    for (const Point2& p : stream) uniform.Insert(p);
-    row.baseline_name = "uniform";
-    row.baseline = EvaluateHull(uniform.Polygon(), uniform.Triangles(), stream);
-    row.baseline_samples = uniform.Samples().size();
-  } else {
-    // "Partially adaptive": adapt during the first phase, then freeze the
-    // directions while the distribution changes underneath.
-    PartiallyAdaptiveHull partial(adaptive_opts, config.points);
-    for (const Point2& p : stream) partial.Insert(p);
-    row.baseline_name = "partial";
-    row.baseline = EvaluateHull(partial.Polygon(), partial.Triangles(), stream);
-    row.baseline_samples = partial.Samples().size();
-  }
+  row.adaptive = adaptive.quality;
+  row.adaptive_samples = adaptive.samples;
+  row.baseline_name = changing ? "partial" : "uniform";
+  row.baseline = baseline.quality;
+  row.baseline_samples = baseline.samples;
   return row;
 }
 

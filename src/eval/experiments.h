@@ -19,10 +19,26 @@
 #include <string>
 #include <vector>
 
+#include "core/hull_engine.h"
 #include "eval/metrics.h"
 #include "stream/generators.h"
 
 namespace streamhull {
+
+/// \brief Quality of one engine kind on one stream.
+struct EngineResult {
+  EngineKind kind = EngineKind::kAdaptive;
+  HullQuality quality;
+  size_t samples = 0;
+  double error_bound = 0;
+};
+
+/// \brief Builds an engine via MakeEngine, feeds it the whole stream through
+/// the batched fast path, and evaluates the resulting summary. The generic
+/// building block for engine-sweeping experiments (Table 1, the benches,
+/// shape_explorer).
+EngineResult RunEngineOnStream(EngineKind kind, const EngineOptions& options,
+                               const std::vector<Point2>& stream);
 
 /// \brief Configuration shared by the Table 1 rows.
 struct Table1Config {

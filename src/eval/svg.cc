@@ -77,7 +77,7 @@ void SvgCanvas::AddLabel(Point2 at, const std::string& text,
   shapes_.push_back(std::move(s));
 }
 
-void SvgCanvas::AddHullFigure(const AdaptiveHull& hull,
+void SvgCanvas::AddHullFigure(const HullEngine& hull,
                               const std::string& hull_color,
                               const std::string& triangle_color) {
   // Sample-direction rays from the centroid, as in Fig. 10.

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "core/adaptive_hull.h"
+#include "core/hull_engine.h"
 #include "geom/convex_polygon.h"
 #include "geom/point.h"
 
@@ -38,7 +38,7 @@ class SvgCanvas {
                   double stroke_px = 0.75);
   /// Adds the uncertainty triangles and sample-direction rays of a summary,
   /// in the style of Fig. 10.
-  void AddHullFigure(const AdaptiveHull& hull, const std::string& hull_color,
+  void AddHullFigure(const HullEngine& hull, const std::string& hull_color,
                      const std::string& triangle_color);
   /// Adds a text label at a stream-coordinate anchor.
   void AddLabel(Point2 at, const std::string& text, const std::string& color);

@@ -5,12 +5,16 @@
 namespace streamhull {
 
 Status StreamGroup::AddStream(const std::string& name) {
+  return AddStream(name, default_kind_);
+}
+
+Status StreamGroup::AddStream(const std::string& name, EngineKind kind) {
   if (name.empty()) return Status::InvalidArgument("empty stream name");
   if (streams_.count(name) > 0) {
     return Status::InvalidArgument("stream '" + name + "' already exists");
   }
-  STREAMHULL_RETURN_IF_ERROR(options_.Validate());
-  streams_.emplace(name, std::make_unique<AdaptiveHull>(options_));
+  STREAMHULL_RETURN_IF_ERROR(options_.Validate(kind));
+  streams_.emplace(name, MakeEngine(kind, options_));
   return Status::OK();
 }
 
@@ -23,7 +27,17 @@ Status StreamGroup::Insert(const std::string& name, Point2 p) {
   return Status::OK();
 }
 
-const AdaptiveHull* StreamGroup::Hull(const std::string& name) const {
+Status StreamGroup::InsertBatch(const std::string& name,
+                                std::span<const Point2> points) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::InvalidArgument("unknown stream '" + name + "'");
+  }
+  it->second->InsertBatch(points);
+  return Status::OK();
+}
+
+const HullEngine* StreamGroup::Hull(const std::string& name) const {
   auto it = streams_.find(name);
   return it == streams_.end() ? nullptr : it->second.get();
 }
@@ -37,8 +51,8 @@ std::vector<std::string> StreamGroup::StreamNames() const {
 
 Status StreamGroup::Report(const std::string& a, const std::string& b,
                            PairReport* out) const {
-  const AdaptiveHull* ha = Hull(a);
-  const AdaptiveHull* hb = Hull(b);
+  const HullEngine* ha = Hull(a);
+  const HullEngine* hb = Hull(b);
   if (ha == nullptr) return Status::InvalidArgument("unknown stream '" + a + "'");
   if (hb == nullptr) return Status::InvalidArgument("unknown stream '" + b + "'");
   if (ha->empty() || hb->empty()) {

@@ -10,17 +10,23 @@
 // for state *transitions* — separability gained/lost, containment
 // started/ended — so a monitoring application polls for events instead of
 // re-deriving them from raw query values.
+//
+// Each stream runs its own HullEngine: AddStream picks the maintenance
+// strategy per stream (a sensor feed might afford the adaptive engine while
+// a firehose runs uniform), and InsertBatch routes a whole chunk of points
+// through the engine's batched fast path in one call.
 
 #ifndef STREAMHULL_MULTI_STREAM_GROUP_H_
 #define STREAMHULL_MULTI_STREAM_GROUP_H_
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
-#include "core/adaptive_hull.h"
+#include "core/hull_engine.h"
 #include "queries/queries.h"
 
 namespace streamhull {
@@ -50,19 +56,34 @@ struct PairEvent {
 /// \brief Named collection of stream summaries with pairwise monitoring.
 class StreamGroup {
  public:
-  /// \param options configuration applied to every stream's summary.
-  explicit StreamGroup(const AdaptiveHullOptions& options)
-      : options_(options) {}
+  /// \param options configuration applied to every stream's engine.
+  /// \param default_kind engine used by streams added without an explicit
+  ///        kind.
+  explicit StreamGroup(const EngineOptions& options,
+                       EngineKind default_kind = EngineKind::kAdaptive)
+      : options_(options), default_kind_(default_kind) {}
 
-  /// Registers a new stream. Fails if the name already exists or options
-  /// are invalid.
+  /// Convenience: adaptive engines configured by \p options.
+  explicit StreamGroup(const AdaptiveHullOptions& options)
+      : StreamGroup(EngineOptions{.hull = options}) {}
+
+  /// Registers a new stream running the group's default engine kind. Fails
+  /// if the name already exists or options are invalid.
   Status AddStream(const std::string& name);
+
+  /// Registers a new stream running the given engine kind.
+  Status AddStream(const std::string& name, EngineKind kind);
 
   /// Feeds one point to the named stream. Fails on unknown names.
   Status Insert(const std::string& name, Point2 p);
 
-  /// The named stream's summary, or nullptr if unknown.
-  const AdaptiveHull* Hull(const std::string& name) const;
+  /// \brief Feeds a batch of points to the named stream through the
+  /// engine's batched fast path. Equivalent to (but faster than) inserting
+  /// the points one at a time. Fails on unknown names.
+  Status InsertBatch(const std::string& name, std::span<const Point2> points);
+
+  /// The named stream's engine, or nullptr if unknown.
+  const HullEngine* Hull(const std::string& name) const;
 
   /// Registered stream names, sorted.
   std::vector<std::string> StreamNames() const;
@@ -88,8 +109,9 @@ class StreamGroup {
     bool was_b_in_a = false;
   };
 
-  AdaptiveHullOptions options_;
-  std::map<std::string, std::unique_ptr<AdaptiveHull>> streams_;
+  EngineOptions options_;
+  EngineKind default_kind_;
+  std::map<std::string, std::unique_ptr<HullEngine>> streams_;
   std::vector<Watch> watches_;
   uint64_t polls_ = 0;
 };

@@ -1,0 +1,192 @@
+// Tests for the HullEngine boundary: factory construction of every kind,
+// kind-name round-trips, the cross-engine error-bound contract, and the
+// batch-vs-incremental differential suite — InsertBatch over a partition of
+// the stream must leave every engine in exactly the state point-at-a-time
+// insertion produces, and CheckConsistency must hold after every batch.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hull_engine.h"
+#include "stream/generators.h"
+
+namespace streamhull {
+namespace {
+
+EngineOptions Opts(uint32_t r = 16) {
+  EngineOptions o;
+  o.hull.r = r;
+  return o;
+}
+
+struct NamedStream {
+  std::string name;
+  std::vector<Point2> points;
+};
+
+std::vector<NamedStream> TestStreams(size_t n) {
+  std::vector<NamedStream> streams;
+  streams.push_back({"disk", DiskGenerator(11).Take(n)});
+  streams.push_back({"ellipse", EllipseGenerator(12, 16.0, 0.23).Take(n)});
+  // Repeats the same 64 points over and over: exercises exact-duplicate
+  // handling in the prefilter.
+  streams.push_back({"circle", CircleGenerator(13, 64).Take(n)});
+  streams.push_back({"drift", DriftWalkGenerator(14).Take(n)});
+  // Every point a hull vertex: the prefilter never fires.
+  streams.push_back({"spiral", SpiralGenerator(15, 1e-3).Take(n)});
+  return streams;
+}
+
+// Engine configurations under differential test: every kind, plus the
+// fixed-size adaptive variant (a different maintenance code path).
+struct EngineConfig {
+  std::string name;
+  EngineKind kind;
+  EngineOptions options;
+};
+
+std::vector<EngineConfig> TestConfigs() {
+  std::vector<EngineConfig> configs;
+  for (EngineKind kind : AllEngineKinds()) {
+    EngineOptions o = Opts();
+    o.training_points = 500;
+    configs.push_back({EngineKindName(kind), kind, o});
+  }
+  EngineOptions fixed = Opts();
+  fixed.hull.mode = SamplingMode::kFixedSize;
+  configs.push_back({"adaptive-fixed-size", EngineKind::kAdaptive, fixed});
+  return configs;
+}
+
+void ExpectSameSummary(const HullEngine& a, const HullEngine& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.num_points(), b.num_points()) << context;
+  const ConvexPolygon pa = a.Polygon();
+  const ConvexPolygon pb = b.Polygon();
+  ASSERT_EQ(pa.size(), pb.size()) << context;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_TRUE(pa[i] == pb[i]) << context << " vertex " << i;
+  }
+  const auto sa = a.Samples();
+  const auto sb = b.Samples();
+  ASSERT_EQ(sa.size(), sb.size()) << context;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_TRUE(sa[i].direction == sb[i].direction) << context << " dir " << i;
+    ASSERT_TRUE(sa[i].point == sb[i].point) << context << " sample " << i;
+  }
+}
+
+TEST(HullEngineFactoryTest, AllKindsConstructible) {
+  for (EngineKind kind : AllEngineKinds()) {
+    auto engine = MakeEngine(kind, Opts());
+    ASSERT_NE(engine, nullptr) << EngineKindName(kind);
+    EXPECT_EQ(engine->kind(), kind);
+    EXPECT_TRUE(engine->empty());
+    EXPECT_EQ(engine->r(), 16u);
+    engine->Insert({1, 2});
+    EXPECT_EQ(engine->num_points(), 1u);
+    EXPECT_TRUE(engine->CheckConsistency().ok()) << EngineKindName(kind);
+  }
+}
+
+TEST(HullEngineFactoryTest, KindNamesRoundTrip) {
+  for (EngineKind kind : AllEngineKinds()) {
+    EngineKind parsed;
+    ASSERT_TRUE(ParseEngineKind(EngineKindName(kind), &parsed))
+        << EngineKindName(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  EngineKind parsed;
+  EXPECT_FALSE(ParseEngineKind("no-such-engine", &parsed));
+}
+
+TEST(HullEngineFactoryTest, OptionsValidation) {
+  EngineOptions bad = Opts(4);  // r below the minimum of 8.
+  for (EngineKind kind : AllEngineKinds()) {
+    EXPECT_FALSE(bad.Validate(kind).ok()) << EngineKindName(kind);
+  }
+  EXPECT_TRUE(Opts().Validate(EngineKind::kAdaptive).ok());
+  EXPECT_EQ(EngineOptions{}.EffectiveTrainingPoints(), 1024u);
+}
+
+TEST(HullEngineTest, EmptyBatchIsANoOp) {
+  for (EngineKind kind : AllEngineKinds()) {
+    auto engine = MakeEngine(kind, Opts());
+    engine->InsertBatch({});
+    EXPECT_EQ(engine->num_points(), 0u) << EngineKindName(kind);
+    engine->Insert({0, 0});
+    engine->InsertBatch({});
+    EXPECT_EQ(engine->num_points(), 1u) << EngineKindName(kind);
+  }
+}
+
+// Every engine's ErrorBound must dominate the distance from any stream
+// point to the reported polygon (stream points lie in the true hull, which
+// lies within ErrorBound of the polygon).
+TEST(HullEngineTest, ErrorBoundCoversStreamPoints) {
+  const auto stream = EllipseGenerator(21, 16.0, 0.11).Take(4000);
+  for (EngineKind kind : AllEngineKinds()) {
+    auto engine = MakeEngine(kind, Opts());
+    engine->InsertBatch(stream);
+    const ConvexPolygon poly = engine->Polygon();
+    const double bound = engine->ErrorBound();
+    double worst = 0;
+    for (const Point2& p : stream) {
+      worst = std::max(worst, poly.DistanceOutside(p));
+    }
+    EXPECT_LE(worst, bound + 1e-9) << EngineKindName(kind);
+  }
+}
+
+// The core differential guarantee: InsertBatch over a partition of the
+// stream produces exactly the summary of point-at-a-time insertion, for
+// every engine configuration and workload, checked after every batch.
+TEST(HullEngineDifferentialTest, BatchMatchesIncremental) {
+  const size_t kN = 2500;
+  Rng chunk_rng(99);
+  for (const EngineConfig& config : TestConfigs()) {
+    for (const NamedStream& stream : TestStreams(kN)) {
+      auto incremental = MakeEngine(config.kind, config.options);
+      auto batched = MakeEngine(config.kind, config.options);
+      size_t pos = 0;
+      int batch_index = 0;
+      while (pos < stream.points.size()) {
+        const size_t len = std::min<size_t>(
+            1 + chunk_rng.UniformInt(97), stream.points.size() - pos);
+        const std::span<const Point2> chunk(&stream.points[pos], len);
+        for (const Point2& p : chunk) incremental->Insert(p);
+        batched->InsertBatch(chunk);
+        pos += len;
+        const std::string context = config.name + "/" + stream.name +
+                                    " batch " + std::to_string(batch_index++);
+        ASSERT_TRUE(batched->CheckConsistency().ok()) << context;
+        ASSERT_NO_FATAL_FAILURE(
+            ExpectSameSummary(*incremental, *batched, context));
+      }
+    }
+  }
+}
+
+// The prefilter must actually fire on interior-heavy streams (otherwise the
+// fast path silently degrades to the slow one).
+TEST(HullEngineTest, PrefilterRejectsInteriorPoints) {
+  auto engine = MakeEngine(EngineKind::kAdaptive, Opts());
+  // Ring first so the interior is covered, then a disk of interior points.
+  const auto ring = CircleGenerator(31, 256).Take(256);
+  engine->InsertBatch(ring);
+  DiskGenerator inner(32, 0.3);
+  const auto interior = inner.Take(2000);
+  engine->InsertBatch(interior);
+  const AdaptiveHullStats& stats = engine->stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_GT(stats.batch_prefilter_rejections, 1500u);
+  EXPECT_TRUE(engine->CheckConsistency().ok());
+}
+
+}  // namespace
+}  // namespace streamhull

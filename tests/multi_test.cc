@@ -35,6 +35,44 @@ TEST(StreamGroupTest, StreamLifecycle) {
   EXPECT_EQ(group.Hull("zzz"), nullptr);
 }
 
+TEST(StreamGroupTest, PerStreamEngineSelection) {
+  StreamGroup group(Opts());
+  ASSERT_TRUE(group.AddStream("adaptive").ok());  // Group default.
+  ASSERT_TRUE(group.AddStream("uniform", EngineKind::kUniform).ok());
+  ASSERT_TRUE(group.AddStream("static", EngineKind::kStaticAdaptive).ok());
+  EXPECT_EQ(group.Hull("adaptive")->kind(), EngineKind::kAdaptive);
+  EXPECT_EQ(group.Hull("uniform")->kind(), EngineKind::kUniform);
+  EXPECT_EQ(group.Hull("static")->kind(), EngineKind::kStaticAdaptive);
+  DiskGenerator gen(1);
+  const auto points = gen.Take(500);
+  for (const std::string name : {"adaptive", "uniform", "static"}) {
+    ASSERT_TRUE(group.InsertBatch(name, points).ok());
+    EXPECT_EQ(group.Hull(name)->num_points(), 500u);
+    EXPECT_TRUE(group.Hull(name)->CheckConsistency().ok()) << name;
+  }
+  PairReport report;
+  ASSERT_TRUE(group.Report("adaptive", "uniform", &report).ok());
+  EXPECT_FALSE(report.separable);  // Same distribution.
+}
+
+TEST(StreamGroupTest, InsertBatchMatchesInsert) {
+  StreamGroup batched(Opts());
+  StreamGroup incremental(Opts());
+  ASSERT_TRUE(batched.AddStream("s").ok());
+  ASSERT_TRUE(incremental.AddStream("s").ok());
+  EllipseGenerator gen(5, 8.0, 0.4);
+  const auto points = gen.Take(1000);
+  ASSERT_TRUE(batched.InsertBatch("s", points).ok());
+  for (const Point2& p : points) {
+    ASSERT_TRUE(incremental.Insert("s", p).ok());
+  }
+  EXPECT_FALSE(batched.InsertBatch("zzz", points).ok());
+  const ConvexPolygon pa = batched.Hull("s")->Polygon();
+  const ConvexPolygon pb = incremental.Hull("s")->Polygon();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_TRUE(pa[i] == pb[i]);
+}
+
 TEST(StreamGroupTest, ReportRequiresDataAndKnownNames) {
   StreamGroup group(Opts());
   ASSERT_TRUE(group.AddStream("a").ok());
