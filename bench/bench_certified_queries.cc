@@ -1,0 +1,176 @@
+// Certified vs raw query latency (§6). A certified query pays for two
+// polygon evaluations (inner + outer) plus, once per summary snapshot, the
+// OuterPolygon construction — this bench separates the three costs so the
+// price of certification at r in {16, 64, 256} is visible:
+//
+//   BM_RawX        the queries.h point-value query on Polygon()
+//   BM_CertifiedX  the certified.h interval query on a prebuilt view
+//   BM_ViewBuild   SummaryView construction (Polygon + OuterPolygon)
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/hull_engine.h"
+#include "queries/certified.h"
+#include "queries/queries.h"
+#include "stream/generators.h"
+
+namespace {
+
+using namespace streamhull;
+
+std::unique_ptr<HullEngine> SummaryEngine(uint32_t r, uint64_t seed,
+                                          Point2 center) {
+  EngineOptions o;
+  o.hull.r = r;
+  auto engine = MakeEngine(EngineKind::kAdaptive, o);
+  DiskGenerator gen(seed, 1.0, center);
+  engine->InsertBatch(gen.Take(30000));
+  return engine;
+}
+
+void BM_ViewBuild(benchmark::State& state) {
+  const auto engine =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 1, {0, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SummaryView(*engine).outer().size());
+  }
+}
+
+void BM_RawDiameter(benchmark::State& state) {
+  const auto poly =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 2, {0, 0})
+          ->Polygon();
+  for (auto _ : state) benchmark::DoNotOptimize(Diameter(poly).value);
+}
+
+void BM_CertifiedDiameter(benchmark::State& state) {
+  const auto engine =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 2, {0, 0});
+  const SummaryView view(*engine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CertifiedDiameter(view).value.Width());
+  }
+}
+
+void BM_RawWidth(benchmark::State& state) {
+  const auto poly =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 3, {0, 0})
+          ->Polygon();
+  for (auto _ : state) benchmark::DoNotOptimize(Width(poly).value);
+}
+
+void BM_CertifiedWidth(benchmark::State& state) {
+  const auto engine =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 3, {0, 0});
+  const SummaryView view(*engine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CertifiedWidth(view).value.Width());
+  }
+}
+
+void BM_RawExtent(benchmark::State& state) {
+  const auto poly =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 4, {0, 0})
+          ->Polygon();
+  Rng rng(7);
+  for (auto _ : state) {
+    const Point2 dir = UnitVector(rng.Uniform(0, 6.28318));
+    benchmark::DoNotOptimize(DirectionalExtent(poly, dir));
+  }
+}
+
+void BM_CertifiedExtent(benchmark::State& state) {
+  const auto engine =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 4, {0, 0});
+  const SummaryView view(*engine);
+  Rng rng(7);
+  for (auto _ : state) {
+    const Point2 dir = UnitVector(rng.Uniform(0, 6.28318));
+    benchmark::DoNotOptimize(CertifiedExtent(view, dir).Width());
+  }
+}
+
+void BM_RawSeparation(benchmark::State& state) {
+  const auto a =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 5, {0, 0})
+          ->Polygon();
+  const auto b =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 6, {3, 0})
+          ->Polygon();
+  for (auto _ : state) benchmark::DoNotOptimize(Separation(a, b).distance);
+}
+
+void BM_CertifiedSeparation(benchmark::State& state) {
+  const auto ea =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 5, {0, 0});
+  const auto eb =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 6, {3, 0});
+  const SummaryView a(*ea);
+  const SummaryView b(*eb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CertifiedSeparation(a, b).distance.Width());
+  }
+}
+
+void BM_RawOverlapArea(benchmark::State& state) {
+  const auto a =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 8, {0, 0})
+          ->Polygon();
+  const auto b =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 9, {0.8, 0})
+          ->Polygon();
+  for (auto _ : state) benchmark::DoNotOptimize(OverlapArea(a, b));
+}
+
+void BM_CertifiedOverlapArea(benchmark::State& state) {
+  const auto ea =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 8, {0, 0});
+  const auto eb =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 9, {0.8, 0});
+  const SummaryView a(*ea);
+  const SummaryView b(*eb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CertifiedOverlapArea(a, b).Width());
+  }
+}
+
+void BM_RawEnclosingCircle(benchmark::State& state) {
+  const auto poly =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 10, {0, 0})
+          ->Polygon();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SmallestEnclosingCircle(poly).radius);
+  }
+}
+
+void BM_CertifiedEnclosingCircle(benchmark::State& state) {
+  const auto engine =
+      SummaryEngine(static_cast<uint32_t>(state.range(0)), 10, {0, 0});
+  const SummaryView view(*engine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CertifiedEnclosingCircle(view).radius.Width());
+  }
+}
+
+#define CERTIFIED_BENCH_ARGS ->Arg(16)->Arg(64)->Arg(256)
+
+BENCHMARK(BM_ViewBuild) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_RawDiameter) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_CertifiedDiameter) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_RawWidth) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_CertifiedWidth) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_RawExtent) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_CertifiedExtent) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_RawSeparation) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_CertifiedSeparation) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_RawOverlapArea) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_CertifiedOverlapArea) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_RawEnclosingCircle) CERTIFIED_BENCH_ARGS;
+BENCHMARK(BM_CertifiedEnclosingCircle) CERTIFIED_BENCH_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

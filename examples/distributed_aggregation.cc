@@ -8,11 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "common/rng.h"
-#include "core/adaptive_hull.h"
-#include "core/snapshot.h"
-#include "multi/stream_group.h"
-#include "queries/queries.h"
+#include "streamhull.h"
 
 int main() {
   using namespace streamhull;
@@ -83,14 +79,18 @@ int main() {
           e.kind == PairEvent::Kind::kSeparabilityLost  ? "SEPARABILITY LOST"
           : e.kind == PairEvent::Kind::kSeparabilityGained ? "separability regained"
           : e.kind == PairEvent::Kind::kContainmentStarted ? "containment started"
-                                                           : "containment ended";
+          : e.kind == PairEvent::Kind::kContainmentEnded   ? "containment ended"
+          : e.kind == PairEvent::Kind::kCertaintyLost ? "entered uncertainty band"
+                                                      : "certainty regained";
       std::printf("leg %d: %s (%s vs %s)\n", leg, what, e.first.c_str(),
                   e.second.c_str());
     }
     PairReport report;
-    if (watch.Report("plume", "convoy", &report).ok() && report.separable) {
-      std::printf("leg %d: convoy is %.2f away from the plume extent\n", leg,
-                  report.distance);
+    if (watch.Report("plume", "convoy", &report).ok() &&
+        report.separable == Certainty::kTrue) {
+      std::printf("leg %d: convoy is at least %.2f away from the plume "
+                  "extent\n",
+                  leg, report.distance.lo);
     }
   }
   return 0;

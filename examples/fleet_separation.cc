@@ -5,7 +5,13 @@
 // its own HullEngine (fleet A affords the adaptive engine; fleet B's denser
 // feed runs the uniform engine), position fixes arrive through the batched
 // ingestion path, and the separability/containment transitions come from
-// the group's event poll instead of hand-rolled state tracking.
+// the group's certified event poll instead of hand-rolled state tracking.
+//
+// Every transition event is *certified*: it fires only once the summaries
+// can prove the predicate flipped for the true fleet extents. While the
+// truth sits inside the uncertainty band the group reports a single
+// "certainty lost" event and stays quiet — no flapping as raw point values
+// wander across the threshold.
 //
 // Scenario: fleet A patrols a slowly-expanding loop; fleet B approaches from
 // the east, pushes through A's area, then encircles it.
@@ -14,8 +20,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/rng.h"
-#include "multi/stream_group.h"
+#include "streamhull.h"
 
 int main() {
   using namespace streamhull;
@@ -33,7 +38,8 @@ int main() {
   Rng rng(7);
   const double kTwoPi = 6.283185307179586;
 
-  std::printf("tick  |A|hull  |B|hull  distance   separable  A-inside-B\n");
+  std::printf("tick  |A|hull  |B|hull  distance[lo,hi]      separable  "
+              "A-inside-B\n");
   for (int tick = 0; tick < 240; ++tick) {
     const double t = tick / 240.0;
     // Fleet A: ring patrol around the origin, radius ~2. Each tick's 40
@@ -62,29 +68,47 @@ int main() {
     PairReport report;
     if (!fleets.Report("A", "B", &report).ok()) continue;
     if (tick % 24 == 0) {
-      std::printf("%4d  %7zu  %7zu  %9.4f  %9s  %s\n", tick,
+      std::printf("%4d  %7zu  %7zu  [%8.4f,%8.4f]  %9s  %s\n", tick,
                   fleets.Hull("A")->Polygon().size(),
-                  fleets.Hull("B")->Polygon().size(), report.distance,
-                  report.separable ? "yes" : "NO",
-                  report.b_contains_a ? "YES" : "no");
+                  fleets.Hull("B")->Polygon().size(), report.distance.lo,
+                  report.distance.hi, CertaintyName(report.separable),
+                  CertaintyName(report.b_contains_a));
     }
     for (const PairEvent& event : fleets.Poll()) {
       switch (event.kind) {
         case PairEvent::Kind::kSeparabilityLost:
-          std::printf("      >> fleets are no longer linearly separable\n");
+          std::printf("      >> CERTIFIED: fleets are no longer linearly "
+                      "separable\n");
           break;
         case PairEvent::Kind::kSeparabilityGained:
-          std::printf("      >> fleets separated again (margin %.4f)\n",
-                      report.distance);
+          std::printf("      >> CERTIFIED: fleets separated again "
+                      "(margin >= %.4f)\n",
+                      report.distance.lo);
           break;
         case PairEvent::Kind::kContainmentStarted:
-          std::printf("      >> fleet %s is now completely surrounded by "
-                      "fleet %s's extent\n",
+          std::printf("      >> CERTIFIED: fleet %s is now completely "
+                      "surrounded by fleet %s's extent\n",
                       event.first.c_str(), event.second.c_str());
           break;
         case PairEvent::Kind::kContainmentEnded:
-          std::printf("      >> fleet %s is no longer surrounded by "
-                      "fleet %s\n",
+          std::printf("      >> CERTIFIED: fleet %s is no longer surrounded "
+                      "by fleet %s\n",
+                      event.first.c_str(), event.second.c_str());
+          break;
+        case PairEvent::Kind::kCertaintyLost:
+          std::printf("      >> %s of (%s, %s) entered the uncertainty band; "
+                      "holding last certified state\n",
+                      event.predicate == PairEvent::Predicate::kSeparability
+                          ? "separability"
+                          : "containment",
+                      event.first.c_str(), event.second.c_str());
+          break;
+        case PairEvent::Kind::kCertaintyGained:
+          std::printf("      >> %s of (%s, %s) is certified again "
+                      "(unchanged)\n",
+                      event.predicate == PairEvent::Predicate::kSeparability
+                          ? "separability"
+                          : "containment",
                       event.first.c_str(), event.second.c_str());
           break;
       }
@@ -93,8 +117,9 @@ int main() {
 
   PairReport final_report;
   if (fleets.Report("A", "B", &final_report).ok()) {
-    std::printf("\nfinal overlap area between the two extents: %.4f\n",
-                final_report.overlap_area);
+    std::printf("\nfinal overlap area between the two extents: "
+                "[%.4f, %.4f]\n",
+                final_report.overlap_area.lo, final_report.overlap_area.hi);
   }
   for (const char* name : {"A", "B"}) {
     const HullEngine* h = fleets.Hull(name);

@@ -1,18 +1,22 @@
 // Quickstart: summarize a point stream with a HullEngine and ask it the
-// basic extremal questions (§6). Everything here is the public API:
+// basic extremal questions (§6). Everything here comes through the single
+// public umbrella header:
 //
 //   MakeEngine / HullEngine   the streaming summary behind a strategy enum
 //                             (EngineKind::kAdaptive: O(log r) per point,
 //                             <= 2r+1 samples, O(D/r^2) error)
 //   InsertBatch               batched ingestion fast path
 //   ConvexPolygon             snapshot of the approximate hull
-//   queries/queries.h         diameter, width, extent, enclosing circle, ...
+//   queries/certified.h       interval-valued answers certified against
+//                             the *true* hull of the whole stream
+//
+// The certified queries are the headline: instead of a point value about
+// the sampled polygon, each returns [lo, hi] guaranteed to bracket the
+// exact answer on the true (unbounded-memory) hull.
 
 #include <cstdio>
 
-#include "core/hull_engine.h"
-#include "queries/queries.h"
-#include "stream/generators.h"
+#include "streamhull.h"
 
 int main() {
   using namespace streamhull;
@@ -48,30 +52,45 @@ int main() {
   std::printf("a-priori error bound    : %.6f (16*pi*P/r^2)\n",
               hull->ErrorBound());
 
-  // Snapshot the approximate hull and run extremal queries on it.
-  const ConvexPolygon poly = hull->Polygon();
-  std::printf("hull vertices           : %zu\n", poly.size());
-  std::printf("area / perimeter        : %.6f / %.6f\n", poly.Area(),
-              poly.Perimeter());
+  // The sandwich the certified answers are bracketed by: the inner polygon
+  // (stored samples, a subset of the true hull) and the outer polygon (a
+  // guaranteed superset).
+  const SummaryView view(*hull);
+  std::printf("inner / outer vertices  : %zu / %zu\n", view.inner().size(),
+              view.outer().size());
+  std::printf("area sandwich           : [%.6f, %.6f]\n",
+              view.inner().Area(), view.outer().Area());
 
-  const PointPair diam = Diameter(poly);
-  std::printf("diameter                : %.6f between (%.3f,%.3f) and "
-              "(%.3f,%.3f)\n",
-              diam.value, diam.a.x, diam.a.y, diam.b.x, diam.b.y);
-  std::printf("width                   : %.6f\n", Width(poly).value);
-  std::printf("extent along x          : %.6f\n",
-              DirectionalExtent(poly, {1, 0}));
-  std::printf("extent along y          : %.6f\n",
-              DirectionalExtent(poly, {0, 1}));
+  // Certified extremal queries: each interval contains the exact value on
+  // the true hull of all 100k points.
+  const CertifiedScalar diam = CertifiedDiameter(view);
+  std::printf("diameter                : [%.6f, %.6f] (+/- %.2e) between "
+              "(%.3f,%.3f) and (%.3f,%.3f)\n",
+              diam.value.lo, diam.value.hi, 0.5 * diam.value.Width(),
+              diam.inner_witness.a.x, diam.inner_witness.a.y,
+              diam.inner_witness.b.x, diam.inner_witness.b.y);
+  const CertifiedScalar width = CertifiedWidth(view);
+  std::printf("width                   : [%.6f, %.6f]\n", width.value.lo,
+              width.value.hi);
+  const Interval ext_x = CertifiedExtent(view, {1, 0});
+  const Interval ext_y = CertifiedExtent(view, {0, 1});
+  std::printf("extent along x          : [%.6f, %.6f]\n", ext_x.lo, ext_x.hi);
+  std::printf("extent along y          : [%.6f, %.6f]\n", ext_y.lo, ext_y.hi);
 
-  const Circle circle = SmallestEnclosingCircle(poly);
-  std::printf("enclosing circle        : center (%.3f,%.3f) radius %.6f\n",
-              circle.center.x, circle.center.y, circle.radius);
+  const CertifiedCircleResult circle = CertifiedEnclosingCircle(view);
+  std::printf("enclosing circle        : center (%.3f,%.3f) radius "
+              "[%.6f, %.6f]\n",
+              circle.enclosing.center.x, circle.enclosing.center.y,
+              circle.radius.lo, circle.radius.hi);
 
-  // Membership tests against the summary.
-  std::printf("contains (0,0)?         : %s\n",
-              poly.Contains({0, 0}) ? "yes" : "no");
-  std::printf("contains (2,2)?         : %s\n",
-              poly.Contains({2, 2}) ? "yes" : "no");
+  // Membership tests against the sandwich: inside the inner polygon means
+  // certainly inside the true hull; outside the outer polygon means
+  // certainly outside.
+  for (const Point2 q : {Point2{0, 0}, Point2{2, 2}}) {
+    const char* verdict = view.inner().Contains(q)   ? "certainly yes"
+                          : view.outer().Contains(q) ? "unknown"
+                                                     : "certainly no";
+    std::printf("true hull has (%g,%g)?   : %s\n", q.x, q.y, verdict);
+  }
   return 0;
 }

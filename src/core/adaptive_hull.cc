@@ -1136,6 +1136,16 @@ std::vector<UncertaintyTriangle> AdaptiveHull::Triangles() const {
   return out;
 }
 
+ConvexPolygon AdaptiveHull::OuterPolygon() const {
+  const std::vector<HullSample> samples = Samples();
+  std::vector<double> slacks;
+  slacks.reserve(samples.size());
+  for (const HullSample& s : samples) {
+    slacks.push_back(OffsetForLevel(s.direction.level()));
+  }
+  return SupportIntersection(samples, slacks);
+}
+
 double AdaptiveHull::ErrorBound() const {
   const double r = static_cast<double>(options_.r);
   return 16.0 * kPi * p_used_ / (r * r);

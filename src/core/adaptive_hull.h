@@ -125,6 +125,14 @@ class AdaptiveHull : public HullEngine {
   /// of these triangles.
   std::vector<UncertaintyTriangle> Triangles() const override;
 
+  /// \brief Guaranteed superset of the true hull. A direction activated by
+  /// refinement mid-stream may have missed earlier extrema, so its
+  /// supporting line alone is not a valid bound; the Lemma 5.3 invariant
+  /// guarantees every stream point lies within OffsetForLevel(level) of it.
+  /// This intersects the supporting half-planes relaxed by exactly those
+  /// offsets (uniform directions get offset 0: their extrema are exact).
+  ConvexPolygon OuterPolygon() const override;
+
   /// \brief The a-priori Hausdorff error bound 16*pi*P/r^2 of Corollary 5.2
   /// (invariant mode with the default tree height).
   double ErrorBound() const override;
@@ -325,6 +333,9 @@ class UniformHull final : public HullEngine {
   std::vector<UncertaintyTriangle> Triangles() const override {
     return hull_.Triangles();
   }
+  /// All directions are uniform (true extrema), so the level-0 invariant
+  /// offset is 0 and the outer hull is the exact apex polygon.
+  ConvexPolygon OuterPolygon() const override { return hull_.OuterPolygon(); }
   /// \brief A-posteriori bound: the maximum uncertainty-triangle height.
   /// (The adaptive 16*pi*P/r^2 formula needs the weight invariant, which
   /// uniform sampling does not maintain — its worst case is Theta(P/r).)

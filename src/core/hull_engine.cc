@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 
 #include "common/check.h"
 #include "core/adaptive_hull.h"
 #include "core/partially_adaptive.h"
 #include "core/static_adaptive.h"
+#include "geom/convex_hull.h"
 
 namespace streamhull {
 
@@ -32,8 +34,24 @@ const char* EngineKindName(EngineKind kind) {
 }
 
 bool ParseEngineKind(std::string_view name, EngineKind* out) {
+  // Case-insensitive, with '_' accepted for '-'. Canonical names are
+  // lowercase with '-' separators, so folding the query suffices.
+  auto fold = [](char c) {
+    if (c == '_') return '-';
+    if (c >= 'A' && c <= 'Z') return static_cast<char>(c - 'A' + 'a');
+    return c;
+  };
   for (EngineKind kind : kAllKinds) {
-    if (name == EngineKindName(kind)) {
+    const std::string_view canonical = EngineKindName(kind);
+    if (name.size() != canonical.size()) continue;
+    bool match = true;
+    for (size_t i = 0; i < name.size(); ++i) {
+      if (fold(name[i]) != canonical[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
       *out = kind;
       return true;
     }
@@ -72,6 +90,47 @@ double MaxTriangleHeight(const std::vector<UncertaintyTriangle>& triangles) {
   double h = 0;
   for (const UncertaintyTriangle& t : triangles) h = std::max(h, t.height);
   return h;
+}
+
+ConvexPolygon HullEngine::OuterPolygon() const {
+  return SupportIntersection(Samples(), {});
+}
+
+ConvexPolygon SupportIntersection(const std::vector<HullSample>& samples,
+                                  std::span<const double> slacks) {
+  SH_CHECK(slacks.empty() || slacks.size() == samples.size());
+  if (samples.empty()) return ConvexPolygon();
+
+  // Anchor points of the (outward-relaxed) supporting lines, and the
+  // largest support value relative to the sample centroid.
+  Point2 c{0, 0};
+  for (const HullSample& s : samples) c += s.point;
+  c = c / static_cast<double>(samples.size());
+  std::vector<Point2> anchors(samples.size());
+  std::vector<Point2> normals(samples.size());
+  double m = 0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Point2 u = samples[i].direction.ToVector();
+    normals[i] = u;
+    anchors[i] = samples[i].point + u * (slacks.empty() ? 0.0 : slacks[i]);
+    m = std::max(m, Dot(anchors[i] - c, u));
+  }
+
+  // Every x in the intersection has dot(x - c, u_i) <= m for all i, and
+  // consecutive sample directions are at most theta0 = 2*pi/r apart
+  // (uniform directions are never deactivated), so |x - c| <=
+  // m / cos(pi/r) <= 2m for r >= 8. A box of half-width 4m strictly
+  // contains the region; the absolute floor keeps single-point summaries
+  // (m == 0) clipping against a non-degenerate subject.
+  const double h =
+      4.0 * m + 1e-12 * (1.0 + std::abs(c.x) + std::abs(c.y));
+  std::vector<Point2> poly{c + Point2{-h, -h}, c + Point2{h, -h},
+                           c + Point2{h, h}, c + Point2{-h, h}};
+
+  for (size_t i = 0; i < anchors.size() && !poly.empty(); ++i) {
+    ClipByHalfPlane(&poly, anchors[i], normals[i]);
+  }
+  return ConvexPolygon(ConvexHullOf(std::move(poly)));
 }
 
 }  // namespace streamhull

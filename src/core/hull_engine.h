@@ -83,6 +83,13 @@ class HullEngine {
     for (const Point2& p : points) Insert(p);
   }
 
+  /// \brief Cache hint before a burst of queries: engines with deferred
+  /// internal caches (StaticAdaptiveHull) rebuild them now so subsequent
+  /// const accessors serve the cache instead of recomputing. Never changes
+  /// observable summary state; counts as a mutator for the
+  /// thread-compatibility contract. Default: no-op.
+  virtual void Seal() {}
+
   /// Number of stream points processed so far.
   virtual uint64_t num_points() const = 0;
   /// True before the first point.
@@ -94,6 +101,23 @@ class HullEngine {
   /// order. The true hull of the entire stream contains this polygon and
   /// lies within ErrorBound() of it.
   virtual ConvexPolygon Polygon() const = 0;
+
+  /// \brief A guaranteed superset of the true hull of the entire stream:
+  ///
+  ///     Polygon()  subset of  true hull  subset of  OuterPolygon().
+  ///
+  /// The default implementation intersects the supporting half-planes of
+  /// all samples, which equals the inner polygon extended by its
+  /// uncertainty triangles (vertices: the samples plus the triangle
+  /// apexes). It is correct for engines whose stored samples are true
+  /// stream extrema (uniform, static-adaptive). The streaming adaptive
+  /// family overrides it to relax each half-plane by the Lemma 5.3
+  /// invariant offset, because a direction activated mid-stream may have
+  /// missed earlier extrema by up to that offset.
+  ///
+  /// The [Polygon(), OuterPolygon()] sandwich is what the certified query
+  /// layer (src/queries/certified.h) brackets every answer with.
+  virtual ConvexPolygon OuterPolygon() const;
 
   /// All active samples in CCW direction order.
   virtual std::vector<HullSample> Samples() const = 0;
@@ -110,7 +134,10 @@ class HullEngine {
   /// height (§2), which is always a valid bound.
   virtual double ErrorBound() const = 0;
 
-  /// Operation counters.
+  /// \brief Operation counters. Engines with deferred internal caches may
+  /// let derived counters lag behind Insert()-fed state until the next
+  /// Seal() or InsertBatch() (StaticAdaptiveHull's directions_refined);
+  /// the ingestion counters themselves are always current.
   virtual const AdaptiveHullStats& stats() const = 0;
 
   /// \brief Exhaustive structural self-check (test support). Returns the
@@ -141,8 +168,11 @@ struct EngineOptions {
 /// "partially-adaptive", "static-adaptive"); used in tables and CLIs.
 const char* EngineKindName(EngineKind kind);
 
-/// Parses EngineKindName output back to the kind. Returns false (leaving
-/// *out untouched) for unknown names.
+/// \brief Parses EngineKindName output back to the kind. Matching is
+/// case-insensitive and treats '_' as '-' ("Static_Adaptive" parses as
+/// kStaticAdaptive), so CLI flags and config keys round-trip regardless of
+/// the caller's naming convention. Returns false (leaving *out untouched)
+/// for unknown names.
 bool ParseEngineKind(std::string_view name, EngineKind* out);
 
 /// Every EngineKind, in declaration order — the idiom for consumers that
@@ -158,6 +188,20 @@ std::unique_ptr<HullEngine> MakeEngine(EngineKind kind,
 /// \brief The a-posteriori error bound shared by the non-adaptive engines:
 /// the maximum uncertainty-triangle height (0 when there are no triangles).
 double MaxTriangleHeight(const std::vector<UncertaintyTriangle>& triangles);
+
+/// \brief Intersection of the relaxed supporting half-planes
+///
+///     { x : dot(x, u_i) <= dot(s_i, u_i) + slack_i }
+///
+/// over a summary's samples (u_i the i-th sample direction, s_i its stored
+/// point). With all-zero slacks this is the inner polygon extended by its
+/// uncertainty triangles — the generic construction behind OuterPolygon().
+/// \param samples the active samples in CCW direction order (as returned
+///        by HullEngine::Samples()).
+/// \param slacks per-sample outward offsets; empty means all zero,
+///        otherwise must match samples in length.
+ConvexPolygon SupportIntersection(const std::vector<HullSample>& samples,
+                                  std::span<const double> slacks);
 
 }  // namespace streamhull
 

@@ -73,6 +73,11 @@ class PartiallyAdaptiveHull final : public HullEngine {
   std::vector<UncertaintyTriangle> Triangles() const override {
     return hull_.Triangles();
   }
+  /// \brief Guaranteed superset of the true hull. Freezing stops direction
+  /// changes but extrema updates (and therefore the Lemma 5.3 containment
+  /// invariant behind the relaxed supporting half-planes) continue, so the
+  /// wrapped engine's construction remains valid.
+  ConvexPolygon OuterPolygon() const override { return hull_.OuterPolygon(); }
   /// \brief A-posteriori bound: the maximum uncertainty-triangle height.
   /// (Once frozen the weight invariant lapses, so the a-priori adaptive
   /// formula no longer applies.)

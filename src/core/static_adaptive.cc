@@ -222,51 +222,52 @@ void StaticAdaptiveHull::Compact() {
   compact_at_ = std::max<size_t>(1024, 2 * buffer_.size());
 }
 
-const StaticAdaptiveSample& StaticAdaptiveHull::Build() const {
-  if (dirty_) {
-    cache_ = BuildStaticAdaptiveSample(buffer_, options_.r,
-                                       options_.max_tree_height);
-    // The build is from scratch each time; report the latest build's
-    // refinement count rather than accumulating across rebuilds.
-    stats_.directions_refined = cache_.refinements;
-    dirty_ = false;
-  }
-  return cache_;
+StaticAdaptiveSample StaticAdaptiveHull::BuildFresh() const {
+  return BuildStaticAdaptiveSample(buffer_, options_.r,
+                                   options_.max_tree_height);
+}
+
+void StaticAdaptiveHull::Seal() {
+  if (!dirty_) return;
+  cache_ = BuildFresh();
+  // The build is from scratch each time; report the latest build's
+  // refinement count rather than accumulating across rebuilds.
+  stats_.directions_refined = cache_.refinements;
+  dirty_ = false;
 }
 
 const StaticAdaptiveSample& StaticAdaptiveHull::Sample() const {
   SH_CHECK(num_points_ > 0);
-  return Build();
+  SH_CHECK(!dirty_ && "Seal() the engine before taking a Sample() reference");
+  return cache_;
 }
 
 ConvexPolygon StaticAdaptiveHull::Polygon() const {
   if (num_points_ == 0) return ConvexPolygon();
-  return Build().Polygon();
+  return dirty_ ? BuildFresh().Polygon() : cache_.Polygon();
 }
 
 std::vector<HullSample> StaticAdaptiveHull::Samples() const {
   if (num_points_ == 0) return {};
-  return Build().samples;
+  return dirty_ ? BuildFresh().samples : cache_.samples;
 }
 
 std::vector<UncertaintyTriangle> StaticAdaptiveHull::Triangles() const {
   if (num_points_ == 0) return {};
-  return Build().triangles;
+  return dirty_ ? BuildFresh().triangles : cache_.triangles;
 }
 
 double StaticAdaptiveHull::ErrorBound() const {
   if (num_points_ == 0) return 0;
-  return MaxTriangleHeight(Build().triangles);
-}
-
-const AdaptiveHullStats& StaticAdaptiveHull::stats() const {
-  if (num_points_ > 0) Build();  // Refresh directions_refined.
-  return stats_;
+  return MaxTriangleHeight(dirty_ ? BuildFresh().triangles
+                                  : cache_.triangles);
 }
 
 Status StaticAdaptiveHull::CheckConsistency() const {
   if (num_points_ == 0) return Status::OK();
-  const StaticAdaptiveSample& s = Build();
+  StaticAdaptiveSample fresh;
+  if (dirty_) fresh = BuildFresh();
+  const StaticAdaptiveSample& s = dirty_ ? fresh : cache_;
   if (s.samples.empty()) return Status::Internal("empty sample set");
   // Samples strictly ordered by direction, each storing a true extremum of
   // the buffered candidate set.

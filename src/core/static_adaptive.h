@@ -54,8 +54,7 @@ StaticAdaptiveSample BuildStaticUniformSample(const std::vector<Point2>& points,
 
 /// \brief The offline §4 sampler behind the streaming HullEngine interface
 /// (EngineKind::kStaticAdaptive): buffers the candidate hull vertices of the
-/// stream seen so far and rebuilds the static adaptive sample lazily on
-/// query.
+/// stream seen so far and rebuilds the static adaptive sample on demand.
 ///
 /// Unlike the true streaming engines this adapter is not O(r) memory — it
 /// keeps the exact convex hull of the prefix (compacted geometrically as the
@@ -64,10 +63,13 @@ StaticAdaptiveSample BuildStaticUniformSample(const std::vector<Point2>& points,
 /// summaries are measured against, now sweepable through the same engine
 /// harness.
 ///
-/// Exception to the HullEngine thread-compatibility contract: the lazy
-/// rebuild means the const accessors (Polygon, Samples, Triangles,
-/// ErrorBound, stats, CheckConsistency) mutate an internal cache and are
-/// NOT safe to call concurrently. The other engines' const accessors are.
+/// The offline sample of the current prefix lives in an explicit cache
+/// managed by Seal(): InsertBatch() seals on return, and Insert() leaves
+/// the engine unsealed. Const accessors serve the cache when sealed and
+/// otherwise rebuild a fresh sample per call into a local — they never
+/// mutate the engine, so this class honors the HullEngine
+/// thread-compatibility contract like every other engine (concurrent const
+/// access is safe; Seal(), like the mutators, is not).
 class StaticAdaptiveHull final : public HullEngine {
  public:
   /// Uses options.r and options.max_tree_height; the streaming-only fields
@@ -76,14 +78,27 @@ class StaticAdaptiveHull final : public HullEngine {
 
   EngineKind kind() const override { return EngineKind::kStaticAdaptive; }
 
+  /// Appends one point; leaves the engine unsealed (call Seal() before a
+  /// burst of queries to avoid per-accessor rebuilds).
   void Insert(Point2 p) override { Append(p); }
   /// Batched ingestion: appends are already O(1) amortized, so the batch
   /// path only amortizes the virtual dispatch. Compaction runs on the same
   /// num_points() schedule as point-at-a-time insertion, keeping the two
-  /// paths bit-identical.
+  /// paths bit-identical. Seals on return: the ingest-then-query pattern
+  /// pays one rebuild per batch, same as the old lazy cache.
   void InsertBatch(std::span<const Point2> points) override {
     for (const Point2& p : points) Append(p);
+    Seal();
   }
+
+  /// \brief Rebuilds the cached offline sample of the current prefix. After
+  /// sealing, the const accessors serve the cache until the next Insert();
+  /// on an unsealed engine each const accessor rebuilds its own fresh
+  /// sample. Sealing never changes observable summary values — only where
+  /// the build cost is paid.
+  void Seal() override;
+  /// True when the cache reflects the current prefix.
+  bool sealed() const { return !dirty_; }
 
   uint64_t num_points() const override { return num_points_; }
   uint32_t r() const override { return options_.r; }
@@ -93,25 +108,29 @@ class StaticAdaptiveHull final : public HullEngine {
   /// A-posteriori bound: the maximum uncertainty-triangle height (Lemma 4.3
   /// guarantees it is O(D/r^2)).
   double ErrorBound() const override;
-  const AdaptiveHullStats& stats() const override;
+  /// \brief Operation counters. directions_refined reports the refinement
+  /// count of the last sealed build (Seal() refreshes it).
+  const AdaptiveHullStats& stats() const override { return stats_; }
   Status CheckConsistency() const override;
 
-  /// The full offline sample of the current prefix (test support).
+  /// \brief The full offline sample of the current prefix (test support).
+  /// Requires the engine to be sealed — it returns a reference into the
+  /// cache.
   const StaticAdaptiveSample& Sample() const;
 
  private:
   void Append(Point2 p);
   void Compact();
-  const StaticAdaptiveSample& Build() const;
+  StaticAdaptiveSample BuildFresh() const;
 
   AdaptiveHullOptions options_;
   uint64_t num_points_ = 0;
   std::vector<Point2> buffer_;  // Hull candidates of the prefix.
   size_t compact_at_ = 1024;
 
-  mutable bool dirty_ = false;
-  mutable StaticAdaptiveSample cache_;
-  mutable AdaptiveHullStats stats_;
+  bool dirty_ = false;
+  StaticAdaptiveSample cache_;
+  AdaptiveHullStats stats_;
 };
 
 }  // namespace streamhull

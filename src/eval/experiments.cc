@@ -18,6 +18,7 @@ EngineResult RunEngineOnStream(EngineKind kind, const EngineOptions& options,
       EvaluateHull(engine->Polygon(), engine->Triangles(), stream);
   result.samples = engine->Samples().size();
   result.error_bound = engine->ErrorBound();
+  result.certified_diameter = CertifiedDiameter(SummaryView(*engine)).value;
   return result;
 }
 
@@ -60,9 +61,11 @@ Table1Row RunTable1Workload(const std::string& workload,
   row.workload = workload;
   row.adaptive = adaptive.quality;
   row.adaptive_samples = adaptive.samples;
+  row.adaptive_certified_diameter = adaptive.certified_diameter;
   row.baseline_name = changing ? "partial" : "uniform";
   row.baseline = baseline.quality;
   row.baseline_samples = baseline.samples;
+  row.baseline_certified_diameter = baseline.certified_diameter;
   return row;
 }
 
@@ -85,10 +88,13 @@ void PrintTable1(const std::vector<Table1Row>& rows, std::ostream& os) {
   const std::string b = rows.front().baseline_name;
   TextTable table({"workload", "maxUT(" + b + ")", "maxUT(adapt)",
                    "avgUT(" + b + ")", "avgUT(adapt)", "maxDist(" + b + ")",
-                   "maxDist(adapt)", "%out(" + b + ")", "%out(adapt)"});
+                   "maxDist(adapt)", "%out(" + b + ")", "%out(adapt)",
+                   "certDW(" + b + ")", "certDW(adapt)"});
   for (const Table1Row& row : rows) {
     // The paper reports fixed-point values in units of 1e-4 x the generator
-    // radius (unit radius for every Table 1 shape).
+    // radius (unit radius for every Table 1 shape). certDW is the width of
+    // the certified diameter interval in the same units: the uncertainty a
+    // certified query actually hands to the caller.
     const double s = 1e4;
     table.AddRow({row.workload, TextTable::Num(s * row.baseline.max_triangle_height, 0),
                   TextTable::Num(s * row.adaptive.max_triangle_height, 0),
@@ -97,7 +103,9 @@ void PrintTable1(const std::vector<Table1Row>& rows, std::ostream& os) {
                   TextTable::Num(s * row.baseline.max_outside_distance, 0),
                   TextTable::Num(s * row.adaptive.max_outside_distance, 0),
                   TextTable::Num(row.baseline.pct_outside, 2),
-                  TextTable::Num(row.adaptive.pct_outside, 2)});
+                  TextTable::Num(row.adaptive.pct_outside, 2),
+                  TextTable::Num(s * row.baseline_certified_diameter.Width(), 0),
+                  TextTable::Num(s * row.adaptive_certified_diameter.Width(), 0)});
   }
   table.Print(os);
 }

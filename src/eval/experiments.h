@@ -21,6 +21,7 @@
 
 #include "core/hull_engine.h"
 #include "eval/metrics.h"
+#include "queries/certified.h"
 #include "stream/generators.h"
 
 namespace streamhull {
@@ -31,6 +32,11 @@ struct EngineResult {
   HullQuality quality;
   size_t samples = 0;
   double error_bound = 0;
+  /// Certified diameter interval of the summary ([lo, hi] bracketing the
+  /// true stream diameter); its width is the uncertainty a certified
+  /// caller actually experiences, reported alongside the triangle metrics
+  /// in Table 1.
+  Interval certified_diameter;
 };
 
 /// \brief Builds an engine via MakeEngine, feeds it the whole stream through
@@ -57,6 +63,9 @@ struct Table1Row {
   HullQuality adaptive;
   size_t baseline_samples = 0;
   size_t adaptive_samples = 0;
+  /// Certified diameter intervals (the "certDW" uncertainty columns).
+  Interval baseline_certified_diameter;
+  Interval adaptive_certified_diameter;
 };
 
 /// \brief Runs one Table 1 workload (see MakeTable1Workload for names).

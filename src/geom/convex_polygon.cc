@@ -158,4 +158,25 @@ double ConvexPolygon::DistanceOutside(Point2 q) const {
   return best;
 }
 
+void ClipByHalfPlane(std::vector<Point2>* subject, Point2 anchor,
+                     Point2 normal) {
+  std::vector<Point2> next;
+  next.reserve(subject->size() + 1);
+  const size_t k = subject->size();
+  for (size_t j = 0; j < k; ++j) {
+    const Point2 cur = (*subject)[j];
+    const Point2 prev = (*subject)[(j + k - 1) % k];
+    const double dc = Dot(cur - anchor, normal);
+    const double dp = Dot(prev - anchor, normal);
+    const bool cur_in = dc <= 0;
+    const bool prev_in = dp <= 0;
+    if (cur_in != prev_in) {
+      // Signs differ, so dp - dc != 0 and t lands in [0, 1].
+      next.push_back(prev + (cur - prev) * (dp / (dp - dc)));
+    }
+    if (cur_in) next.push_back(cur);
+  }
+  *subject = std::move(next);
+}
+
 }  // namespace streamhull

@@ -97,6 +97,18 @@ class ConvexPolygon {
   std::vector<Point2> vertices_;
 };
 
+/// \brief One Sutherland-Hodgman step: clips the polygon \p subject (CCW
+/// vertex ring, modified in place) by the half-plane
+///
+///     { x : dot(x - anchor, normal) <= 0 }
+///
+/// boundary inclusive. Crossing points are interpolated parametrically on
+/// the clipped edges. The shared clipping kernel behind convex
+/// intersection (queries/) and the supporting-half-plane construction
+/// (core/), so robustness tweaks land in one place.
+void ClipByHalfPlane(std::vector<Point2>* subject, Point2 anchor,
+                     Point2 normal);
+
 }  // namespace streamhull
 
 #endif  // STREAMHULL_GEOM_CONVEX_POLYGON_H_

@@ -42,6 +42,15 @@ const HullEngine* StreamGroup::Hull(const std::string& name) const {
   return it == streams_.end() ? nullptr : it->second.get();
 }
 
+Status StreamGroup::View(const std::string& name, SummaryView* out) const {
+  const HullEngine* engine = Hull(name);
+  if (engine == nullptr) {
+    return Status::InvalidArgument("unknown stream '" + name + "'");
+  }
+  *out = SummaryView(*engine);
+  return Status::OK();
+}
+
 std::vector<std::string> StreamGroup::StreamNames() const {
   std::vector<std::string> names;
   names.reserve(streams_.size());
@@ -49,24 +58,31 @@ std::vector<std::string> StreamGroup::StreamNames() const {
   return names;
 }
 
+HullEngine* StreamGroup::SealedHull(const std::string& name) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return nullptr;
+  it->second->Seal();
+  return it->second.get();
+}
+
 Status StreamGroup::Report(const std::string& a, const std::string& b,
-                           PairReport* out) const {
-  const HullEngine* ha = Hull(a);
-  const HullEngine* hb = Hull(b);
+                           PairReport* out) {
+  const HullEngine* ha = SealedHull(a);
+  const HullEngine* hb = SealedHull(b);
   if (ha == nullptr) return Status::InvalidArgument("unknown stream '" + a + "'");
   if (hb == nullptr) return Status::InvalidArgument("unknown stream '" + b + "'");
   if (ha->empty() || hb->empty()) {
     return Status::FailedPrecondition("both streams need at least one point");
   }
-  const ConvexPolygon pa = ha->Polygon();
-  const ConvexPolygon pb = hb->Polygon();
+  const SummaryView va(*ha);
+  const SummaryView vb(*hb);
   PairReport report;
-  const SeparationResult sep = Separation(pa, pb);
+  const CertifiedSeparationResult sep = CertifiedSeparation(va, vb);
   report.distance = sep.distance;
-  report.separable = sep.separated;
-  report.overlap_area = OverlapArea(pa, pb);
-  report.a_contains_b = HullContains(pa, pb);
-  report.b_contains_a = HullContains(pb, pa);
+  report.separable = sep.separable;
+  report.overlap_area = CertifiedOverlapArea(va, vb);
+  report.a_contains_b = CertifiedContainment(vb, va).contained;
+  report.b_contains_a = CertifiedContainment(va, vb).contained;
   *out = report;
   return Status::OK();
 }
@@ -84,37 +100,81 @@ Status StreamGroup::WatchPair(const std::string& a, const std::string& b) {
       return Status::OK();  // Idempotent.
     }
   }
-  watches_.push_back(Watch{a, b, true, false, false});
+  watches_.push_back(Watch{a, b});
   return Status::OK();
+}
+
+void StreamGroup::StepPredicate(PredicateState* state, Certainty now,
+                                PairEvent::Predicate predicate,
+                                bool is_separability,
+                                const std::string& first,
+                                const std::string& second,
+                                uint64_t poll_index,
+                                std::vector<PairEvent>* events) {
+  if (now == Certainty::kUnknown) {
+    // Entered (or stayed in) the uncertainty band: report the loss once,
+    // keep the last certified value, and never emit value transitions off
+    // uncertified data — this is what eliminates flapping.
+    if (state->certain) {
+      events->push_back(PairEvent{PairEvent::Kind::kCertaintyLost, predicate,
+                                  first, second, poll_index});
+      state->certain = false;
+    }
+    return;
+  }
+  const bool value = now == Certainty::kTrue;
+  const bool was_certain = state->certain;
+  state->certain = true;
+  if (value != state->last_certified) {
+    state->last_certified = value;
+    PairEvent::Kind kind;
+    if (is_separability) {
+      kind = value ? PairEvent::Kind::kSeparabilityGained
+                   : PairEvent::Kind::kSeparabilityLost;
+    } else {
+      kind = value ? PairEvent::Kind::kContainmentStarted
+                   : PairEvent::Kind::kContainmentEnded;
+    }
+    events->push_back(PairEvent{kind, predicate, first, second, poll_index});
+  } else if (!was_certain) {
+    events->push_back(PairEvent{PairEvent::Kind::kCertaintyGained, predicate,
+                                first, second, poll_index});
+  }
 }
 
 std::vector<PairEvent> StreamGroup::Poll() {
   std::vector<PairEvent> events;
   const uint64_t poll_index = polls_++;
+  // One sandwich per involved stream for the whole poll: watches sharing a
+  // stream reuse its view instead of re-deriving the outer hull per pair.
+  std::map<std::string, SummaryView> views;
+  auto view_of = [&](const std::string& name) -> const SummaryView* {
+    auto [it, inserted] = views.try_emplace(name);
+    if (inserted) {
+      const HullEngine* engine = SealedHull(name);
+      if (engine == nullptr || engine->empty()) {
+        views.erase(it);
+        return nullptr;
+      }
+      it->second = SummaryView(*engine);
+    }
+    return &it->second;
+  };
   for (Watch& w : watches_) {
-    PairReport report;
-    if (!Report(w.a, w.b, &report).ok()) continue;  // Streams still empty.
-    if (report.separable != w.was_separable) {
-      events.push_back(PairEvent{report.separable
-                                     ? PairEvent::Kind::kSeparabilityGained
-                                     : PairEvent::Kind::kSeparabilityLost,
-                                 w.a, w.b, poll_index});
-      w.was_separable = report.separable;
-    }
-    if (report.b_contains_a != w.was_a_in_b) {
-      events.push_back(PairEvent{report.b_contains_a
-                                     ? PairEvent::Kind::kContainmentStarted
-                                     : PairEvent::Kind::kContainmentEnded,
-                                 w.a, w.b, poll_index});
-      w.was_a_in_b = report.b_contains_a;
-    }
-    if (report.a_contains_b != w.was_b_in_a) {
-      events.push_back(PairEvent{report.a_contains_b
-                                     ? PairEvent::Kind::kContainmentStarted
-                                     : PairEvent::Kind::kContainmentEnded,
-                                 w.b, w.a, poll_index});
-      w.was_b_in_a = report.a_contains_b;
-    }
+    // Only the three tri-state predicates feed the state machines; the
+    // interval fields of a full Report are not computed here.
+    const SummaryView* va = view_of(w.a);
+    const SummaryView* vb = view_of(w.b);
+    if (va == nullptr || vb == nullptr) continue;  // Streams still empty.
+    StepPredicate(&w.separable, CertifiedSeparation(*va, *vb).separable,
+                  PairEvent::Predicate::kSeparability,
+                  /*is_separability=*/true, w.a, w.b, poll_index, &events);
+    StepPredicate(&w.a_in_b, CertifiedContainment(*va, *vb).contained,
+                  PairEvent::Predicate::kContainment,
+                  /*is_separability=*/false, w.a, w.b, poll_index, &events);
+    StepPredicate(&w.b_in_a, CertifiedContainment(*vb, *va).contained,
+                  PairEvent::Predicate::kContainment,
+                  /*is_separability=*/false, w.b, w.a, poll_index, &events);
   }
   return events;
 }

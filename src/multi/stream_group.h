@@ -11,6 +11,15 @@
 // started/ended — so a monitoring application polls for events instead of
 // re-deriving them from raw query values.
 //
+// The monitoring is built on the certified query layer (queries/
+// certified.h): PairReport carries intervals bracketing the true-stream
+// values, each watched predicate is tri-state (certified true / certified
+// false / unknown), and Poll() emits a transition only when the predicate
+// is *certified* to have flipped. While the truth sits inside the
+// uncertainty band the watch reports kCertaintyLost once and then stays
+// quiet — uncertified point values can never flap a predicate back and
+// forth across a poll sequence.
+//
 // Each stream runs its own HullEngine: AddStream picks the maintenance
 // strategy per stream (a sensor feed might afford the adaptive engine while
 // a firehose runs uniform), and InsertBatch routes a whole chunk of points
@@ -27,28 +36,51 @@
 
 #include "common/status.h"
 #include "core/hull_engine.h"
+#include "queries/certified.h"
 #include "queries/queries.h"
 
 namespace streamhull {
 
-/// \brief Point-in-time relationship between two summarized streams.
+/// \brief Point-in-time certified relationship between two summarized
+/// streams. Every field brackets or tri-states the corresponding property
+/// of the *true* stream hulls, not the sampled polygons.
 struct PairReport {
-  double distance = 0;       ///< Min distance between the two hulls.
-  bool separable = false;    ///< Strictly linearly separable.
-  double overlap_area = 0;   ///< Area of hull intersection.
-  bool a_contains_b = false; ///< B's hull inside A's hull.
-  bool b_contains_a = false; ///< A's hull inside B's hull.
+  /// Brackets the minimum distance between the two true hulls.
+  Interval distance;
+  /// Strict linear separability of the true hulls.
+  Certainty separable = Certainty::kUnknown;
+  /// Brackets the area of the true hulls' intersection.
+  Interval overlap_area;
+  /// Is B's true hull contained in A's?
+  Certainty a_contains_b = Certainty::kUnknown;
+  /// Is A's true hull contained in B's?
+  Certainty b_contains_a = Certainty::kUnknown;
 };
 
 /// \brief A detected state transition on a watched pair.
 struct PairEvent {
   enum class Kind {
-    kSeparabilityLost,
-    kSeparabilityGained,
-    kContainmentStarted,  ///< `first` became contained in `second`.
-    kContainmentEnded,
+    kSeparabilityLost,    ///< Certified: the true hulls are inseparable.
+    kSeparabilityGained,  ///< Certified: the true hulls are separable.
+    kContainmentStarted,  ///< Certified: `first` is contained in `second`.
+    kContainmentEnded,    ///< Certified: `first` escaped `second`.
+    /// The predicate's truth entered the uncertainty band: the summaries
+    /// can no longer certify it either way. The watch keeps its last
+    /// certified value and stays quiet until certainty returns.
+    kCertaintyLost,
+    /// The predicate became certified again, with the same value it had
+    /// before certainty was lost (a changed value emits the corresponding
+    /// transition event instead).
+    kCertaintyGained,
+  };
+  /// Which watched predicate a kCertaintyLost/Gained event refers to (the
+  /// four transition kinds imply it).
+  enum class Predicate {
+    kSeparability,
+    kContainment,
   };
   Kind kind;
+  Predicate predicate = Predicate::kSeparability;
   std::string first, second;
   uint64_t poll_index = 0;  ///< Which Poll() call surfaced the event.
 };
@@ -85,29 +117,51 @@ class StreamGroup {
   /// The named stream's engine, or nullptr if unknown.
   const HullEngine* Hull(const std::string& name) const;
 
+  /// The named stream's inner/outer sandwich for ad-hoc certified queries.
+  /// Fails on unknown names.
+  Status View(const std::string& name, SummaryView* out) const;
+
   /// Registered stream names, sorted.
   std::vector<std::string> StreamNames() const;
 
-  /// Computes the current relationship of two streams. Fails on unknown
-  /// names; both summaries must have received at least one point.
-  Status Report(const std::string& a, const std::string& b,
-                PairReport* out) const;
+  /// \brief Computes the current certified relationship of two streams.
+  /// Fails on unknown names; both summaries must have received at least
+  /// one point. Non-const: it seals both engines first so deferred-cache
+  /// engines (static-adaptive) serve the whole report from one rebuild.
+  Status Report(const std::string& a, const std::string& b, PairReport* out);
 
   /// Starts watching the (unordered) pair for transitions. Idempotent.
   Status WatchPair(const std::string& a, const std::string& b);
 
-  /// \brief Re-evaluates every watched pair and returns the transitions
-  /// since the previous poll. The first poll establishes baselines and
-  /// reports transitions from the "separable, uncontained" initial state.
+  /// \brief Re-evaluates every watched pair and returns the certified
+  /// transitions since the previous poll. The first poll establishes
+  /// baselines and reports transitions from the "separable, uncontained"
+  /// initial state (both taken as certified).
   std::vector<PairEvent> Poll();
 
  private:
+  /// Tri-state tracking of one watched predicate: the last *certified*
+  /// truth value plus whether the last poll could still certify it.
+  struct PredicateState {
+    bool last_certified;
+    bool certain = true;
+  };
   struct Watch {
     std::string a, b;
-    bool was_separable = true;
-    bool was_a_in_b = false;
-    bool was_b_in_a = false;
+    PredicateState separable{true};
+    PredicateState a_in_b{false};  ///< "a contained in b".
+    PredicateState b_in_a{false};  ///< "b contained in a".
   };
+
+  /// Advances one predicate's state machine and appends any event.
+  void StepPredicate(PredicateState* state, Certainty now,
+                     PairEvent::Predicate predicate, bool is_separability,
+                     const std::string& first, const std::string& second,
+                     uint64_t poll_index, std::vector<PairEvent>* events);
+
+  /// Seals the named engine (no-op for most kinds) and returns it, or
+  /// nullptr if unknown.
+  HullEngine* SealedHull(const std::string& name);
 
   EngineOptions options_;
   EngineKind default_kind_;

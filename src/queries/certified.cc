@@ -1,0 +1,120 @@
+#include "queries/certified.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamhull {
+
+namespace {
+
+// Floating-point safety net: the monotonicity arguments are exact in real
+// arithmetic, but lo and hi come from two different polygon computations,
+// so a degenerate sandwich (inner == outer) can produce last-ulp
+// inversions. Certified intervals must never be empty.
+Interval MakeInterval(double lo, double hi) {
+  if (lo > hi) std::swap(lo, hi);
+  return Interval{lo, hi};
+}
+
+}  // namespace
+
+const char* CertaintyName(Certainty c) {
+  switch (c) {
+    case Certainty::kFalse: return "false";
+    case Certainty::kUnknown: return "unknown";
+    case Certainty::kTrue: return "true";
+  }
+  return "unknown";
+}
+
+CertifiedScalar CertifiedDiameter(const SummaryView& view) {
+  CertifiedScalar out;
+  out.inner_witness = Diameter(view.inner());
+  out.outer_witness = Diameter(view.outer());
+  out.value = MakeInterval(out.inner_witness.value, out.outer_witness.value);
+  return out;
+}
+
+CertifiedScalar CertifiedWidth(const SummaryView& view) {
+  CertifiedScalar out;
+  out.inner_witness = Width(view.inner());
+  out.outer_witness = Width(view.outer());
+  out.value = MakeInterval(out.inner_witness.value, out.outer_witness.value);
+  return out;
+}
+
+Interval CertifiedExtent(const SummaryView& view, Point2 dir) {
+  return MakeInterval(DirectionalExtent(view.inner(), dir),
+                      DirectionalExtent(view.outer(), dir));
+}
+
+CertifiedCircleResult CertifiedEnclosingCircle(const SummaryView& view) {
+  CertifiedCircleResult out;
+  out.inner_circle = SmallestEnclosingCircle(view.inner());
+  out.enclosing = SmallestEnclosingCircle(view.outer());
+  out.radius = MakeInterval(out.inner_circle.radius, out.enclosing.radius);
+  return out;
+}
+
+CertifiedSeparationResult CertifiedSeparation(const SummaryView& p,
+                                              const SummaryView& q) {
+  CertifiedSeparationResult out;
+  // Bigger sets can only be closer: the outer pair lower-bounds the true
+  // distance, the inner pair upper-bounds it.
+  const SeparationResult lo = Separation(p.outer(), q.outer());
+  const SeparationResult hi = Separation(p.inner(), q.inner());
+  out.distance = MakeInterval(lo.distance, hi.distance);
+  out.a = hi.a;
+  out.b = hi.b;
+  if (out.distance.lo > 0) {
+    out.separable = Certainty::kTrue;
+    // Certificate straight from the outer-pair result already in hand
+    // (same construction as LinearSeparability, without re-running the
+    // O(n*m) separation sweep): the perpendicular bisector of the outer
+    // hulls' closest pair separates the true hulls with margin >= lo.
+    out.certificate.separable = true;
+    out.certificate.margin = lo.distance;
+    if (std::isfinite(lo.distance)) {
+      out.certificate.line_point = (lo.a + lo.b) * 0.5;
+      out.certificate.line_dir = (lo.b - lo.a).PerpCcw().Normalized();
+    }
+  } else if (out.distance.hi <= 0) {
+    out.separable = Certainty::kFalse;
+    out.certificate.separable = false;
+    // The inner hulls' common point belongs to both true hulls.
+    out.certificate.witness = hi.a;
+  } else {
+    out.separable = Certainty::kUnknown;
+  }
+  return out;
+}
+
+CertifiedContainmentResult CertifiedContainment(const SummaryView& p,
+                                                const SummaryView& q) {
+  CertifiedContainmentResult out;
+  // p_true inside q_true is certain when even p's superset fits inside q's
+  // subset: p_true <= p_outer <= q_inner <= q_true.
+  if (HullContains(q.inner(), p.outer())) {
+    out.contained = Certainty::kTrue;
+    return out;
+  }
+  // Certainly violated when a realized point of p (inner-hull vertex, an
+  // actual stream point) escapes q's superset.
+  const ConvexPolygon& inner = p.inner();
+  for (size_t i = 0; i < inner.size(); ++i) {
+    if (q.outer().empty() || !q.outer().Contains(inner[i])) {
+      out.contained = Certainty::kFalse;
+      out.witness = inner[i];
+      return out;
+    }
+  }
+  out.contained = Certainty::kUnknown;
+  return out;
+}
+
+Interval CertifiedOverlapArea(const SummaryView& p, const SummaryView& q) {
+  return MakeInterval(OverlapArea(p.inner(), q.inner()),
+                      OverlapArea(p.outer(), q.outer()));
+}
+
+}  // namespace streamhull

@@ -1,0 +1,205 @@
+// streamhull: certified extremal queries over hull summaries (§6).
+//
+// The paper's §6 promise is not "a polygon" but epsilon-certified answers:
+// every extremal query over the summary is correct for the true stream hull
+// up to the O(D/r^2) uncertainty. The raw queries in queries.h operate on
+// one ConvexPolygon and silently drop that error bound; this layer restores
+// it by bracketing every answer between the engine's inner and outer hulls:
+//
+//     Polygon()  subset of  true hull  subset of  OuterPolygon().
+//
+// Each certified query returns an Interval [lo, hi] guaranteed to contain
+// the exact value on the true (unbounded-memory) stream hull, exploiting
+// per-query monotonicity under set inclusion:
+//
+//   diameter, width, extent,        monotone increasing: evaluate on the
+//   overlap area, enclosing radius  inner hull for lo, the outer for hi
+//   separation distance             monotone decreasing in each argument:
+//                                   outer pair for lo, inner pair for hi
+//
+// Predicates (separability, containment) become tri-state Certainty values:
+// certified true, certified false, or unknown when the truth depends on
+// where the real hull sits inside the uncertainty band. StreamGroup builds
+// its flap-free event monitoring on exactly this tri-state (multi/
+// stream_group.h). The differential suite in tests/queries_certified_test.cc
+// proves interval containment against brute-force ground truth for every
+// engine kind.
+
+#ifndef STREAMHULL_QUERIES_CERTIFIED_H_
+#define STREAMHULL_QUERIES_CERTIFIED_H_
+
+#include <utility>
+
+#include "core/hull_engine.h"
+#include "geom/convex_polygon.h"
+#include "geom/point.h"
+#include "queries/queries.h"
+
+namespace streamhull {
+
+/// \brief A closed interval [lo, hi] certified to contain the exact value
+/// of a query on the true stream hull.
+struct Interval {
+  double lo = 0;
+  double hi = 0;
+
+  /// The uncertainty of the answer (hi - lo).
+  double Width() const { return hi - lo; }
+  /// The midpoint estimate.
+  double Mid() const { return 0.5 * (lo + hi); }
+  /// True iff \p v lies in the interval.
+  bool Contains(double v) const { return lo <= v && v <= hi; }
+};
+
+/// \brief Tri-state truth value of a certified predicate: certified true,
+/// certified false, or undecidable from the summary (the answer depends on
+/// where the true hull sits inside the uncertainty band).
+enum class Certainty {
+  kFalse,
+  kUnknown,
+  kTrue,
+};
+
+/// Stable name for a Certainty ("false", "unknown", "true").
+const char* CertaintyName(Certainty c);
+
+/// \brief The inner/outer hull sandwich of one summarized stream: the
+/// exchange format between engines and the certified queries.
+///
+/// Invariant: inner() is a subset of the true hull, which is a subset of
+/// outer(). Views built from a HullEngine inherit the guarantee from
+/// Polygon()/OuterPolygon(); views built from raw polygons assert it by
+/// construction (Exact) or by the caller's promise (the two-polygon
+/// constructor).
+class SummaryView {
+ public:
+  SummaryView() = default;
+
+  /// Snapshot of an engine's sandwich: inner = Polygon(),
+  /// outer = OuterPolygon().
+  explicit SummaryView(const HullEngine& engine)
+      : inner_(engine.Polygon()), outer_(engine.OuterPolygon()) {}
+
+  /// Wraps a precomputed sandwich. \p inner must be contained in the true
+  /// hull and the true hull in \p outer.
+  SummaryView(ConvexPolygon inner, ConvexPolygon outer)
+      : inner_(std::move(inner)), outer_(std::move(outer)) {}
+
+  /// \brief An exact view: inner == outer == \p poly. Certified queries
+  /// over exact views return zero-width intervals and never answer
+  /// kUnknown, so code written against the certified API also serves
+  /// exactly-known polygons.
+  static SummaryView Exact(ConvexPolygon poly) {
+    SummaryView v;
+    v.outer_ = poly;
+    v.inner_ = std::move(poly);
+    return v;
+  }
+
+  /// Guaranteed subset of the true hull.
+  const ConvexPolygon& inner() const { return inner_; }
+  /// Guaranteed superset of the true hull.
+  const ConvexPolygon& outer() const { return outer_; }
+  /// True before the stream's first point.
+  bool empty() const { return inner_.empty() && outer_.empty(); }
+
+ private:
+  ConvexPolygon inner_, outer_;
+};
+
+// ---------------------------------------------------------------------------
+// Certified scalar queries
+// ---------------------------------------------------------------------------
+
+/// \brief A certified scalar answer with the witness geometry realizing
+/// each endpoint of the interval.
+struct CertifiedScalar {
+  /// Brackets the exact value on the true hull.
+  Interval value;
+  /// Realizes value.lo on the inner hull. Its points are stored samples,
+  /// i.e. actual stream points.
+  PointPair inner_witness;
+  /// Realizes value.hi on the outer hull (synthetic bound geometry).
+  PointPair outer_witness;
+};
+
+/// \brief Certified diameter: the true hull's farthest-pair distance lies
+/// in the returned interval (diameter is monotone under set inclusion).
+CertifiedScalar CertifiedDiameter(const SummaryView& view);
+
+/// \brief Certified width: the true hull's minimum directional extent lies
+/// in the returned interval (width = min over directions of the extent,
+/// and every extent is monotone under set inclusion).
+CertifiedScalar CertifiedWidth(const SummaryView& view);
+
+/// \brief Certified directional extent along \p dir (need not be unit
+/// length). The true hull's extent lies in the returned interval.
+Interval CertifiedExtent(const SummaryView& view, Point2 dir);
+
+/// \brief Certified smallest enclosing circle.
+struct CertifiedCircleResult {
+  /// Brackets the radius of the true hull's smallest enclosing circle.
+  Interval radius;
+  /// Smallest circle enclosing the outer hull: guaranteed to enclose every
+  /// stream point; its radius realizes radius.hi.
+  Circle enclosing;
+  /// Smallest circle enclosing the inner hull; realizes radius.lo.
+  Circle inner_circle;
+};
+
+/// \brief Certified smallest-enclosing-circle radius (monotone under set
+/// inclusion), plus a circle guaranteed to cover the whole stream.
+CertifiedCircleResult CertifiedEnclosingCircle(const SummaryView& view);
+
+// ---------------------------------------------------------------------------
+// Certified two-stream queries
+// ---------------------------------------------------------------------------
+
+/// \brief Certified separation report for two summarized streams.
+struct CertifiedSeparationResult {
+  /// Brackets the minimum distance between the two true hulls. Separation
+  /// is monotone decreasing in each argument: lo comes from the outer
+  /// hulls, hi from the inner hulls.
+  Interval distance;
+  /// Strict linear separability of the true hulls: kTrue when even the
+  /// outer hulls have positive gap, kFalse when already the inner hulls
+  /// touch, kUnknown while the distance interval straddles zero.
+  Certainty separable = Certainty::kUnknown;
+  /// Closest pair of the two inner hulls (actual sample points); realizes
+  /// distance.hi.
+  Point2 a, b;
+  /// When separable == kTrue: a separating line computed from the outer
+  /// hulls, valid for the true hulls with margin >= distance.lo. When
+  /// separable == kFalse: certificate.witness is a point common to both
+  /// inner hulls (hence to both true hulls).
+  SeparabilityCertificate certificate;
+};
+
+/// Certified separation / linear separability of two summarized streams.
+CertifiedSeparationResult CertifiedSeparation(const SummaryView& p,
+                                              const SummaryView& q);
+
+/// \brief Certified containment verdict.
+struct CertifiedContainmentResult {
+  /// Is the first true hull contained in the second? kTrue when the first
+  /// stream's outer hull fits inside the second's inner hull; kFalse when
+  /// some first-stream sample point provably escapes the second's outer
+  /// hull; kUnknown otherwise.
+  Certainty contained = Certainty::kUnknown;
+  /// When contained == kFalse: a point of the first stream (an inner-hull
+  /// vertex) lying strictly outside the second stream's outer hull.
+  Point2 witness;
+};
+
+/// Certified "is p's true hull contained in q's true hull".
+CertifiedContainmentResult CertifiedContainment(const SummaryView& p,
+                                                const SummaryView& q);
+
+/// \brief Certified overlap area: the area of the intersection of the two
+/// true hulls lies in the returned interval (intersection area is monotone
+/// increasing in each argument).
+Interval CertifiedOverlapArea(const SummaryView& p, const SummaryView& q);
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_QUERIES_CERTIFIED_H_

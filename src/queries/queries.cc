@@ -341,35 +341,15 @@ bool HullContains(const ConvexPolygon& outer, const ConvexPolygon& inner) {
 
 ConvexPolygon IntersectConvex(const ConvexPolygon& p, const ConvexPolygon& q) {
   if (p.size() < 3 || q.size() < 3) return ConvexPolygon();
-  // Sutherland-Hodgman: clip p by each supporting half-plane of q.
+  // Sutherland-Hodgman: clip p by each supporting half-plane of q. Keeping
+  // the left side of edge a->b (Orient(a, b, x) >= 0) is the half-plane
+  // dot(x - a, n) <= 0 with outward normal n = (b - a) rotated clockwise.
   std::vector<Point2> subject(p.vertices());
-  for (size_t j = 0; j < q.size(); ++j) {
+  for (size_t j = 0; j < q.size() && !subject.empty(); ++j) {
     const Point2 a = q[j];
     const Point2 b = q.At(j + 1);
     if (a == b) continue;
-    std::vector<Point2> next;
-    next.reserve(subject.size() + 1);
-    const size_t n = subject.size();
-    for (size_t i = 0; i < n; ++i) {
-      const Point2 cur = subject[i];
-      const Point2 prev = subject[(i + n - 1) % n];
-      const double oc = Orient(a, b, cur);
-      const double op = Orient(a, b, prev);
-      const bool cur_in = oc >= 0;
-      const bool prev_in = op >= 0;
-      if (cur_in) {
-        if (!prev_in) {
-          Point2 x;
-          if (LineIntersection(a, b, prev, cur, &x)) next.push_back(x);
-        }
-        next.push_back(cur);
-      } else if (prev_in) {
-        Point2 x;
-        if (LineIntersection(a, b, prev, cur, &x)) next.push_back(x);
-      }
-    }
-    subject = std::move(next);
-    if (subject.empty()) break;
+    ClipByHalfPlane(&subject, a, (b - a).PerpCw());
   }
   // Remove consecutive duplicates produced by clipping at vertices.
   std::vector<Point2> cleaned;

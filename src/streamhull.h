@@ -1,0 +1,45 @@
+// streamhull: the stable public API, in one include.
+//
+//   #include "streamhull.h"
+//
+// pulls in every layer an application needs:
+//
+//   core/hull_engine.h      HullEngine, EngineKind, MakeEngine — the
+//                           streaming summary behind a strategy enum
+//   core/snapshot.h         wire-format encode/decode + merge of summaries
+//   geom/convex_polygon.h   the polygon value type summaries materialize
+//   queries/queries.h       raw extremal queries over one polygon
+//   queries/certified.h     interval-valued certified queries over the
+//                           [Polygon(), OuterPolygon()] sandwich
+//   multi/stream_group.h    named multi-stream monitoring with certified
+//                           tri-state transition events
+//   multi/region_hull.h     the §8 region-partitioned shape summary
+//   stream/generators.h     deterministic synthetic workloads
+//
+// Individual headers remain includable on their own; this umbrella exists
+// so applications and examples track one include as the API grows. New
+// code should prefer the certified query layer — the raw queries in
+// queries/queries.h answer about the sampled polygon only, dropping the
+// O(D/r^2) error bound the paper promises.
+
+#ifndef STREAMHULL_STREAMHULL_H_
+#define STREAMHULL_STREAMHULL_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/adaptive_hull.h"
+#include "core/hull_engine.h"
+#include "core/options.h"
+#include "core/snapshot.h"
+#include "core/static_adaptive.h"
+#include "geom/convex_hull.h"
+#include "geom/convex_polygon.h"
+#include "geom/direction.h"
+#include "geom/point.h"
+#include "multi/region_hull.h"
+#include "multi/stream_group.h"
+#include "queries/certified.h"
+#include "queries/queries.h"
+#include "stream/generators.h"
+
+#endif  // STREAMHULL_STREAMHULL_H_

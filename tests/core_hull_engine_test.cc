@@ -105,6 +105,38 @@ TEST(HullEngineFactoryTest, KindNamesRoundTrip) {
   EXPECT_FALSE(ParseEngineKind("no-such-engine", &parsed));
 }
 
+// ParseEngineKind is case-insensitive and treats '_' as '-': every kind
+// name round-trips through upper-case, mixed-case, and snake_case forms.
+TEST(HullEngineFactoryTest, KindNamesRoundTripRelaxedSpellings) {
+  for (EngineKind kind : AllEngineKinds()) {
+    const std::string canonical = EngineKindName(kind);
+    std::string upper = canonical;
+    std::string snake = canonical;
+    std::string mixed = canonical;
+    for (size_t i = 0; i < canonical.size(); ++i) {
+      upper[i] = static_cast<char>(std::toupper(canonical[i]));
+      if (snake[i] == '-') snake[i] = '_';
+      if (i % 2 == 0) mixed[i] = static_cast<char>(std::toupper(mixed[i]));
+    }
+    std::string upper_snake = upper;
+    for (char& c : upper_snake) {
+      if (c == '-') c = '_';
+    }
+    for (const std::string& spelling : {upper, snake, mixed, upper_snake}) {
+      EngineKind parsed;
+      ASSERT_TRUE(ParseEngineKind(spelling, &parsed)) << spelling;
+      EXPECT_EQ(parsed, kind) << spelling;
+    }
+  }
+  // Relaxation does not make the parser sloppy about everything else.
+  EngineKind parsed;
+  EXPECT_FALSE(ParseEngineKind("", &parsed));
+  EXPECT_FALSE(ParseEngineKind("uniform ", &parsed));
+  EXPECT_FALSE(ParseEngineKind(" uniform", &parsed));
+  EXPECT_FALSE(ParseEngineKind("uni-form", &parsed));
+  EXPECT_FALSE(ParseEngineKind("staticadaptive", &parsed));
+}
+
 TEST(HullEngineFactoryTest, OptionsValidation) {
   EngineOptions bad = Opts(4);  // r below the minimum of 8.
   for (EngineKind kind : AllEngineKinds()) {
@@ -169,6 +201,55 @@ TEST(HullEngineDifferentialTest, BatchMatchesIncremental) {
             ExpectSameSummary(*incremental, *batched, context));
       }
     }
+  }
+}
+
+// OuterPolygon's contract: for every engine kind it contains the inner
+// polygon and every stream point (the true hull of the stream), giving the
+// [Polygon(), OuterPolygon()] sandwich the certified query layer brackets
+// answers with.
+TEST(HullEngineTest, OuterPolygonSandwichesTheStream) {
+  const auto streams = TestStreams(3000);
+  for (const NamedStream& stream : streams) {
+    for (EngineKind kind : AllEngineKinds()) {
+      auto engine = MakeEngine(kind, Opts());
+      engine->InsertBatch(stream.points);
+      const ConvexPolygon inner = engine->Polygon();
+      const ConvexPolygon outer = engine->OuterPolygon();
+      const std::string context =
+          std::string(EngineKindName(kind)) + "/" + stream.name;
+      double scale = 1.0;
+      for (const Point2& p : stream.points) {
+        scale = std::max(scale, std::abs(p.x) + std::abs(p.y));
+      }
+      const double eps = 1e-9 * scale;
+      for (size_t i = 0; i < inner.size(); ++i) {
+        ASSERT_LE(outer.DistanceOutside(inner[i]), eps) << context;
+      }
+      for (const Point2& p : stream.points) {
+        ASSERT_LE(outer.DistanceOutside(p), eps) << context;
+      }
+      // For the exact-extrema engines the outer boundary is made of
+      // uncertainty-triangle apexes, so the sandwich slack is bounded by
+      // the advertised a-posteriori error: the outer hull is tight, not
+      // just correct. (The adaptive family adds the Lemma 5.3 invariant
+      // offsets on top, which its a-priori ErrorBound covers only jointly.)
+      if (kind == EngineKind::kUniform || kind == EngineKind::kStaticAdaptive) {
+        const double bound = engine->ErrorBound() + eps;
+        for (size_t i = 0; i < outer.size(); ++i) {
+          ASSERT_LE(inner.DistanceOutside(outer[i]), bound) << context;
+        }
+      }
+    }
+  }
+}
+
+TEST(HullEngineTest, OuterPolygonOfEmptyEngineIsEmpty) {
+  for (EngineKind kind : AllEngineKinds()) {
+    auto engine = MakeEngine(kind, Opts());
+    EXPECT_TRUE(engine->OuterPolygon().empty()) << EngineKindName(kind);
+    engine->Insert({2, 3});
+    EXPECT_FALSE(engine->OuterPolygon().empty()) << EngineKindName(kind);
   }
 }
 

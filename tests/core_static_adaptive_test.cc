@@ -128,5 +128,68 @@ TEST(StaticAdaptiveTest, TreeHeightCapLimitsLevels) {
   }
 }
 
+AdaptiveHullOptions EngineOpts(uint32_t r = 16) {
+  AdaptiveHullOptions o;
+  o.r = r;
+  return o;
+}
+
+// The explicit-seal contract: InsertBatch seals, Insert leaves the engine
+// unsealed, and const accessors report identical values either way — the
+// seal only moves where the rebuild cost is paid, never what is observed.
+TEST(StaticAdaptiveHullTest, SealedAndUnsealedAccessorsAgree) {
+  StaticAdaptiveHull sealed_hull(EngineOpts());
+  StaticAdaptiveHull unsealed_hull(EngineOpts());
+  const auto pts = MakeWorkload(1, 3, 700);
+  sealed_hull.InsertBatch(pts);  // Seals on return.
+  for (const Point2& p : pts) unsealed_hull.Insert(p);
+
+  EXPECT_TRUE(sealed_hull.sealed());
+  EXPECT_FALSE(unsealed_hull.sealed());
+
+  const ConvexPolygon pa = sealed_hull.Polygon();
+  const ConvexPolygon pb = unsealed_hull.Polygon();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_TRUE(pa[i] == pb[i]);
+  const auto sa = sealed_hull.Samples();
+  const auto sb = unsealed_hull.Samples();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_TRUE(sa[i].direction == sb[i].direction);
+    EXPECT_TRUE(sa[i].point == sb[i].point);
+  }
+  EXPECT_DOUBLE_EQ(sealed_hull.ErrorBound(), unsealed_hull.ErrorBound());
+  EXPECT_EQ(sealed_hull.Triangles().size(), unsealed_hull.Triangles().size());
+  EXPECT_TRUE(unsealed_hull.CheckConsistency().ok());
+
+  // Sealing the unsealed engine converges the two states.
+  unsealed_hull.Seal();
+  EXPECT_TRUE(unsealed_hull.sealed());
+  EXPECT_EQ(unsealed_hull.stats().directions_refined,
+            sealed_hull.stats().directions_refined);
+}
+
+TEST(StaticAdaptiveHullTest, InsertUnsealsAndSealIsIdempotent) {
+  StaticAdaptiveHull hull(EngineOpts());
+  const auto pts = MakeWorkload(0, 9, 300);
+  hull.InsertBatch(pts);
+  EXPECT_TRUE(hull.sealed());
+  const ConvexPolygon before = hull.Polygon();
+
+  hull.Insert({100.0, 100.0});
+  EXPECT_FALSE(hull.sealed());
+  // Unsealed const accessors see the new point immediately.
+  EXPECT_TRUE(hull.Polygon().Contains({100.0, 100.0}));
+
+  hull.Seal();
+  EXPECT_TRUE(hull.sealed());
+  hull.Seal();  // Idempotent.
+  EXPECT_TRUE(hull.sealed());
+  EXPECT_TRUE(hull.Polygon().Contains({100.0, 100.0}));
+  EXPECT_TRUE(hull.Polygon().Contains(before.VertexCentroid()));
+  // Sample() hands out a reference into the sealed cache.
+  EXPECT_EQ(hull.Sample().Polygon().size(), hull.Polygon().size());
+}
+
 }  // namespace
 }  // namespace streamhull

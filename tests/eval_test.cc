@@ -126,9 +126,17 @@ TEST(ExperimentsTest, SmallTable1RunProducesSaneNumbers) {
   // Sanity: the errors are positive and bounded by the ellipse size.
   EXPECT_GT(row.baseline.pct_outside, 1.0);
   EXPECT_LT(row.adaptive.max_outside_distance, 1.0);
+  // The certified diameter intervals ride along: populated, ordered, and
+  // rendered as the certDW uncertainty columns.
+  EXPECT_GT(row.adaptive_certified_diameter.lo, 0.0);
+  EXPECT_GE(row.adaptive_certified_diameter.hi,
+            row.adaptive_certified_diameter.lo);
+  EXPECT_GT(row.baseline_certified_diameter.lo, 0.0);
   std::ostringstream os;
   PrintTable1({row}, os);
   EXPECT_NE(os.str().find("ellipse@1/4"), std::string::npos);
+  EXPECT_NE(os.str().find("certDW(uniform)"), std::string::npos);
+  EXPECT_NE(os.str().find("certDW(adapt)"), std::string::npos);
 }
 
 }  // namespace
