@@ -1,0 +1,102 @@
+// Snapshot wire-format microbenchmarks: encode and decode latency for both
+// versions plus bytes-per-sample counters, at r in {16, 64, 256}. The
+// interesting outputs:
+//
+//   BM_EncodeV1 / BM_EncodeV2     producer-side serialization
+//   BM_DecodeV1 / BM_DecodeV2     sink-side parse + validation
+//   BM_DecodeV2ToSandwich         decode plus Inner()/Outer() materialization
+//                                 (everything a sink needs before its first
+//                                 certified query)
+//
+// Counters report bytes and bytes/sample so the uplink budget per summary
+// (the paper's whole point: ship summaries, not data) is visible directly.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/adaptive_hull.h"
+#include "core/snapshot.h"
+#include "queries/certified.h"
+#include "stream/generators.h"
+
+namespace {
+
+using namespace streamhull;
+
+std::unique_ptr<AdaptiveHull> Producer(uint32_t r) {
+  AdaptiveHullOptions o;
+  o.r = r;
+  auto hull = std::make_unique<AdaptiveHull>(o);
+  EllipseGenerator gen(7, 8.0, 0.11);
+  hull->InsertBatch(gen.Take(30000));
+  return hull;
+}
+
+void AddWireCounters(benchmark::State& state, size_t bytes, size_t samples) {
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.counters["samples"] = static_cast<double>(samples);
+  state.counters["bytes/sample"] =
+      static_cast<double>(bytes) / static_cast<double>(samples);
+}
+
+void BM_EncodeV1(benchmark::State& state) {
+  const auto hull = Producer(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeSnapshot(*hull).size());
+  }
+  AddWireCounters(state, EncodeSnapshot(*hull).size(), hull->Samples().size());
+}
+
+void BM_EncodeV2(benchmark::State& state) {
+  const auto hull = Producer(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hull->EncodeView().size());
+  }
+  AddWireCounters(state, hull->EncodeView().size(), hull->Samples().size());
+}
+
+void BM_DecodeV1(benchmark::State& state) {
+  const auto hull = Producer(static_cast<uint32_t>(state.range(0)));
+  const std::string wire = EncodeSnapshot(*hull);
+  HullSnapshot snap;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeSnapshot(wire, &snap).ok());
+  }
+  AddWireCounters(state, wire.size(), snap.samples.size());
+}
+
+void BM_DecodeV2(benchmark::State& state) {
+  const auto hull = Producer(static_cast<uint32_t>(state.range(0)));
+  const std::string wire = hull->EncodeView();
+  DecodedSummaryView view;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeSummaryView(wire, &view).ok());
+  }
+  AddWireCounters(state, wire.size(), view.samples.size());
+}
+
+void BM_DecodeV2ToSandwich(benchmark::State& state) {
+  const auto hull = Producer(static_cast<uint32_t>(state.range(0)));
+  const std::string wire = hull->EncodeView();
+  for (auto _ : state) {
+    DecodedSummaryView view;
+    benchmark::DoNotOptimize(DecodeSummaryView(wire, &view).ok());
+    const SummaryView sandwich = view.View();
+    benchmark::DoNotOptimize(sandwich.outer().size());
+  }
+  DecodedSummaryView view;
+  (void)DecodeSummaryView(wire, &view);
+  AddWireCounters(state, wire.size(), view.samples.size());
+}
+
+}  // namespace
+
+BENCHMARK(BM_EncodeV1)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_EncodeV2)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_DecodeV1)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_DecodeV2)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_DecodeV2ToSandwich)->Arg(16)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

@@ -1,8 +1,11 @@
 // Distributed aggregation: the sensor-network deployment the paper's
 // introduction motivates. Field nodes summarize their local detections with
-// AdaptiveHull, serialize sub-kilobyte snapshots (core/snapshot.h), and a
-// sink merges them into a global extent — then watches the merged picture
-// against a second stream (a vehicle convoy) with StreamGroup.
+// AdaptiveHull and serialize their *certified sandwich* as sub-kilobyte
+// snapshot v2 messages (core/snapshot.h). The sink never touches a raw
+// detection: it decodes the views, answers certified extent queries straight
+// off them, registers them as remote streams in a StreamGroup, and watches
+// the whole field against a locally-observed vehicle convoy. A merged
+// global summary (the v1 restore-and-merge path) is kept for comparison.
 
 #include <cstdio>
 #include <string>
@@ -17,7 +20,7 @@ int main() {
 
   // --- Field tier: 6 sensor nodes, each observing a patch of the plume.
   std::printf("== field tier ==\n");
-  std::vector<std::string> uplink;  // Simulated radio messages.
+  std::vector<std::string> uplink;  // Simulated radio messages (v2).
   Rng rng(99);
   for (int node = 0; node < 6; ++node) {
     AdaptiveHull local(options);
@@ -25,48 +28,82 @@ int main() {
     for (int i = 0; i < 5000; ++i) {
       local.Insert(patch + Point2{1.2 * rng.Normal(), 0.5 * rng.Normal()});
     }
-    const std::string wire = EncodeSnapshot(local);
-    std::printf("node %d: %llu detections -> %zu samples -> %zu bytes on "
-                "the uplink\n",
+    const std::string wire = local.EncodeView();
+    std::printf("node %d: %llu detections -> %zu samples -> %zu bytes of "
+                "certified sandwich on the uplink\n",
                 node, static_cast<unsigned long long>(local.num_points()),
                 local.num_directions(), wire.size());
     uplink.push_back(wire);
   }
 
-  // --- Sink tier: decode, validate, and merge the snapshots.
+  // --- Sink tier: decode and certify, no access to any raw point.
   std::printf("\n== sink tier ==\n");
-  AdaptiveHull global(options);
+  std::vector<DecodedSummaryView> views;
+  std::vector<std::string> accepted;  // Wire bytes paired with views.
   uint64_t total_points = 0;
   for (size_t i = 0; i < uplink.size(); ++i) {
-    HullSnapshot snap;
-    const Status st = DecodeSnapshot(uplink[i], &snap);
+    DecodedSummaryView view;
+    const Status st = DecodeSummaryView(uplink[i], &view);
     if (!st.ok()) {
       std::printf("rejected message %zu: %s\n", i, st.ToString().c_str());
       continue;
     }
-    total_points += snap.num_points;
-    auto node_hull = RestoreHull(snap, options);
-    global.MergeFrom(*node_hull);
+    accepted.push_back(uplink[i]);
+    total_points += view.num_points;
+    const CertifiedScalar diam = CertifiedDiameter(view.View());
+    std::printf("node %zu (%s, r=%u): %llu points, local diameter in "
+                "[%.3f, %.3f]\n",
+                i, EngineKindName(view.kind), view.r,
+                static_cast<unsigned long long>(view.num_points),
+                diam.value.lo, diam.value.hi);
+    views.push_back(std::move(view));
   }
-  const ConvexPolygon extent = global.Polygon();
-  std::printf("merged %llu field detections into %zu samples\n",
+  // Field-wide certified extent: every stream point of every node lies in
+  // the union of the decoded outer hulls, so the hull of the outer
+  // vertices upper-bounds the field; the hull of the inner vertices
+  // lower-bounds it.
+  std::vector<Point2> inner_pts, outer_pts;
+  for (const DecodedSummaryView& v : views) {
+    const ConvexPolygon in = v.Inner(), out = v.Outer();
+    inner_pts.insert(inner_pts.end(), in.vertices().begin(),
+                     in.vertices().end());
+    outer_pts.insert(outer_pts.end(), out.vertices().begin(),
+                     out.vertices().end());
+  }
+  const SummaryView field(ConvexPolygon::HullOf(inner_pts),
+                          ConvexPolygon::HullOf(outer_pts));
+  const CertifiedScalar field_diam = CertifiedDiameter(field);
+  std::printf("field of %llu detections: certified diameter in "
+              "[%.3f, %.3f]\n",
               static_cast<unsigned long long>(total_points),
-              global.num_directions());
-  std::printf("global extent: area %.3f, diameter %.3f, error bound %.4f\n",
-              extent.Area(), Diameter(extent).value, global.ErrorBound());
-  const OrientedBox box = MinAreaBoundingBox(extent);
-  std::printf("tightest oriented box: %.2f x %.2f (area %.2f)\n",
-              box.extent_u, box.extent_v, box.Area());
+              field_diam.value.lo, field_diam.value.hi);
 
-  // --- Monitoring tier: watch the plume against a convoy corridor.
+  // For comparison, the legacy v1 path: restore each node's samples into a
+  // live hull and merge (no certification, but a live mergeable summary).
+  AdaptiveHull global(options);
+  for (const DecodedSummaryView& v : views) {
+    HullSnapshot as_v1;
+    as_v1.r = v.r;
+    as_v1.num_points = v.num_points;
+    as_v1.perimeter = v.perimeter;
+    as_v1.samples = v.samples;
+    global.MergeFrom(*RestoreHull(as_v1, options));
+  }
+  std::printf("merged (v1-style) summary: %zu samples, extent area %.3f\n",
+              global.num_directions(), global.Polygon().Area());
+
+  // --- Monitoring tier: remote plume views vs a locally-observed convoy.
   std::printf("\n== monitoring tier ==\n");
   StreamGroup watch(options);
-  (void)watch.AddStream("plume");
-  (void)watch.AddStream("convoy");
-  for (const HullSample& s : global.Samples()) {
-    (void)watch.Insert("plume", s.point);
+  for (size_t i = 0; i < views.size(); ++i) {
+    const std::string name = "plume-" + std::to_string(i);
+    (void)watch.AddRemoteStream(name);
+    (void)watch.UpdateRemoteStream(name, accepted[i]);
   }
-  (void)watch.WatchPair("plume", "convoy");
+  (void)watch.AddStream("convoy");
+  for (size_t i = 0; i < views.size(); ++i) {
+    (void)watch.WatchPair("plume-" + std::to_string(i), "convoy");
+  }
   // Convoy drives toward the plume from the south-west.
   for (int leg = 0; leg < 10; ++leg) {
     const Point2 pos{-8.0 + 2.2 * leg, -6.0 + 1.4 * leg};
@@ -86,10 +123,10 @@ int main() {
                   e.second.c_str());
     }
     PairReport report;
-    if (watch.Report("plume", "convoy", &report).ok() &&
+    if (watch.Report("plume-0", "convoy", &report).ok() &&
         report.separable == Certainty::kTrue) {
-      std::printf("leg %d: convoy is at least %.2f away from the plume "
-                  "extent\n",
+      std::printf("leg %d: convoy is at least %.2f away from plume-0 "
+                  "(certified off the decoded view alone)\n",
                   leg, report.distance.lo);
     }
   }

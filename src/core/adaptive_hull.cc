@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "core/snapshot.h"  // InvariantOffset (defined below).
 #include "geom/convex_view.h"
 
 namespace streamhull {
@@ -494,6 +495,7 @@ void AdaptiveHull::UpdateUniform(Point2 p, uint32_t jf, uint32_t jl) {
 void AdaptiveHull::ActivateDirection(const Direction& d, Point2 pt) {
   auto [it, inserted] = samples_.emplace(d, pt);
   SH_CHECK(inserted);
+  pending_slack_.push_back(d);
   // Run bookkeeping. The refined leaf's interval contains no other active
   // direction, so d is adjacent to the runs of both endpoint samples.
   auto* owner_run = verts_.FindLessEqual(d);
@@ -514,6 +516,7 @@ void AdaptiveHull::ActivateDirection(const Direction& d, Point2 pt) {
 void AdaptiveHull::DeactivateDirection(const Direction& d) {
   auto it = samples_.find(d);
   SH_CHECK(it != samples_.end());
+  slack_.erase(d);
   auto* run = verts_.Find(d);
   if (run == nullptr) {
     samples_.erase(it);  // Interior of a run; ownership map unchanged.
@@ -934,7 +937,19 @@ bool AdaptiveHull::InsertNonEmpty(Point2 p) {
   if (!frozen_ && options_.mode == SamplingMode::kFixedSize) {
     Rebalance();
   }
+  FlushPendingSlacks();
   return true;
+}
+
+void AdaptiveHull::FlushPendingSlacks() {
+  if (pending_slack_.empty()) return;
+  for (const Direction& d : pending_slack_) {
+    // A direction can be deactivated again within the same insertion
+    // (rebuild churn); only directions that survived get a slack entry.
+    if (samples_.find(d) == samples_.end()) continue;
+    slack_[d] = OffsetForLevel(d.level());
+  }
+  pending_slack_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -945,14 +960,9 @@ void AdaptiveHull::RefreshBatchCache() {
   batch_cache_.clear();
   for (auto* node = verts_.First(); node != nullptr;
        node = verts_.Next(node)) {
-    if (batch_cache_.empty() || !(batch_cache_.back() == node->value)) {
-      batch_cache_.push_back(node->value);
-    }
+    batch_cache_.push_back(node->value);
   }
-  while (batch_cache_.size() > 1 &&
-         batch_cache_.back() == batch_cache_.front()) {
-    batch_cache_.pop_back();
-  }
+  batch_cache_ = CompressClosedRuns(std::move(batch_cache_));
   double scale = 0;
   for (const Point2& v : batch_cache_) {
     scale = std::max({scale, std::abs(v.x), std::abs(v.y)});
@@ -1053,17 +1063,27 @@ void AdaptiveHull::InsertBatch(std::span<const Point2> points) {
 }
 
 void AdaptiveHull::MergeFrom(const AdaptiveHull& other) {
-  // Deduplicate: a sample point can own many directions; inserting it once
-  // suffices (repeats would be discarded anyway, this just skips the work).
-  Point2 last{};
-  bool have_last = false;
+  std::vector<Point2> donors;
+  donors.reserve(other.verts_.size());
   for (auto* node = other.verts_.First(); node != nullptr;
        node = other.verts_.Next(node)) {
-    if (have_last && node->value == last) continue;
-    Insert(node->value);
-    last = node->value;
-    have_last = true;
+    donors.push_back(node->value);
   }
+  InsertDeduped(donors);
+}
+
+uint64_t AdaptiveHull::InsertDeduped(std::span<const Point2> points) {
+  Point2 last{};
+  bool have_last = false;
+  uint64_t inserted = 0;
+  for (const Point2& p : points) {
+    if (have_last && p == last) continue;
+    Insert(p);
+    last = p;
+    have_last = true;
+    ++inserted;
+  }
+  return inserted;
 }
 
 // ---------------------------------------------------------------------------
@@ -1084,12 +1104,9 @@ ConvexPolygon AdaptiveHull::Polygon() const {
   verts.reserve(verts_.size());
   for (auto* node = verts_.First(); node != nullptr;
        node = verts_.Next(node)) {
-    if (verts.empty() || !(verts.back() == node->value)) {
-      verts.push_back(node->value);
-    }
+    verts.push_back(node->value);
   }
-  while (verts.size() > 1 && verts.back() == verts.front()) verts.pop_back();
-  return ConvexPolygon(std::move(verts));
+  return ConvexPolygon(CompressClosedRuns(std::move(verts)));
 }
 
 std::vector<HullSample> AdaptiveHull::Samples() const {
@@ -1136,14 +1153,22 @@ std::vector<UncertaintyTriangle> AdaptiveHull::Triangles() const {
   return out;
 }
 
-ConvexPolygon AdaptiveHull::OuterPolygon() const {
-  const std::vector<HullSample> samples = Samples();
+std::vector<double> AdaptiveHull::SampleSlacks() const {
   std::vector<double> slacks;
-  slacks.reserve(samples.size());
-  for (const HullSample& s : samples) {
-    slacks.push_back(OffsetForLevel(s.direction.level()));
+  slacks.reserve(samples_.size());
+  for (const auto& [d, pt] : samples_) {
+    if (d.IsUniform()) {
+      slacks.push_back(0.0);
+      continue;
+    }
+    // The per-level formula with the current P is always valid (Lemma 5.3
+    // as stated); the activation-time capture is at most that, and P's
+    // monotonicity keeps it valid. Take the min as a floating-point guard.
+    const double cap = OffsetForLevel(d.level());
+    const auto it = slack_.find(d);
+    slacks.push_back(it == slack_.end() ? cap : std::min(it->second, cap));
   }
-  return SupportIntersection(samples, slacks);
+  return slacks;
 }
 
 double AdaptiveHull::ErrorBound() const {
@@ -1152,8 +1177,15 @@ double AdaptiveHull::ErrorBound() const {
 }
 
 double AdaptiveHull::OffsetForLevel(uint32_t level) const {
-  const double r = static_cast<double>(options_.r);
-  return (8.0 * kPi * p_used_ / (r * r)) * LevelSeriesPrefix(level);
+  return InvariantOffset(p_used_, options_.r, level);
+}
+
+// Declared in core/snapshot.h (it is part of the wire-format contract: v1
+// receivers certify with it), defined here next to the series table so the
+// engine's OffsetForLevel and the spec-level formula are one function.
+double InvariantOffset(double perimeter, uint32_t r, uint32_t level) {
+  const double rd = static_cast<double>(r);
+  return (8.0 * kPi * perimeter / (rd * rd)) * LevelSeriesPrefix(level);
 }
 
 // ---------------------------------------------------------------------------
@@ -1222,6 +1254,29 @@ Status AdaptiveHull::CheckConsistency() const {
       return Fail("incremental perimeter diverged from recomputation");
     }
     if (p_used_ + 1e-12 < p_raw_) return Fail("p_used below p_raw");
+  }
+
+  // Per-direction slack bookkeeping: every active non-uniform direction has
+  // a captured activation offset in [0, OffsetForLevel(level)]; no stale
+  // entries survive deactivation; no activation awaits its flush.
+  {
+    if (!pending_slack_.empty()) return Fail("unflushed pending slacks");
+    for (const auto& [d, s] : slack_) {
+      if (d.IsUniform()) return Fail("slack entry for a uniform direction");
+      if (samples_.find(d) == samples_.end()) {
+        return Fail("slack entry for an inactive direction");
+      }
+      if (!(s >= 0) ||
+          s > OffsetForLevel(d.level()) * (1.0 + 1e-9) + 1e-300) {
+        return Fail("slack outside [0, OffsetForLevel]");
+      }
+    }
+    for (const auto& [d, pt] : samples_) {
+      (void)pt;
+      if (!d.IsUniform() && slack_.find(d) == slack_.end()) {
+        return Fail("active non-uniform direction without a slack entry");
+      }
+    }
   }
 
   // Trees: structure, endpoint consistency, weights, direction census.

@@ -96,6 +96,13 @@ class AdaptiveHull : public HullEngine {
   /// merge itself may drop). O(r log r).
   void MergeFrom(const AdaptiveHull& other);
 
+  /// \brief Inserts a sequence of summary sample points, skipping
+  /// consecutive duplicates (a sample point can own several directions;
+  /// inserting it once suffices). The shared merge primitive behind
+  /// MergeFrom, RestoreHull, and RegionPartitionedHull::MergeDecodedView.
+  /// \return the number of points actually inserted.
+  uint64_t InsertDeduped(std::span<const Point2> points);
+
   /// Number of stream points processed so far.
   uint64_t num_points() const override { return num_points_; }
   /// The base direction count r.
@@ -125,13 +132,25 @@ class AdaptiveHull : public HullEngine {
   /// of these triangles.
   std::vector<UncertaintyTriangle> Triangles() const override;
 
-  /// \brief Guaranteed superset of the true hull. A direction activated by
-  /// refinement mid-stream may have missed earlier extrema, so its
-  /// supporting line alone is not a valid bound; the Lemma 5.3 invariant
-  /// guarantees every stream point lies within OffsetForLevel(level) of it.
-  /// This intersects the supporting half-planes relaxed by exactly those
-  /// offsets (uniform directions get offset 0: their extrema are exact).
-  ConvexPolygon OuterPolygon() const override;
+  /// \brief Certified per-sample slacks (see HullEngine::SampleSlacks). A
+  /// direction activated by refinement mid-stream may have missed earlier
+  /// extrema, so its supporting line alone is not a valid bound; the Lemma
+  /// 5.3 invariant guarantees every stream point lies within
+  /// OffsetForLevel(level) of it, evaluated with the effective perimeter P.
+  ///
+  /// The reported slack is *per direction*, not per level: each activated
+  /// direction records the offset computed with P as of the insertion that
+  /// activated it. The supporting line only moves outward afterwards (every
+  /// point inserted while a direction is active updates its extremum
+  /// exactly), so the recorded offset stays valid while P — and with it the
+  /// naive per-level formula — keeps growing. On long-drifting or merged
+  /// streams this makes OuterPolygon() strictly tighter than relaxing by
+  /// OffsetForLevel at query time. Uniform directions report slack 0:
+  /// active from the first point, their extrema are exact.
+  std::vector<double> SampleSlacks() const override;
+
+  /// The effective perimeter P (same as perimeter()).
+  double EffectivePerimeter() const override { return p_used_; }
 
   /// \brief The a-priori Hausdorff error bound 16*pi*P/r^2 of Corollary 5.2
   /// (invariant mode with the default tree height).
@@ -226,6 +245,11 @@ class AdaptiveHull : public HullEngine {
   void ActivateDirection(const Direction& d, Point2 pt);
   // Removes direction d (unrefinement). d must be active and non-uniform.
   void DeactivateDirection(const Direction& d);
+  // Records the invariant offset of every direction activated during the
+  // current insertion, evaluated with the post-insertion P (the moment the
+  // Lemma 5.3 invariant is re-established). Runs at the end of every
+  // InsertNonEmpty.
+  void FlushPendingSlacks();
 
   // --- Tree maintenance ---
   // Returns the collapsed nodes (with their post-collapse generation) so the
@@ -279,6 +303,14 @@ class AdaptiveHull : public HullEngine {
   uint64_t num_points_ = 0;
 
   SampleMap samples_;
+  // Per-direction certified slack of every active non-uniform direction:
+  // the Lemma 5.3 offset captured when the direction was (last) activated.
+  // Kept in lockstep with samples_ (activation inserts via
+  // FlushPendingSlacks, deactivation erases).
+  std::map<Direction, double> slack_;
+  // Directions activated during the current insertion, awaiting their
+  // post-insertion slack capture.
+  std::vector<Direction> pending_slack_;
   // Distinct-vertex runs: first owned direction -> vertex point.
   IndexableSkipList<Direction, Point2> verts_;
 
@@ -336,6 +368,14 @@ class UniformHull final : public HullEngine {
   /// All directions are uniform (true extrema), so the level-0 invariant
   /// offset is 0 and the outer hull is the exact apex polygon.
   ConvexPolygon OuterPolygon() const override { return hull_.OuterPolygon(); }
+  /// All-zero: every stored sample is a true stream extremum.
+  std::vector<double> SampleSlacks() const override {
+    return hull_.SampleSlacks();
+  }
+  /// The effective perimeter P (running max; see AdaptiveHull::perimeter).
+  double EffectivePerimeter() const override {
+    return hull_.EffectivePerimeter();
+  }
   /// \brief A-posteriori bound: the maximum uncertainty-triangle height.
   /// (The adaptive 16*pi*P/r^2 formula needs the weight invariant, which
   /// uniform sampling does not maintain — its worst case is Theta(P/r).)

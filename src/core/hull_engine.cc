@@ -93,7 +93,7 @@ double MaxTriangleHeight(const std::vector<UncertaintyTriangle>& triangles) {
 }
 
 ConvexPolygon HullEngine::OuterPolygon() const {
-  return SupportIntersection(Samples(), {});
+  return SupportIntersection(Samples(), SampleSlacks());
 }
 
 ConvexPolygon SupportIntersection(const std::vector<HullSample>& samples,

@@ -106,14 +106,14 @@ class HullEngine {
   ///
   ///     Polygon()  subset of  true hull  subset of  OuterPolygon().
   ///
-  /// The default implementation intersects the supporting half-planes of
-  /// all samples, which equals the inner polygon extended by its
-  /// uncertainty triangles (vertices: the samples plus the triangle
-  /// apexes). It is correct for engines whose stored samples are true
-  /// stream extrema (uniform, static-adaptive). The streaming adaptive
-  /// family overrides it to relax each half-plane by the Lemma 5.3
-  /// invariant offset, because a direction activated mid-stream may have
-  /// missed earlier extrema by up to that offset.
+  /// Implemented as the intersection of the supporting half-planes of all
+  /// samples, each relaxed outward by the engine's certified SampleSlacks().
+  /// With all-zero slacks (engines whose stored samples are true stream
+  /// extrema: uniform, static-adaptive) this equals the inner polygon
+  /// extended by its uncertainty triangles (vertices: the samples plus the
+  /// triangle apexes). The streaming adaptive family reports non-zero
+  /// slacks, because a direction activated mid-stream may have missed
+  /// earlier extrema by up to its Lemma 5.3 invariant offset.
   ///
   /// The [Polygon(), OuterPolygon()] sandwich is what the certified query
   /// layer (src/queries/certified.h) brackets every answer with.
@@ -121,6 +121,39 @@ class HullEngine {
 
   /// All active samples in CCW direction order.
   virtual std::vector<HullSample> Samples() const = 0;
+
+  /// \brief Certified per-sample outward slacks, aligned with Samples():
+  /// the engine guarantees every stream point satisfies
+  ///
+  ///     dot(p, u_i) <= dot(s_i, u_i) + SampleSlacks()[i]
+  ///
+  /// for sample direction u_i with stored point s_i. These slacks define
+  /// OuterPolygon() and are what snapshot v2 (core/snapshot.h) ships over
+  /// the wire, so a receiver reconstructs the exact sandwich without
+  /// re-deriving engine-specific bounds.
+  ///
+  /// An empty vector means all-zero (the same convention
+  /// SupportIntersection accepts). The default returns exactly that —
+  /// valid only for engines whose stored samples are true stream extrema,
+  /// and deliberately avoiding a Samples() call, which deferred-cache
+  /// engines would answer with a full rebuild. AdaptiveHull overrides it
+  /// with its tracked per-direction Lemma 5.3 offsets.
+  virtual std::vector<double> SampleSlacks() const { return {}; }
+
+  /// \brief The effective perimeter P entering the engine's weight and
+  /// offset formulas (the running max of the uniformly sampled hull's
+  /// perimeter), or 0 for engines with no such notion. Shipped as producer
+  /// metadata in snapshot v2.
+  virtual double EffectivePerimeter() const { return 0; }
+
+  /// \brief Serializes this engine's certified sandwich as a snapshot v2
+  /// message: Seal() followed by the free EncodeSummaryView() (see
+  /// core/snapshot.h for the wire format), so deferred-cache engines pay
+  /// one rebuild instead of one per metadata accessor. Callers holding
+  /// only a const engine can use EncodeSummaryView directly (correct for
+  /// every engine, but sealing beforehand is on them). Defined in
+  /// core/snapshot.cc.
+  std::string EncodeView();
 
   /// \brief Uncertainty triangles of all (non-degenerate) current edges, in
   /// CCW order. The true hull is sandwiched between Polygon() and the union

@@ -60,18 +60,8 @@ class NaiveUniformHull {
   /// \brief The approximate hull: distinct extrema in direction order
   /// (CCW). Empty before the first point.
   ConvexPolygon Polygon() const {
-    std::vector<Point2> verts;
-    if (points_ == 0) return ConvexPolygon(std::move(verts));
-    verts.reserve(r_);
-    for (uint32_t j = 0; j < r_; ++j) {
-      if (verts.empty() || !(verts.back() == extrema_[j])) {
-        verts.push_back(extrema_[j]);
-      }
-    }
-    while (verts.size() > 1 && verts.back() == verts.front()) {
-      verts.pop_back();
-    }
-    return ConvexPolygon(std::move(verts));
+    if (points_ == 0) return ConvexPolygon();
+    return ConvexPolygon(CompressClosedRuns(extrema_));
   }
 
  private:

@@ -78,10 +78,27 @@ class PartiallyAdaptiveHull final : public HullEngine {
   /// invariant behind the relaxed supporting half-planes) continue, so the
   /// wrapped engine's construction remains valid.
   ConvexPolygon OuterPolygon() const override { return hull_.OuterPolygon(); }
-  /// \brief A-posteriori bound: the maximum uncertainty-triangle height.
-  /// (Once frozen the weight invariant lapses, so the a-priori adaptive
-  /// formula no longer applies.)
-  double ErrorBound() const override { return MaxTriangleHeight(Triangles()); }
+  /// The wrapped engine's per-direction invariant offsets (frozen
+  /// directions keep the offset captured at activation).
+  std::vector<double> SampleSlacks() const override {
+    return hull_.SampleSlacks();
+  }
+  /// The effective perimeter P of the wrapped engine.
+  double EffectivePerimeter() const override {
+    return hull_.EffectivePerimeter();
+  }
+  /// \brief A-posteriori bound: the maximum of the uncertainty-triangle
+  /// heights and the per-direction Lemma 5.3 offsets. Once frozen the
+  /// weight invariant lapses, so the a-priori adaptive formula no longer
+  /// applies; and because a frozen direction's extremum may still miss
+  /// stream points by up to its invariant offset, the triangle heights
+  /// alone can under-report. Taking the max keeps the bound covering
+  /// everything OuterPolygon() relaxes by.
+  double ErrorBound() const override {
+    double bound = MaxTriangleHeight(Triangles());
+    for (double s : hull_.SampleSlacks()) bound = std::max(bound, s);
+    return bound;
+  }
   const AdaptiveHullStats& stats() const override { return hull_.stats(); }
   Status CheckConsistency() const override { return hull_.CheckConsistency(); }
   const AdaptiveHull& engine() const { return hull_; }

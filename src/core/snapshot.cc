@@ -1,16 +1,21 @@
 #include "core/snapshot.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "common/check.h"
+#include "queries/certified.h"
 
 namespace streamhull {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x53484c31;  // "SHL1".
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kMagicV1 = 0x53484c31;  // "SHL1".
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kMagicV2 = 0x53484c32;  // "SHL2".
+constexpr uint32_t kVersionV2 = 2;
 
 void AppendU32(std::string* out, uint32_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -41,14 +46,73 @@ class Reader {
   size_t pos_ = 0;
 };
 
+// Stable wire codes for EngineKind — decoupled from the enum's declaration
+// order so reordering the enum can never silently change the format.
+uint32_t KindWireCode(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kUniform: return 0;
+    case EngineKind::kAdaptive: return 1;
+    case EngineKind::kPartiallyAdaptive: return 2;
+    case EngineKind::kStaticAdaptive: return 3;
+  }
+  SH_CHECK(false && "unknown EngineKind");
+  return 0;
+}
+
+bool KindFromWireCode(uint32_t code, EngineKind* out) {
+  switch (code) {
+    case 0: *out = EngineKind::kUniform; return true;
+    case 1: *out = EngineKind::kAdaptive; return true;
+    case 2: *out = EngineKind::kPartiallyAdaptive; return true;
+    case 3: *out = EngineKind::kStaticAdaptive; return true;
+    default: return false;
+  }
+}
+
+// Shared sample-record validation for both versions. Appends the decoded
+// sample to *samples, whose last entry anchors the ascending-direction
+// check.
+Status DecodeSampleRecord(Reader* r, uint32_t base_r,
+                          std::vector<HullSample>* samples) {
+  uint64_t num = 0;
+  uint32_t level = 0;
+  Point2 p;
+  if (!r->ReadU64(&num) || !r->ReadU32(&level) || !r->ReadF64(&p.x) ||
+      !r->ReadF64(&p.y)) {
+    return Status::InvalidArgument("truncated snapshot sample");
+  }
+  if (level > Direction::kMaxLevel) {
+    return Status::InvalidArgument("snapshot direction level out of range");
+  }
+  if (level > 0 && (num & 1) == 0) {
+    return Status::InvalidArgument("snapshot direction not canonical");
+  }
+  if (num >= (static_cast<uint64_t>(base_r) << level)) {
+    return Status::InvalidArgument("snapshot direction out of range");
+  }
+  if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+    return Status::InvalidArgument("snapshot point not finite");
+  }
+  const Direction d = Direction::FromRaw(num, level, base_r);
+  if (!samples->empty() && !(samples->back().direction < d)) {
+    return Status::InvalidArgument("snapshot directions not ascending");
+  }
+  samples->push_back(HullSample{d, p});
+  return Status::OK();
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Snapshot v1: samples only (DESIGN.md, "Wire format")
+// ---------------------------------------------------------------------------
 
 std::string EncodeSnapshot(const AdaptiveHull& hull) {
   const std::vector<HullSample> samples = hull.Samples();
   std::string out;
-  out.reserve(40 + samples.size() * 28);
-  AppendU32(&out, kMagic);
-  AppendU32(&out, kVersion);
+  out.reserve(32 + samples.size() * 28);
+  AppendU32(&out, kMagicV1);
+  AppendU32(&out, kVersionV1);
   AppendU32(&out, hull.r());
   AppendU32(&out, static_cast<uint32_t>(samples.size()));
   AppendU64(&out, hull.num_points());
@@ -65,10 +129,10 @@ std::string EncodeSnapshot(const AdaptiveHull& hull) {
 Status DecodeSnapshot(std::string_view bytes, HullSnapshot* out) {
   Reader r(bytes);
   uint32_t magic = 0, version = 0, base_r = 0, count = 0;
-  if (!r.ReadU32(&magic) || magic != kMagic) {
+  if (!r.ReadU32(&magic) || magic != kMagicV1) {
     return Status::InvalidArgument("bad snapshot magic");
   }
-  if (!r.ReadU32(&version) || version != kVersion) {
+  if (!r.ReadU32(&version) || version != kVersionV1) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
   if (!r.ReadU32(&base_r) || base_r < 8 || base_r > (uint32_t{1} << 20)) {
@@ -76,6 +140,11 @@ Status DecodeSnapshot(std::string_view bytes, HullSnapshot* out) {
   }
   if (!r.ReadU32(&count) || count == 0 || count > 4 * base_r + 4) {
     return Status::InvalidArgument("snapshot sample count out of range");
+  }
+  // Exact-size check before any count-sized allocation: a crafted header
+  // with a huge count must not reserve memory it cannot possibly fill.
+  if (bytes.size() != 32 + 28 * static_cast<size_t>(count)) {
+    return Status::InvalidArgument("snapshot size does not match its count");
   }
   HullSnapshot snap;
   snap.r = base_r;
@@ -87,31 +156,7 @@ Status DecodeSnapshot(std::string_view bytes, HullSnapshot* out) {
   }
   snap.samples.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
-    uint64_t num = 0;
-    uint32_t level = 0;
-    Point2 p;
-    if (!r.ReadU64(&num) || !r.ReadU32(&level) || !r.ReadF64(&p.x) ||
-        !r.ReadF64(&p.y)) {
-      return Status::InvalidArgument("truncated snapshot sample");
-    }
-    if (level > Direction::kMaxLevel) {
-      return Status::InvalidArgument("snapshot direction level out of range");
-    }
-    if (level > 0 && (num & 1) == 0) {
-      return Status::InvalidArgument("snapshot direction not canonical");
-    }
-    if (num >= (static_cast<uint64_t>(base_r) << level)) {
-      return Status::InvalidArgument("snapshot direction out of range");
-    }
-    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
-      return Status::InvalidArgument("snapshot point not finite");
-    }
-    const Direction d = Direction::FromRaw(num, level, base_r);
-    if (!snap.samples.empty() &&
-        !(snap.samples.back().direction < d)) {
-      return Status::InvalidArgument("snapshot directions not ascending");
-    }
-    snap.samples.push_back(HullSample{d, p});
+    STREAMHULL_RETURN_IF_ERROR(DecodeSampleRecord(&r, base_r, &snap.samples));
   }
   if (!r.AtEnd()) return Status::InvalidArgument("trailing snapshot bytes");
   *out = std::move(snap);
@@ -121,15 +166,130 @@ Status DecodeSnapshot(std::string_view bytes, HullSnapshot* out) {
 std::unique_ptr<AdaptiveHull> RestoreHull(const HullSnapshot& snapshot,
                                           const AdaptiveHullOptions& options) {
   auto hull = std::make_unique<AdaptiveHull>(options);
-  Point2 last{};
-  bool have_last = false;
-  for (const HullSample& s : snapshot.samples) {
-    if (have_last && s.point == last) continue;
-    hull->Insert(s.point);
-    last = s.point;
-    have_last = true;
-  }
+  std::vector<Point2> points;
+  points.reserve(snapshot.samples.size());
+  for (const HullSample& s : snapshot.samples) points.push_back(s.point);
+  hull->InsertDeduped(points);
   return hull;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot v2: the certified SummaryView sandwich
+// ---------------------------------------------------------------------------
+
+std::string EncodeSummaryView(const HullEngine& engine) {
+  const std::vector<HullSample> samples = engine.Samples();
+  // Empty means all-zero (see HullEngine::SampleSlacks).
+  const std::vector<double> slacks = engine.SampleSlacks();
+  SH_CHECK(slacks.empty() || slacks.size() == samples.size());
+  std::string out;
+  out.reserve(48 + samples.size() * 36);
+  AppendU32(&out, kMagicV2);
+  AppendU32(&out, kVersionV2);
+  AppendU32(&out, KindWireCode(engine.kind()));
+  AppendU32(&out, engine.r());
+  AppendU32(&out, static_cast<uint32_t>(samples.size()));
+  AppendU32(&out, 0);  // Reserved flags; receivers require 0.
+  AppendU64(&out, engine.num_points());
+  AppendF64(&out, engine.EffectivePerimeter());
+  AppendF64(&out, engine.ErrorBound());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    AppendU64(&out, samples[i].direction.num());
+    AppendU32(&out, samples[i].direction.level());
+    AppendF64(&out, samples[i].point.x);
+    AppendF64(&out, samples[i].point.y);
+    AppendF64(&out, slacks.empty() ? 0.0 : slacks[i]);
+  }
+  return out;
+}
+
+std::string HullEngine::EncodeView() {
+  Seal();
+  return EncodeSummaryView(*this);
+}
+
+Status DecodeSummaryView(std::string_view bytes, DecodedSummaryView* out) {
+  Reader r(bytes);
+  uint32_t magic = 0, version = 0, kind_code = 0, base_r = 0, count = 0,
+           flags = 0;
+  if (!r.ReadU32(&magic) || magic != kMagicV2) {
+    return Status::InvalidArgument("bad snapshot v2 magic");
+  }
+  if (!r.ReadU32(&version) || version != kVersionV2) {
+    return Status::InvalidArgument("unsupported snapshot v2 version");
+  }
+  DecodedSummaryView view;
+  if (!r.ReadU32(&kind_code) || !KindFromWireCode(kind_code, &view.kind)) {
+    return Status::InvalidArgument("snapshot v2 engine kind unknown");
+  }
+  if (!r.ReadU32(&base_r) || base_r < 8 || base_r > (uint32_t{1} << 20)) {
+    return Status::InvalidArgument("snapshot v2 r out of range");
+  }
+  view.r = base_r;
+  if (!r.ReadU32(&count) || count == 0 || count > 4 * base_r + 4) {
+    return Status::InvalidArgument("snapshot v2 sample count out of range");
+  }
+  // Exact-size check before any count-sized allocation (see v1 decoder).
+  if (bytes.size() != 48 + 36 * static_cast<size_t>(count)) {
+    return Status::InvalidArgument(
+        "snapshot v2 size does not match its count");
+  }
+  if (!r.ReadU32(&flags) || flags != 0) {
+    return Status::InvalidArgument("snapshot v2 reserved flags not zero");
+  }
+  if (!r.ReadU64(&view.num_points) || view.num_points == 0) {
+    return Status::InvalidArgument("snapshot v2 stream length invalid");
+  }
+  if (!r.ReadF64(&view.perimeter) || !(view.perimeter >= 0) ||
+      !std::isfinite(view.perimeter)) {
+    return Status::InvalidArgument("snapshot v2 perimeter not finite");
+  }
+  if (!r.ReadF64(&view.error_bound) || !(view.error_bound >= 0) ||
+      !std::isfinite(view.error_bound)) {
+    return Status::InvalidArgument("snapshot v2 error bound not finite");
+  }
+  view.samples.reserve(count);
+  view.slacks.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    STREAMHULL_RETURN_IF_ERROR(DecodeSampleRecord(&r, base_r, &view.samples));
+    double slack = 0;
+    if (!r.ReadF64(&slack)) {
+      return Status::InvalidArgument("truncated snapshot v2 slack");
+    }
+    if (!(slack >= 0) || !std::isfinite(slack)) {
+      return Status::InvalidArgument("snapshot v2 slack not finite");
+    }
+    view.slacks.push_back(slack);
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("trailing snapshot v2 bytes");
+  *out = std::move(view);
+  return Status::OK();
+}
+
+uint32_t SnapshotVersion(std::string_view bytes) {
+  uint32_t magic = 0;
+  if (!Reader(bytes).ReadU32(&magic)) return 0;
+  if (magic == kMagicV1) return 1;
+  if (magic == kMagicV2) return 2;
+  return 0;
+}
+
+ConvexPolygon DecodedSummaryView::Inner() const {
+  // Distinct sample points, CCW — the same run compression the engines'
+  // Polygon() accessors apply, so the decoded inner polygon is
+  // vertex-for-vertex the producer's.
+  std::vector<Point2> verts;
+  verts.reserve(samples.size());
+  for (const HullSample& s : samples) verts.push_back(s.point);
+  return ConvexPolygon(CompressClosedRuns(std::move(verts)));
+}
+
+ConvexPolygon DecodedSummaryView::Outer() const {
+  return SupportIntersection(samples, slacks);
+}
+
+SummaryView DecodedSummaryView::View() const {
+  return SummaryView(Inner(), Outer());
 }
 
 }  // namespace streamhull

@@ -2,12 +2,32 @@
 //
 // The paper's sensor-network motivation (§1) is that nodes should "transmit
 // and receive summaries [rather] than raw data". A snapshot is the wire
-// format for that: the active sample directions (exact dyadic integers) and
-// their points, plus the effective perimeter, in a versioned little-endian
-// encoding of ~20 bytes per sample — a complete r=16 summary fits in well
-// under a kilobyte. Snapshots can be decoded for inspection or restored
-// into a live AdaptiveHull at the receiver (whose own r may differ), which
-// continues streaming or merges further summaries.
+// format for that, in two versions (full byte layouts: DESIGN.md, "Wire
+// format"):
+//
+//   * Snapshot v1 carries the active sample directions (exact dyadic
+//     integers) and their points, plus the effective perimeter, in a
+//     versioned little-endian encoding of 28 bytes per sample — a complete
+//     r=16 summary fits in well under a kilobyte. v1 snapshots can be
+//     decoded for inspection or restored into a live AdaptiveHull at the
+//     receiver (whose own r may differ), which continues streaming or
+//     merges further summaries. What v1 cannot do is certify: a receiver
+//     holding only the apex samples of a streaming adaptive summary lacks
+//     the per-direction Lemma 5.3 slack it needs to reconstruct a
+//     guaranteed true-hull superset.
+//
+//   * Snapshot v2 ships the full certified sandwich of any HullEngine: the
+//     samples *with their per-direction certified slacks* plus producer
+//     metadata (engine kind, r, stream length, effective P, error bound).
+//     A receiver decodes it into a DecodedSummaryView whose
+//     inner/outer polygons answer every certified query in
+//     queries/certified.h — diameter, width, extent, enclosing circle,
+//     separation, containment, overlap — with no access to the producer's
+//     points and no re-derivation of engine-specific bounds.
+//
+// Versioning policy: each version has its own magic; decoders reject
+// unknown magics/versions with a Status (never UB), v1 remains decodable
+// forever, and fields within a version are never reordered or re-typed.
 
 #ifndef STREAMHULL_CORE_SNAPSHOT_H_
 #define STREAMHULL_CORE_SNAPSHOT_H_
@@ -21,9 +41,25 @@
 #include "common/status.h"
 #include "core/adaptive_hull.h"
 
+/// \file
+/// \brief The versioned binary snapshot wire formats (v1: samples, v2: the
+/// certified SummaryView sandwich). Encoders are infallible; decoders
+/// validate every *structural* rule exhaustively (sizes, magics, ranges,
+/// canonical ascending directions, finite values) and report malformed
+/// input as Status::InvalidArgument, leaving the output untouched.
+///
+/// Trust model: validation is structural, not semantic. The certified
+/// guarantees of a decoded view hold exactly when the producer's summary
+/// was honest and the bytes arrived unmodified — a decoder cannot detect a
+/// corrupted-in-convex-position point or a weakened slack, so integrity
+/// against channel errors or adversaries belongs to the transport
+/// (checksums, authentication), as in any sensor-network stack.
+
 namespace streamhull {
 
-/// \brief Decoded summary snapshot.
+class SummaryView;  // queries/certified.h
+
+/// \brief Decoded v1 summary snapshot.
 struct HullSnapshot {
   uint32_t r = 0;              ///< Base direction count of the producer.
   uint64_t num_points = 0;     ///< Stream length the producer had seen.
@@ -31,21 +67,79 @@ struct HullSnapshot {
   std::vector<HullSample> samples;  ///< Active samples, CCW direction order.
 };
 
-/// \brief Serializes the summary's samples into the versioned binary wire
-/// format (little-endian; this library targets little-endian hosts).
+/// \brief Serializes the summary's samples into the v1 binary wire format
+/// (little-endian; this library targets little-endian hosts).
 std::string EncodeSnapshot(const AdaptiveHull& hull);
 
-/// \brief Parses and validates a snapshot. Rejects truncated input, bad
+/// \brief Parses and validates a v1 snapshot. Rejects truncated input, bad
 /// magic/version, non-canonical or out-of-range directions, and
-/// non-ascending direction order.
+/// non-ascending direction order. On error, \p *out is left untouched.
 Status DecodeSnapshot(std::string_view bytes, HullSnapshot* out);
 
-/// \brief Builds a live summary from a snapshot by replaying its sample
+/// \brief Builds a live summary from a v1 snapshot by replaying its sample
 /// points into a fresh AdaptiveHull configured by \p options (r need not
 /// match the producer's). The result approximates the producer's stream
 /// within the producer's error bound plus the new summary's own bound.
+/// \param snapshot a decoded v1 snapshot.
+/// \param options configuration of the receiver-side summary.
 std::unique_ptr<AdaptiveHull> RestoreHull(const HullSnapshot& snapshot,
                                           const AdaptiveHullOptions& options);
+
+/// \brief Decoded v2 snapshot: a complete certified SummaryView sandwich
+/// plus producer metadata, sufficient to answer every certified query
+/// (queries/certified.h) without access to the producer's points.
+struct DecodedSummaryView {
+  EngineKind kind = EngineKind::kAdaptive;  ///< Producer's engine strategy.
+  uint32_t r = 0;           ///< Producer's base direction count.
+  uint64_t num_points = 0;  ///< Stream length the producer had seen.
+  double perimeter = 0;     ///< Producer's effective P (0 if not tracked).
+  double error_bound = 0;   ///< Producer's ErrorBound() at encode time.
+  std::vector<HullSample> samples;  ///< Active samples, CCW direction order.
+  std::vector<double> slacks;  ///< Certified outward slack per sample.
+
+  /// \brief The inner polygon (distinct sample points, CCW): a guaranteed
+  /// subset of the producer's true stream hull, equal to the producer's
+  /// Polygon() up to the choice of starting vertex.
+  ConvexPolygon Inner() const;
+
+  /// \brief The outer polygon (supporting half-planes relaxed by the
+  /// shipped slacks): a guaranteed superset of the producer's true stream
+  /// hull, identical to the producer's OuterPolygon().
+  ConvexPolygon Outer() const;
+
+  /// \brief The [Inner(), Outer()] sandwich as a SummaryView, ready for
+  /// the certified queries. Defined in core/snapshot.cc; callers include
+  /// queries/certified.h for the complete SummaryView type.
+  SummaryView View() const;
+};
+
+/// \brief Serializes any engine's certified sandwich as a v2 snapshot:
+/// samples, per-direction slacks (HullEngine::SampleSlacks), and producer
+/// metadata, little-endian. Equivalent to engine.EncodeView(). An empty
+/// engine (no points yet) encodes, but the result is rejected by
+/// DecodeSummaryView — an empty summary is not a valid transmission.
+std::string EncodeSummaryView(const HullEngine& engine);
+
+/// \brief Parses and validates a v2 snapshot. Rejects truncated input, bad
+/// magic/version/kind/flags, out-of-range r or sample counts, non-canonical
+/// or non-ascending directions, and non-finite or negative slacks — always
+/// with an error Status, never undefined behavior. On error, \p *out is
+/// left untouched.
+Status DecodeSummaryView(std::string_view bytes, DecodedSummaryView* out);
+
+/// \brief The wire version of a snapshot message: 1, 2, or 0 when the
+/// input is too short or carries an unknown magic. Lets receivers of mixed
+/// fleets dispatch to DecodeSnapshot / DecodeSummaryView.
+uint32_t SnapshotVersion(std::string_view bytes);
+
+/// \brief The Lemma 5.3 invariant offset d_i = (8*pi*P/r^2) * sum_{j<=i}
+/// j/2^j for a direction at refinement level \p level, given the effective
+/// perimeter \p perimeter and base direction count \p r. This is the
+/// per-level slack a v1 receiver must apply to certify a streaming
+/// adaptive producer's samples (v2 ships tighter per-direction values
+/// explicitly). AdaptiveHull::OffsetForLevel delegates to this function,
+/// so the engine and the spec can never drift.
+double InvariantOffset(double perimeter, uint32_t r, uint32_t level);
 
 }  // namespace streamhull
 

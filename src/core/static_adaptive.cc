@@ -91,11 +91,8 @@ StaticAdaptiveSample Finish(std::map<Direction, Point2> samples,
 ConvexPolygon StaticAdaptiveSample::Polygon() const {
   std::vector<Point2> verts;
   verts.reserve(samples.size());
-  for (const HullSample& s : samples) {
-    if (verts.empty() || !(verts.back() == s.point)) verts.push_back(s.point);
-  }
-  while (verts.size() > 1 && verts.back() == verts.front()) verts.pop_back();
-  return ConvexPolygon(std::move(verts));
+  for (const HullSample& s : samples) verts.push_back(s.point);
+  return ConvexPolygon(CompressClosedRuns(std::move(verts)));
 }
 
 StaticAdaptiveSample BuildStaticUniformSample(
@@ -108,14 +105,13 @@ StaticAdaptiveSample BuildStaticUniformSample(
   }
   // Perimeter of the distinct extrema polygon.
   std::vector<Point2> distinct;
+  distinct.reserve(samples.size());
   for (const auto& [d, pt] : samples) {
     (void)d;
-    if (distinct.empty() || !(distinct.back() == pt)) distinct.push_back(pt);
+    distinct.push_back(pt);
   }
-  while (distinct.size() > 1 && distinct.back() == distinct.front()) {
-    distinct.pop_back();
-  }
-  const double perimeter = ConvexPolygon(distinct).Perimeter();
+  const double perimeter =
+      ConvexPolygon(CompressClosedRuns(std::move(distinct))).Perimeter();
 
   std::vector<Edge> edges;
   edges.reserve(r);
@@ -261,6 +257,11 @@ double StaticAdaptiveHull::ErrorBound() const {
   if (num_points_ == 0) return 0;
   return MaxTriangleHeight(dirty_ ? BuildFresh().triangles
                                   : cache_.triangles);
+}
+
+double StaticAdaptiveHull::EffectivePerimeter() const {
+  if (num_points_ == 0) return 0;
+  return dirty_ ? BuildFresh().uniform_perimeter : cache_.uniform_perimeter;
 }
 
 Status StaticAdaptiveHull::CheckConsistency() const {

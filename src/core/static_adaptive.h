@@ -108,6 +108,10 @@ class StaticAdaptiveHull final : public HullEngine {
   /// A-posteriori bound: the maximum uncertainty-triangle height (Lemma 4.3
   /// guarantees it is O(D/r^2)).
   double ErrorBound() const override;
+  /// \brief The uniformly sampled hull's perimeter of the current prefix
+  /// (the P in the offline sample's weights). Like every const accessor,
+  /// served from the cache when sealed and rebuilt fresh otherwise.
+  double EffectivePerimeter() const override;
   /// \brief Operation counters. directions_refined reports the refinement
   /// count of the last sealed build (Seal() refreshes it).
   const AdaptiveHullStats& stats() const override { return stats_; }

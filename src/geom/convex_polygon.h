@@ -97,6 +97,22 @@ class ConvexPolygon {
   std::vector<Point2> vertices_;
 };
 
+/// \brief The run compression every summary applies to turn a CCW
+/// sample/vertex sequence into distinct polygon vertices: collapses
+/// consecutive duplicate points, then drops trailing points equal to the
+/// first (the wrap-around duplicate). Sharing one definition is what makes
+/// a decoded snapshot's inner polygon (core/snapshot.h) structurally equal
+/// to the producer's Polygon(), not coincidentally so.
+inline std::vector<Point2> CompressClosedRuns(std::vector<Point2> verts) {
+  std::vector<Point2> out;
+  out.reserve(verts.size());
+  for (const Point2& p : verts) {
+    if (out.empty() || !(out.back() == p)) out.push_back(p);
+  }
+  while (out.size() > 1 && out.back() == out.front()) out.pop_back();
+  return out;
+}
+
 /// \brief One Sutherland-Hodgman step: clips the polygon \p subject (CCW
 /// vertex ring, modified in place) by the half-plane
 ///

@@ -1,5 +1,6 @@
 #include "multi/region_hull.h"
 
+#include "common/check.h"
 #include "geom/convex_hull.h"
 
 namespace streamhull {
@@ -53,6 +54,30 @@ std::vector<ConvexPolygon> RegionPartitionedHull::Shape() const {
   }
   if (!outliers_->empty()) shape.push_back(outliers_->Polygon());
   return shape;
+}
+
+std::string RegionPartitionedHull::EncodeRegionView(size_t i) const {
+  SH_CHECK(i <= regions_.size());
+  const AdaptiveHull& hull =
+      i == regions_.size() ? *outliers_ : *hulls_[i];
+  if (hull.empty()) return std::string();
+  return EncodeSummaryView(hull);
+}
+
+Status RegionPartitionedHull::MergeDecodedView(size_t i,
+                                               const DecodedSummaryView& view) {
+  if (i > regions_.size()) {
+    return Status::OutOfRange("region index out of range");
+  }
+  if (view.samples.empty()) {
+    return Status::InvalidArgument("cannot merge an empty summary view");
+  }
+  AdaptiveHull& hull = i == regions_.size() ? *outliers_ : *hulls_[i];
+  std::vector<Point2> points;
+  points.reserve(view.samples.size());
+  for (const HullSample& s : view.samples) points.push_back(s.point);
+  total_ += hull.InsertDeduped(points);
+  return Status::OK();
 }
 
 ConvexPolygon RegionPartitionedHull::UnionHull() const {

@@ -13,14 +13,23 @@
 // multi-cluster stream is summarized without the single convex hull's
 // cavity-hiding behavior.
 
+// The scheme is also the natural unit of distribution: field nodes sharing
+// the partition each run their own RegionPartitionedHull, ship each
+// region's certified sandwich as a snapshot v2 message (EncodeRegionView),
+// and a sink with the same partition merges them region by region
+// (MergeDecodedView) — clusters stay separated end to end instead of being
+// blended by a single global merge.
+
 #ifndef STREAMHULL_MULTI_REGION_HULL_H_
 #define STREAMHULL_MULTI_REGION_HULL_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/adaptive_hull.h"
+#include "core/snapshot.h"
 #include "geom/convex_polygon.h"
 
 namespace streamhull {
@@ -62,6 +71,24 @@ class RegionPartitionedHull {
   /// \brief Hull of all region summaries combined — equals (within summary
   /// error) what a single AdaptiveHull over the whole stream would report.
   ConvexPolygon UnionHull() const;
+
+  /// \brief Index addressing the catch-all summary in the view APIs below
+  /// (regions are 0 .. num_regions()-1, the catch-all is num_regions()).
+  size_t OutlierIndex() const { return regions_.size(); }
+
+  /// \brief Snapshot v2 of the indexed summary's certified sandwich
+  /// (\p i up to and including OutlierIndex(); CHECK-fails beyond). An
+  /// empty summary returns an empty string — there is nothing to transmit.
+  std::string EncodeRegionView(size_t i) const;
+
+  /// \brief Merges a decoded v2 view from a peer node's matching region
+  /// into the indexed summary by inserting the view's sample points
+  /// (AdaptiveHull::MergeFrom semantics: the merged summary's error is at
+  /// most the producer's error_bound plus this summary's own bound).
+  /// Routing is NOT re-checked — the caller asserts the producer used the
+  /// same partition, exactly as the paper assumes a-priori region
+  /// knowledge. Fails on an out-of-range index or an empty view.
+  Status MergeDecodedView(size_t i, const DecodedSummaryView& view);
 
  private:
   RegionPartitionedHull(std::vector<ConvexPolygon> regions,

@@ -1,6 +1,7 @@
 #include "multi/stream_group.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace streamhull {
 
@@ -14,7 +15,34 @@ Status StreamGroup::AddStream(const std::string& name, EngineKind kind) {
     return Status::InvalidArgument("stream '" + name + "' already exists");
   }
   STREAMHULL_RETURN_IF_ERROR(options_.Validate(kind));
-  streams_.emplace(name, MakeEngine(kind, options_));
+  StreamEntry entry;
+  entry.engine = MakeEngine(kind, options_);
+  streams_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Status StreamGroup::AddRemoteStream(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty stream name");
+  if (streams_.count(name) > 0) {
+    return Status::InvalidArgument("stream '" + name + "' already exists");
+  }
+  streams_.emplace(name, StreamEntry{});  // No engine: a remote stream.
+  return Status::OK();
+}
+
+Status StreamGroup::UpdateRemoteStream(const std::string& name,
+                                       std::string_view v2_bytes) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::InvalidArgument("unknown stream '" + name + "'");
+  }
+  if (!it->second.remote()) {
+    return Status::FailedPrecondition("stream '" + name +
+                                      "' is local; feed it points instead");
+  }
+  DecodedSummaryView decoded;
+  STREAMHULL_RETURN_IF_ERROR(DecodeSummaryView(v2_bytes, &decoded));
+  it->second.remote_view = decoded.View();
   return Status::OK();
 }
 
@@ -23,7 +51,11 @@ Status StreamGroup::Insert(const std::string& name, Point2 p) {
   if (it == streams_.end()) {
     return Status::InvalidArgument("unknown stream '" + name + "'");
   }
-  it->second->Insert(p);
+  if (it->second.remote()) {
+    return Status::FailedPrecondition(
+        "stream '" + name + "' is remote; its points live on the producer");
+  }
+  it->second.engine->Insert(p);
   return Status::OK();
 }
 
@@ -33,49 +65,67 @@ Status StreamGroup::InsertBatch(const std::string& name,
   if (it == streams_.end()) {
     return Status::InvalidArgument("unknown stream '" + name + "'");
   }
-  it->second->InsertBatch(points);
+  if (it->second.remote()) {
+    return Status::FailedPrecondition(
+        "stream '" + name + "' is remote; its points live on the producer");
+  }
+  it->second.engine->InsertBatch(points);
   return Status::OK();
 }
 
 const HullEngine* StreamGroup::Hull(const std::string& name) const {
   auto it = streams_.find(name);
-  return it == streams_.end() ? nullptr : it->second.get();
+  return it == streams_.end() ? nullptr : it->second.engine.get();
+}
+
+bool StreamGroup::IsRemote(const std::string& name) const {
+  auto it = streams_.find(name);
+  return it != streams_.end() && it->second.remote();
 }
 
 Status StreamGroup::View(const std::string& name, SummaryView* out) const {
-  const HullEngine* engine = Hull(name);
-  if (engine == nullptr) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
     return Status::InvalidArgument("unknown stream '" + name + "'");
   }
-  *out = SummaryView(*engine);
+  *out = it->second.remote() ? it->second.remote_view
+                             : SummaryView(*it->second.engine);
   return Status::OK();
 }
 
 std::vector<std::string> StreamGroup::StreamNames() const {
   std::vector<std::string> names;
   names.reserve(streams_.size());
-  for (const auto& [name, hull] : streams_) names.push_back(name);
+  for (const auto& [name, entry] : streams_) names.push_back(name);
   return names;
 }
 
-HullEngine* StreamGroup::SealedHull(const std::string& name) {
+bool StreamGroup::MaterializeView(const std::string& name, SummaryView* out) {
   auto it = streams_.find(name);
-  if (it == streams_.end()) return nullptr;
-  it->second->Seal();
-  return it->second.get();
+  if (it == streams_.end()) return false;
+  if (it->second.remote()) {
+    *out = it->second.remote_view;
+    return true;
+  }
+  HullEngine& engine = *it->second.engine;
+  engine.Seal();
+  *out = engine.empty() ? SummaryView() : SummaryView(engine);
+  return true;
 }
 
 Status StreamGroup::Report(const std::string& a, const std::string& b,
                            PairReport* out) {
-  const HullEngine* ha = SealedHull(a);
-  const HullEngine* hb = SealedHull(b);
-  if (ha == nullptr) return Status::InvalidArgument("unknown stream '" + a + "'");
-  if (hb == nullptr) return Status::InvalidArgument("unknown stream '" + b + "'");
-  if (ha->empty() || hb->empty()) {
-    return Status::FailedPrecondition("both streams need at least one point");
+  SummaryView va, vb;
+  if (!MaterializeView(a, &va)) {
+    return Status::InvalidArgument("unknown stream '" + a + "'");
   }
-  const SummaryView va(*ha);
-  const SummaryView vb(*hb);
+  if (!MaterializeView(b, &vb)) {
+    return Status::InvalidArgument("unknown stream '" + b + "'");
+  }
+  if (va.empty() || vb.empty()) {
+    return Status::FailedPrecondition(
+        "both streams need at least one point (or one decoded view)");
+  }
   PairReport report;
   const CertifiedSeparationResult sep = CertifiedSeparation(va, vb);
   report.distance = sep.distance;
@@ -150,15 +200,11 @@ std::vector<PairEvent> StreamGroup::Poll() {
   std::map<std::string, SummaryView> views;
   auto view_of = [&](const std::string& name) -> const SummaryView* {
     auto [it, inserted] = views.try_emplace(name);
-    if (inserted) {
-      const HullEngine* engine = SealedHull(name);
-      if (engine == nullptr || engine->empty()) {
-        views.erase(it);
-        return nullptr;
-      }
-      it->second = SummaryView(*engine);
+    if (inserted && !MaterializeView(name, &it->second)) {
+      views.erase(it);
+      return nullptr;
     }
-    return &it->second;
+    return it->second.empty() ? nullptr : &it->second;
   };
   for (Watch& w : watches_) {
     // Only the three tri-state predicates feed the state machines; the

@@ -24,20 +24,38 @@
 // strategy per stream (a sensor feed might afford the adaptive engine while
 // a firehose runs uniform), and InsertBatch routes a whole chunk of points
 // through the engine's batched fast path in one call.
+//
+// Streams come in two flavors. A *local* stream wraps a live engine fed by
+// Insert/InsertBatch. A *remote* stream is the paper's distributed setting:
+// the points live on another node, which periodically ships its certified
+// sandwich as a snapshot v2 message (core/snapshot.h); the group holds only
+// the decoded view. Remote and local streams mix freely in watches and
+// reports — a sink holding nothing but decoded views still certifies
+// pairwise separation, containment, and overlap.
 
 #ifndef STREAMHULL_MULTI_STREAM_GROUP_H_
 #define STREAMHULL_MULTI_STREAM_GROUP_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "core/hull_engine.h"
+#include "core/snapshot.h"
 #include "queries/certified.h"
 #include "queries/queries.h"
+
+/// \file
+/// \brief Named multi-stream monitoring with certified tri-state transition
+/// events (§1, §6). Fallible operations return Status: InvalidArgument for
+/// unknown/duplicate names and malformed snapshot bytes, FailedPrecondition
+/// for operations on the wrong stream flavor (feeding a remote stream,
+/// updating a local one) or on streams with no data yet.
 
 namespace streamhull {
 
@@ -76,12 +94,14 @@ struct PairEvent {
   /// Which watched predicate a kCertaintyLost/Gained event refers to (the
   /// four transition kinds imply it).
   enum class Predicate {
-    kSeparability,
-    kContainment,
+    kSeparability,  ///< The "streams are linearly separable" predicate.
+    kContainment,   ///< The "`first` is contained in `second`" predicate.
   };
-  Kind kind;
+  Kind kind;  ///< The detected transition.
+  /// The predicate a kCertaintyLost/Gained refers to.
   Predicate predicate = Predicate::kSeparability;
-  std::string first, second;
+  std::string first;        ///< First stream of the watched pair.
+  std::string second;       ///< Second stream of the watched pair.
   uint64_t poll_index = 0;  ///< Which Poll() call surfaced the event.
 };
 
@@ -99,25 +119,44 @@ class StreamGroup {
   explicit StreamGroup(const AdaptiveHullOptions& options)
       : StreamGroup(EngineOptions{.hull = options}) {}
 
-  /// Registers a new stream running the group's default engine kind. Fails
-  /// if the name already exists or options are invalid.
+  /// Registers a new local stream running the group's default engine kind.
+  /// Fails if the name already exists or options are invalid.
   Status AddStream(const std::string& name);
 
-  /// Registers a new stream running the given engine kind.
+  /// Registers a new local stream running the given engine kind.
   Status AddStream(const std::string& name, EngineKind kind);
 
-  /// Feeds one point to the named stream. Fails on unknown names.
+  /// \brief Registers a remote stream: no engine runs here, the stream's
+  /// certified sandwich arrives as snapshot v2 messages via
+  /// UpdateRemoteStream. Until the first update the stream is empty
+  /// (watches hold their baseline, Report fails its non-empty
+  /// precondition). Fails if the name already exists.
+  Status AddRemoteStream(const std::string& name);
+
+  /// \brief Decodes a snapshot v2 message and installs it as the named
+  /// remote stream's current view. Fails on unknown or local names and on
+  /// malformed bytes (the previous view is kept on failure).
+  Status UpdateRemoteStream(const std::string& name,
+                            std::string_view v2_bytes);
+
+  /// Feeds one point to the named stream. Fails on unknown names and on
+  /// remote streams (their points live on the producer).
   Status Insert(const std::string& name, Point2 p);
 
   /// \brief Feeds a batch of points to the named stream through the
   /// engine's batched fast path. Equivalent to (but faster than) inserting
-  /// the points one at a time. Fails on unknown names.
+  /// the points one at a time. Fails on unknown names and remote streams.
   Status InsertBatch(const std::string& name, std::span<const Point2> points);
 
-  /// The named stream's engine, or nullptr if unknown.
+  /// The named stream's engine, or nullptr if unknown — remote streams
+  /// included: they have no engine, only a view.
   const HullEngine* Hull(const std::string& name) const;
 
-  /// The named stream's inner/outer sandwich for ad-hoc certified queries.
+  /// True iff the named stream exists and is remote.
+  bool IsRemote(const std::string& name) const;
+
+  /// The named stream's inner/outer sandwich for ad-hoc certified queries
+  /// (local: built from the live engine; remote: the last decoded view).
   /// Fails on unknown names.
   Status View(const std::string& name, SummaryView* out) const;
 
@@ -125,8 +164,9 @@ class StreamGroup {
   std::vector<std::string> StreamNames() const;
 
   /// \brief Computes the current certified relationship of two streams.
-  /// Fails on unknown names; both summaries must have received at least
-  /// one point. Non-const: it seals both engines first so deferred-cache
+  /// Fails on unknown names; both summaries must be non-empty (a local
+  /// stream needs at least one point, a remote one at least one decoded
+  /// view). Non-const: it seals local engines first so deferred-cache
   /// engines (static-adaptive) serve the whole report from one rebuild.
   Status Report(const std::string& a, const std::string& b, PairReport* out);
 
@@ -153,19 +193,30 @@ class StreamGroup {
     PredicateState b_in_a{false};  ///< "b contained in a".
   };
 
+  /// One registered stream: a live engine (local) or the last decoded
+  /// snapshot v2 sandwich (remote; engine stays null — remoteness is
+  /// derived from that, so the two flavors cannot get out of sync).
+  struct StreamEntry {
+    std::unique_ptr<HullEngine> engine;
+    SummaryView remote_view;
+    bool remote() const { return engine == nullptr; }
+  };
+
   /// Advances one predicate's state machine and appends any event.
   void StepPredicate(PredicateState* state, Certainty now,
                      PairEvent::Predicate predicate, bool is_separability,
                      const std::string& first, const std::string& second,
                      uint64_t poll_index, std::vector<PairEvent>* events);
 
-  /// Seals the named engine (no-op for most kinds) and returns it, or
-  /// nullptr if unknown.
-  HullEngine* SealedHull(const std::string& name);
+  /// \brief Materializes the named stream's current sandwich into \p out,
+  /// sealing a local engine first (no-op for most kinds). A stream with no
+  /// points / no decoded view yet yields an empty sandwich. Returns false
+  /// for unknown names.
+  bool MaterializeView(const std::string& name, SummaryView* out);
 
   EngineOptions options_;
   EngineKind default_kind_;
-  std::map<std::string, std::unique_ptr<HullEngine>> streams_;
+  std::map<std::string, StreamEntry> streams_;
   std::vector<Watch> watches_;
   uint64_t polls_ = 0;
 };

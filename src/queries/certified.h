@@ -35,13 +35,20 @@
 #include "geom/point.h"
 #include "queries/queries.h"
 
+/// \file
+/// \brief Certified extremal queries over hull summaries (§6): interval
+/// answers guaranteed to contain the exact value on the true stream hull.
+/// All functions here are infallible on any (possibly degenerate) input —
+/// empty or single-point views yield zero-width/degenerate answers, never
+/// errors.
+
 namespace streamhull {
 
 /// \brief A closed interval [lo, hi] certified to contain the exact value
 /// of a query on the true stream hull.
 struct Interval {
-  double lo = 0;
-  double hi = 0;
+  double lo = 0;  ///< Certified lower bound.
+  double hi = 0;  ///< Certified upper bound.
 
   /// The uncertainty of the answer (hi - lo).
   double Width() const { return hi - lo; }
@@ -55,9 +62,9 @@ struct Interval {
 /// certified false, or undecidable from the summary (the answer depends on
 /// where the true hull sits inside the uncertainty band).
 enum class Certainty {
-  kFalse,
-  kUnknown,
-  kTrue,
+  kFalse,    ///< Certified false for the true hulls.
+  kUnknown,  ///< Undecidable from the summaries' uncertainty bands.
+  kTrue,     ///< Certified true for the true hulls.
 };
 
 /// Stable name for a Certainty ("false", "unknown", "true").
@@ -73,6 +80,7 @@ const char* CertaintyName(Certainty c);
 /// constructor).
 class SummaryView {
  public:
+  /// An empty view (no stream data yet): both polygons empty.
   SummaryView() = default;
 
   /// Snapshot of an engine's sandwich: inner = Polygon(),
@@ -165,9 +173,11 @@ struct CertifiedSeparationResult {
   /// outer hulls have positive gap, kFalse when already the inner hulls
   /// touch, kUnknown while the distance interval straddles zero.
   Certainty separable = Certainty::kUnknown;
-  /// Closest pair of the two inner hulls (actual sample points); realizes
-  /// distance.hi.
-  Point2 a, b;
+  /// Closest-pair endpoint on the first inner hull (an actual sample
+  /// point); (a, b) realizes distance.hi.
+  Point2 a;
+  /// Closest-pair endpoint on the second inner hull.
+  Point2 b;
   /// When separable == kTrue: a separating line computed from the outer
   /// hulls, valid for the true hulls with margin >= distance.lo. When
   /// separable == kFalse: certificate.witness is a point common to both

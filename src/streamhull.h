@@ -6,7 +6,9 @@
 //
 //   core/hull_engine.h      HullEngine, EngineKind, MakeEngine — the
 //                           streaming summary behind a strategy enum
-//   core/snapshot.h         wire-format encode/decode + merge of summaries
+//   core/snapshot.h         the v1/v2 snapshot wire formats: v2 ships any
+//                           engine's certified sandwich so a sink answers
+//                           certified queries off decoded views alone
 //   geom/convex_polygon.h   the polygon value type summaries materialize
 //   queries/queries.h       raw extremal queries over one polygon
 //   queries/certified.h     interval-valued certified queries over the
@@ -21,6 +23,10 @@
 // code should prefer the certified query layer — the raw queries in
 // queries/queries.h answer about the sampled polygon only, dropping the
 // O(D/r^2) error bound the paper promises.
+
+/// \file
+/// \brief The stable public API, in one include. See the file's top comment
+/// for the layer map; prefer the certified query layer for new code.
 
 #ifndef STREAMHULL_STREAMHULL_H_
 #define STREAMHULL_STREAMHULL_H_

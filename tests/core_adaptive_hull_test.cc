@@ -156,6 +156,69 @@ TEST(AdaptiveHullTest, InvariantLemma53) {
   }
 }
 
+TEST(AdaptiveHullTest, PerDirectionSlacksCertifyTheStream) {
+  // The tightened per-direction slacks (captured at activation time, not
+  // recomputed from the final P) must still satisfy the Lemma 5.3
+  // containment: every stream point within SampleSlacks()[i] of sample i's
+  // supporting line. The drift walk grows P long after early activations,
+  // which is exactly the case the capture tightens.
+  DriftWalkGenerator gen(12);
+  AdaptiveHull h(Opts(16));
+  std::vector<Point2> all;
+  for (int i = 0; i < 3000; ++i) {
+    const Point2 p = gen.Next();
+    h.Insert(p);
+    all.push_back(p);
+    if (i % 500 != 499) continue;
+    const auto samples = h.Samples();
+    const auto slacks = h.SampleSlacks();
+    ASSERT_EQ(slacks.size(), samples.size());
+    for (size_t k = 0; k < samples.size(); ++k) {
+      // Never looser than the per-level formula; zero for uniform.
+      ASSERT_LE(slacks[k],
+                h.OffsetForLevel(samples[k].direction.level()) + 1e-12);
+      if (samples[k].direction.IsUniform()) {
+        ASSERT_EQ(slacks[k], 0.0);
+      }
+      const Point2 u = samples[k].direction.ToVector();
+      const double bound = Dot(samples[k].point, u) + slacks[k];
+      for (const Point2& q : all) {
+        ASSERT_LE(Dot(q, u), bound + 1e-9)
+            << "i=" << i << " dir " << samples[k].direction;
+      }
+    }
+  }
+}
+
+TEST(AdaptiveHullTest, SlackCaptureTightensLongDriftingSummaries) {
+  // After a long drift (P grows ~monotonically), directions activated early
+  // keep their small activation-time offsets, so the summed slack — and
+  // with it OuterPolygon's inflation — is strictly below what the final-P
+  // per-level formula would charge.
+  DriftWalkGenerator gen(13);
+  AdaptiveHull h(Opts(16));
+  for (int i = 0; i < 20000; ++i) h.Insert(gen.Next());
+  const auto samples = h.Samples();
+  const auto slacks = h.SampleSlacks();
+  double tightened = 0, per_level = 0;
+  for (size_t k = 0; k < samples.size(); ++k) {
+    tightened += slacks[k];
+    per_level += h.OffsetForLevel(samples[k].direction.level());
+  }
+  ASSERT_GT(per_level, 0.0);
+  EXPECT_LE(tightened, per_level);
+  EXPECT_LT(tightened, 0.9 * per_level)
+      << "activation-time capture should visibly tighten a drift walk";
+  // And the tightened outer polygon is correspondingly no larger.
+  const double outer_area = h.OuterPolygon().Area();
+  std::vector<double> naive(samples.size());
+  for (size_t k = 0; k < samples.size(); ++k) {
+    naive[k] = h.OffsetForLevel(samples[k].direction.level());
+  }
+  const double naive_area = SupportIntersection(samples, naive).Area();
+  EXPECT_LE(outer_area, naive_area + 1e-9);
+}
+
 TEST(AdaptiveHullTest, ApproxHullVerticesAreStreamPoints) {
   SquareGenerator gen(21, 0.4);
   AdaptiveHull h(Opts(16));

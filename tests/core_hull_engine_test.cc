@@ -244,6 +244,63 @@ TEST(HullEngineTest, OuterPolygonSandwichesTheStream) {
   }
 }
 
+// SampleSlacks is the wire-facing form of the outer-hull guarantee: for
+// every engine kind, every stream point must respect every sample's relaxed
+// supporting half-plane, and the slack vector must align with Samples().
+TEST(HullEngineTest, SampleSlacksCertifyEveryStreamPoint) {
+  const auto streams = TestStreams(2000);
+  for (const NamedStream& stream : streams) {
+    for (EngineKind kind : AllEngineKinds()) {
+      auto engine = MakeEngine(kind, Opts());
+      engine->InsertBatch(stream.points);
+      const auto samples = engine->Samples();
+      // Empty means all-zero (the documented default for exact-extrema
+      // engines); otherwise the vector aligns with Samples().
+      const auto slacks = engine->SampleSlacks();
+      const std::string context =
+          std::string(EngineKindName(kind)) + "/" + stream.name;
+      ASSERT_TRUE(slacks.empty() || slacks.size() == samples.size())
+          << context;
+      double scale = 1.0;
+      for (const Point2& p : stream.points) {
+        scale = std::max(scale, std::abs(p.x) + std::abs(p.y));
+      }
+      for (size_t i = 0; i < samples.size(); ++i) {
+        const double slack = slacks.empty() ? 0.0 : slacks[i];
+        ASSERT_GE(slack, 0.0) << context;
+        const Point2 u = samples[i].direction.ToVector();
+        const double bound = Dot(samples[i].point, u) + slack;
+        for (const Point2& p : stream.points) {
+          ASSERT_LE(Dot(p, u), bound + 1e-9 * scale)
+              << context << " sample " << i;
+        }
+      }
+    }
+  }
+}
+
+// The partially adaptive engine's post-freeze honesty: after the freeze its
+// OuterPolygon still relaxes half-planes by the Lemma 5.3 offsets, so the
+// reported ErrorBound must dominate every one of those offsets — triangle
+// heights alone can under-report on a post-freeze distribution shift.
+TEST(HullEngineTest, PartiallyAdaptiveErrorBoundCoversSlacks) {
+  EngineOptions o = Opts();
+  o.training_points = 500;
+  auto engine = MakeEngine(EngineKind::kPartiallyAdaptive, o);
+  // Train on a small disk, then shift to a drifting walk that inflates P
+  // far beyond anything the frozen directions were tuned to.
+  engine->InsertBatch(DiskGenerator(91, 0.5).Take(500));
+  DriftWalkGenerator drift(92);
+  for (int i = 0; i < 10000; ++i) engine->Insert(drift.Next() * 4.0);
+
+  const double bound = engine->ErrorBound();
+  double max_slack = 0;
+  for (double s : engine->SampleSlacks()) max_slack = std::max(max_slack, s);
+  EXPECT_GE(bound, max_slack) << "ErrorBound must cover what OuterPolygon "
+                                 "relaxes by";
+  EXPECT_GE(bound, MaxTriangleHeight(engine->Triangles()));
+}
+
 TEST(HullEngineTest, OuterPolygonOfEmptyEngineIsEmpty) {
   for (EngineKind kind : AllEngineKinds()) {
     auto engine = MakeEngine(kind, Opts());

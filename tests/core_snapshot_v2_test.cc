@@ -1,0 +1,371 @@
+// Snapshot wire-format compatibility tests: pinned golden byte strings for
+// v1 and v2 (the layouts specified in DESIGN.md, "Wire format"), lossless
+// v2 round-trips for every engine kind and r, validation of truncated and
+// corrupted input (always a Status, never UB — the suite runs under ASan
+// in CI), and cross-version behavior.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/snapshot.h"
+#include "core/static_adaptive.h"
+#include "queries/certified.h"
+#include "stream/generators.h"
+
+namespace streamhull {
+namespace {
+
+EngineOptions Opts(uint32_t r) {
+  EngineOptions o;
+  o.hull.r = r;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Golden bytes: an r=8 adaptive summary that has seen exactly one point
+// (1.5, -2.25). Pinned against the byte layouts in DESIGN.md; if these
+// tests break, the wire format changed and the version must be bumped.
+// ---------------------------------------------------------------------------
+
+// v1: 32-byte header + 8 samples * 28 bytes = 256 bytes.
+const char kGoldenV1[] =
+    "\x31\x4c\x48\x53\x01\x00\x00\x00\x08\x00\x00\x00"
+    "\x08\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\xf8\x3f\x00\x00\x00\x00\x00\x00\x02\xc0"
+    "\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\xf8\x3f\x00\x00\x00\x00"
+    "\x00\x00\x02\xc0\x02\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\xf8\x3f"
+    "\x00\x00\x00\x00\x00\x00\x02\xc0\x03\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\xf8\x3f\x00\x00\x00\x00\x00\x00\x02\xc0"
+    "\x04\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\xf8\x3f\x00\x00\x00\x00"
+    "\x00\x00\x02\xc0\x05\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\xf8\x3f"
+    "\x00\x00\x00\x00\x00\x00\x02\xc0\x06\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\xf8\x3f\x00\x00\x00\x00\x00\x00\x02\xc0"
+    "\x07\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\xf8\x3f\x00\x00\x00\x00"
+    "\x00\x00\x02\xc0";
+
+// v2: 48-byte header + 8 samples * 36 bytes = 336 bytes (kind 1 =
+// adaptive, flags 0, error bound 0 because P is still 0).
+const char kGoldenV2[] =
+    "\x32\x4c\x48\x53\x02\x00\x00\x00\x01\x00\x00\x00"
+    "\x08\x00\x00\x00\x08\x00\x00\x00\x00\x00\x00\x00"
+    "\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\xf8\x3f\x00\x00\x00\x00"
+    "\x00\x00\x02\xc0\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\xf8\x3f\x00\x00\x00\x00"
+    "\x00\x00\x02\xc0\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x02\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\xf8\x3f\x00\x00\x00\x00"
+    "\x00\x00\x02\xc0\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x03\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\xf8\x3f\x00\x00\x00\x00"
+    "\x00\x00\x02\xc0\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x04\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\xf8\x3f\x00\x00\x00\x00"
+    "\x00\x00\x02\xc0\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x05\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\xf8\x3f\x00\x00\x00\x00"
+    "\x00\x00\x02\xc0\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x06\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\xf8\x3f\x00\x00\x00\x00"
+    "\x00\x00\x02\xc0\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x07\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+    "\x00\x00\x00\x00\x00\x00\xf8\x3f\x00\x00\x00\x00"
+    "\x00\x00\x02\xc0\x00\x00\x00\x00\x00\x00\x00\x00";
+
+std::string_view GoldenV1() { return {kGoldenV1, sizeof(kGoldenV1) - 1}; }
+std::string_view GoldenV2() { return {kGoldenV2, sizeof(kGoldenV2) - 1}; }
+
+std::unique_ptr<AdaptiveHull> GoldenProducer() {
+  AdaptiveHullOptions o;
+  o.r = 8;
+  auto h = std::make_unique<AdaptiveHull>(o);
+  h->Insert({1.5, -2.25});
+  return h;
+}
+
+TEST(SnapshotGoldenTest, V1GoldenBytesDecode) {
+  HullSnapshot snap;
+  ASSERT_TRUE(DecodeSnapshot(GoldenV1(), &snap).ok());
+  EXPECT_EQ(snap.r, 8u);
+  EXPECT_EQ(snap.num_points, 1u);
+  EXPECT_DOUBLE_EQ(snap.perimeter, 0.0);
+  ASSERT_EQ(snap.samples.size(), 8u);
+  for (size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(snap.samples[j].direction, Direction::Uniform(j, 8));
+    EXPECT_EQ(snap.samples[j].point, (Point2{1.5, -2.25}));
+  }
+}
+
+TEST(SnapshotGoldenTest, V1EncoderStillEmitsGoldenBytes) {
+  EXPECT_EQ(EncodeSnapshot(*GoldenProducer()), GoldenV1());
+}
+
+TEST(SnapshotGoldenTest, V2GoldenBytesDecode) {
+  DecodedSummaryView view;
+  ASSERT_TRUE(DecodeSummaryView(GoldenV2(), &view).ok());
+  EXPECT_EQ(view.kind, EngineKind::kAdaptive);
+  EXPECT_EQ(view.r, 8u);
+  EXPECT_EQ(view.num_points, 1u);
+  EXPECT_DOUBLE_EQ(view.perimeter, 0.0);
+  EXPECT_DOUBLE_EQ(view.error_bound, 0.0);
+  ASSERT_EQ(view.samples.size(), 8u);
+  ASSERT_EQ(view.slacks.size(), 8u);
+  for (size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(view.samples[j].direction, Direction::Uniform(j, 8));
+    EXPECT_DOUBLE_EQ(view.slacks[j], 0.0);
+  }
+  EXPECT_EQ(view.Inner().size(), 1u);
+}
+
+TEST(SnapshotGoldenTest, V2EncoderStillEmitsGoldenBytes) {
+  EXPECT_EQ(EncodeSummaryView(*GoldenProducer()), GoldenV2());
+}
+
+// ---------------------------------------------------------------------------
+// v2 round-trips: lossless for every engine kind and r.
+// ---------------------------------------------------------------------------
+
+class SnapshotV2RoundTripTest
+    : public ::testing::TestWithParam<std::tuple<EngineKind, uint32_t>> {};
+
+TEST_P(SnapshotV2RoundTripTest, RoundTripIsLossless) {
+  const auto [kind, r] = GetParam();
+  auto engine = MakeEngine(kind, Opts(r));
+  EllipseGenerator gen(41, 16.0, 0.2);
+  engine->InsertBatch(gen.Take(3000));
+  engine->Seal();
+
+  const std::string wire = engine->EncodeView();
+  EXPECT_EQ(SnapshotVersion(wire), 2u);
+  DecodedSummaryView view;
+  ASSERT_TRUE(DecodeSummaryView(wire, &view).ok());
+
+  // Metadata survives exactly.
+  EXPECT_EQ(view.kind, kind);
+  EXPECT_EQ(view.r, r);
+  EXPECT_EQ(view.num_points, engine->num_points());
+  EXPECT_DOUBLE_EQ(view.perimeter, engine->EffectivePerimeter());
+  EXPECT_DOUBLE_EQ(view.error_bound, engine->ErrorBound());
+
+  // Samples and slacks survive bit-for-bit (an empty producer slack
+  // vector means all-zero and decodes as explicit zeros).
+  const auto samples = engine->Samples();
+  const auto slacks = engine->SampleSlacks();
+  ASSERT_EQ(view.samples.size(), samples.size());
+  ASSERT_EQ(view.slacks.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(view.samples[i].direction, samples[i].direction);
+    EXPECT_EQ(view.samples[i].point, samples[i].point);
+    EXPECT_DOUBLE_EQ(view.slacks[i], slacks.empty() ? 0.0 : slacks[i]);
+  }
+
+  // The reconstructed sandwich is vertex-for-vertex the producer's. The
+  // inner polygon may start at a different vertex (the producer's vertex
+  // list starts at its internal run structure's smallest key, which the
+  // wire does not carry), so compare up to cyclic rotation.
+  const ConvexPolygon inner = view.Inner(), outer = view.Outer();
+  const ConvexPolygon p_inner = engine->Polygon(),
+                      p_outer = engine->OuterPolygon();
+  ASSERT_EQ(inner.size(), p_inner.size());
+  size_t start = p_inner.size();
+  for (size_t i = 0; i < p_inner.size(); ++i) {
+    if (p_inner[i] == inner[0]) {
+      start = i;
+      break;
+    }
+  }
+  ASSERT_LT(start, p_inner.size()) << "decoded inner vertex not a producer "
+                                      "polygon vertex";
+  for (size_t i = 0; i < inner.size(); ++i) {
+    EXPECT_EQ(inner[i], p_inner.At(start + i));
+  }
+  ASSERT_EQ(outer.size(), p_outer.size());
+  for (size_t i = 0; i < outer.size(); ++i) {
+    EXPECT_EQ(outer[i], p_outer[i]);
+  }
+
+  // Re-encoding the decoded view's fields is byte-identical (the format
+  // has one canonical serialization).
+  const std::string wire2 = engine->EncodeView();
+  EXPECT_EQ(wire, wire2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SnapshotV2RoundTripTest,
+    ::testing::Combine(::testing::ValuesIn(std::vector<EngineKind>(
+                           AllEngineKinds().begin(), AllEngineKinds().end())),
+                       ::testing::Values(8u, 32u, 128u)));
+
+// ---------------------------------------------------------------------------
+// Validation: every malformed input is rejected with a Status.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotV2ValidationTest, RejectsTruncationsAndCorruption) {
+  auto engine = MakeEngine(EngineKind::kAdaptive, Opts(16));
+  DiskGenerator gen(42);
+  engine->InsertBatch(gen.Take(2000));
+  const std::string good = engine->EncodeView();
+  DecodedSummaryView view;
+  ASSERT_TRUE(DecodeSummaryView(good, &view).ok());
+
+  EXPECT_FALSE(DecodeSummaryView("", &view).ok());
+  EXPECT_FALSE(DecodeSummaryView("garbage", &view).ok());
+  // Truncations at every prefix length fail cleanly.
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeSummaryView(std::string_view(good.data(), len), &view).ok())
+        << "prefix " << len;
+  }
+  // Trailing bytes.
+  EXPECT_FALSE(DecodeSummaryView(good + "x", &view).ok());
+
+  auto corrupt = [&](size_t offset, char value) {
+    std::string bad = good;
+    bad[offset] = value;
+    return DecodeSummaryView(bad, &view);
+  };
+  EXPECT_FALSE(corrupt(0, '\x00').ok());   // Magic.
+  EXPECT_FALSE(corrupt(4, '\x03').ok());   // Version.
+  EXPECT_FALSE(corrupt(8, '\x07').ok());   // Kind code.
+  EXPECT_FALSE(corrupt(12, '\x01').ok());  // r = 1 < 8.
+  EXPECT_FALSE(corrupt(16, '\x00').ok());  // Sample count 0 (mod 256 trick
+                                           // fails decode either way: count
+                                           // changes => truncated records).
+  EXPECT_FALSE(corrupt(20, '\x01').ok());  // Reserved flags.
+  // num_points = 0.
+  {
+    std::string bad = good;
+    std::memset(bad.data() + 24, 0, 8);
+    EXPECT_FALSE(DecodeSummaryView(bad, &view).ok());
+  }
+  // Non-finite perimeter / error bound / slack, negative slack.
+  const char kNaN[] = "\x00\x00\x00\x00\x00\x00\xf8\x7f";
+  auto patch8 = [&](size_t offset, const char* bytes) {
+    std::string bad = good;
+    std::memcpy(bad.data() + offset, bytes, 8);
+    return DecodeSummaryView(bad, &view);
+  };
+  EXPECT_FALSE(patch8(32, kNaN).ok());  // Perimeter.
+  EXPECT_FALSE(patch8(40, kNaN).ok());  // Error bound.
+  const size_t first_slack = 48 + 28;   // First record's slack field.
+  EXPECT_FALSE(patch8(first_slack, kNaN).ok());
+  const char kMinusOne[] = "\x00\x00\x00\x00\x00\x00\xf0\xbf";
+  EXPECT_FALSE(patch8(first_slack, kMinusOne).ok());
+  // Non-canonical direction: give the first record (a uniform direction,
+  // num 0 level 0) a level of 1 while keeping num even.
+  {
+    std::string bad = good;
+    bad[48 + 8] = '\x01';
+    EXPECT_FALSE(DecodeSummaryView(bad, &view).ok());
+  }
+
+  // The original still decodes after all that probing.
+  EXPECT_TRUE(DecodeSummaryView(good, &view).ok());
+}
+
+TEST(SnapshotV2ValidationTest, HugeCountHeaderIsRejectedBySizeCheck) {
+  // A crafted header claiming the maximum sample count on a tiny message
+  // must be rejected by the up-front size check, not by attempting (and
+  // allocating for) the decode. Exercises both versions; hand-builds just
+  // the headers with count = 4*2^20 + 4.
+  auto put_u32 = [](std::string* s, uint32_t v) {
+    s->append(reinterpret_cast<const char*>(&v), 4);
+  };
+  std::string v2;
+  put_u32(&v2, 0x53484c32);
+  put_u32(&v2, 2);
+  put_u32(&v2, 1);           // Kind: adaptive.
+  put_u32(&v2, 1u << 20);    // r.
+  put_u32(&v2, (4u << 20) + 4);  // count: maximal.
+  put_u32(&v2, 0);           // Flags.
+  v2.append(24, '\0');       // num_points=0 would also reject; size first.
+  DecodedSummaryView view;
+  EXPECT_FALSE(DecodeSummaryView(v2, &view).ok());
+
+  std::string v1;
+  put_u32(&v1, 0x53484c31);
+  put_u32(&v1, 1);
+  put_u32(&v1, 1u << 20);
+  put_u32(&v1, (4u << 20) + 4);
+  v1.append(16, '\0');
+  HullSnapshot snap;
+  EXPECT_FALSE(DecodeSnapshot(v1, &snap).ok());
+}
+
+TEST(SnapshotV2ValidationTest, EmptyEngineEncodesButIsRejected) {
+  auto engine = MakeEngine(EngineKind::kUniform, Opts(8));
+  DecodedSummaryView view;
+  EXPECT_FALSE(DecodeSummaryView(engine->EncodeView(), &view).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-version behavior.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotCrossVersionTest, VersionsAreMutuallyExclusive) {
+  AdaptiveHullOptions o;
+  o.r = 16;
+  AdaptiveHull h(o);
+  DiskGenerator gen(43);
+  for (int i = 0; i < 1000; ++i) h.Insert(gen.Next());
+
+  const std::string v1 = EncodeSnapshot(h);
+  const std::string v2 = h.EncodeView();
+  EXPECT_EQ(SnapshotVersion(v1), 1u);
+  EXPECT_EQ(SnapshotVersion(v2), 2u);
+  EXPECT_EQ(SnapshotVersion("zz"), 0u);
+  EXPECT_EQ(SnapshotVersion(""), 0u);
+
+  HullSnapshot snap;
+  DecodedSummaryView view;
+  EXPECT_FALSE(DecodeSnapshot(v2, &snap).ok());
+  EXPECT_FALSE(DecodeSummaryView(v1, &view).ok());
+  EXPECT_TRUE(DecodeSnapshot(v1, &snap).ok());
+  EXPECT_TRUE(DecodeSummaryView(v2, &view).ok());
+
+  // The two versions agree on what they both carry.
+  ASSERT_EQ(snap.samples.size(), view.samples.size());
+  for (size_t i = 0; i < snap.samples.size(); ++i) {
+    EXPECT_EQ(snap.samples[i].direction, view.samples[i].direction);
+    EXPECT_EQ(snap.samples[i].point, view.samples[i].point);
+  }
+  EXPECT_EQ(snap.num_points, view.num_points);
+  EXPECT_DOUBLE_EQ(snap.perimeter, view.perimeter);
+}
+
+// InvariantOffset is the spec-level mirror of AdaptiveHull::OffsetForLevel:
+// a third-party v1 decoder computes its certification slack from it, so the
+// two must never drift.
+TEST(SnapshotCrossVersionTest, InvariantOffsetMatchesEngineFormula) {
+  AdaptiveHullOptions o;
+  o.r = 32;
+  AdaptiveHull h(o);
+  EllipseGenerator gen(44, 8.0, 0.4);
+  for (int i = 0; i < 4000; ++i) h.Insert(gen.Next());
+  ASSERT_GT(h.perimeter(), 0.0);
+  for (uint32_t level = 0; level <= 10; ++level) {
+    EXPECT_DOUBLE_EQ(InvariantOffset(h.perimeter(), h.r(), level),
+                     h.OffsetForLevel(level))
+        << "level " << level;
+  }
+}
+
+}  // namespace
+}  // namespace streamhull

@@ -325,5 +325,128 @@ TEST(RegionHullTest, PerRegionSummariesAreConsistent) {
   EXPECT_TRUE(rp->OutlierHull().CheckConsistency().ok());
 }
 
+// ---------------------------------------------------------------------------
+// Remote streams: snapshot v2 views in place of live engines.
+// ---------------------------------------------------------------------------
+
+TEST(StreamGroupRemoteTest, RemoteStreamLifecycle) {
+  StreamGroup group(Opts());
+  ASSERT_TRUE(group.AddRemoteStream("remote").ok());
+  EXPECT_FALSE(group.AddRemoteStream("remote").ok());  // Duplicate.
+  EXPECT_FALSE(group.AddStream("remote").ok());        // Name taken.
+  EXPECT_TRUE(group.IsRemote("remote"));
+  EXPECT_FALSE(group.IsRemote("zzz"));
+  // No engine backs a remote stream, and it accepts no points.
+  EXPECT_EQ(group.Hull("remote"), nullptr);
+  EXPECT_FALSE(group.Insert("remote", {1, 2}).ok());
+  const Point2 pts[] = {{1, 2}};
+  EXPECT_FALSE(group.InsertBatch("remote", pts).ok());
+  // Updates only apply to remote streams, with valid bytes.
+  ASSERT_TRUE(group.AddStream("local").ok());
+  EXPECT_FALSE(group.UpdateRemoteStream("local", "whatever").ok());
+  EXPECT_FALSE(group.UpdateRemoteStream("remote", "garbage").ok());
+  EXPECT_FALSE(group.UpdateRemoteStream("zzz", "garbage").ok());
+  // Before the first update the view is empty; Report refuses.
+  ASSERT_TRUE(group.Insert("local", {0, 0}).ok());
+  PairReport report;
+  EXPECT_FALSE(group.Report("remote", "local", &report).ok());
+}
+
+TEST(StreamGroupRemoteTest, SinkCertifiesPairsFromDecodedViewsAlone) {
+  // Two producers on other "nodes" ship v2; the sink holds decoded views
+  // only, plus one local stream, and certifies all pairings.
+  EngineOptions opts;
+  opts.hull.r = 32;
+  auto producer_a = MakeEngine(EngineKind::kAdaptive, opts);
+  auto producer_b = MakeEngine(EngineKind::kUniform, opts);
+  producer_a->InsertBatch(DiskGenerator(71, 1.0, {0, 0}).Take(2000));
+  producer_b->InsertBatch(DiskGenerator(72, 1.0, {8, 0}).Take(2000));
+
+  StreamGroup sink(Opts(32));
+  ASSERT_TRUE(sink.AddRemoteStream("a").ok());
+  ASSERT_TRUE(sink.AddRemoteStream("b").ok());
+  ASSERT_TRUE(sink.AddStream("c").ok());
+  ASSERT_TRUE(sink.UpdateRemoteStream("a", producer_a->EncodeView()).ok());
+  ASSERT_TRUE(sink.UpdateRemoteStream("b", producer_b->EncodeView()).ok());
+  const auto pts_c = DiskGenerator(73, 1.0, {0.2, 0}).Take(2000);
+  ASSERT_TRUE(sink.InsertBatch("c", pts_c).ok());
+
+  PairReport ab, ac;
+  ASSERT_TRUE(sink.Report("a", "b", &ab).ok());
+  EXPECT_EQ(ab.separable, Certainty::kTrue);  // Disks 8 apart.
+  EXPECT_GT(ab.distance.lo, 4.0);
+  ASSERT_TRUE(sink.Report("a", "c", &ac).ok());
+  EXPECT_EQ(ac.separable, Certainty::kFalse);  // Same disk: inners overlap.
+
+  // Watches mix remote and local streams; a remote update moves events.
+  ASSERT_TRUE(sink.WatchPair("a", "b").ok());
+  (void)sink.Poll();  // Baseline: separable.
+  auto producer_b2 = MakeEngine(EngineKind::kAdaptive, opts);
+  producer_b2->InsertBatch(DiskGenerator(74, 1.0, {0.3, 0.1}).Take(2000));
+  ASSERT_TRUE(sink.UpdateRemoteStream("b", producer_b2->EncodeView()).ok());
+  bool lost = false;
+  for (const PairEvent& e : sink.Poll()) {
+    if (e.kind == PairEvent::Kind::kSeparabilityLost) lost = true;
+  }
+  EXPECT_TRUE(lost) << "remote view update must drive certified events";
+}
+
+// ---------------------------------------------------------------------------
+// Region-partitioned distribution: per-region v2 emit + merge.
+// ---------------------------------------------------------------------------
+
+TEST(RegionHullTest, EmitAndMergeViewsAcrossNodes) {
+  const std::vector<ConvexPolygon> partition = {
+      ConvexPolygon({{-20, -20}, {0, -20}, {0, 20}, {-20, 20}}),
+      ConvexPolygon({{1, -20}, {20, -20}, {20, 20}, {1, 20}})};
+  Status st;
+  auto node1 = RegionPartitionedHull::Create(partition, Opts(), &st);
+  ASSERT_TRUE(st.ok());
+  auto node2 = RegionPartitionedHull::Create(partition, Opts(), &st);
+  ASSERT_TRUE(st.ok());
+  auto sink = RegionPartitionedHull::Create(partition, Opts(), &st);
+  ASSERT_TRUE(st.ok());
+
+  DiskGenerator left1(81, 2.0, {-10, 0}), right1(82, 2.0, {10, 0});
+  DiskGenerator left2(83, 2.0, {-10, 6});
+  for (int i = 0; i < 2000; ++i) {
+    node1->Insert(left1.Next());
+    node1->Insert(right1.Next());
+    node2->Insert(left2.Next());
+  }
+  node2->Insert({0.5, 0});  // An outlier between the regions.
+
+  // Empty summaries encode to nothing; non-empty ones to v2 messages.
+  EXPECT_TRUE(node1->EncodeRegionView(node1->OutlierIndex()).empty());
+  for (size_t i = 0; i <= node1->OutlierIndex(); ++i) {
+    const std::string wire1 = node1->EncodeRegionView(i);
+    const std::string wire2 = node2->EncodeRegionView(i);
+    for (const std::string* wire : {&wire1, &wire2}) {
+      if (wire->empty()) continue;
+      DecodedSummaryView view;
+      ASSERT_TRUE(DecodeSummaryView(*wire, &view).ok()) << "region " << i;
+      ASSERT_TRUE(sink->MergeDecodedView(i, view).ok()) << "region " << i;
+    }
+  }
+
+  // Merge validation.
+  DecodedSummaryView dummy;
+  EXPECT_FALSE(sink->MergeDecodedView(99, dummy).ok());  // Out of range.
+  EXPECT_FALSE(sink->MergeDecodedView(0, dummy).ok());   // Empty view.
+
+  // The merged sink covers both nodes' clusters, region by region.
+  EXPECT_TRUE(sink->RegionHull(0).Polygon().Contains({-10, 0}));
+  EXPECT_TRUE(sink->RegionHull(0).Polygon().Contains({-10, 6}));
+  EXPECT_TRUE(sink->RegionHull(1).Polygon().Contains({10, 0}));
+  EXPECT_FALSE(sink->RegionHull(1).Polygon().Contains({-10, 0}));
+  EXPECT_EQ(sink->OutlierCount(), 1u);
+  for (size_t i = 0; i < sink->num_regions(); ++i) {
+    EXPECT_TRUE(sink->RegionHull(i).CheckConsistency().ok()) << i;
+  }
+  // The cavity between the clusters survives the distributed merge: the
+  // sink's shape is two polygons, not one blended hull.
+  EXPECT_EQ(sink->Shape().size(), 3u);  // Two regions + outlier point.
+}
+
 }  // namespace
 }  // namespace streamhull

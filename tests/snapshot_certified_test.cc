@@ -1,0 +1,168 @@
+// Differential tests for the distributed certified-query path: a sink that
+// holds nothing but a decoded snapshot v2 message must answer certified
+// diameter / width / separation with intervals containing the brute-force
+// values computed on the true hull of the producer's full stream — and its
+// outer polygon must never be looser than what a v1 receiver can achieve
+// by recomputing the per-level Lemma 5.3 offsets from the v1 header.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/snapshot.h"
+#include "geom/convex_hull.h"
+#include "queries/certified.h"
+#include "stream/generators.h"
+
+namespace streamhull {
+namespace {
+
+std::unique_ptr<PointGenerator> MakeWorkload(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<DiskGenerator>(51);
+    case 1: return std::make_unique<SquareGenerator>(52, 0.21);
+    case 2: return std::make_unique<EllipseGenerator>(53, 16.0, 0.13);
+    case 3: return std::make_unique<CircleGenerator>(54, 97);
+    case 4: return std::make_unique<ClusterGenerator>(55, 5);
+    case 5: return std::make_unique<DriftWalkGenerator>(56);
+    default: return std::make_unique<SpiralGenerator>(57, 1e-3);
+  }
+}
+constexpr int kNumWorkloads = 7;
+
+// (workload, r): every engine kind is swept inside the body so the brute
+// ground truth is computed once per stream.
+class SnapshotSinkDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t>> {};
+
+TEST_P(SnapshotSinkDifferentialTest, DecodedViewsCertifyBruteTruth) {
+  const auto [workload, r] = GetParam();
+  const auto pts = MakeWorkload(workload)->Take(1500);
+  const ConvexPolygon truth(ConvexHullOf(pts));
+  const double true_diameter = DiameterBrute(truth).value;
+  const double true_width = WidthBrute(truth).value;
+  const double eps = 1e-7 * (1.0 + true_diameter);
+
+  for (EngineKind kind : AllEngineKinds()) {
+    EngineOptions o;
+    o.hull.r = r;
+    auto engine = MakeEngine(kind, o);
+    engine->InsertBatch(pts);
+    const std::string ctx =
+        std::string(EngineKindName(kind)) + " r=" + std::to_string(r);
+
+    // Producer -> wire -> sink; the sink sees only the decoded view.
+    DecodedSummaryView decoded;
+    ASSERT_TRUE(DecodeSummaryView(engine->EncodeView(), &decoded).ok())
+        << ctx;
+    const SummaryView view = decoded.View();
+
+    // Root guarantee off the wire: inner subset of truth subset of outer.
+    for (size_t i = 0; i < view.inner().size(); ++i) {
+      ASSERT_LE(truth.DistanceOutside(view.inner()[i]), eps) << ctx;
+    }
+    for (size_t i = 0; i < truth.size(); ++i) {
+      ASSERT_LE(view.outer().DistanceOutside(truth[i]), eps) << ctx;
+    }
+
+    const CertifiedScalar diam = CertifiedDiameter(view);
+    EXPECT_LE(diam.value.lo, true_diameter + eps) << ctx;
+    EXPECT_GE(diam.value.hi, true_diameter - eps) << ctx;
+
+    const CertifiedScalar width = CertifiedWidth(view);
+    EXPECT_LE(width.value.lo, true_width + eps) << ctx;
+    EXPECT_GE(width.value.hi, true_width - eps) << ctx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SnapshotSinkDifferentialTest,
+    ::testing::Combine(::testing::Range(0, kNumWorkloads),
+                       ::testing::Values(8u, 32u, 128u)));
+
+// Pairwise: two producers ship v2; the sink certifies their separation
+// against the brute truth of both streams.
+TEST(SnapshotSinkDifferentialTest, PairwiseSeparationOffTheWire) {
+  for (uint32_t r : {8u, 32u, 128u}) {
+    DiskGenerator gen_a(61, 1.0, {0, 0});
+    DiskGenerator gen_b(62, 1.0, {3.0, 0.4});
+    const auto pts_a = gen_a.Take(1500), pts_b = gen_b.Take(1500);
+    const double true_distance =
+        Separation(ConvexPolygon(ConvexHullOf(pts_a)),
+                   ConvexPolygon(ConvexHullOf(pts_b)))
+            .distance;
+    for (EngineKind kind : AllEngineKinds()) {
+      EngineOptions o;
+      o.hull.r = r;
+      auto ea = MakeEngine(kind, o);
+      auto eb = MakeEngine(kind, o);
+      ea->InsertBatch(pts_a);
+      eb->InsertBatch(pts_b);
+      DecodedSummaryView da, db;
+      ASSERT_TRUE(DecodeSummaryView(ea->EncodeView(), &da).ok());
+      ASSERT_TRUE(DecodeSummaryView(eb->EncodeView(), &db).ok());
+      const std::string ctx =
+          std::string(EngineKindName(kind)) + " r=" + std::to_string(r);
+      const double eps = 1e-7 * (1.0 + true_distance);
+      const CertifiedSeparationResult sep =
+          CertifiedSeparation(da.View(), db.View());
+      EXPECT_LE(sep.distance.lo, true_distance + eps) << ctx;
+      EXPECT_GE(sep.distance.hi, true_distance - eps) << ctx;
+      if (sep.separable == Certainty::kTrue) {
+        EXPECT_GT(true_distance, 0.0) << ctx;
+      }
+    }
+  }
+}
+
+// The acceptance bar for shipping slacks explicitly: the v2 outer polygon
+// is never looser than what a v1 receiver reconstructs by restoring the
+// samples and re-deriving the per-level Lemma 5.3 offsets from the v1
+// header (perimeter, r). Compared by support values over a direction
+// sweep, which orders convex sets.
+TEST(SnapshotSinkDifferentialTest, V2OuterNeverLooserThanV1Recompute) {
+  for (int workload = 0; workload < kNumWorkloads; ++workload) {
+    for (uint32_t r : {8u, 32u}) {
+      AdaptiveHullOptions o;
+      o.r = r;
+      AdaptiveHull h(o);
+      auto gen = MakeWorkload(workload);
+      for (int i = 0; i < 4000; ++i) h.Insert(gen->Next());
+      const std::string ctx =
+          gen->Name() + " r=" + std::to_string(r);
+
+      HullSnapshot v1;
+      ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(h), &v1).ok()) << ctx;
+      std::vector<double> v1_slacks;
+      v1_slacks.reserve(v1.samples.size());
+      for (const HullSample& s : v1.samples) {
+        v1_slacks.push_back(
+            InvariantOffset(v1.perimeter, v1.r, s.direction.level()));
+      }
+      const ConvexPolygon v1_outer =
+          SupportIntersection(v1.samples, v1_slacks);
+
+      DecodedSummaryView v2;
+      ASSERT_TRUE(DecodeSummaryView(h.EncodeView(), &v2).ok()) << ctx;
+      const ConvexPolygon v2_outer = v2.Outer();
+
+      ASSERT_FALSE(v2_outer.empty()) << ctx;
+      const double scale = 1.0 + DiameterBrute(v1_outer).value;
+      for (int k = 0; k < 64; ++k) {
+        const Point2 u = UnitVector(k * (6.283185307179586 / 64.0) + 0.017);
+        EXPECT_LE(v2_outer.Support(u), v1_outer.Support(u) + 1e-9 * scale)
+            << ctx << " probe " << k;
+      }
+      EXPECT_LE(v2_outer.Area(), v1_outer.Area() + 1e-9 * scale * scale)
+          << ctx;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamhull
