@@ -1,0 +1,264 @@
+// Parallel sharded ingestion throughput: aggregate points/sec of
+// StreamGroup::InsertBatchAsync across thread count x stream count, against
+// the sequential InsertBatch path on the identical workload — the
+// scaling-curve data CI archives as BENCH_parallel_ingest.json
+// (--benchmark_format=json). Per-stream engines are independent, so the
+// expected shape is near-linear scaling in min(threads, streams) once
+// batches are large enough to amortize the hand-off; the determinism suite
+// (tests/multi_parallel_test.cc) separately proves the parallel summaries
+// are bit-identical, so this file only has to measure, not re-verify.
+//
+// The file also instruments this binary's global allocator to report
+// allocs/point for the single-threaded hot path (the "de-allocation" half
+// of the runtime work): interior-heavy batched ingestion should sit at
+// ~0.000, and the mixed workload within noise of the accept rate — malloc
+// contention is the classic parallel-ingestion killer, so the counter is
+// part of the scaling story, not a curiosity.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/adaptive_hull.h"
+#include "core/hull_engine.h"
+#include "multi/region_hull.h"
+#include "multi/stream_group.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+std::atomic<uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace streamhull;
+
+// Ring/interior mix (bench_batch_ingest's workload shape): the summary
+// keeps doing real work while most points exercise the reject fast path.
+std::vector<Point2> MakeMixedStream(size_t n, int interior_pct,
+                                    uint64_t seed) {
+  const double kTwoPi = 6.283185307179586476925286766559;
+  Rng rng(seed);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool interior =
+        i >= 64 && rng.NextDouble() * 100.0 < static_cast<double>(interior_pct);
+    const double a = rng.Uniform(0, kTwoPi);
+    const double rad =
+        interior ? 0.5 * rng.NextDouble() : 0.98 + 0.02 * rng.NextDouble();
+    pts.push_back({rad * std::cos(a), rad * std::sin(a)});
+  }
+  return pts;
+}
+
+EngineOptions Opts() {
+  EngineOptions o;
+  o.hull.r = 64;
+  return o;
+}
+
+std::string StreamName(size_t i) { return "s" + std::to_string(i); }
+
+constexpr size_t kPointsPerStream = 100000;
+constexpr size_t kBatch = 4096;
+constexpr int kInteriorPct = 90;
+
+// One workload per stream, distinct seeds; built once per benchmark.
+std::vector<std::vector<Point2>> MakeWorkload(size_t num_streams) {
+  std::vector<std::vector<Point2>> streams;
+  streams.reserve(num_streams);
+  for (size_t i = 0; i < num_streams; ++i) {
+    streams.push_back(
+        MakeMixedStream(kPointsPerStream, kInteriorPct, 20040614 + i));
+  }
+  return streams;
+}
+
+// threads == 0 selects the sequential InsertBatch baseline.
+void RunGroupIngest(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const size_t num_streams = static_cast<size_t>(state.range(1));
+  const auto workload = MakeWorkload(num_streams);
+
+  for (auto _ : state) {
+    state.PauseTiming();  // Group construction is not ingestion.
+    StreamGroup group(Opts(), EngineKind::kAdaptive);
+    if (threads > 0) group.SetParallelism(threads);
+    for (size_t i = 0; i < num_streams; ++i) {
+      benchmark::DoNotOptimize(group.AddStream(StreamName(i)).ok());
+    }
+    state.ResumeTiming();
+
+    // Round-robin arrival across streams, like a real multi-tenant feed.
+    for (size_t off = 0; off < kPointsPerStream; off += kBatch) {
+      const size_t len = std::min(kBatch, kPointsPerStream - off);
+      for (size_t i = 0; i < num_streams; ++i) {
+        const auto& s = workload[i];
+        if (threads > 0) {
+          std::vector<Point2> chunk(s.begin() + off, s.begin() + off + len);
+          benchmark::DoNotOptimize(
+              group.InsertBatchAsync(StreamName(i), std::move(chunk)).ok());
+        } else {
+          benchmark::DoNotOptimize(
+              group
+                  .InsertBatch(StreamName(i),
+                               std::span<const Point2>(&s[off], len))
+                  .ok());
+        }
+      }
+    }
+    group.Flush();
+    benchmark::DoNotOptimize(group.Hull(StreamName(0))->num_points());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(num_streams) *
+                          static_cast<int64_t>(kPointsPerStream));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["streams"] = static_cast<double>(num_streams);
+}
+
+void BM_SequentialIngest(benchmark::State& state) { RunGroupIngest(state); }
+void BM_ParallelIngest(benchmark::State& state) { RunGroupIngest(state); }
+
+void SequentialArgs(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"threads", "streams"});
+  for (int64_t streams : {1, 4, 16}) b->Args({0, streams});
+}
+
+void ParallelArgs(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"threads", "streams"});
+  for (int64_t threads : {1, 2, 4, 8}) {
+    for (int64_t streams : {1, 4, 16}) b->Args({threads, streams});
+  }
+}
+
+BENCHMARK(BM_SequentialIngest)
+    ->Apply(SequentialArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+BENCHMARK(BM_ParallelIngest)
+    ->Apply(ParallelArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Region-partitioned parallel ingestion: three clusters plus outliers,
+// routed and fanned out per region.
+void BM_RegionIngest(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  auto square = [](double cx, double cy) {
+    return ConvexPolygon({{cx - 2, cy - 2},
+                          {cx + 2, cy - 2},
+                          {cx + 2, cy + 2},
+                          {cx - 2, cy + 2}});
+  };
+  std::vector<ConvexPolygon> regions = {square(0, 0), square(10, 0),
+                                        square(0, 10)};
+  // Interleave the three clusters' mixed streams.
+  std::vector<Point2> pts;
+  pts.reserve(3 * kPointsPerStream);
+  const Point2 centers[3] = {{0, 0}, {10, 0}, {0, 10}};
+  for (size_t c = 0; c < 3; ++c) {
+    for (Point2 p : MakeMixedStream(kPointsPerStream, kInteriorPct, 7 + c)) {
+      pts.push_back(p + centers[c]);
+    }
+  }
+  AdaptiveHullOptions opts;
+  opts.r = 64;
+  ThreadPool pool(threads == 0 ? 1 : threads);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Status st;
+    auto hull = RegionPartitionedHull::Create(regions, opts, &st);
+    state.ResumeTiming();
+    for (size_t off = 0; off < pts.size(); off += kBatch) {
+      const size_t len = std::min(kBatch, pts.size() - off);
+      hull->InsertBatch(std::span<const Point2>(&pts[off], len),
+                        threads == 0 ? nullptr : &pool);
+    }
+    benchmark::DoNotOptimize(hull->num_points());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pts.size()));
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+BENCHMARK(BM_RegionIngest)
+    ->ArgNames({"threads"})
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// The de-allocated single-threaded hot path: allocations per offered point
+// through AdaptiveHull::InsertBatch after warm-up. interior%:99 is the
+// prefilter path (expected 0.000); interior%:90 includes accepts, whose
+// node-based containers may allocate O(1) each — the counter shows the
+// amortized rate stays ~0.
+void BM_AllocsPerPoint(benchmark::State& state) {
+  const int interior_pct = static_cast<int>(state.range(0));
+  const auto warmup = MakeMixedStream(200000, interior_pct, 11);
+  const auto probe = MakeMixedStream(200000, interior_pct, 12);
+  uint64_t allocs = 0, points = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    AdaptiveHull hull(Opts().hull);
+    hull.InsertBatch(warmup);  // Reach allocation steady state.
+    state.ResumeTiming();
+    const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    for (size_t off = 0; off < probe.size(); off += kBatch) {
+      const size_t len = std::min(kBatch, probe.size() - off);
+      hull.InsertBatch(std::span<const Point2>(&probe[off], len));
+    }
+    allocs += g_allocations.load(std::memory_order_relaxed) - before;
+    points += probe.size();
+    benchmark::DoNotOptimize(hull.num_points());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(points));
+  state.counters["allocs_per_point"] =
+      points > 0 ? static_cast<double>(allocs) / static_cast<double>(points)
+                 : 0.0;
+}
+
+BENCHMARK(BM_AllocsPerPoint)
+    ->ArgNames({"interior%"})
+    ->Arg(90)
+    ->Arg(99)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -189,27 +189,27 @@ void AdaptiveHull::InitializeWith(Point2 p) {
 // Winning-set computation
 // ---------------------------------------------------------------------------
 
-std::vector<Direction> AdaptiveHull::ComputeWinningSetBrute(Point2 p) const {
+const std::vector<Direction>& AdaptiveHull::ComputeWinningSetBrute(Point2 p) {
   const size_t s = samples_.size();
-  std::vector<Direction> dirs;
-  std::vector<char> won;
-  dirs.reserve(s);
-  won.reserve(s);
+  brute_dirs_.clear();
+  brute_won_.clear();
+  won_scratch_.clear();
   size_t num_won = 0;
   for (const auto& [d, pt] : samples_) {
-    dirs.push_back(d);
+    brute_dirs_.push_back(d);
     const bool w = Beats(p, d, pt);
-    won.push_back(w ? 1 : 0);
+    brute_won_.push_back(w ? 1 : 0);
     num_won += w ? 1 : 0;
   }
-  if (num_won == 0) return {};
-  if (num_won == s) return dirs;  // Map order is a valid CCW walk.
-  std::vector<Direction> result;
-  result.reserve(num_won);
+  if (num_won == 0) return won_scratch_;
+  if (num_won == s) {
+    won_scratch_ = brute_dirs_;  // Map order is a valid CCW walk.
+    return won_scratch_;
+  }
   // Start at a won direction whose circular predecessor is not won.
   size_t start = s;
   for (size_t i = 0; i < s; ++i) {
-    if (won[i] && !won[(i + s - 1) % s]) {
+    if (brute_won_[i] && !brute_won_[(i + s - 1) % s]) {
       start = i;
       break;
     }
@@ -217,19 +217,20 @@ std::vector<Direction> AdaptiveHull::ComputeWinningSetBrute(Point2 p) const {
   SH_DCHECK(start < s);
   for (size_t k = 0; k < s; ++k) {
     const size_t i = (start + k) % s;
-    if (!won[i]) break;
-    result.push_back(dirs[i]);
+    if (!brute_won_[i]) break;
+    won_scratch_.push_back(brute_dirs_[i]);
   }
-  return result;
+  return won_scratch_;
 }
 
-std::vector<Direction> AdaptiveHull::ComputeWinningSet(Point2 p) const {
+const std::vector<Direction>& AdaptiveHull::ComputeWinningSet(Point2 p) {
   const size_t m = verts_.size();
   if (m <= 16) return ComputeWinningSetBrute(p);
 
+  won_scratch_.clear();
   VertsView view{&verts_};
   auto chain = FindVisibleChain(view, p);
-  if (!chain.has_value()) return {};
+  if (!chain.has_value()) return won_scratch_;
 
   const size_t r_rank = chain->first_edge;
   const size_t l_rank = (chain->last_edge + 1) % m;
@@ -237,22 +238,23 @@ std::vector<Direction> AdaptiveHull::ComputeWinningSet(Point2 p) const {
   const Direction l_key = verts_.AtRank(l_rank)->key;
 
   const size_t s = samples_.size();
-  std::vector<Direction> rside;  // Collected walking CW (reverse CCW).
-  std::vector<Direction> middle;
-  std::vector<Direction> lside;
+  ws_rside_.clear();  // Collected walking CW (reverse CCW).
 
   // Right boundary: walk CW from just before the chain interior, absorbing
   // every direction the new point beats. This resolves the tangent vertex's
   // split cone exactly and tolerates an off-by-one tangent.
-  auto it0 = samples_.find(rnext_key);
+  SampleMap::const_iterator it0 = samples_.find(rnext_key);
   SH_CHECK(it0 != samples_.end());
   {
     auto it = PrevSample(it0);
     size_t steps = 0;
     while (steps++ < s && Beats(p, it->first, it->second)) {
-      rside.push_back(it->first);
+      ws_rside_.push_back(it->first);
       it = PrevSample(it);
     }
+  }
+  for (auto rit = ws_rside_.rbegin(); rit != ws_rside_.rend(); ++rit) {
+    won_scratch_.push_back(*rit);
   }
   // Interior: directions owned by vertices strictly inside the chain. These
   // are all won in exact arithmetic; with floating-point noise the chain
@@ -268,31 +270,25 @@ std::vector<Direction> AdaptiveHull::ComputeWinningSet(Point2 p) const {
         middle_complete = false;
         break;
       }
-      middle.push_back(it->first);
+      won_scratch_.push_back(it->first);
       it = NextSample(it);
     }
   }
   // Left boundary: walk CCW from the left tangent vertex's first direction.
-  if (middle_complete && rside.size() + middle.size() < s) {
-    auto it = samples_.find(l_key);
+  if (middle_complete && won_scratch_.size() < s) {
+    SampleMap::const_iterator it = samples_.find(l_key);
     SH_CHECK(it != samples_.end());
     size_t steps = 0;
-    const size_t budget = s - rside.size() - middle.size();
+    const size_t budget = s - won_scratch_.size();
+    size_t taken = 0;
     while (steps++ <= budget && Beats(p, it->first, it->second)) {
-      lside.push_back(it->first);
+      won_scratch_.push_back(it->first);
+      ++taken;
       it = NextSample(it);
-      if (lside.size() >= budget) break;
+      if (taken >= budget) break;
     }
   }
-
-  std::vector<Direction> result;
-  result.reserve(rside.size() + middle.size() + lside.size());
-  for (auto rit = rside.rbegin(); rit != rside.rend(); ++rit) {
-    result.push_back(*rit);
-  }
-  result.insert(result.end(), middle.begin(), middle.end());
-  result.insert(result.end(), lside.begin(), lside.end());
-  return result;
+  return won_scratch_;
 }
 
 // ---------------------------------------------------------------------------
@@ -328,7 +324,8 @@ void AdaptiveHull::ApplyWin(Point2 p, const std::vector<Direction>& won) {
 
   // Erase vertex runs whose first direction lies in [wf, wl] (circular).
   {
-    std::vector<Direction> to_erase;
+    std::vector<Direction>& to_erase = erase_scratch_;
+    to_erase.clear();
     if (!(wl < wf)) {
       for (auto* node = verts_.FindGreaterEqual(wf);
            node != nullptr && !(wl < node->key); node = verts_.Next(node)) {
@@ -428,9 +425,11 @@ void AdaptiveHull::UpdateUniform(Point2 p, uint32_t jf, uint32_t jl) {
 
   // Erase run starts inside the interval, remembering their points in CCW
   // order from jf.
-  std::vector<Point2> erased_pts;
+  std::vector<Point2>& erased_pts = uu_pts_scratch_;
+  erased_pts.clear();
   {
-    std::vector<uint32_t> keys;
+    std::vector<uint32_t>& keys = uu_keys_scratch_;
+    keys.clear();
     for (auto it = uniform_runs_.lower_bound(jf);
          it != uniform_runs_.end() && (jf <= jl ? it->first <= jl : true);
          ++it) {
@@ -576,23 +575,23 @@ void AdaptiveHull::EnqueueThreshold(int32_t idx) {
   }
 }
 
-std::vector<AdaptiveHull::QueueEntry> AdaptiveHull::ProcessUnrefinements() {
-  std::vector<QueueEntry> ready;
+void AdaptiveHull::ProcessUnrefinements() {
+  std::vector<QueueEntry>& ready = ready_scratch_;
+  ready.clear();
   if (options_.queue_kind == ThresholdQueueKind::kBucket) {
     bucket_queue_.PopBelow(p_used_, &ready);
   } else {
     heap_queue_.PopBelow(p_used_, &ready);
   }
-  std::vector<QueueEntry> collapsed;
+  collapsed_scratch_.clear();
   for (const QueueEntry& e : ready) {
     const RefNode& n = N(e.node);
     if (!n.allocated || n.pq_gen != e.gen || !n.IsInternal()) continue;
     Unrefine(e.node);
     // The collapse may have been early (power-of-two rounding); the caller
     // re-checks the resulting leaf's weight after the rebuild pass.
-    collapsed.push_back(QueueEntry{e.node, N(e.node).pq_gen});
+    collapsed_scratch_.push_back(QueueEntry{e.node, N(e.node).pq_gen});
   }
-  return collapsed;
 }
 
 bool AdaptiveHull::RefineOnce(int32_t idx) {
@@ -915,20 +914,25 @@ void AdaptiveHull::Insert(Point2 p) {
 }
 
 bool AdaptiveHull::InsertNonEmpty(Point2 p) {
-  std::vector<Direction> won = ComputeWinningSet(p);
+  const std::vector<Direction>& won = ComputeWinningSet(p);
   if (won.empty()) {
     ++stats_.points_discarded;
     return false;
   }
+  // `won` aliases won_scratch_; nothing below recomputes a winning set, so
+  // the reference stays valid through the rebuild. The won interval
+  // endpoints are copied out because RebuildRange runs after ApplyWin.
+  const Direction won_first = won.front();
+  const Direction won_last = won.back();
   ApplyWin(p, won);
-  std::vector<QueueEntry> collapsed;
+  collapsed_scratch_.clear();
   if (!frozen_ && options_.mode == SamplingMode::kInvariant) {
-    collapsed = ProcessUnrefinements();
+    ProcessUnrefinements();
   }
-  RebuildRange(won.front(), won.back());
+  RebuildRange(won_first, won_last);
   // Power-of-two rounding can unrefine early; restore the weight invariant
   // on any collapsed node the rebuild did not already revisit.
-  for (const QueueEntry& e : collapsed) {
+  for (const QueueEntry& e : collapsed_scratch_) {
     const RefNode& n = N(e.node);
     if (n.allocated && n.pq_gen == e.gen && !n.IsInternal()) {
       RefineToWeight(e.node);
@@ -957,12 +961,20 @@ void AdaptiveHull::FlushPendingSlacks() {
 // ---------------------------------------------------------------------------
 
 void AdaptiveHull::RefreshBatchCache() {
+  // Same compression as CompressClosedRuns, applied while appending so the
+  // refresh reuses batch_cache_'s capacity instead of allocating a fresh
+  // vector per accepted point.
   batch_cache_.clear();
   for (auto* node = verts_.First(); node != nullptr;
        node = verts_.Next(node)) {
-    batch_cache_.push_back(node->value);
+    if (batch_cache_.empty() || !(batch_cache_.back() == node->value)) {
+      batch_cache_.push_back(node->value);
+    }
   }
-  batch_cache_ = CompressClosedRuns(std::move(batch_cache_));
+  while (batch_cache_.size() > 1 &&
+         batch_cache_.back() == batch_cache_.front()) {
+    batch_cache_.pop_back();
+  }
   double scale = 0;
   for (const Point2& v : batch_cache_) {
     scale = std::max({scale, std::abs(v.x), std::abs(v.y)});
@@ -1020,7 +1032,32 @@ bool AdaptiveHull::BatchCacheRejects(Point2 p) const {
          StrictlyLeftByMargin(v[hi], v0, p, scale);
 }
 
+void AdaptiveHull::Reserve(size_t expected_points) {
+  (void)expected_points;  // All summary state is O(r); capacities come
+                          // from r, not from the stream length.
+  const size_t dirs = 2 * static_cast<size_t>(options_.r) + 2;
+  // Arena: r roots plus 2 children per internal node, at most r+1 internal
+  // nodes live at once (Theorem 5.4); churn reuses the free list.
+  nodes_.reserve(3 * static_cast<size_t>(options_.r) + 4);
+  free_nodes_.reserve(dirs);
+  batch_cache_.reserve(dirs);
+  won_scratch_.reserve(dirs);
+  ws_rside_.reserve(dirs);
+  brute_dirs_.reserve(dirs);
+  brute_won_.reserve(dirs);
+  erase_scratch_.reserve(dirs);
+  uu_pts_scratch_.reserve(dirs);
+  uu_keys_scratch_.reserve(dirs);
+  ready_scratch_.reserve(dirs);
+  collapsed_scratch_.reserve(dirs);
+  if (options_.mode == SamplingMode::kFixedSize) {
+    for (auto& h : leaf_heaps_) h.reserve(dirs);
+    for (auto& h : internal_heaps_) h.reserve(dirs);
+  }
+}
+
 void AdaptiveHull::InsertBatch(std::span<const Point2> points) {
+  Reserve(points.size());
   size_t i = 0;
   if (num_points_ == 0) {
     if (points.empty()) return;

@@ -84,7 +84,18 @@ class AdaptiveHull : public HullEngine {
   /// point. On interior-heavy streams almost every point takes the
   /// contiguous-memory rejection test instead of the skip-list search. See
   /// DESIGN.md, "Batched ingestion".
+  ///
+  /// Calls Reserve() on entry; after the warm-up reservations, the batch
+  /// hot path performs no heap allocation per offered point (rejected or
+  /// accepted) outside skip-list/arena growth, which is bounded by O(r)
+  /// total — the property bench_parallel_ingest's alloc counter pins.
   void InsertBatch(std::span<const Point2> points) override;
+
+  /// \brief Pre-sizes the node arena, the per-depth heaps, the batch
+  /// prefilter cache, and every insertion scratch buffer from r (all
+  /// summary state is O(r); \p expected_points only caps nothing here).
+  /// Idempotent and cheap once capacities are reached.
+  void Reserve(size_t expected_points) override;
 
   /// \brief Merges another summary into this one by inserting its stored
   /// sample points (the sensor-aggregation operation from the paper's
@@ -236,9 +247,11 @@ class AdaptiveHull : public HullEngine {
   // --- Sample/vertex bookkeeping ---
   void InitializeWith(Point2 p);
   // The directions a new exterior point wins, in CCW order (contiguous,
-  // possibly wrapping). Empty when the point is inside the uncertainty ring.
-  std::vector<Direction> ComputeWinningSet(Point2 p) const;
-  std::vector<Direction> ComputeWinningSetBrute(Point2 p) const;
+  // possibly wrapping). Empty when the point is inside the uncertainty
+  // ring. The result lives in won_scratch_ (reused across insertions so
+  // the hot path stays allocation-free) and is valid until the next call.
+  const std::vector<Direction>& ComputeWinningSet(Point2 p);
+  const std::vector<Direction>& ComputeWinningSetBrute(Point2 p);
   // Applies the win: samples_, verts_ runs, uniform extrema and perimeter.
   void ApplyWin(Point2 p, const std::vector<Direction>& won);
   // Adds direction d owned by point pt (refinement). d must be inactive.
@@ -252,9 +265,11 @@ class AdaptiveHull : public HullEngine {
   void FlushPendingSlacks();
 
   // --- Tree maintenance ---
-  // Returns the collapsed nodes (with their post-collapse generation) so the
-  // caller can restore the weight invariant after the rebuild pass.
-  std::vector<QueueEntry> ProcessUnrefinements();
+  // Leaves the collapsed nodes (with their post-collapse generation) in
+  // collapsed_scratch_ so the caller can restore the weight invariant after
+  // the rebuild pass. Scratch-backed for the same reason as
+  // ComputeWinningSet: unrefinement churn must not allocate per insertion.
+  void ProcessUnrefinements();
   void RebuildRange(const Direction& won_first, const Direction& won_last);
   int32_t RebuildNode(int32_t idx, const Direction& lo, const Direction& hi,
                       Point2 a, Point2 b, uint32_t depth,
@@ -331,9 +346,25 @@ class AdaptiveHull : public HullEngine {
   std::vector<std::vector<HeapEntry>> internal_heaps_;
 
   // Batch prefilter cache: flat CCW copy of the distinct sampled-polygon
-  // vertices, valid only within InsertBatch between accepted points.
+  // vertices, valid only within InsertBatch between accepted points. The
+  // buffer (capacity) persists across batches; only its contents are
+  // rebuilt, so steady-state refreshes allocate nothing.
   std::vector<Point2> batch_cache_;
   double batch_cache_scale_ = 0;
+
+  // Insertion scratch buffers, reused across insertions so the per-point
+  // hot path performs zero heap allocations once warmed up (Reserve()
+  // pre-sizes them from r). Each is valid only within the call that fills
+  // it; none is part of the summary state.
+  std::vector<Direction> won_scratch_;    // ComputeWinningSet* result.
+  std::vector<Direction> ws_rside_;       // Right-boundary CW walk.
+  std::vector<Direction> brute_dirs_;     // Brute path: direction order.
+  std::vector<char> brute_won_;           // Brute path: per-direction flag.
+  std::vector<Direction> erase_scratch_;  // ApplyWin: runs to delete.
+  std::vector<Point2> uu_pts_scratch_;    // UpdateUniform: erased points.
+  std::vector<uint32_t> uu_keys_scratch_; // UpdateUniform: erased keys.
+  std::vector<QueueEntry> ready_scratch_;      // PopBelow output.
+  std::vector<QueueEntry> collapsed_scratch_;  // ProcessUnrefinements out.
 
   AdaptiveHullStats stats_;
 };
@@ -354,6 +385,10 @@ class UniformHull final : public HullEngine {
   /// Batched ingestion (AdaptiveHull's prefiltered fast path).
   void InsertBatch(std::span<const Point2> points) override {
     hull_.InsertBatch(points);
+  }
+  /// Pre-sizes the wrapped engine (see AdaptiveHull::Reserve).
+  void Reserve(size_t expected_points) override {
+    hull_.Reserve(expected_points);
   }
 
   uint64_t num_points() const override { return hull_.num_points(); }

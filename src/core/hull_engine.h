@@ -80,6 +80,7 @@ class HullEngine {
   /// Insert() on each point in order — engines override this only to go
   /// faster, never to change the resulting summary.
   virtual void InsertBatch(std::span<const Point2> points) {
+    Reserve(points.size());
     for (const Point2& p : points) Insert(p);
   }
 
@@ -89,6 +90,15 @@ class HullEngine {
   /// observable summary state; counts as a mutator for the
   /// thread-compatibility contract. Default: no-op.
   virtual void Seal() {}
+
+  /// \brief Capacity hint: about \p expected_points more points are coming.
+  /// Engines pre-size their internal arenas, heaps, and scratch buffers so
+  /// the subsequent ingestion hot path runs allocation-free (most engine
+  /// state is O(r), so the hint mainly triggers r-derived reservations the
+  /// engine would otherwise grow into). Never changes observable summary
+  /// state; counts as a mutator for the thread-compatibility contract.
+  /// InsertBatch() implementations call this on entry. Default: no-op.
+  virtual void Reserve(size_t expected_points) { (void)expected_points; }
 
   /// Number of stream points processed so far.
   virtual uint64_t num_points() const = 0;

@@ -10,6 +10,7 @@
 #ifndef STREAMHULL_CORE_NAIVE_UNIFORM_HULL_H_
 #define STREAMHULL_CORE_NAIVE_UNIFORM_HULL_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,15 @@ class NaiveUniformHull {
     for (uint32_t j = 0; j < r; ++j) {
       dirs_.push_back(UnitVector(kTwoPi * j / r));
     }
+  }
+
+  /// \brief Capacity hint mirroring HullEngine::Reserve (this oracle is not
+  /// a HullEngine, but the differential suites drive both sides the same
+  /// way): pre-sizes the extrema table so the first Insert() does not
+  /// allocate it lazily.
+  void Reserve(size_t expected_points) {
+    (void)expected_points;  // State is O(r) regardless of stream length.
+    extrema_.reserve(r_);
   }
 
   /// Offers a stream point; keeps it iff it is a strict extremum in some

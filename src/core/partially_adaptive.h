@@ -65,6 +65,11 @@ class PartiallyAdaptiveHull final : public HullEngine {
     }
   }
 
+  /// Pre-sizes the wrapped engine (see AdaptiveHull::Reserve).
+  void Reserve(size_t expected_points) override {
+    hull_.Reserve(expected_points);
+  }
+
   uint64_t num_points() const override { return hull_.num_points(); }
   uint32_t r() const override { return hull_.r(); }
   bool training() const { return !hull_.frozen(); }

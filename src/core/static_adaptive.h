@@ -13,6 +13,7 @@
 #ifndef STREAMHULL_CORE_STATIC_ADAPTIVE_H_
 #define STREAMHULL_CORE_STATIC_ADAPTIVE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -87,8 +88,16 @@ class StaticAdaptiveHull final : public HullEngine {
   /// paths bit-identical. Seals on return: the ingest-then-query pattern
   /// pays one rebuild per batch, same as the old lazy cache.
   void InsertBatch(std::span<const Point2> points) override {
+    Reserve(points.size());
     for (const Point2& p : points) Append(p);
     Seal();
+  }
+
+  /// \brief Pre-sizes the candidate buffer. The buffer never grows past the
+  /// compaction threshold, so the hint is capped there rather than taken
+  /// literally for huge batches.
+  void Reserve(size_t expected_points) override {
+    buffer_.reserve(std::min(buffer_.size() + expected_points, compact_at_));
   }
 
   /// \brief Rebuilds the cached offline sample of the current prefix. After

@@ -1,5 +1,8 @@
 #include "multi/region_hull.h"
 
+#include <latch>
+#include <utility>
+
 #include "common/check.h"
 #include "geom/convex_hull.h"
 
@@ -47,6 +50,52 @@ void RegionPartitionedHull::Insert(Point2 p) {
   outliers_->Insert(p);
 }
 
+void RegionPartitionedHull::InsertBatch(std::span<const Point2> points,
+                                        ThreadPool* pool) {
+  if (points.empty()) return;
+  total_ += points.size();
+  // Route on the calling thread (first-match, same as Insert), preserving
+  // stream order within each bucket.
+  route_buckets_.resize(regions_.size() + 1);
+  for (auto& bucket : route_buckets_) bucket.clear();
+  for (const Point2& p : points) {
+    size_t target = regions_.size();  // Catch-all.
+    for (size_t i = 0; i < regions_.size(); ++i) {
+      if (regions_[i].Contains(p)) {
+        target = i;
+        break;
+      }
+    }
+    route_buckets_[target].push_back(p);
+  }
+  if (pool == nullptr) {
+    for (size_t i = 0; i < route_buckets_.size(); ++i) {
+      if (!route_buckets_[i].empty()) {
+        HullAt(i).InsertBatch(route_buckets_[i]);
+      }
+    }
+    return;
+  }
+  // Fan out: one task per non-empty bucket, so every summary has exactly
+  // one writer. The latch is the barrier that makes the call synchronous
+  // (and the buckets safe to reuse) despite the parallel interior.
+  SH_CHECK(!pool->InWorkerThread() &&
+           "region InsertBatch latch-wait from inside a pool task");
+  ptrdiff_t tasks = 0;
+  for (const auto& bucket : route_buckets_) tasks += bucket.empty() ? 0 : 1;
+  std::latch done(tasks);
+  for (size_t i = 0; i < route_buckets_.size(); ++i) {
+    if (route_buckets_[i].empty()) continue;
+    AdaptiveHull* hull = &HullAt(i);
+    const std::vector<Point2>* bucket = &route_buckets_[i];
+    pool->Submit([hull, bucket, &done] {
+      hull->InsertBatch(*bucket);
+      done.count_down();
+    });
+  }
+  done.wait();
+}
+
 std::vector<ConvexPolygon> RegionPartitionedHull::Shape() const {
   std::vector<ConvexPolygon> shape;
   for (const auto& hull : hulls_) {
@@ -58,10 +107,33 @@ std::vector<ConvexPolygon> RegionPartitionedHull::Shape() const {
 
 std::string RegionPartitionedHull::EncodeRegionView(size_t i) const {
   SH_CHECK(i <= regions_.size());
-  const AdaptiveHull& hull =
-      i == regions_.size() ? *outliers_ : *hulls_[i];
+  const AdaptiveHull& hull = HullAt(i);
   if (hull.empty()) return std::string();
   return EncodeSummaryView(hull);
+}
+
+std::vector<std::string> RegionPartitionedHull::EncodeAllRegionViews(
+    ThreadPool* pool) const {
+  const size_t n = regions_.size() + 1;
+  std::vector<std::string> views(n);
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) views[i] = EncodeRegionView(i);
+    return views;
+  }
+  // Each task reads one summary and writes one slot: disjoint const reads
+  // (AdaptiveHull's const accessors are thread-compatible) and disjoint
+  // writes, so the only synchronization needed is the completion latch.
+  SH_CHECK(!pool->InWorkerThread() &&
+           "EncodeAllRegionViews latch-wait from inside a pool task");
+  std::latch done(static_cast<ptrdiff_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([this, i, &views, &done] {
+      views[i] = EncodeRegionView(i);
+      done.count_down();
+    });
+  }
+  done.wait();
+  return views;
 }
 
 Status RegionPartitionedHull::MergeDecodedView(size_t i,
@@ -72,7 +144,7 @@ Status RegionPartitionedHull::MergeDecodedView(size_t i,
   if (view.samples.empty()) {
     return Status::InvalidArgument("cannot merge an empty summary view");
   }
-  AdaptiveHull& hull = i == regions_.size() ? *outliers_ : *hulls_[i];
+  AdaptiveHull& hull = HullAt(i);
   std::vector<Point2> points;
   points.reserve(view.samples.size());
   for (const HullSample& s : view.samples) points.push_back(s.point);

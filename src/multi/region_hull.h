@@ -24,6 +24,7 @@
 #define STREAMHULL_MULTI_REGION_HULL_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "core/adaptive_hull.h"
 #include "core/snapshot.h"
 #include "geom/convex_polygon.h"
+#include "runtime/thread_pool.h"
 
 namespace streamhull {
 
@@ -47,6 +49,24 @@ class RegionPartitionedHull {
 
   /// Routes the point to its region's summary (or the catch-all).
   void Insert(Point2 p);
+
+  /// \brief Routes a whole batch: points are bucketed by region in stream
+  /// order, then each non-empty bucket goes through its summary's batched
+  /// fast path. Bit-identical to inserting the points one at a time —
+  /// routing is order-preserving per region and the per-region summaries
+  /// are independent. With a non-null \p pool the per-region ingestion
+  /// fans out across the workers (each region is touched by exactly one
+  /// task — the single-writer invariant again) and the call returns after
+  /// an internal barrier, so the summaries are quiescent on return either
+  /// way.
+  void InsertBatch(std::span<const Point2> points, ThreadPool* pool = nullptr);
+
+  /// \brief Snapshot v2 messages for every region plus the catch-all,
+  /// indexed 0 .. OutlierIndex() (empty string for empty summaries, the
+  /// EncodeRegionView convention). With a non-null \p pool the per-region
+  /// encodes — each a Polygon/OuterPolygon walk plus serialization — run
+  /// in parallel; summaries must be quiescent for the duration.
+  std::vector<std::string> EncodeAllRegionViews(ThreadPool* pool = nullptr) const;
 
   /// Number of configured regions (excluding the catch-all).
   size_t num_regions() const { return regions_.size(); }
@@ -94,10 +114,23 @@ class RegionPartitionedHull {
   RegionPartitionedHull(std::vector<ConvexPolygon> regions,
                         const AdaptiveHullOptions& options);
 
+  /// The summary at view index \p i (regions, then the catch-all).
+  AdaptiveHull& HullAt(size_t i) {
+    return i == regions_.size() ? *outliers_ : *hulls_[i];
+  }
+  const AdaptiveHull& HullAt(size_t i) const {
+    return i == regions_.size() ? *outliers_ : *hulls_[i];
+  }
+
   std::vector<ConvexPolygon> regions_;
   std::vector<std::unique_ptr<AdaptiveHull>> hulls_;
   std::unique_ptr<AdaptiveHull> outliers_;
   uint64_t total_ = 0;
+
+  /// Routing buckets for InsertBatch, one per region plus the catch-all;
+  /// kept as a member so repeated batches reuse the buffers instead of
+  /// allocating num_regions vectors per call.
+  std::vector<std::vector<Point2>> route_buckets_;
 };
 
 }  // namespace streamhull

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/check.h"
+
 namespace streamhull {
 
 Status StreamGroup::AddStream(const std::string& name) {
@@ -43,6 +45,7 @@ Status StreamGroup::UpdateRemoteStream(const std::string& name,
   DecodedSummaryView decoded;
   STREAMHULL_RETURN_IF_ERROR(DecodeSummaryView(v2_bytes, &decoded));
   it->second.remote_view = decoded.View();
+  ++it->second.remote_updates;  // Invalidates the generation-tagged cache.
   return Status::OK();
 }
 
@@ -55,6 +58,9 @@ Status StreamGroup::Insert(const std::string& name, Point2 p) {
     return Status::FailedPrecondition(
         "stream '" + name + "' is remote; its points live on the producer");
   }
+  // A pool worker may be mid-batch inside this engine; the barrier restores
+  // the single-writer invariant before the synchronous touch.
+  Flush();
   it->second.engine->Insert(p);
   return Status::OK();
 }
@@ -69,8 +75,45 @@ Status StreamGroup::InsertBatch(const std::string& name,
     return Status::FailedPrecondition(
         "stream '" + name + "' is remote; its points live on the producer");
   }
+  Flush();
   it->second.engine->InsertBatch(points);
   return Status::OK();
+}
+
+void StreamGroup::SetParallelism(size_t num_threads) {
+  SH_CHECK(ingestor_ == nullptr && "parallelism already enabled");
+  ingestor_ = std::make_unique<ParallelIngestor>(num_threads);
+}
+
+Status StreamGroup::InsertBatchAsync(const std::string& name,
+                                     std::vector<Point2> points) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::InvalidArgument("unknown stream '" + name + "'");
+  }
+  StreamEntry& entry = it->second;
+  if (entry.remote()) {
+    return Status::FailedPrecondition(
+        "stream '" + name + "' is remote; its points live on the producer");
+  }
+  if (ingestor_ == nullptr) {  // Parallelism off: plain batched ingestion.
+    entry.engine->InsertBatch(points);
+    return Status::OK();
+  }
+  if (entry.shard == static_cast<size_t>(-1)) {
+    entry.shard = ingestor_->AddShard();
+  }
+  // The engine pointer is stable (owned by the map node) and the shard is
+  // its only writer until the next Flush(); the batch owns its points.
+  HullEngine* engine = entry.engine.get();
+  ingestor_->Post(entry.shard, [engine, pts = std::move(points)] {
+    engine->InsertBatch(pts);
+  });
+  return Status::OK();
+}
+
+void StreamGroup::Flush() {
+  if (ingestor_ != nullptr) ingestor_->Flush();
 }
 
 const HullEngine* StreamGroup::Hull(const std::string& name) const {
@@ -100,39 +143,49 @@ std::vector<std::string> StreamGroup::StreamNames() const {
   return names;
 }
 
-bool StreamGroup::MaterializeView(const std::string& name, SummaryView* out) {
+const SummaryView* StreamGroup::MaterializeView(const std::string& name) {
   auto it = streams_.find(name);
-  if (it == streams_.end()) return false;
-  if (it->second.remote()) {
-    *out = it->second.remote_view;
-    return true;
+  if (it == streams_.end()) return nullptr;
+  StreamEntry& entry = it->second;
+  const uint64_t generation = entry.generation();
+  if (entry.cache_valid && entry.cached_generation == generation) {
+    return &entry.cached_view;
   }
-  HullEngine& engine = *it->second.engine;
-  engine.Seal();
-  *out = engine.empty() ? SummaryView() : SummaryView(engine);
-  return true;
+  ++view_materializations_;
+  if (entry.remote()) {
+    entry.cached_view = entry.remote_view;
+  } else {
+    HullEngine& engine = *entry.engine;
+    engine.Seal();
+    entry.cached_view = engine.empty() ? SummaryView() : SummaryView(engine);
+  }
+  entry.cached_generation = generation;
+  entry.cache_valid = true;
+  return &entry.cached_view;
 }
 
 Status StreamGroup::Report(const std::string& a, const std::string& b,
                            PairReport* out) {
-  SummaryView va, vb;
-  if (!MaterializeView(a, &va)) {
+  Flush();  // Quiesce async ingestion before reading engines.
+  const SummaryView* va = MaterializeView(a);
+  if (va == nullptr) {
     return Status::InvalidArgument("unknown stream '" + a + "'");
   }
-  if (!MaterializeView(b, &vb)) {
+  const SummaryView* vb = MaterializeView(b);
+  if (vb == nullptr) {
     return Status::InvalidArgument("unknown stream '" + b + "'");
   }
-  if (va.empty() || vb.empty()) {
+  if (va->empty() || vb->empty()) {
     return Status::FailedPrecondition(
         "both streams need at least one point (or one decoded view)");
   }
   PairReport report;
-  const CertifiedSeparationResult sep = CertifiedSeparation(va, vb);
+  const CertifiedSeparationResult sep = CertifiedSeparation(*va, *vb);
   report.distance = sep.distance;
   report.separable = sep.separable;
-  report.overlap_area = CertifiedOverlapArea(va, vb);
-  report.a_contains_b = CertifiedContainment(vb, va).contained;
-  report.b_contains_a = CertifiedContainment(va, vb).contained;
+  report.overlap_area = CertifiedOverlapArea(*va, *vb);
+  report.a_contains_b = CertifiedContainment(*vb, *va).contained;
+  report.b_contains_a = CertifiedContainment(*va, *vb).contained;
   *out = report;
   return Status::OK();
 }
@@ -193,18 +246,17 @@ void StreamGroup::StepPredicate(PredicateState* state, Certainty now,
 }
 
 std::vector<PairEvent> StreamGroup::Poll() {
+  Flush();  // Barrier: engines are quiescent for the whole poll, so the
+            // per-stream view caches below need no locks.
   std::vector<PairEvent> events;
   const uint64_t poll_index = polls_++;
-  // One sandwich per involved stream for the whole poll: watches sharing a
-  // stream reuse its view instead of re-deriving the outer hull per pair.
-  std::map<std::string, SummaryView> views;
+  // One sandwich per involved stream per *generation*, not per pair or even
+  // per poll: MaterializeView serves the entry's generation-tagged cache,
+  // so watches sharing a stream reuse its geometry and a poll over
+  // unchanged streams re-derives nothing at all.
   auto view_of = [&](const std::string& name) -> const SummaryView* {
-    auto [it, inserted] = views.try_emplace(name);
-    if (inserted && !MaterializeView(name, &it->second)) {
-      views.erase(it);
-      return nullptr;
-    }
-    return it->second.empty() ? nullptr : &it->second;
+    const SummaryView* v = MaterializeView(name);
+    return (v == nullptr || v->empty()) ? nullptr : v;
   };
   for (Watch& w : watches_) {
     // Only the three tri-state predicates feed the state machines; the

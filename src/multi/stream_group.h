@@ -32,6 +32,14 @@
 // the decoded view. Remote and local streams mix freely in watches and
 // reports — a sink holding nothing but decoded views still certifies
 // pairwise separation, containment, and overlap.
+//
+// Ingestion can run in parallel: SetParallelism(n) attaches a runtime
+// (runtime/parallel_ingestor.h) and InsertBatchAsync then shards batches by
+// stream — each stream is a single-writer FIFO lane, so every engine still
+// sees single-threaded access in submission order and the resulting
+// summaries are bit-identical to sequential ingestion. Flush() is the
+// barrier; Poll() and Report() flush implicitly. See DESIGN.md,
+// "Concurrency model".
 
 #ifndef STREAMHULL_MULTI_STREAM_GROUP_H_
 #define STREAMHULL_MULTI_STREAM_GROUP_H_
@@ -49,6 +57,7 @@
 #include "core/snapshot.h"
 #include "queries/certified.h"
 #include "queries/queries.h"
+#include "runtime/parallel_ingestor.h"
 
 /// \file
 /// \brief Named multi-stream monitoring with certified tri-state transition
@@ -140,13 +149,46 @@ class StreamGroup {
                             std::string_view v2_bytes);
 
   /// Feeds one point to the named stream. Fails on unknown names and on
-  /// remote streams (their points live on the producer).
+  /// remote streams (their points live on the producer). With parallel
+  /// ingestion enabled this flushes first (same ordering argument as
+  /// InsertBatch); a high-rate caller should batch instead.
   Status Insert(const std::string& name, Point2 p);
 
   /// \brief Feeds a batch of points to the named stream through the
   /// engine's batched fast path. Equivalent to (but faster than) inserting
   /// the points one at a time. Fails on unknown names and remote streams.
+  /// With parallel ingestion enabled, blocks until the stream's pending
+  /// async batches have drained (per-stream FIFO would otherwise be
+  /// violated), then ingests synchronously.
   Status InsertBatch(const std::string& name, std::span<const Point2> points);
+
+  /// \brief Enables parallel ingestion with \p num_threads pool workers
+  /// (0 selects the hardware concurrency) — each stream becomes a
+  /// single-writer shard on the runtime and InsertBatchAsync fans out
+  /// across the pool. Call once, before the first InsertBatchAsync;
+  /// CHECK-fails if parallelism is already enabled.
+  void SetParallelism(size_t num_threads);
+
+  /// True once SetParallelism has attached a runtime.
+  bool parallel() const { return ingestor_ != nullptr; }
+
+  /// \brief Queues a batch for the named stream and returns immediately
+  /// (the points are copied). Batches for one stream run FIFO in
+  /// submission order on a single worker at a time; batches for different
+  /// streams run concurrently. The summary each engine reaches is
+  /// bit-identical to calling InsertBatch with the same batches in the
+  /// same order. Falls back to synchronous InsertBatch when parallelism is
+  /// off. Fails on unknown names and remote streams.
+  ///
+  /// Until the next Flush()/Poll()/Report(), the stream's engine may be
+  /// mid-ingestion on a pool thread: do not touch Hull()/View() for it.
+  Status InsertBatchAsync(const std::string& name, std::vector<Point2> points);
+
+  /// \brief Barrier: returns once every queued async batch (all streams)
+  /// has been ingested. After it returns, all engine state is visible to
+  /// the calling thread and every accessor is safe again. No-op when
+  /// parallelism is off.
+  void Flush();
 
   /// The named stream's engine, or nullptr if unknown — remote streams
   /// included: they have no engine, only a view.
@@ -176,8 +218,16 @@ class StreamGroup {
   /// \brief Re-evaluates every watched pair and returns the certified
   /// transitions since the previous poll. The first poll establishes
   /// baselines and reports transitions from the "separable, uncontained"
-  /// initial state (both taken as certified).
+  /// initial state (both taken as certified). Flushes pending async
+  /// batches first, so the events reflect every point submitted before
+  /// the call; after the barrier all engines are quiescent and the poll
+  /// itself needs no locks.
   std::vector<PairEvent> Poll();
+
+  /// \brief Number of times a stream's sandwich was actually rebuilt from
+  /// its engine (test support for the per-generation view cache: polls and
+  /// reports over unchanged streams must not re-derive geometry).
+  uint64_t view_materializations() const { return view_materializations_; }
 
  private:
   /// Tri-state tracking of one watched predicate: the last *certified*
@@ -200,6 +250,21 @@ class StreamGroup {
     std::unique_ptr<HullEngine> engine;
     SummaryView remote_view;
     bool remote() const { return engine == nullptr; }
+
+    /// Single-writer lane on the runtime; assigned on first async batch.
+    ParallelIngestor::ShardId shard = static_cast<size_t>(-1);
+
+    /// Cached sandwich, valid while the generation below matches the
+    /// stream's current state (local: num_points; remote: update count).
+    /// Engines only change through inserts/updates, both of which bump the
+    /// generation, so a matching generation proves the cache current.
+    SummaryView cached_view;
+    uint64_t cached_generation = 0;
+    bool cache_valid = false;
+    uint64_t remote_updates = 0;  ///< Remote generation counter.
+    uint64_t generation() const {
+      return remote() ? remote_updates : engine->num_points();
+    }
   };
 
   /// Advances one predicate's state machine and appends any event.
@@ -208,17 +273,23 @@ class StreamGroup {
                      const std::string& first, const std::string& second,
                      uint64_t poll_index, std::vector<PairEvent>* events);
 
-  /// \brief Materializes the named stream's current sandwich into \p out,
-  /// sealing a local engine first (no-op for most kinds). A stream with no
-  /// points / no decoded view yet yields an empty sandwich. Returns false
-  /// for unknown names.
-  bool MaterializeView(const std::string& name, SummaryView* out);
+  /// \brief Returns the named stream's current sandwich, or nullptr for
+  /// unknown names. Serves the entry's generation-tagged cache when the
+  /// stream is unchanged since the last materialization; otherwise seals a
+  /// local engine (no-op for most kinds), rebuilds the sandwich once, and
+  /// re-tags the cache — so a poll over a watch set touching one stream in
+  /// k pairs derives its geometry once, and quiescent polls derive nothing.
+  /// A stream with no points / no decoded view yet yields an empty
+  /// sandwich. The pointer is valid until the stream changes.
+  const SummaryView* MaterializeView(const std::string& name);
 
   EngineOptions options_;
   EngineKind default_kind_;
   std::map<std::string, StreamEntry> streams_;
   std::vector<Watch> watches_;
   uint64_t polls_ = 0;
+  uint64_t view_materializations_ = 0;
+  std::unique_ptr<ParallelIngestor> ingestor_;
 };
 
 }  // namespace streamhull

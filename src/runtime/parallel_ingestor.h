@@ -1,0 +1,78 @@
+// streamhull: the facade the multi-stream layers drive their parallelism
+// through.
+//
+// ParallelIngestor bundles the two runtime primitives — a ThreadPool and a
+// Sequencer — into the shape ingestion code actually wants: register a
+// shard per single-writer resource (a stream's engine, a region's summary),
+// post work to shards, and Flush() as the barrier before any cross-shard
+// read. StreamGroup::InsertBatchAsync and RegionPartitionedHull's parallel
+// paths are thin layers over this class; nothing in src/multi touches
+// threads directly.
+
+#ifndef STREAMHULL_RUNTIME_PARALLEL_INGESTOR_H_
+#define STREAMHULL_RUNTIME_PARALLEL_INGESTOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "runtime/sequencer.h"
+#include "runtime/thread_pool.h"
+
+namespace streamhull {
+
+/// \brief Sharded work executor: per-shard FIFO + pool-wide barrier.
+///
+/// Shards are single-writer lanes: work posted to one shard runs
+/// single-threaded in post order (Sequencer semantics), so a shard may own
+/// a thread-compatible object — a HullEngine — without any locking. Work on
+/// different shards runs concurrently across the pool.
+///
+/// Thread-safe with one documented exception: Flush() must not be called
+/// from inside posted work.
+class ParallelIngestor {
+ public:
+  /// \param num_threads worker count; 0 selects the hardware concurrency.
+  explicit ParallelIngestor(size_t num_threads)
+      : pool_(std::make_unique<ThreadPool>(num_threads)),
+        sequencer_(std::make_unique<Sequencer>(pool_.get())) {}
+
+  /// \brief Drains every posted work item before tearing down. Members are
+  /// destroyed sequencer-first (it was constructed against the pool), so
+  /// without this barrier a queued strand drain could run against freed
+  /// Strand state while the pool shuts down.
+  ~ParallelIngestor() { pool_->WaitIdle(); }
+
+  /// A single-writer lane.
+  using ShardId = Sequencer::StrandId;
+
+  /// Registers a new shard.
+  ShardId AddShard() { return sequencer_->AddStrand(); }
+
+  /// \brief Posts \p work to \p shard. FIFO per shard, concurrent across
+  /// shards, never blocks the caller.
+  void Post(ShardId shard, std::function<void()> work) {
+    sequencer_->Post(shard, std::move(work));
+  }
+
+  /// \brief Barrier: returns once every posted work item (on every shard)
+  /// has finished. After Flush() returns — and until the next Post() — all
+  /// shard-owned objects are safe to read from the calling thread, with
+  /// all writes ordered before the reads.
+  void Flush() { pool_->WaitIdle(); }
+
+  /// The number of pool workers.
+  size_t num_threads() const { return pool_->num_threads(); }
+
+  /// The underlying pool, for un-sharded fan-out (e.g. parallel encoding
+  /// of independent read-only summaries).
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Sequencer> sequencer_;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_RUNTIME_PARALLEL_INGESTOR_H_

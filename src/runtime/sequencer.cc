@@ -1,0 +1,61 @@
+#include "runtime/sequencer.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace streamhull {
+
+Sequencer::StrandId Sequencer::AddStrand() {
+  std::unique_lock<std::mutex> lock(strands_mu_);
+  strands_.push_back(std::make_unique<Strand>());
+  return strands_.size() - 1;
+}
+
+size_t Sequencer::num_strands() const {
+  std::unique_lock<std::mutex> lock(strands_mu_);
+  return strands_.size();
+}
+
+void Sequencer::Post(StrandId id, std::function<void()> task) {
+  Strand* strand;
+  {
+    std::unique_lock<std::mutex> lock(strands_mu_);
+    SH_CHECK(id < strands_.size());
+    strand = strands_[id].get();
+  }
+  bool schedule;
+  {
+    std::unique_lock<std::mutex> lock(strand->mu);
+    strand->pending.push_back(std::move(task));
+    schedule = !strand->draining;
+    if (schedule) strand->draining = true;
+  }
+  if (schedule) {
+    pool_->Submit([this, strand] { Drain(strand); });
+  }
+}
+
+void Sequencer::Drain(Strand* strand) {
+  // Run the strand dry, one task at a time, in post order. The `draining`
+  // flag makes this loop the strand's only executor, and releasing the
+  // strand mutex between check and run keeps Post() non-blocking while a
+  // task executes. The flag is cleared under the same lock that proves the
+  // queue empty, so a concurrent Post() either sees draining==true and
+  // appends behind us, or schedules the next drain itself — never neither.
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(strand->mu);
+      if (strand->pending.empty()) {
+        strand->draining = false;
+        return;
+      }
+      task = std::move(strand->pending.front());
+      strand->pending.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace streamhull

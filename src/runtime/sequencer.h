@@ -1,0 +1,80 @@
+// streamhull: per-key FIFO strands over a ThreadPool.
+//
+// Every hull engine is thread-compatible, not thread-safe, and its summary
+// depends on insertion order — so parallel ingestion must guarantee that
+// each engine (a) is touched by one thread at a time and (b) sees its
+// batches in exactly the order they were submitted. A Sequencer strand is
+// that guarantee: tasks posted to the same strand run sequentially in post
+// order (on whichever worker picks the strand up), while distinct strands
+// run concurrently. This is the single-writer-per-engine invariant that
+// makes parallel ingestion bit-identical to sequential (DESIGN.md,
+// "Concurrency model").
+
+#ifndef STREAMHULL_RUNTIME_SEQUENCER_H_
+#define STREAMHULL_RUNTIME_SEQUENCER_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace streamhull {
+
+/// \brief FIFO execution strands multiplexed onto a ThreadPool.
+///
+/// Post(strand, task) never blocks: if the strand is idle it schedules a
+/// drain task on the pool; if a drain is already running the task simply
+/// queues behind it. The drain runs the strand's tasks one at a time, in
+/// post order, so a strand's tasks are totally ordered and mutually
+/// non-concurrent — even though successive tasks may run on different
+/// workers (the mutex hand-off orders their memory effects).
+///
+/// Thread-safe: AddStrand() and Post() may be called from any thread.
+/// Strands are never removed; the expected usage is one strand per stream
+/// for the lifetime of the group.
+class Sequencer {
+ public:
+  /// \param pool executes the strand drains; must outlive the Sequencer.
+  explicit Sequencer(ThreadPool* pool) : pool_(pool) {}
+
+  Sequencer(const Sequencer&) = delete;
+  Sequencer& operator=(const Sequencer&) = delete;
+
+  /// Opaque strand handle.
+  using StrandId = size_t;
+
+  /// Creates a new, idle strand.
+  StrandId AddStrand();
+
+  /// Number of strands created so far.
+  size_t num_strands() const;
+
+  /// \brief Enqueues \p task on \p strand. Tasks posted to one strand run
+  /// sequentially in post order; tasks on different strands run
+  /// concurrently. The id must come from AddStrand().
+  void Post(StrandId strand, std::function<void()> task);
+
+  /// The pool the strands drain on.
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  struct Strand {
+    std::mutex mu;
+    std::deque<std::function<void()>> pending;
+    bool draining = false;  // A drain task is scheduled or running.
+  };
+
+  void Drain(Strand* strand);
+
+  ThreadPool* pool_;
+  mutable std::mutex strands_mu_;  // Guards the vector, not the strands.
+  std::vector<std::unique_ptr<Strand>> strands_;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_RUNTIME_SEQUENCER_H_

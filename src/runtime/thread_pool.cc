@@ -1,0 +1,112 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace streamhull {
+
+namespace {
+// Identity of the calling thread within its pool, for submission affinity.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker = static_cast<size_t>(-1);
+}  // namespace
+
+size_t CurrentWorkerIndex() { return tls_worker; }
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  queues_.resize(num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // Drain before raising shutdown_: queued tasks may legally Submit
+  // follow-on work (the documented fan-out pattern), which must not trip
+  // Submit's !shutdown_ check mid-drain. After WaitIdle nothing is queued
+  // or running, and the owner destroying us means nothing new arrives.
+  WaitIdle();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    SH_CHECK(!shutdown_);
+    // A worker submitting from inside a task keeps the new work on its own
+    // queue (dependent work stays hot); external submitters round-robin.
+    size_t target;
+    if (tls_pool == this) {
+      target = tls_worker;
+    } else {
+      target = next_queue_;
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+    }
+    queues_[target].tasks.push_back(std::move(task));
+    ++inflight_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::PopTask(size_t self, std::function<void()>* out) {
+  // Own queue first (FIFO), then steal from the back of the longest
+  // sibling queue so one hot shard cannot strand the rest.
+  if (!queues_[self].tasks.empty()) {
+    *out = std::move(queues_[self].tasks.front());
+    queues_[self].tasks.pop_front();
+    return true;
+  }
+  size_t victim = self;
+  size_t longest = 0;
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (i != self && queues_[i].tasks.size() > longest) {
+      longest = queues_[i].tasks.size();
+      victim = i;
+    }
+  }
+  if (longest == 0) return false;
+  *out = std::move(queues_[victim].tasks.back());
+  queues_[victim].tasks.pop_back();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_pool = this;
+  tls_worker = self;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    std::function<void()> task;
+    if (PopTask(self, &task)) {
+      lock.unlock();
+      task();
+      // Destroy the task (and anything it captured) outside the lock.
+      task = nullptr;
+      lock.lock();
+      if (--inflight_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (shutdown_) break;
+    work_cv_.wait(lock);
+  }
+}
+
+bool ThreadPool::InWorkerThread() const { return tls_pool == this; }
+
+void ThreadPool::WaitIdle() {
+  SH_CHECK(!InWorkerThread() && "WaitIdle() from inside a pool task");
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+}  // namespace streamhull

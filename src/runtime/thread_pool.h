@@ -1,0 +1,104 @@
+// streamhull: the fixed worker pool behind all parallel ingestion.
+//
+// The paper's summaries are single-writer by construction: every engine is
+// thread-compatible (no internal synchronization), and the multi-stream
+// layers never need two threads inside one engine — streams are the natural
+// parallelism axis. What the runtime provides is therefore deliberately
+// small: a fixed pool of workers with per-worker FIFO queues and
+// work stealing (ThreadPool), per-key FIFO strands that guarantee
+// single-threaded, in-order execution per engine (Sequencer), and a facade
+// wiring the two together (ParallelIngestor). See DESIGN.md, "Concurrency
+// model".
+//
+// The pool intentionally has no notion of priorities, cancellation, or
+// futures. Ingestion work is coarse (a whole batch of points per task) and
+// the only cross-task coordination the callers need is the WaitIdle()
+// barrier that StreamGroup::Flush() and the region-parallel paths build on.
+
+#ifndef STREAMHULL_RUNTIME_THREAD_POOL_H_
+#define STREAMHULL_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace streamhull {
+
+/// \brief Fixed-size worker pool with per-worker FIFO queues and work
+/// stealing.
+///
+/// Submit() distributes tasks round-robin across the per-worker queues (a
+/// worker submitting from inside a task pushes to its own queue, keeping
+/// dependent work hot). A worker drains its own queue front-to-back and
+/// steals from the back of its siblings' queues when its own runs dry, so
+/// an uneven shard distribution — one hot stream among many idle ones —
+/// cannot strand work behind a busy worker.
+///
+/// Thread-safe: Submit() and WaitIdle() may be called from any thread,
+/// including from inside tasks (WaitIdle() from inside a task would
+/// deadlock and is the one forbidden combination).
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 selects the hardware concurrency
+  ///        (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();  // Drains every queued task, then joins the workers.
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Enqueues \p task for execution on some worker. Tasks submitted
+  /// from the same thread run in submission order only if they land on the
+  /// same queue; use a Sequencer strand when FIFO matters.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task — including tasks submitted
+  /// *by* running tasks — has finished. The caller must not be a pool
+  /// worker. This is the barrier behind StreamGroup::Flush().
+  void WaitIdle();
+
+  /// True iff the calling thread is one of this pool's workers. Barrier
+  /// constructions (WaitIdle, the latch waits in RegionPartitionedHull)
+  /// CHECK this is false: a worker waiting for pool progress it is itself
+  /// blocking is a silent deadlock.
+  bool InWorkerThread() const;
+
+ private:
+  struct Queue {
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  // Pops the next task for worker `self` (own front, then steal from the
+  // back of the busiest sibling). Returns false when every queue is empty.
+  bool PopTask(size_t self, std::function<void()>* out);
+
+  // One mutex guards all queues and counters. Ingestion tasks are coarse
+  // (a whole batch per task), so queue operations are a vanishing fraction
+  // of the work; per-queue locks would buy nothing but TSan surface.
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers wait here for tasks.
+  std::condition_variable idle_cv_;   // WaitIdle() waits here.
+  std::vector<Queue> queues_;
+  size_t next_queue_ = 0;      // Round-robin submission cursor.
+  size_t inflight_ = 0;        // Queued + currently running tasks.
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+/// \brief The worker index of the calling thread in its owning pool, or
+/// size_t(-1) when called off-pool. Lets Submit() keep task-submitted work
+/// on the submitting worker's queue.
+size_t CurrentWorkerIndex();
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_RUNTIME_THREAD_POOL_H_

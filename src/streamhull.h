@@ -16,6 +16,11 @@
 //   multi/stream_group.h    named multi-stream monitoring with certified
 //                           tri-state transition events
 //   multi/region_hull.h     the §8 region-partitioned shape summary
+//   runtime/...             the concurrency runtime: ThreadPool, per-key
+//                           FIFO Sequencer strands, and the
+//                           ParallelIngestor facade behind
+//                           StreamGroup::InsertBatchAsync and the
+//                           region-parallel paths
 //   stream/generators.h     deterministic synthetic workloads
 //
 // Individual headers remain includable on their own; this umbrella exists
@@ -46,6 +51,9 @@
 #include "multi/stream_group.h"
 #include "queries/certified.h"
 #include "queries/queries.h"
+#include "runtime/parallel_ingestor.h"
+#include "runtime/sequencer.h"
+#include "runtime/thread_pool.h"
 #include "stream/generators.h"
 
 #endif  // STREAMHULL_STREAMHULL_H_

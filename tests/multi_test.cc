@@ -448,5 +448,59 @@ TEST(RegionHullTest, EmitAndMergeViewsAcrossNodes) {
   EXPECT_EQ(sink->Shape().size(), 3u);  // Two regions + outlier point.
 }
 
+TEST(StreamGroupTest, PollCachesPerStreamGeometryAcrossPairsAndPolls) {
+  // Three streams watched in all three pairs: a poll must materialize each
+  // stream's sandwich once (3, not 6 per-pair sides), and a second poll
+  // over unchanged streams must materialize nothing — the generation-
+  // tagged cache serves it. The PairReport a watch would act on is
+  // unchanged by the caching (same-state group built fresh as reference).
+  StreamGroup cached(Opts());
+  StreamGroup reference(Opts());
+  for (StreamGroup* g : {&cached, &reference}) {
+    ASSERT_TRUE(g->AddStream("a").ok());
+    ASSERT_TRUE(g->AddStream("b").ok());
+    ASSERT_TRUE(g->AddStream("c").ok());
+    DiskGenerator ga(1, 1.0, {0, 0});
+    DiskGenerator gb(2, 1.0, {1.2, 0});
+    DiskGenerator gc(3, 1.0, {10, 0});
+    ASSERT_TRUE(g->InsertBatch("a", ga.Take(300)).ok());
+    ASSERT_TRUE(g->InsertBatch("b", gb.Take(300)).ok());
+    ASSERT_TRUE(g->InsertBatch("c", gc.Take(300)).ok());
+  }
+  ASSERT_TRUE(cached.WatchPair("a", "b").ok());
+  ASSERT_TRUE(cached.WatchPair("b", "c").ok());
+  ASSERT_TRUE(cached.WatchPair("a", "c").ok());
+
+  const uint64_t before = cached.view_materializations();
+  (void)cached.Poll();
+  EXPECT_EQ(cached.view_materializations() - before, 3u)
+      << "one materialization per stream, not per pair side";
+  (void)cached.Poll();
+  EXPECT_EQ(cached.view_materializations() - before, 3u)
+      << "quiescent re-poll must serve the cache";
+
+  // Reports off the cache match a cache-cold group exactly, field by field.
+  for (const auto& [x, y] : std::vector<std::pair<std::string, std::string>>{
+           {"a", "b"}, {"b", "c"}, {"a", "c"}}) {
+    PairReport got, want;
+    ASSERT_TRUE(cached.Report(x, y, &got).ok());
+    ASSERT_TRUE(reference.Report(x, y, &want).ok());
+    EXPECT_EQ(got.distance.lo, want.distance.lo);
+    EXPECT_EQ(got.distance.hi, want.distance.hi);
+    EXPECT_EQ(got.separable, want.separable);
+    EXPECT_EQ(got.overlap_area.lo, want.overlap_area.lo);
+    EXPECT_EQ(got.overlap_area.hi, want.overlap_area.hi);
+    EXPECT_EQ(got.a_contains_b, want.a_contains_b);
+    EXPECT_EQ(got.b_contains_a, want.b_contains_a);
+  }
+
+  // Inserting invalidates exactly the touched stream's cache.
+  const uint64_t mid = cached.view_materializations();
+  ASSERT_TRUE(cached.Insert("a", {0.1, 0.1}).ok());
+  (void)cached.Poll();
+  EXPECT_EQ(cached.view_materializations() - mid, 1u)
+      << "only the mutated stream re-materializes";
+}
+
 }  // namespace
 }  // namespace streamhull
