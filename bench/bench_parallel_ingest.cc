@@ -52,10 +52,20 @@ void* operator new[](std::size_t size) {
   return p;
 }
 
+// The replacement operator new above allocates with malloc, so free() is
+// the matching deallocator here; the compiler cannot see that pairing
+// across the replaced operators and would flag it under -Werror.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 

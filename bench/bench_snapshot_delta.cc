@@ -1,0 +1,148 @@
+// Snapshot v3 delta-protocol benchmarks. The headline number — CI archives
+// it as JSON and gates regressions on it — is BM_DeltaPipelineDrift's
+// `full_bytes/delta_bytes` ratio: how many times lighter the steady-state
+// delta uplink is than re-sending full v2 frames, on the acceptance
+// workload (a 20k-point drift walk at r=64, polled every 200 points).
+// The latency benches cover both protocol ends:
+//
+//   BM_EncodeDelta   producer-side diff + serialization per poll
+//   BM_ApplyDelta    sink-side validate + patch per received frame
+//
+// so the byte savings can be weighed against the (small) CPU cost of
+// diffing against the wire baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adaptive_hull.h"
+#include "core/snapshot.h"
+#include "stream/generators.h"
+
+namespace {
+
+using namespace streamhull;
+
+constexpr size_t kPoints = 20000;
+constexpr size_t kUpdates = 100;  // Poll every kPoints/kUpdates points.
+
+// One full run of the producer->sink delta pipeline on the drift
+// workload: ingest a chunk, ship a delta (full resync frame only when the
+// protocol demands it), patch the sink view. Returns shipped byte counts.
+struct PipelineBytes {
+  uint64_t delta_bytes = 0;
+  uint64_t full_bytes = 0;           // Resync frames actually shipped.
+  uint64_t hypothetical_full = 0;    // If every update re-sent a v2 frame.
+  uint64_t frames = 0;
+};
+
+PipelineBytes RunDeltaPipeline(uint32_t r) {
+  AdaptiveHullOptions o;
+  o.r = r;
+  AdaptiveHull hull(o);
+  DriftWalkGenerator gen(17);
+  DecodedSummaryView view;
+  PipelineBytes bytes;
+  bool synced = false;
+  for (size_t u = 0; u < kUpdates; ++u) {
+    hull.InsertBatch(gen.Take(kPoints / kUpdates));
+    std::string frame;
+    if (synced &&
+        hull.EncodeSummaryDelta(view.num_points, &frame).ok()) {
+      benchmark::DoNotOptimize(ApplySummaryDelta(frame, &view).ok());
+      bytes.delta_bytes += frame.size();
+    } else {
+      frame = hull.EncodeView();
+      benchmark::DoNotOptimize(DecodeSummaryView(frame, &view).ok());
+      bytes.full_bytes += frame.size();
+      synced = true;
+    }
+    ++bytes.frames;
+    bytes.hypothetical_full += EncodeSummaryView(hull).size();
+  }
+  return bytes;
+}
+
+void BM_DeltaPipelineDrift(benchmark::State& state) {
+  const uint32_t r = static_cast<uint32_t>(state.range(0));
+  PipelineBytes bytes;
+  for (auto _ : state) {
+    bytes = RunDeltaPipeline(r);
+  }
+  const double updates = static_cast<double>(kUpdates);
+  state.counters["full_bytes/update"] =
+      static_cast<double>(bytes.hypothetical_full) / updates;
+  state.counters["delta_bytes/update"] =
+      static_cast<double>(bytes.delta_bytes + bytes.full_bytes) / updates;
+  // The acceptance ratio: steady-state deltas (plus the unavoidable
+  // resync frames) vs re-sending a full frame every update.
+  state.counters["full_bytes/delta_bytes"] =
+      static_cast<double>(bytes.hypothetical_full) /
+      static_cast<double>(bytes.delta_bytes + bytes.full_bytes);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPoints));
+}
+
+void BM_EncodeDelta(benchmark::State& state) {
+  const uint32_t r = static_cast<uint32_t>(state.range(0));
+  AdaptiveHullOptions o;
+  o.r = r;
+  AdaptiveHull hull(o);
+  DriftWalkGenerator gen(18);
+  hull.InsertBatch(gen.Take(kPoints));
+  (void)hull.EncodeView();
+  uint64_t acked = hull.num_points();
+  std::string frame;
+  uint64_t total_bytes = 0, frames = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    hull.InsertBatch(gen.Take(kPoints / kUpdates));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(hull.EncodeSummaryDelta(acked, &frame).ok());
+    acked = hull.num_points();
+    total_bytes += frame.size();
+    ++frames;
+  }
+  state.counters["bytes/frame"] =
+      static_cast<double>(total_bytes) / static_cast<double>(frames);
+}
+
+void BM_ApplyDelta(benchmark::State& state) {
+  const uint32_t r = static_cast<uint32_t>(state.range(0));
+  // Pre-generate a cycle of (base view, delta frame) pairs so each
+  // iteration applies a real mid-stream delta to a fresh copy of its
+  // matching base.
+  AdaptiveHullOptions o;
+  o.r = r;
+  AdaptiveHull hull(o);
+  DriftWalkGenerator gen(19);
+  hull.InsertBatch(gen.Take(kPoints));
+  DecodedSummaryView view;
+  (void)DecodeSummaryView(hull.EncodeView(), &view);
+  std::vector<std::pair<DecodedSummaryView, std::string>> cycle;
+  for (size_t u = 0; u < 32; ++u) {
+    hull.InsertBatch(gen.Take(kPoints / kUpdates));
+    std::string frame;
+    if (!hull.EncodeSummaryDelta(view.num_points, &frame).ok()) break;
+    cycle.emplace_back(view, frame);
+    benchmark::DoNotOptimize(ApplySummaryDelta(frame, &view).ok());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    DecodedSummaryView scratch = cycle[i].first;
+    benchmark::DoNotOptimize(
+        ApplySummaryDelta(cycle[i].second, &scratch).ok());
+    i = (i + 1) % cycle.size();
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DeltaPipelineDrift)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_EncodeDelta)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ApplyDelta)->Arg(16)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

@@ -1,13 +1,16 @@
 // Distributed aggregation: the sensor-network deployment the paper's
-// introduction motivates. Field nodes summarize their local detections with
-// AdaptiveHull and serialize their *certified sandwich* as sub-kilobyte
-// snapshot v2 messages (core/snapshot.h). The sink never touches a raw
-// detection: it decodes the views, answers certified extent queries straight
-// off them, registers them as remote streams in a StreamGroup, and watches
-// the whole field against a locally-observed vehicle convoy. A merged
-// global summary (the v1 restore-and-merge path) is kept for comparison.
+// introduction motivates, now running the full snapshot v3 delta protocol.
+// Field nodes summarize their local detections with AdaptiveHull; each
+// reporting round they uplink a *delta frame* — only the samples whose
+// point or certified slack moved since the last acknowledged frame — and
+// fall back to a full v2 resync frame when the protocol demands it (first
+// contact, a dropped frame, or a periodic forced resync). The sink never
+// touches a raw detection: it patches its decoded views in place, registers
+// them as remote streams in a StreamGroup, and watches the whole field
+// against a locally-observed vehicle convoy.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,52 +21,146 @@ int main() {
   AdaptiveHullOptions options;
   options.r = 16;
 
-  // --- Field tier: 6 sensor nodes, each observing a patch of the plume.
-  std::printf("== field tier ==\n");
-  std::vector<std::string> uplink;  // Simulated radio messages (v2).
-  Rng rng(99);
-  for (int node = 0; node < 6; ++node) {
-    AdaptiveHull local(options);
-    const Point2 patch{3.0 * node, 0.4 * node * node};
-    for (int i = 0; i < 5000; ++i) {
-      local.Insert(patch + Point2{1.2 * rng.Normal(), 0.5 * rng.Normal()});
-    }
-    const std::string wire = local.EncodeView();
-    std::printf("node %d: %llu detections -> %zu samples -> %zu bytes of "
-                "certified sandwich on the uplink\n",
-                node, static_cast<unsigned long long>(local.num_points()),
-                local.num_directions(), wire.size());
-    uplink.push_back(wire);
+  constexpr int kNodes = 6;
+  constexpr int kRounds = 10;
+  constexpr int kDetectionsPerRound = 500;
+  constexpr int kForcedResyncEvery = 5;  // Belt-and-braces full frame.
+
+  // --- Field tier: 6 sensor nodes, each observing a patch of a drifting
+  // plume. Each node tracks the generation its sink last confirmed.
+  std::vector<std::unique_ptr<AdaptiveHull>> nodes;
+  nodes.reserve(kNodes);
+  for (int n = 0; n < kNodes; ++n) {
+    nodes.push_back(std::make_unique<AdaptiveHull>(options));
+  }
+  std::vector<uint64_t> acked(kNodes, 0);  // Sink-held generation per node.
+
+  // --- Sink tier: remote streams in a StreamGroup plus a local convoy.
+  StreamGroup watch(options);
+  std::vector<DecodedSummaryView> views(kNodes);  // For extent reporting.
+  for (int n = 0; n < kNodes; ++n) {
+    (void)watch.AddRemoteStream("plume-" + std::to_string(n));
+  }
+  (void)watch.AddStream("convoy");
+  for (int n = 0; n < kNodes; ++n) {
+    (void)watch.WatchPair("plume-" + std::to_string(n), "convoy");
   }
 
-  // --- Sink tier: decode and certify, no access to any raw point.
-  std::printf("\n== sink tier ==\n");
-  std::vector<DecodedSummaryView> views;
-  std::vector<std::string> accepted;  // Wire bytes paired with views.
-  uint64_t total_points = 0;
-  for (size_t i = 0; i < uplink.size(); ++i) {
-    DecodedSummaryView view;
-    const Status st = DecodeSummaryView(uplink[i], &view);
-    if (!st.ok()) {
-      std::printf("rejected message %zu: %s\n", i, st.ToString().c_str());
-      continue;
+  Rng rng(99);
+  uint64_t delta_bytes = 0, full_bytes = 0, hypothetical_full = 0;
+  uint64_t delta_frames = 0, full_frames = 0, resyncs_after_loss = 0;
+
+  std::printf("== %d nodes x %d rounds, %d detections/node/round ==\n",
+              kNodes, kRounds, kDetectionsPerRound);
+  for (int round = 0; round < kRounds; ++round) {
+    // Detections arrive: each node's patch drifts north-east.
+    for (int n = 0; n < kNodes; ++n) {
+      const Point2 patch{3.0 * n + 0.15 * round, 0.4 * n * n + 0.2 * round};
+      for (int i = 0; i < kDetectionsPerRound; ++i) {
+        nodes[n]->Insert(patch +
+                        Point2{1.2 * rng.Normal(), 0.5 * rng.Normal()});
+      }
     }
-    accepted.push_back(uplink[i]);
-    total_points += view.num_points;
-    const CertifiedScalar diam = CertifiedDiameter(view.View());
-    std::printf("node %zu (%s, r=%u): %llu points, local diameter in "
-                "[%.3f, %.3f]\n",
-                i, EngineKindName(view.kind), view.r,
-                static_cast<unsigned long long>(view.num_points),
-                diam.value.lo, diam.value.hi);
-    views.push_back(std::move(view));
+
+    // Round 2 radio fade: node 2's uplink frame is lost. The node sends
+    // optimistically (no transport acks), so its next delta chains onto a
+    // generation the sink never received — the sink NAKs and the node
+    // resyncs with a full frame.
+    const bool fade = round == 2;
+
+    for (int n = 0; n < kNodes; ++n) {
+      const std::string name = "plume-" + std::to_string(n);
+      const bool force_full =
+          round % kForcedResyncEvery == 0 && round > 0;
+      std::string frame;
+      bool is_delta = false;
+      if (!force_full &&
+          nodes[n]->EncodeSummaryDelta(acked[n], &frame).ok()) {
+        is_delta = true;
+      } else {
+        frame = nodes[n]->EncodeView();
+      }
+      // Optimistic sender: assume delivery, let the sink NAK gaps.
+      acked[n] = nodes[n]->num_points();
+      hypothetical_full += EncodeSummaryView(*nodes[n]).size();
+
+      if (fade && n == 2) continue;  // Frame lost; the sink goes stale.
+
+      Status st = watch.UpdateRemoteStream(name, frame);
+      if (!st.ok()) {
+        // Generation gap: the sink asks for a full frame (the NAK path).
+        std::printf("round %d: sink NAKs %s (%s); resyncing\n", round,
+                    name.c_str(), st.ToString().c_str());
+        frame = nodes[n]->EncodeView();
+        is_delta = false;
+        ++resyncs_after_loss;
+        st = watch.UpdateRemoteStream(name, frame);
+      }
+      if (!st.ok()) {
+        std::printf("round %d: %s update failed: %s\n", round, name.c_str(),
+                    st.ToString().c_str());
+        continue;
+      }
+      if (is_delta) {
+        ++delta_frames;
+        delta_bytes += frame.size();
+      } else {
+        ++full_frames;
+        full_bytes += frame.size();
+      }
+      (void)DecodeSummaryView(EncodeSummaryView(*nodes[n]), &views[n]);
+    }
+
+    // The node whose frame faded keeps streaming; the sink simply holds
+    // its previous certified view until the NAK-triggered resync.
+    if (fade) {
+      std::printf("round %d: node 2's frame lost in transit\n", round);
+    }
+
+    // Monitoring tier: convoy drives toward the plume from the south-west.
+    const Point2 pos{-8.0 + 2.0 * round, -6.0 + 1.3 * round};
+    for (int i = 0; i < 200; ++i) {
+      (void)watch.Insert("convoy",
+                         pos + Point2{0.5 * rng.Normal(), 0.3 * rng.Normal()});
+    }
+    for (const PairEvent& e : watch.Poll()) {
+      const char* what =
+          e.kind == PairEvent::Kind::kSeparabilityLost ? "SEPARABILITY LOST"
+          : e.kind == PairEvent::Kind::kSeparabilityGained
+              ? "separability regained"
+          : e.kind == PairEvent::Kind::kContainmentStarted
+              ? "containment started"
+          : e.kind == PairEvent::Kind::kContainmentEnded ? "containment ended"
+          : e.kind == PairEvent::Kind::kCertaintyLost
+              ? "entered uncertainty band"
+              : "certainty regained";
+      std::printf("round %d: %s (%s vs %s)\n", round, what, e.first.c_str(),
+                  e.second.c_str());
+    }
   }
-  // Field-wide certified extent: every stream point of every node lies in
-  // the union of the decoded outer hulls, so the hull of the outer
-  // vertices upper-bounds the field; the hull of the inner vertices
-  // lower-bounds it.
+
+  // --- Uplink accounting: the whole point of shipping deltas.
+  std::printf("\n== uplink accounting ==\n");
+  std::printf("delta frames: %llu (%llu bytes), full frames: %llu "
+              "(%llu bytes), loss-triggered resyncs: %llu\n",
+              (unsigned long long)delta_frames,
+              (unsigned long long)delta_bytes,
+              (unsigned long long)full_frames,
+              (unsigned long long)full_bytes,
+              (unsigned long long)resyncs_after_loss);
+  const uint64_t shipped = delta_bytes + full_bytes;
+  std::printf("shipped %llu bytes vs %llu if every round re-sent full "
+              "frames: %.1fx lighter\n",
+              (unsigned long long)shipped,
+              (unsigned long long)hypothetical_full,
+              static_cast<double>(hypothetical_full) /
+                  static_cast<double>(shipped));
+
+  // --- Field-wide certified extent off the patched views alone.
   std::vector<Point2> inner_pts, outer_pts;
+  uint64_t total_points = 0;
   for (const DecodedSummaryView& v : views) {
+    total_points += v.num_points;
     const ConvexPolygon in = v.Inner(), out = v.Outer();
     inner_pts.insert(inner_pts.end(), in.vertices().begin(),
                      in.vertices().end());
@@ -73,62 +170,17 @@ int main() {
   const SummaryView field(ConvexPolygon::HullOf(inner_pts),
                           ConvexPolygon::HullOf(outer_pts));
   const CertifiedScalar field_diam = CertifiedDiameter(field);
-  std::printf("field of %llu detections: certified diameter in "
+  std::printf("\nfield of %llu detections: certified diameter in "
               "[%.3f, %.3f]\n",
-              static_cast<unsigned long long>(total_points),
-              field_diam.value.lo, field_diam.value.hi);
+              (unsigned long long)total_points, field_diam.value.lo,
+              field_diam.value.hi);
 
-  // For comparison, the legacy v1 path: restore each node's samples into a
-  // live hull and merge (no certification, but a live mergeable summary).
-  AdaptiveHull global(options);
-  for (const DecodedSummaryView& v : views) {
-    HullSnapshot as_v1;
-    as_v1.r = v.r;
-    as_v1.num_points = v.num_points;
-    as_v1.perimeter = v.perimeter;
-    as_v1.samples = v.samples;
-    global.MergeFrom(*RestoreHull(as_v1, options));
-  }
-  std::printf("merged (v1-style) summary: %zu samples, extent area %.3f\n",
-              global.num_directions(), global.Polygon().Area());
-
-  // --- Monitoring tier: remote plume views vs a locally-observed convoy.
-  std::printf("\n== monitoring tier ==\n");
-  StreamGroup watch(options);
-  for (size_t i = 0; i < views.size(); ++i) {
-    const std::string name = "plume-" + std::to_string(i);
-    (void)watch.AddRemoteStream(name);
-    (void)watch.UpdateRemoteStream(name, accepted[i]);
-  }
-  (void)watch.AddStream("convoy");
-  for (size_t i = 0; i < views.size(); ++i) {
-    (void)watch.WatchPair("plume-" + std::to_string(i), "convoy");
-  }
-  // Convoy drives toward the plume from the south-west.
-  for (int leg = 0; leg < 10; ++leg) {
-    const Point2 pos{-8.0 + 2.2 * leg, -6.0 + 1.4 * leg};
-    for (int i = 0; i < 200; ++i) {
-      (void)watch.Insert("convoy",
-                         pos + Point2{0.5 * rng.Normal(), 0.3 * rng.Normal()});
-    }
-    for (const PairEvent& e : watch.Poll()) {
-      const char* what =
-          e.kind == PairEvent::Kind::kSeparabilityLost  ? "SEPARABILITY LOST"
-          : e.kind == PairEvent::Kind::kSeparabilityGained ? "separability regained"
-          : e.kind == PairEvent::Kind::kContainmentStarted ? "containment started"
-          : e.kind == PairEvent::Kind::kContainmentEnded   ? "containment ended"
-          : e.kind == PairEvent::Kind::kCertaintyLost ? "entered uncertainty band"
-                                                      : "certainty regained";
-      std::printf("leg %d: %s (%s vs %s)\n", leg, what, e.first.c_str(),
-                  e.second.c_str());
-    }
-    PairReport report;
-    if (watch.Report("plume-0", "convoy", &report).ok() &&
-        report.separable == Certainty::kTrue) {
-      std::printf("leg %d: convoy is at least %.2f away from plume-0 "
-                  "(certified off the decoded view alone)\n",
-                  leg, report.distance.lo);
-    }
+  PairReport report;
+  if (watch.Report("plume-0", "convoy", &report).ok() &&
+      report.separable == Certainty::kTrue) {
+    std::printf("convoy is at least %.2f from plume-0 (certified off the "
+                "delta-patched view alone)\n",
+                report.distance.lo);
   }
   return 0;
 }

@@ -163,6 +163,11 @@ AdaptiveHull::SampleMap::const_iterator AdaptiveHull::PrevSample(
 
 void AdaptiveHull::InitializeWith(Point2 p) {
   const uint32_t r = options_.r;
+  // Every uniform direction springs into existence: whatever wire
+  // baseline may exist (a restarted summary cannot have one, but stay
+  // defensive), per-direction tracking is meaningless now.
+  wire_dirty_all_ = true;
+  wire_dirty_.clear();
   for (uint32_t j = 0; j < r; ++j) {
     samples_.emplace(Direction::Uniform(j, r), p);
     uniform_ext_[j] = p;
@@ -320,6 +325,7 @@ void AdaptiveHull::ApplyWin(Point2 p, const std::vector<Direction>& won) {
     auto it = samples_.find(d);
     SH_CHECK(it != samples_.end());
     it->second = p;
+    MarkWireDirty(d);
   }
 
   // Erase vertex runs whose first direction lies in [wf, wl] (circular).
@@ -495,6 +501,7 @@ void AdaptiveHull::ActivateDirection(const Direction& d, Point2 pt) {
   auto [it, inserted] = samples_.emplace(d, pt);
   SH_CHECK(inserted);
   pending_slack_.push_back(d);
+  MarkWireDirty(d);
   // Run bookkeeping. The refined leaf's interval contains no other active
   // direction, so d is adjacent to the runs of both endpoint samples.
   auto* owner_run = verts_.FindLessEqual(d);
@@ -516,6 +523,7 @@ void AdaptiveHull::DeactivateDirection(const Direction& d) {
   auto it = samples_.find(d);
   SH_CHECK(it != samples_.end());
   slack_.erase(d);
+  MarkWireDirty(d);
   auto* run = verts_.Find(d);
   if (run == nullptr) {
     samples_.erase(it);  // Interior of a run; ownership map unchanged.
@@ -950,10 +958,46 @@ void AdaptiveHull::FlushPendingSlacks() {
   for (const Direction& d : pending_slack_) {
     // A direction can be deactivated again within the same insertion
     // (rebuild churn); only directions that survived get a slack entry.
+    // Either way the direction is already wire-dirty: ActivateDirection
+    // marked it, so the slack written here rides the same delta record.
     if (samples_.find(d) == samples_.end()) continue;
     slack_[d] = OffsetForLevel(d.level());
   }
   pending_slack_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Wire-delta change tracking (snapshot v3; see HullEngine)
+// ---------------------------------------------------------------------------
+
+void AdaptiveHull::MarkWireDirty(const Direction& d) {
+  if (wire_dirty_all_) return;
+  // The touched set is only useful while it is small relative to the
+  // sample budget; a producer that lets many updates pile up between
+  // encodes is re-shipping most directions anyway, so fall back to the
+  // encoder's full diff instead of growing without bound.
+  if (wire_dirty_.size() >= 8u * static_cast<size_t>(options_.r) + 8u) {
+    wire_dirty_all_ = true;
+    wire_dirty_.clear();
+    return;
+  }
+  wire_dirty_.push_back(d);
+}
+
+bool AdaptiveHull::ChangedDirectionsSinceBaseline(
+    std::vector<Direction>* changed) const {
+  if (wire_dirty_all_) return false;
+  changed->assign(wire_dirty_.begin(), wire_dirty_.end());
+  return true;
+}
+
+void AdaptiveHull::OnWireBaselineCaptured() {
+  wire_dirty_all_ = false;
+  wire_dirty_.clear();
+  // Delta tracking starts here, so this is where the marking buffer is
+  // worth its memory (engines that never encode pay nothing); the cap in
+  // MarkWireDirty bounds it, so one reserve covers the engine's lifetime.
+  wire_dirty_.reserve(8 * static_cast<size_t>(options_.r) + 8);
 }
 
 // ---------------------------------------------------------------------------

@@ -163,6 +163,21 @@ class AdaptiveHull : public HullEngine {
   /// The effective perimeter P (same as perimeter()).
   double EffectivePerimeter() const override { return p_used_; }
 
+  /// \brief Native change tracking for the v3 delta encoder (see
+  /// HullEngine::ChangedDirectionsSinceBaseline). The insertion machinery
+  /// touches samples and slacks in exactly four places — initialization,
+  /// ApplyWin's extremum updates, direction activation (whose slack is
+  /// captured by FlushPendingSlacks), and direction deactivation — and
+  /// each marks its direction here, so the encoder diffs a handful of
+  /// directions instead of all 2r+1. Returns false (full diff) before the
+  /// first baseline capture or after the touched set overflows its cap.
+  bool ChangedDirectionsSinceBaseline(
+      std::vector<Direction>* changed) const override;
+
+  /// Resets the touched-direction set; called by the snapshot layer
+  /// whenever a wire baseline is captured (see HullEngine).
+  void OnWireBaselineCaptured() override;
+
   /// \brief The a-priori Hausdorff error bound 16*pi*P/r^2 of Corollary 5.2
   /// (invariant mode with the default tree height).
   double ErrorBound() const override;
@@ -317,6 +332,12 @@ class AdaptiveHull : public HullEngine {
   bool frozen_ = false;
   uint64_t num_points_ = 0;
 
+  // Marks d's sample/slack as touched since the last wire-baseline
+  // capture. Amortized allocation-free (appends to a capacity-reusing
+  // vector, duplicates welcome); degrades to "everything touched" when
+  // the set outgrows its O(r) cap.
+  void MarkWireDirty(const Direction& d);
+
   SampleMap samples_;
   // Per-direction certified slack of every active non-uniform direction:
   // the Lemma 5.3 offset captured when the direction was (last) activated.
@@ -344,6 +365,13 @@ class AdaptiveHull : public HullEngine {
   // Fixed-size mode: per-depth lazy heaps (index = depth).
   std::vector<std::vector<HeapEntry>> leaf_heaps_;
   std::vector<std::vector<HeapEntry>> internal_heaps_;
+
+  // Directions touched since the last wire-baseline capture (duplicates
+  // allowed; normalized by the delta encoder). wire_dirty_all_ means the
+  // set is unknown — before any baseline exists, after initialization,
+  // or after overflow — and forces the encoder's full diff.
+  std::vector<Direction> wire_dirty_;
+  bool wire_dirty_all_ = true;
 
   // Batch prefilter cache: flat CCW copy of the distinct sampled-polygon
   // vertices, valid only within InsertBatch between accepted points. The
@@ -419,6 +447,16 @@ class UniformHull final : public HullEngine {
   Status CheckConsistency() const override { return hull_.CheckConsistency(); }
   /// Access to the underlying engine (test support).
   const AdaptiveHull& engine() const { return hull_; }
+
+ protected:
+  /// Forwards the wrapped engine's native change tracking (the wrapper's
+  /// own wire baseline drives the delta protocol; the inner hull only
+  /// supplies the touched-direction hint).
+  bool ChangedDirectionsSinceBaseline(
+      std::vector<Direction>* changed) const override {
+    return hull_.ChangedDirectionsSinceBaseline(changed);
+  }
+  void OnWireBaselineCaptured() override { hull_.OnWireBaselineCaptured(); }
 
  private:
   static AdaptiveHullOptions MakeOptions(uint32_t r) {

@@ -161,9 +161,30 @@ class HullEngine {
   /// core/snapshot.h for the wire format), so deferred-cache engines pay
   /// one rebuild instead of one per metadata accessor. Callers holding
   /// only a const engine can use EncodeSummaryView directly (correct for
-  /// every engine, but sealing beforehand is on them). Defined in
-  /// core/snapshot.cc.
+  /// every engine, but sealing beforehand is on them — a const encode
+  /// does not capture a delta baseline). Defined in core/snapshot.cc.
+  ///
+  /// A non-empty encode also captures the engine's *wire baseline* — a
+  /// generation-tagged copy of the samples and slacks just shipped — so a
+  /// subsequent EncodeSummaryDelta() can transmit only what changed since
+  /// this frame. This is the resync frame of the v3 delta protocol.
   std::string EncodeView();
+
+  /// \brief Serializes a snapshot v3 *delta* frame: only the samples whose
+  /// point or certified slack changed since the wire baseline (plus the
+  /// retired directions and fresh producer metadata), typically a small
+  /// fraction of a full v2 frame on a stable summary. See core/snapshot.h
+  /// for the wire format and DESIGN.md for the protocol.
+  ///
+  /// Generations are stream lengths: \p base_generation must equal the
+  /// engine's num_points() at the moment the previous frame (full or
+  /// delta) was encoded — i.e. what the sink's view currently holds as
+  /// num_points. On success the wire baseline advances to the current
+  /// state, so consecutive deltas chain. Returns FailedPrecondition when
+  /// no baseline matches \p base_generation (never encoded, a frame was
+  /// skipped, or the engine is empty): the caller must resync by sending
+  /// a full EncodeView() frame instead. Defined in core/snapshot.cc.
+  Status EncodeSummaryDelta(uint64_t base_generation, std::string* out);
 
   /// \brief Uncertainty triangles of all (non-degenerate) current edges, in
   /// CCW order. The true hull is sandwiched between Polygon() and the union
@@ -186,6 +207,44 @@ class HullEngine {
   /// \brief Exhaustive structural self-check (test support). Returns the
   /// first violated invariant as an error Status.
   virtual Status CheckConsistency() const = 0;
+
+ protected:
+  /// \brief Change hint for the v3 delta encoder: engines that track
+  /// exactly which sample directions were touched since the last wire
+  /// baseline capture (AdaptiveHull instruments its four mutation sites)
+  /// return true and fill \p *changed; the encoder then skips the
+  /// sample-by-sample comparison for untouched directions. Directions
+  /// absent from the hint MUST be unchanged — over-reporting is harmless
+  /// (touched-but-equal samples are compared and suppressed), silent
+  /// under-reporting would corrupt the delta stream. The default returns
+  /// false: "unknown", making the encoder diff every direction against
+  /// the baseline (always correct; StaticAdaptiveHull's wholesale rebuilds
+  /// take this path). \p *changed may be left unsorted and may contain
+  /// duplicates; the encoder normalizes it.
+  virtual bool ChangedDirectionsSinceBaseline(
+      std::vector<Direction>* changed) const {
+    (void)changed;
+    return false;
+  }
+
+  /// \brief Notification that the wire baseline was just (re)captured by
+  /// EncodeView()/EncodeSummaryDelta(): natively-tracking engines reset
+  /// their touched-direction sets here so the next hint is relative to the
+  /// new baseline. Default: no-op.
+  virtual void OnWireBaselineCaptured() {}
+
+ private:
+  // Producer-side state of the v3 delta protocol: the samples and slacks
+  // as of the last encoded frame, tagged with the generation (num_points)
+  // they correspond to. Maintained by EncodeView()/EncodeSummaryDelta()
+  // in core/snapshot.cc.
+  struct WireBaseline {
+    bool valid = false;
+    uint64_t generation = 0;
+    std::vector<HullSample> samples;
+    std::vector<double> slacks;  // Empty means all-zero.
+  };
+  WireBaseline wire_baseline_;
 };
 
 /// \brief Options for MakeEngine. `hull` configures every kind (kUniform

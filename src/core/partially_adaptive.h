@@ -108,6 +108,17 @@ class PartiallyAdaptiveHull final : public HullEngine {
   Status CheckConsistency() const override { return hull_.CheckConsistency(); }
   const AdaptiveHull& engine() const { return hull_; }
 
+ protected:
+  /// Forwards the wrapped engine's native change tracking for the v3
+  /// delta encoder (see HullEngine::ChangedDirectionsSinceBaseline);
+  /// freezing stops direction churn but extrema keep moving, and those
+  /// moves are marked by the wrapped ApplyWin like any other.
+  bool ChangedDirectionsSinceBaseline(
+      std::vector<Direction>* changed) const override {
+    return hull_.ChangedDirectionsSinceBaseline(changed);
+  }
+  void OnWireBaselineCaptured() override { hull_.OnWireBaselineCaptured(); }
+
  private:
   void MaybeFreeze() {
     if (!hull_.frozen() && hull_.num_points() >= training_points_) {

@@ -1,8 +1,11 @@
 #include "core/snapshot.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -16,6 +19,8 @@ constexpr uint32_t kMagicV1 = 0x53484c31;  // "SHL1".
 constexpr uint32_t kVersionV1 = 1;
 constexpr uint32_t kMagicV2 = 0x53484c32;  // "SHL2".
 constexpr uint32_t kVersionV2 = 2;
+constexpr uint32_t kMagicV3 = 0x53484c33;  // "SHL3" (delta frames).
+constexpr uint32_t kVersionV3 = 3;
 
 void AppendU32(std::string* out, uint32_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -177,22 +182,27 @@ std::unique_ptr<AdaptiveHull> RestoreHull(const HullSnapshot& snapshot,
 // Snapshot v2: the certified SummaryView sandwich
 // ---------------------------------------------------------------------------
 
-std::string EncodeSummaryView(const HullEngine& engine) {
-  const std::vector<HullSample> samples = engine.Samples();
-  // Empty means all-zero (see HullEngine::SampleSlacks).
-  const std::vector<double> slacks = engine.SampleSlacks();
+namespace {
+
+// The one v2 serializer behind both EncodeSummaryView overloads, so a
+// producer's frame and a relay's re-encode of the decoded view can never
+// drift apart byte-wise. An empty `slacks` means all-zero.
+std::string EncodeV2Frame(EngineKind kind, uint32_t r, uint64_t num_points,
+                          double perimeter, double error_bound,
+                          const std::vector<HullSample>& samples,
+                          std::span<const double> slacks) {
   SH_CHECK(slacks.empty() || slacks.size() == samples.size());
   std::string out;
   out.reserve(48 + samples.size() * 36);
   AppendU32(&out, kMagicV2);
   AppendU32(&out, kVersionV2);
-  AppendU32(&out, KindWireCode(engine.kind()));
-  AppendU32(&out, engine.r());
+  AppendU32(&out, KindWireCode(kind));
+  AppendU32(&out, r);
   AppendU32(&out, static_cast<uint32_t>(samples.size()));
   AppendU32(&out, 0);  // Reserved flags; receivers require 0.
-  AppendU64(&out, engine.num_points());
-  AppendF64(&out, engine.EffectivePerimeter());
-  AppendF64(&out, engine.ErrorBound());
+  AppendU64(&out, num_points);
+  AppendF64(&out, perimeter);
+  AppendF64(&out, error_bound);
   for (size_t i = 0; i < samples.size(); ++i) {
     AppendU64(&out, samples[i].direction.num());
     AppendU32(&out, samples[i].direction.level());
@@ -203,9 +213,39 @@ std::string EncodeSummaryView(const HullEngine& engine) {
   return out;
 }
 
+}  // namespace
+
+std::string EncodeSummaryView(const HullEngine& engine) {
+  return EncodeV2Frame(engine.kind(), engine.r(), engine.num_points(),
+                       engine.EffectivePerimeter(), engine.ErrorBound(),
+                       engine.Samples(), engine.SampleSlacks());
+}
+
+std::string EncodeSummaryView(const DecodedSummaryView& view) {
+  return EncodeV2Frame(view.kind, view.r, view.num_points, view.perimeter,
+                       view.error_bound, view.samples, view.slacks);
+}
+
 std::string HullEngine::EncodeView() {
   Seal();
-  return EncodeSummaryView(*this);
+  std::vector<HullSample> samples = Samples();
+  std::vector<double> slacks = SampleSlacks();
+  std::string out = EncodeV2Frame(kind(), r(), num_points(),
+                                  EffectivePerimeter(), ErrorBound(),
+                                  samples, slacks);
+  // A non-empty full frame (re)establishes the delta baseline: the sink
+  // that receives these bytes holds exactly this state, so the next
+  // EncodeSummaryDelta(num_points()) can chain onto it. Empty summaries
+  // are not valid transmissions (DecodeSummaryView rejects them), so they
+  // establish nothing.
+  if (num_points() > 0) {
+    wire_baseline_.samples = std::move(samples);
+    wire_baseline_.slacks = std::move(slacks);
+    wire_baseline_.generation = num_points();
+    wire_baseline_.valid = true;
+    OnWireBaselineCaptured();
+  }
+  return out;
 }
 
 Status DecodeSummaryView(std::string_view bytes, DecodedSummaryView* out) {
@@ -266,11 +306,311 @@ Status DecodeSummaryView(std::string_view bytes, DecodedSummaryView* out) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot v3: delta frames (DESIGN.md, "Wire format")
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Bit-exact equality (distinguishes +0.0 from -0.0, unlike operator==):
+// the delta protocol promises the patched view re-encodes to the bytes of
+// a full frame, so "changed" must mean "different wire bytes".
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+}  // namespace
+
+Status HullEngine::EncodeSummaryDelta(uint64_t base_generation,
+                                      std::string* out) {
+  Seal();
+  if (!wire_baseline_.valid || wire_baseline_.generation != base_generation) {
+    return Status::FailedPrecondition(
+        "no delta baseline for generation " + std::to_string(base_generation) +
+        "; resync with a full frame (EncodeView)");
+  }
+  std::vector<HullSample> samples = Samples();
+  std::vector<double> slacks = SampleSlacks();
+  SH_CHECK(slacks.empty() || slacks.size() == samples.size());
+
+  // Touched-direction hint: engines with native tracking bound the
+  // comparison work; everyone else gets the full baseline diff.
+  std::vector<Direction> touched;
+  const bool have_hint = ChangedDirectionsSinceBaseline(&touched);
+  if (have_hint) {
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  }
+  auto touched_contains = [&](const Direction& d, size_t* cursor) {
+    while (*cursor < touched.size() && touched[*cursor] < d) ++*cursor;
+    return *cursor < touched.size() && touched[*cursor] == d;
+  };
+
+  const std::vector<HullSample>& base = wire_baseline_.samples;
+  auto slack_at = [](const std::vector<double>& v, size_t i) {
+    return v.empty() ? 0.0 : v[i];
+  };
+
+  // Merge-walk baseline and current samples (both in ascending direction
+  // order): current-only -> upsert, baseline-only -> retire, both ->
+  // upsert iff the point or slack bits differ (skipping the comparison
+  // for directions the hint certifies untouched).
+  std::vector<size_t> upserts;   // Indices into `samples`.
+  std::vector<size_t> retires;   // Indices into `base`.
+  size_t bi = 0, ci = 0, hint_cursor = 0;
+  while (bi < base.size() || ci < samples.size()) {
+    if (bi == base.size()) {
+      upserts.push_back(ci++);
+    } else if (ci == samples.size()) {
+      retires.push_back(bi++);
+    } else if (samples[ci].direction < base[bi].direction) {
+      upserts.push_back(ci++);
+    } else if (base[bi].direction < samples[ci].direction) {
+      retires.push_back(bi++);
+    } else {
+      const Direction& d = samples[ci].direction;
+      if (!have_hint || touched_contains(d, &hint_cursor)) {
+        if (!SameBits(samples[ci].point.x, base[bi].point.x) ||
+            !SameBits(samples[ci].point.y, base[bi].point.y) ||
+            !SameBits(slack_at(slacks, ci),
+                      slack_at(wire_baseline_.slacks, bi))) {
+          upserts.push_back(ci);
+        }
+      }
+      ++bi;
+      ++ci;
+    }
+  }
+
+  std::string frame;
+  frame.reserve(64 + upserts.size() * 36 + retires.size() * 12);
+  AppendU32(&frame, kMagicV3);
+  AppendU32(&frame, kVersionV3);
+  AppendU32(&frame, KindWireCode(kind()));
+  AppendU32(&frame, r());
+  AppendU32(&frame, static_cast<uint32_t>(upserts.size()));
+  AppendU32(&frame, static_cast<uint32_t>(retires.size()));
+  AppendU32(&frame, 0);  // Reserved flags; receivers require 0.
+  AppendU32(&frame, 0);  // Reserved; receivers require 0.
+  AppendU64(&frame, base_generation);
+  AppendU64(&frame, num_points());
+  AppendF64(&frame, EffectivePerimeter());
+  AppendF64(&frame, ErrorBound());
+  for (size_t i : upserts) {
+    AppendU64(&frame, samples[i].direction.num());
+    AppendU32(&frame, samples[i].direction.level());
+    AppendF64(&frame, samples[i].point.x);
+    AppendF64(&frame, samples[i].point.y);
+    AppendF64(&frame, slack_at(slacks, i));
+  }
+  for (size_t i : retires) {
+    AppendU64(&frame, base[i].direction.num());
+    AppendU32(&frame, base[i].direction.level());
+  }
+
+  // Advance the baseline: the sink that applies this frame holds exactly
+  // the current state, so the next delta chains onto num_points().
+  wire_baseline_.samples = std::move(samples);
+  wire_baseline_.slacks = std::move(slacks);
+  wire_baseline_.generation = num_points();
+  wire_baseline_.valid = true;
+  OnWireBaselineCaptured();
+
+  *out = std::move(frame);
+  return Status::OK();
+}
+
+Status ApplySummaryDelta(std::string_view bytes, DecodedSummaryView* view,
+                         std::vector<HullSample>* upserted) {
+  Reader r(bytes);
+  uint32_t magic = 0, version = 0, kind_code = 0, base_r = 0, upsert_count = 0,
+           retire_count = 0, flags = 0, reserved = 0;
+  if (!r.ReadU32(&magic) || magic != kMagicV3) {
+    return Status::InvalidArgument("bad snapshot v3 magic");
+  }
+  if (!r.ReadU32(&version) || version != kVersionV3) {
+    return Status::InvalidArgument("unsupported snapshot v3 version");
+  }
+  EngineKind kind = EngineKind::kAdaptive;
+  if (!r.ReadU32(&kind_code) || !KindFromWireCode(kind_code, &kind)) {
+    return Status::InvalidArgument("snapshot v3 engine kind unknown");
+  }
+  if (!r.ReadU32(&base_r) || base_r < 8 || base_r > (uint32_t{1} << 20)) {
+    return Status::InvalidArgument("snapshot v3 r out of range");
+  }
+  const uint32_t max_count = 4 * base_r + 4;
+  if (!r.ReadU32(&upsert_count) || upsert_count > max_count) {
+    return Status::InvalidArgument("snapshot v3 upsert count out of range");
+  }
+  if (!r.ReadU32(&retire_count) || retire_count > max_count) {
+    return Status::InvalidArgument("snapshot v3 retire count out of range");
+  }
+  // Exact-size check before any count-sized allocation (see v1 decoder).
+  if (bytes.size() != 64 + 36 * static_cast<size_t>(upsert_count) +
+                          12 * static_cast<size_t>(retire_count)) {
+    return Status::InvalidArgument(
+        "snapshot v3 size does not match its counts");
+  }
+  if (!r.ReadU32(&flags) || flags != 0 || !r.ReadU32(&reserved) ||
+      reserved != 0) {
+    return Status::InvalidArgument("snapshot v3 reserved fields not zero");
+  }
+  uint64_t base_points = 0, num_points = 0;
+  double perimeter = 0, error_bound = 0;
+  if (!r.ReadU64(&base_points) || base_points == 0) {
+    return Status::InvalidArgument("snapshot v3 base generation invalid");
+  }
+  if (!r.ReadU64(&num_points) || num_points < base_points) {
+    return Status::InvalidArgument("snapshot v3 stream length regressed");
+  }
+  if (num_points == base_points && upsert_count + retire_count > 0) {
+    return Status::InvalidArgument(
+        "snapshot v3 changes samples without advancing the stream");
+  }
+  if (!r.ReadF64(&perimeter) || !(perimeter >= 0) ||
+      !std::isfinite(perimeter)) {
+    return Status::InvalidArgument("snapshot v3 perimeter not finite");
+  }
+  if (!r.ReadF64(&error_bound) || !(error_bound >= 0) ||
+      !std::isfinite(error_bound)) {
+    return Status::InvalidArgument("snapshot v3 error bound not finite");
+  }
+  std::vector<HullSample> upserts;
+  std::vector<double> upsert_slacks;
+  upserts.reserve(upsert_count);
+  upsert_slacks.reserve(upsert_count);
+  for (uint32_t i = 0; i < upsert_count; ++i) {
+    STREAMHULL_RETURN_IF_ERROR(DecodeSampleRecord(&r, base_r, &upserts));
+    double slack = 0;
+    if (!r.ReadF64(&slack)) {
+      return Status::InvalidArgument("truncated snapshot v3 slack");
+    }
+    if (!(slack >= 0) || !std::isfinite(slack)) {
+      return Status::InvalidArgument("snapshot v3 slack not finite");
+    }
+    upsert_slacks.push_back(slack);
+  }
+  std::vector<HullSample> retire_keys;  // Point fields unused (zero).
+  retire_keys.reserve(retire_count);
+  for (uint32_t i = 0; i < retire_count; ++i) {
+    uint64_t num = 0;
+    uint32_t level = 0;
+    if (!r.ReadU64(&num) || !r.ReadU32(&level)) {
+      return Status::InvalidArgument("truncated snapshot v3 retire record");
+    }
+    if (level > Direction::kMaxLevel) {
+      return Status::InvalidArgument(
+          "snapshot v3 retire direction level out of range");
+    }
+    if (level > 0 && (num & 1) == 0) {
+      return Status::InvalidArgument(
+          "snapshot v3 retire direction not canonical");
+    }
+    if (num >= (static_cast<uint64_t>(base_r) << level)) {
+      return Status::InvalidArgument(
+          "snapshot v3 retire direction out of range");
+    }
+    const Direction d = Direction::FromRaw(num, level, base_r);
+    if (!retire_keys.empty() && !(retire_keys.back().direction < d)) {
+      return Status::InvalidArgument(
+          "snapshot v3 retire directions not ascending");
+    }
+    retire_keys.push_back(HullSample{d, Point2{}});
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("trailing snapshot v3 bytes");
+
+  // Semantic checks against the view this delta claims to patch.
+  if (kind != view->kind) {
+    return Status::InvalidArgument(
+        "snapshot v3 engine kind does not match the view");
+  }
+  if (base_r != view->r) {
+    return Status::InvalidArgument("snapshot v3 r does not match the view");
+  }
+  if (base_points != view->num_points) {
+    return Status::FailedPrecondition(
+        "snapshot v3 base generation " + std::to_string(base_points) +
+        " does not match the view's " + std::to_string(view->num_points) +
+        "; request a full snapshot to resync");
+  }
+
+  // Three-way merge into staged vectors (the view stays untouched until
+  // every record has been validated against it). All three inputs are in
+  // ascending direction order.
+  std::vector<HullSample> merged;
+  std::vector<double> merged_slacks;
+  merged.reserve(view->samples.size() + upserts.size());
+  merged_slacks.reserve(merged.capacity());
+  auto view_slack_at = [&](size_t i) {
+    return view->slacks.empty() ? 0.0 : view->slacks[i];
+  };
+  size_t vi = 0, ui = 0, ri = 0;
+  while (vi < view->samples.size() || ui < upserts.size()) {
+    const bool take_upsert =
+        ui < upserts.size() &&
+        (vi == view->samples.size() ||
+         !(view->samples[vi].direction < upserts[ui].direction));
+    const Direction d = take_upsert ? upserts[ui].direction
+                                    : view->samples[vi].direction;
+    const bool in_view =
+        vi < view->samples.size() && view->samples[vi].direction == d;
+    bool retired = false;
+    if (ri < retire_keys.size() && retire_keys[ri].direction < d) {
+      // Ascending processing already passed this direction: no view
+      // sample carries it, so the retire record cannot apply.
+      return Status::InvalidArgument(
+          "snapshot v3 retires a direction the view does not hold");
+    }
+    if (ri < retire_keys.size() && retire_keys[ri].direction == d) {
+      retired = true;
+      ++ri;
+    }
+    if (retired) {
+      if (take_upsert) {
+        return Status::InvalidArgument(
+            "snapshot v3 direction both upserted and retired");
+      }
+      ++vi;  // Drop the view's sample.
+      continue;
+    }
+    if (take_upsert) {
+      merged.push_back(upserts[ui]);
+      merged_slacks.push_back(upsert_slacks[ui]);
+      ++ui;
+      if (in_view) ++vi;  // Replaced.
+    } else {
+      merged.push_back(view->samples[vi]);
+      merged_slacks.push_back(view_slack_at(vi));
+      ++vi;
+    }
+  }
+  if (ri < retire_keys.size()) {
+    return Status::InvalidArgument(
+        "snapshot v3 retires a direction the view does not hold");
+  }
+  if (merged.empty()) {
+    return Status::InvalidArgument("snapshot v3 delta empties the view");
+  }
+  if (merged.size() > max_count) {
+    return Status::InvalidArgument(
+        "snapshot v3 delta overflows the sample budget");
+  }
+
+  view->num_points = num_points;
+  view->perimeter = perimeter;
+  view->error_bound = error_bound;
+  view->samples = std::move(merged);
+  view->slacks = std::move(merged_slacks);
+  if (upserted != nullptr) *upserted = std::move(upserts);
+  return Status::OK();
+}
+
 uint32_t SnapshotVersion(std::string_view bytes) {
   uint32_t magic = 0;
   if (!Reader(bytes).ReadU32(&magic)) return 0;
   if (magic == kMagicV1) return 1;
   if (magic == kMagicV2) return 2;
+  if (magic == kMagicV3) return 3;
   return 0;
 }
 

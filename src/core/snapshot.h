@@ -25,6 +25,18 @@
 //     separation, containment, overlap — with no access to the producer's
 //     points and no re-derivation of engine-specific bounds.
 //
+//   * Snapshot v3 is the *delta* companion to v2: the adaptive summary is
+//     stable by design (most samples and slacks do not move between
+//     polls), so a producer that just shipped a frame transmits only the
+//     changed/inserted samples, the retired directions, and fresh
+//     metadata. Frames are chained by *generation* (the producer's stream
+//     length): a delta applies only to a view holding exactly its base
+//     generation, and any gap — dropped frame, restarted producer,
+//     reordered delivery — surfaces as a Status telling the caller to
+//     resync with a full v2 frame. ApplySummaryDelta patches a sink-side
+//     DecodedSummaryView in place to the bit-exact state a full v2
+//     re-decode would produce.
+//
 // Versioning policy: each version has its own magic; decoders reject
 // unknown magics/versions with a Status (never UB), v1 remains decodable
 // forever, and fields within a version are never reordered or re-typed.
@@ -91,7 +103,10 @@ std::unique_ptr<AdaptiveHull> RestoreHull(const HullSnapshot& snapshot,
 struct DecodedSummaryView {
   EngineKind kind = EngineKind::kAdaptive;  ///< Producer's engine strategy.
   uint32_t r = 0;           ///< Producer's base direction count.
-  uint64_t num_points = 0;  ///< Stream length the producer had seen.
+  /// Stream length the producer had seen. This is also the view's
+  /// *generation* in the v3 delta protocol: a delta frame applies iff its
+  /// base generation equals this value (see ApplySummaryDelta).
+  uint64_t num_points = 0;
   double perimeter = 0;     ///< Producer's effective P (0 if not tracked).
   double error_bound = 0;   ///< Producer's ErrorBound() at encode time.
   std::vector<HullSample> samples;  ///< Active samples, CCW direction order.
@@ -127,9 +142,34 @@ std::string EncodeSummaryView(const HullEngine& engine);
 /// left untouched.
 Status DecodeSummaryView(std::string_view bytes, DecodedSummaryView* out);
 
-/// \brief The wire version of a snapshot message: 1, 2, or 0 when the
-/// input is too short or carries an unknown magic. Lets receivers of mixed
-/// fleets dispatch to DecodeSnapshot / DecodeSummaryView.
+/// \brief Re-serializes a decoded view as a v2 snapshot, byte-identical to
+/// what the producer's EncodeSummaryView emitted for the same state. This
+/// is what lets a relay forward views it never produced, and what the
+/// delta differential tests compare: a delta-patched view re-encodes to
+/// exactly the bytes of a fresh full frame.
+std::string EncodeSummaryView(const DecodedSummaryView& view);
+
+/// \brief Applies a v3 delta frame to a sink-side view, in place. On
+/// success the view is bit-identical to decoding a full v2 frame of the
+/// producer's state at the delta's new generation, and \p *upserted (when
+/// non-null) receives the inserted/changed samples — the increment a
+/// merging sink (RegionPartitionedHull::MergeDecodedDelta) feeds onward.
+///
+/// Validation is exhaustive and atomic: truncated or oversized input, bad
+/// magic/version/kind/flags, non-canonical, out-of-range or non-ascending
+/// directions, non-finite values, a direction both upserted and retired,
+/// or a retired direction the view does not hold, all return
+/// InvalidArgument with \p *view untouched. A base-generation mismatch —
+/// the delta does not chain onto what this view holds (dropped or
+/// reordered frame) — returns FailedPrecondition: the caller must request
+/// a full v2 frame from the producer and decode it with DecodeSummaryView.
+Status ApplySummaryDelta(std::string_view bytes, DecodedSummaryView* view,
+                         std::vector<HullSample>* upserted = nullptr);
+
+/// \brief The wire version of a snapshot message: 1, 2, 3 (delta frame),
+/// or 0 when the input is too short or carries an unknown magic. Lets
+/// receivers of mixed fleets dispatch to DecodeSnapshot /
+/// DecodeSummaryView / ApplySummaryDelta.
 uint32_t SnapshotVersion(std::string_view bytes);
 
 /// \brief The Lemma 5.3 invariant offset d_i = (8*pi*P/r^2) * sum_{j<=i}

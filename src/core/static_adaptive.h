@@ -71,6 +71,13 @@ StaticAdaptiveSample BuildStaticUniformSample(const std::vector<Point2>& points,
 /// mutate the engine, so this class honors the HullEngine
 /// thread-compatibility contract like every other engine (concurrent const
 /// access is safe; Seal(), like the mutators, is not).
+///
+/// Delta encoding (EncodeSummaryDelta) works unmodified on this engine:
+/// every rebuild recomputes all samples, so there is no native
+/// ChangedDirectionsSinceBaseline hint, and the encoder falls back to the
+/// full bitwise diff against the wire baseline — which still produces
+/// small frames whenever consecutive rebuilds agree on most directions
+/// (the common case on a slowly-growing prefix).
 class StaticAdaptiveHull final : public HullEngine {
  public:
   /// Uses options.r and options.max_tree_height; the streaming-only fields

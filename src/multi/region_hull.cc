@@ -136,6 +136,44 @@ std::vector<std::string> RegionPartitionedHull::EncodeAllRegionViews(
   return views;
 }
 
+Status RegionPartitionedHull::EncodeRegionDelta(size_t i,
+                                                uint64_t base_generation,
+                                                std::string* out) {
+  if (i > regions_.size()) {
+    return Status::OutOfRange("region index out of range");
+  }
+  AdaptiveHull& hull = HullAt(i);
+  if (hull.empty()) {
+    return Status::FailedPrecondition(
+        "region summary is empty; nothing to delta-encode");
+  }
+  return hull.EncodeSummaryDelta(base_generation, out);
+}
+
+std::string RegionPartitionedHull::EncodeRegionResync(size_t i) {
+  SH_CHECK(i <= regions_.size());
+  AdaptiveHull& hull = HullAt(i);
+  if (hull.empty()) return std::string();
+  return hull.EncodeView();
+}
+
+Status RegionPartitionedHull::MergeDecodedDelta(size_t i,
+                                                std::string_view delta_bytes,
+                                                DecodedSummaryView* peer_view) {
+  if (i > regions_.size()) {
+    return Status::OutOfRange("region index out of range");
+  }
+  std::vector<HullSample> upserted;
+  STREAMHULL_RETURN_IF_ERROR(
+      ApplySummaryDelta(delta_bytes, peer_view, &upserted));
+  if (upserted.empty()) return Status::OK();
+  std::vector<Point2> points;
+  points.reserve(upserted.size());
+  for (const HullSample& s : upserted) points.push_back(s.point);
+  total_ += HullAt(i).InsertDeduped(points);
+  return Status::OK();
+}
+
 Status RegionPartitionedHull::MergeDecodedView(size_t i,
                                                const DecodedSummaryView& view) {
   if (i > regions_.size()) {

@@ -18,14 +18,19 @@
 // region's certified sandwich as a snapshot v2 message (EncodeRegionView),
 // and a sink with the same partition merges them region by region
 // (MergeDecodedView) — clusters stay separated end to end instead of being
-// blended by a single global merge.
+// blended by a single global merge. Steady state runs on snapshot v3
+// deltas: EncodeRegionResync establishes a per-region baseline,
+// EncodeRegionDelta ships only the samples that moved, and the sink's
+// MergeDecodedDelta patches its held view and merges just the increment.
 
 #ifndef STREAMHULL_MULTI_REGION_HULL_H_
 #define STREAMHULL_MULTI_REGION_HULL_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -109,6 +114,35 @@ class RegionPartitionedHull {
   /// same partition, exactly as the paper assumes a-priori region
   /// knowledge. Fails on an out-of-range index or an empty view.
   Status MergeDecodedView(size_t i, const DecodedSummaryView& view);
+
+  /// \brief Snapshot v3 delta frame for the indexed summary: only the
+  /// samples that changed since this region's last encoded frame (see
+  /// HullEngine::EncodeSummaryDelta). \p base_generation is the peer's
+  /// held generation — the region summary's num_points at the previous
+  /// frame. Fails OutOfRange beyond OutlierIndex() and FailedPrecondition
+  /// when no matching baseline exists (first send, a skipped frame, or an
+  /// empty summary): resync with EncodeRegionResync.
+  Status EncodeRegionDelta(size_t i, uint64_t base_generation,
+                           std::string* out);
+
+  /// \brief Full snapshot v2 frame for the indexed summary that also
+  /// (re)establishes the delta baseline, so subsequent EncodeRegionDelta
+  /// calls chain onto it — the resync frame of the per-region delta
+  /// pipeline. Unlike the const EncodeRegionView (which leaves the
+  /// baseline untouched), this is a mutator. Empty summaries return an
+  /// empty string, the EncodeRegionView convention.
+  std::string EncodeRegionResync(size_t i);
+
+  /// \brief Applies a v3 delta frame to the caller-held \p peer_view (the
+  /// peer's previously decoded region view, see ApplySummaryDelta) and
+  /// merges the *increment* — just the inserted/changed sample points —
+  /// into the indexed summary. Retired directions need no action: region
+  /// merging is insert-only, and a point worth keeping stays covered by
+  /// the samples that absorbed it. Fails like ApplySummaryDelta
+  /// (generation gap -> FailedPrecondition, ask the peer for a full
+  /// frame) with both the view and the summary untouched on error.
+  Status MergeDecodedDelta(size_t i, std::string_view delta_bytes,
+                           DecodedSummaryView* peer_view);
 
  private:
   RegionPartitionedHull(std::vector<ConvexPolygon> regions,

@@ -33,19 +33,33 @@ Status StreamGroup::AddRemoteStream(const std::string& name) {
 }
 
 Status StreamGroup::UpdateRemoteStream(const std::string& name,
-                                       std::string_view v2_bytes) {
+                                       std::string_view bytes) {
   auto it = streams_.find(name);
   if (it == streams_.end()) {
     return Status::InvalidArgument("unknown stream '" + name + "'");
   }
-  if (!it->second.remote()) {
+  StreamEntry& entry = it->second;
+  if (!entry.remote()) {
     return Status::FailedPrecondition("stream '" + name +
                                       "' is local; feed it points instead");
   }
-  DecodedSummaryView decoded;
-  STREAMHULL_RETURN_IF_ERROR(DecodeSummaryView(v2_bytes, &decoded));
-  it->second.remote_view = decoded.View();
-  ++it->second.remote_updates;  // Invalidates the generation-tagged cache.
+  if (SnapshotVersion(bytes) == 3) {
+    // Delta frame: patch the held view in place. ApplySummaryDelta is
+    // atomic (the view survives any failure), and a generation gap comes
+    // back as FailedPrecondition — the caller's cue to fetch a full frame.
+    if (entry.remote_updates == 0) {
+      return Status::FailedPrecondition(
+          "stream '" + name +
+          "' holds no view to patch; send a full v2 snapshot first");
+    }
+    STREAMHULL_RETURN_IF_ERROR(
+        ApplySummaryDelta(bytes, &entry.remote_decoded));
+  } else {
+    DecodedSummaryView decoded;
+    STREAMHULL_RETURN_IF_ERROR(DecodeSummaryView(bytes, &decoded));
+    entry.remote_decoded = std::move(decoded);
+  }
+  ++entry.remote_updates;  // Invalidates the generation-tagged cache.
   return Status::OK();
 }
 
@@ -131,8 +145,12 @@ Status StreamGroup::View(const std::string& name, SummaryView* out) const {
   if (it == streams_.end()) {
     return Status::InvalidArgument("unknown stream '" + name + "'");
   }
-  *out = it->second.remote() ? it->second.remote_view
-                             : SummaryView(*it->second.engine);
+  if (it->second.remote()) {
+    *out = it->second.remote_updates == 0 ? SummaryView()
+                                          : it->second.remote_decoded.View();
+  } else {
+    *out = SummaryView(*it->second.engine);
+  }
   return Status::OK();
 }
 
@@ -153,7 +171,9 @@ const SummaryView* StreamGroup::MaterializeView(const std::string& name) {
   }
   ++view_materializations_;
   if (entry.remote()) {
-    entry.cached_view = entry.remote_view;
+    entry.cached_view = entry.remote_updates == 0
+                            ? SummaryView()
+                            : entry.remote_decoded.View();
   } else {
     HullEngine& engine = *entry.engine;
     engine.Seal();

@@ -27,9 +27,11 @@
 //
 // Streams come in two flavors. A *local* stream wraps a live engine fed by
 // Insert/InsertBatch. A *remote* stream is the paper's distributed setting:
-// the points live on another node, which periodically ships its certified
-// sandwich as a snapshot v2 message (core/snapshot.h); the group holds only
-// the decoded view. Remote and local streams mix freely in watches and
+// the points live on another node, which ships its certified sandwich once
+// as a full snapshot v2 message and from then on as snapshot v3 *delta*
+// frames carrying only the samples that moved (core/snapshot.h); the group
+// holds only the decoded view, patching it per delta and falling back to a
+// full-frame resync whenever a generation gap shows a frame was lost. Remote and local streams mix freely in watches and
 // reports — a sink holding nothing but decoded views still certifies
 // pairwise separation, containment, and overlap.
 //
@@ -136,17 +138,22 @@ class StreamGroup {
   Status AddStream(const std::string& name, EngineKind kind);
 
   /// \brief Registers a remote stream: no engine runs here, the stream's
-  /// certified sandwich arrives as snapshot v2 messages via
-  /// UpdateRemoteStream. Until the first update the stream is empty
+  /// certified sandwich arrives as snapshot v2 messages (and v3 deltas)
+  /// via UpdateRemoteStream. Until the first update the stream is empty
   /// (watches hold their baseline, Report fails its non-empty
   /// precondition). Fails if the name already exists.
   Status AddRemoteStream(const std::string& name);
 
-  /// \brief Decodes a snapshot v2 message and installs it as the named
-  /// remote stream's current view. Fails on unknown or local names and on
-  /// malformed bytes (the previous view is kept on failure).
-  Status UpdateRemoteStream(const std::string& name,
-                            std::string_view v2_bytes);
+  /// \brief Installs a snapshot message as the named remote stream's
+  /// current view, dispatching on the wire version: a v2 frame replaces
+  /// the view wholesale, a v3 delta frame patches the held view in place
+  /// (and invalidates the stream's generation-tagged view cache, like any
+  /// update). Fails on unknown or local names and on malformed bytes; a
+  /// delta that does not chain onto the held view — nothing decoded yet,
+  /// or a generation gap from a dropped frame — fails FailedPrecondition,
+  /// the signal to request a full v2 frame from the producer. The
+  /// previous view is kept on every failure.
+  Status UpdateRemoteStream(const std::string& name, std::string_view bytes);
 
   /// Feeds one point to the named stream. Fails on unknown names and on
   /// remote streams (their points live on the producer). With parallel
@@ -244,11 +251,14 @@ class StreamGroup {
   };
 
   /// One registered stream: a live engine (local) or the last decoded
-  /// snapshot v2 sandwich (remote; engine stays null — remoteness is
-  /// derived from that, so the two flavors cannot get out of sync).
+  /// snapshot state (remote; engine stays null — remoteness is derived
+  /// from that, so the two flavors cannot get out of sync). Remote
+  /// streams keep the raw DecodedSummaryView rather than a materialized
+  /// sandwich because v3 delta frames patch it sample-by-sample; the
+  /// sandwich geometry is derived per generation by the view cache below.
   struct StreamEntry {
     std::unique_ptr<HullEngine> engine;
-    SummaryView remote_view;
+    DecodedSummaryView remote_decoded;
     bool remote() const { return engine == nullptr; }
 
     /// Single-writer lane on the runtime; assigned on first async batch.

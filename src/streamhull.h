@@ -6,9 +6,12 @@
 //
 //   core/hull_engine.h      HullEngine, EngineKind, MakeEngine — the
 //                           streaming summary behind a strategy enum
-//   core/snapshot.h         the v1/v2 snapshot wire formats: v2 ships any
-//                           engine's certified sandwich so a sink answers
-//                           certified queries off decoded views alone
+//   core/snapshot.h         the v1/v2/v3 snapshot wire formats: v2 ships
+//                           any engine's certified sandwich so a sink
+//                           answers certified queries off decoded views
+//                           alone; v3 delta frames ship only the samples
+//                           that moved since the last frame, with a
+//                           generation-gap resync protocol
 //   geom/convex_polygon.h   the polygon value type summaries materialize
 //   queries/queries.h       raw extremal queries over one polygon
 //   queries/certified.h     interval-valued certified queries over the

@@ -1,0 +1,546 @@
+// Snapshot v3 (delta frame) tests: the generation/resync protocol, a
+// pinned golden delta frame (layout in DESIGN.md, "Wire format"), a
+// differential suite proving that a delta-patched sink view re-encodes to
+// the exact bytes of a fresh full v2 frame for every engine kind x
+// workload x r, and exhaustive robustness coverage — truncation at every
+// offset, per-field corruption, stale/overlapping/mismatched frames — all
+// reporting Status, never UB (the suite runs under ASan+UBSan in CI).
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/snapshot.h"
+#include "core/static_adaptive.h"
+#include "queries/certified.h"
+#include "stream/generators.h"
+
+namespace streamhull {
+namespace {
+
+EngineOptions Opts(uint32_t r) {
+  EngineOptions o;
+  o.hull.r = r;
+  return o;
+}
+
+std::unique_ptr<PointGenerator> MakeWorkload(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<DiskGenerator>(71);
+    case 1: return std::make_unique<SquareGenerator>(72, 0.21);
+    case 2: return std::make_unique<EllipseGenerator>(73, 16.0, 0.13);
+    case 3: return std::make_unique<CircleGenerator>(74, 97);
+    case 4: return std::make_unique<ClusterGenerator>(75, 5);
+    case 5: return std::make_unique<DriftWalkGenerator>(76);
+    default: return std::make_unique<SpiralGenerator>(77, 1e-3);
+  }
+}
+
+// A producer/sink pair running the delta protocol end to end: the
+// producer encodes (delta when possible, full resync otherwise), the sink
+// applies/decodes, and the caller asserts sink state against the engine.
+struct DeltaPipeline {
+  std::unique_ptr<HullEngine> engine;
+  DecodedSummaryView view;
+  bool synced = false;
+  uint64_t full_frames = 0;
+  uint64_t delta_frames = 0;
+  uint64_t delta_bytes = 0;
+  uint64_t full_bytes = 0;
+
+  // One poll cycle: ship whatever the producer can, return the frame size.
+  size_t ShipUpdate() {
+    std::string frame;
+    const uint64_t sink_generation = synced ? view.num_points : 0;
+    if (engine->EncodeSummaryDelta(sink_generation, &frame).ok()) {
+      EXPECT_EQ(SnapshotVersion(frame), 3u);
+      const Status st = ApplySummaryDelta(frame, &view);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      ++delta_frames;
+      delta_bytes += frame.size();
+    } else {
+      frame = engine->EncodeView();
+      EXPECT_EQ(SnapshotVersion(frame), 2u);
+      const Status st = DecodeSummaryView(frame, &view);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      synced = true;
+      ++full_frames;
+      full_bytes += frame.size();
+    }
+    return frame.size();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Protocol basics
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotDeltaProtocolTest, DeltaBeforeAnyFullFrameFailsPrecondition) {
+  auto engine = MakeEngine(EngineKind::kAdaptive, Opts(8));
+  engine->Insert({1.0, 2.0});
+  std::string frame;
+  const Status st = engine->EncodeSummaryDelta(1, &frame);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+}
+
+TEST(SnapshotDeltaProtocolTest, EmptyEngineCannotEstablishBaseline) {
+  auto engine = MakeEngine(EngineKind::kAdaptive, Opts(8));
+  (void)engine->EncodeView();  // Empty: decoders reject it, no baseline.
+  engine->Insert({1.0, 2.0});
+  std::string frame;
+  EXPECT_EQ(engine->EncodeSummaryDelta(0, &frame).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotDeltaProtocolTest, WrongBaseGenerationFailsPrecondition) {
+  auto engine = MakeEngine(EngineKind::kAdaptive, Opts(8));
+  engine->Insert({1.0, 2.0});
+  (void)engine->EncodeView();  // Baseline at generation 1.
+  engine->Insert({-3.0, 0.5});
+  std::string frame;
+  EXPECT_EQ(engine->EncodeSummaryDelta(7, &frame).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(engine->EncodeSummaryDelta(1, &frame).ok());
+}
+
+TEST(SnapshotDeltaProtocolTest, QuiescentDeltaIsHeaderOnlyAndAppliesCleanly) {
+  auto engine = MakeEngine(EngineKind::kAdaptive, Opts(8));
+  DiskGenerator gen(7);
+  engine->InsertBatch(gen.Take(500));
+  const std::string full = engine->EncodeView();
+  DecodedSummaryView view;
+  ASSERT_TRUE(DecodeSummaryView(full, &view).ok());
+
+  std::string frame;
+  ASSERT_TRUE(engine->EncodeSummaryDelta(view.num_points, &frame).ok());
+  EXPECT_EQ(frame.size(), 64u);  // No upserts, no retires: header only.
+  std::vector<HullSample> upserted;
+  ASSERT_TRUE(ApplySummaryDelta(frame, &view, &upserted).ok());
+  EXPECT_TRUE(upserted.empty());
+  EXPECT_EQ(EncodeSummaryView(view), full);
+}
+
+TEST(SnapshotDeltaProtocolTest, ReplayedDeltaFailsPrecondition) {
+  auto engine = MakeEngine(EngineKind::kAdaptive, Opts(8));
+  DiskGenerator gen(8);
+  engine->InsertBatch(gen.Take(100));
+  DecodedSummaryView view;
+  ASSERT_TRUE(DecodeSummaryView(engine->EncodeView(), &view).ok());
+  engine->InsertBatch(gen.Take(100));
+  std::string delta;
+  ASSERT_TRUE(engine->EncodeSummaryDelta(100, &delta).ok());
+  ASSERT_TRUE(ApplySummaryDelta(delta, &view).ok());
+  EXPECT_EQ(view.num_points, 200u);
+  // The same frame again no longer chains: its base is behind the view.
+  const Status st = ApplySummaryDelta(delta, &view);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+  EXPECT_EQ(view.num_points, 200u);  // Untouched.
+}
+
+TEST(SnapshotDeltaProtocolTest, DroppedFrameForcesResyncAndResyncRecovers) {
+  auto engine = MakeEngine(EngineKind::kAdaptive, Opts(8));
+  DiskGenerator gen(9);
+  engine->InsertBatch(gen.Take(100));
+  DecodedSummaryView view;
+  ASSERT_TRUE(DecodeSummaryView(engine->EncodeView(), &view).ok());
+
+  // This frame is "lost in transit": the producer's baseline advances to
+  // generation 200, the sink stays at 100.
+  engine->InsertBatch(gen.Take(100));
+  std::string lost;
+  ASSERT_TRUE(engine->EncodeSummaryDelta(100, &lost).ok());
+
+  engine->InsertBatch(gen.Take(100));
+  std::string next;
+  ASSERT_TRUE(engine->EncodeSummaryDelta(200, &next).ok());
+  const Status st = ApplySummaryDelta(next, &view);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+  EXPECT_EQ(view.num_points, 100u);  // Untouched by the failed apply.
+
+  // The resync path: a fresh full frame, after which deltas chain again.
+  ASSERT_TRUE(DecodeSummaryView(engine->EncodeView(), &view).ok());
+  EXPECT_EQ(view.num_points, 300u);
+  engine->InsertBatch(gen.Take(50));
+  std::string resumed;
+  ASSERT_TRUE(engine->EncodeSummaryDelta(300, &resumed).ok());
+  ASSERT_TRUE(ApplySummaryDelta(resumed, &view).ok());
+  EXPECT_EQ(EncodeSummaryView(view), EncodeSummaryView(*engine));
+}
+
+// ---------------------------------------------------------------------------
+// Golden bytes: r=8 adaptive, one point shipped full, a second shipped as
+// a delta. Pinned against the byte layout in DESIGN.md; if this breaks,
+// the wire format changed and the version must be bumped.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotDeltaGoldenTest, PinnedDeltaFrame) {
+  AdaptiveHullOptions options;
+  options.r = 8;
+  AdaptiveHull hull(options);
+  hull.Insert({1.5, -2.25});
+  (void)hull.EncodeView();  // Baseline at generation 1.
+  hull.Insert({3.0, 1.0});
+  std::string delta;
+  ASSERT_TRUE(hull.EncodeSummaryDelta(1, &delta).ok());
+
+  // 64-byte header + 10 upserted samples * 36 bytes (the new point wins 6
+  // of the 8 uniform directions and triggers 4 refinements) + 0 retires =
+  // 424 bytes.
+  ASSERT_EQ(delta.size(), 424u);
+  uint32_t u32 = 0;
+  std::memcpy(&u32, delta.data() + 0, 4);
+  EXPECT_EQ(u32, 0x53484c33u);  // "SHL3".
+  std::memcpy(&u32, delta.data() + 4, 4);
+  EXPECT_EQ(u32, 3u);  // Version.
+  std::memcpy(&u32, delta.data() + 8, 4);
+  EXPECT_EQ(u32, 1u);  // Kind: adaptive.
+  std::memcpy(&u32, delta.data() + 12, 4);
+  EXPECT_EQ(u32, 8u);  // r.
+  std::memcpy(&u32, delta.data() + 16, 4);
+  EXPECT_EQ(u32, 10u);  // Upserts.
+  std::memcpy(&u32, delta.data() + 20, 4);
+  EXPECT_EQ(u32, 0u);  // Retires.
+  uint64_t u64 = 0;
+  std::memcpy(&u64, delta.data() + 32, 8);
+  EXPECT_EQ(u64, 1u);  // Base generation.
+  std::memcpy(&u64, delta.data() + 40, 8);
+  EXPECT_EQ(u64, 2u);  // New generation.
+
+  // The patched view must be what a full re-decode produces.
+  AdaptiveHull replay(options);
+  replay.Insert({1.5, -2.25});
+  DecodedSummaryView view;
+  ASSERT_TRUE(DecodeSummaryView(replay.EncodeView(), &view).ok());
+  ASSERT_TRUE(ApplySummaryDelta(delta, &view).ok());
+  EXPECT_EQ(EncodeSummaryView(view), EncodeSummaryView(hull));
+}
+
+// ---------------------------------------------------------------------------
+// Differential suite: the delta-patched view re-encodes to the exact
+// bytes of the producer's full frame, for every kind x workload x r,
+// through many update cycles (including forced mid-stream resyncs).
+// ---------------------------------------------------------------------------
+
+class SnapshotDeltaDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<EngineKind, int, uint32_t>> {
+};
+
+TEST_P(SnapshotDeltaDifferentialTest, PatchedViewMatchesFullReDecode) {
+  const auto [kind, workload, r] = GetParam();
+  DeltaPipeline pipe;
+  pipe.engine = MakeEngine(kind, Opts(r));
+  auto gen = MakeWorkload(workload);
+  const size_t kUpdates = 24;
+  const size_t kChunk = 250;
+  for (size_t u = 0; u < kUpdates; ++u) {
+    pipe.engine->InsertBatch(gen->Take(kChunk));
+    if (u == kUpdates / 2) pipe.synced = false;  // Forced resync mid-run.
+    pipe.ShipUpdate();
+    // Byte-identical: the patched view re-encodes to exactly the full v2
+    // frame the producer would send now (EncodeSummaryView on a const
+    // engine does not disturb the delta baseline).
+    ASSERT_EQ(EncodeSummaryView(pipe.view),
+              EncodeSummaryView(*pipe.engine))
+        << "update " << u << " kind " << EngineKindName(kind) << " workload "
+        << workload << " r " << r;
+    // And the certified sandwich it serves is the producer's.
+    const SummaryView sink = pipe.view.View();
+    const SummaryView truth(pipe.engine->Polygon(),
+                            pipe.engine->OuterPolygon());
+    EXPECT_EQ(CertifiedDiameter(sink).value.lo,
+              CertifiedDiameter(truth).value.lo);
+    EXPECT_EQ(CertifiedDiameter(sink).value.hi,
+              CertifiedDiameter(truth).value.hi);
+  }
+  // Steady state must actually run on deltas (one resync was forced, plus
+  // the initial full frame).
+  EXPECT_EQ(pipe.full_frames, 2u);
+  EXPECT_EQ(pipe.delta_frames, kUpdates - 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesWorkloadsRs, SnapshotDeltaDifferentialTest,
+    ::testing::Combine(::testing::ValuesIn(AllEngineKinds().begin(),
+                                           AllEngineKinds().end()),
+                       ::testing::Values(0, 1, 2, 3, 4, 5, 6),
+                       ::testing::Values(8u, 32u, 128u)));
+
+// Deltas must also beat full frames where it matters: a drifting summary
+// re-ships a small fraction of its samples. (The CI-gated 20k-point, r=64
+// measurement lives in bench_snapshot_delta; this is the loose
+// correctness-of-purpose floor.)
+TEST(SnapshotDeltaDifferentialTest, DeltasShipFarFewerBytesOnDrift) {
+  DeltaPipeline pipe;
+  pipe.engine = MakeEngine(EngineKind::kAdaptive, Opts(64));
+  DriftWalkGenerator gen(29);
+  uint64_t hypothetical_full_bytes = 0;
+  for (size_t u = 0; u < 100; ++u) {
+    pipe.engine->InsertBatch(gen.Take(200));
+    pipe.ShipUpdate();
+    hypothetical_full_bytes += EncodeSummaryView(*pipe.engine).size();
+  }
+  ASSERT_GE(pipe.delta_frames, 99u);
+  EXPECT_LT(pipe.delta_bytes + pipe.full_bytes,
+            hypothetical_full_bytes / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: malformed frames are rejected with a Status and an
+// untouched view, at every truncation offset and for every field.
+// ---------------------------------------------------------------------------
+
+class SnapshotDeltaRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine = MakeEngine(EngineKind::kAdaptive, Opts(8));
+    DiskGenerator gen(31);
+    engine->InsertBatch(gen.Take(200));
+    ASSERT_TRUE(DecodeSummaryView(engine->EncodeView(), &view_).ok());
+    engine->InsertBatch(gen.Take(200));
+    ASSERT_TRUE(engine->EncodeSummaryDelta(200, &delta_).ok());
+    ASSERT_GT(delta_.size(), 64u);  // Carries at least one record.
+    baseline_ = EncodeSummaryView(view_);
+  }
+
+  // The view must be byte-identical to its pre-attack state.
+  void ExpectViewUntouched() {
+    EXPECT_EQ(EncodeSummaryView(view_), baseline_);
+  }
+
+  DecodedSummaryView view_;
+  std::string delta_;
+  std::string baseline_;
+};
+
+TEST_F(SnapshotDeltaRobustnessTest, EveryTruncationRejected) {
+  for (size_t len = 0; len < delta_.size(); ++len) {
+    DecodedSummaryView scratch = view_;
+    const Status st =
+        ApplySummaryDelta(std::string_view(delta_.data(), len), &scratch);
+    EXPECT_FALSE(st.ok()) << "truncation at " << len;
+    EXPECT_EQ(EncodeSummaryView(scratch), baseline_);
+  }
+}
+
+TEST_F(SnapshotDeltaRobustnessTest, TrailingBytesRejected) {
+  std::string padded = delta_ + std::string(1, '\0');
+  EXPECT_FALSE(ApplySummaryDelta(padded, &view_).ok());
+  ExpectViewUntouched();
+}
+
+TEST_F(SnapshotDeltaRobustnessTest, HeaderFieldCorruptionRejected) {
+  // Flipping the low byte of each u32 header field must be rejected:
+  // magic, version, kind, r, upsert count, retire count, flags, reserved.
+  for (size_t offset : {0u, 4u, 8u, 12u, 16u, 20u, 24u, 28u}) {
+    std::string bad = delta_;
+    bad[offset] = static_cast<char>(bad[offset] ^ 0x40);
+    EXPECT_FALSE(ApplySummaryDelta(bad, &view_).ok()) << "offset " << offset;
+    ExpectViewUntouched();
+  }
+}
+
+TEST_F(SnapshotDeltaRobustnessTest, GenerationCorruptionRejected) {
+  std::string bad = delta_;
+  bad[32] = static_cast<char>(bad[32] ^ 0x01);  // Base generation.
+  EXPECT_FALSE(ApplySummaryDelta(bad, &view_).ok());
+  ExpectViewUntouched();
+  bad = delta_;
+  // Stream length below the base generation ("regressed").
+  std::memset(bad.data() + 40, 0, 8);
+  bad[40] = 1;
+  EXPECT_FALSE(ApplySummaryDelta(bad, &view_).ok());
+  ExpectViewUntouched();
+}
+
+TEST_F(SnapshotDeltaRobustnessTest, NonFiniteMetadataRejected) {
+  for (size_t offset : {48u, 56u}) {  // Perimeter, error bound.
+    std::string bad = delta_;
+    // 0x7ff0000000000000: +inf.
+    const unsigned char inf[8] = {0, 0, 0, 0, 0, 0, 0xf0, 0x7f};
+    std::memcpy(bad.data() + offset, inf, 8);
+    EXPECT_FALSE(ApplySummaryDelta(bad, &view_).ok()) << "offset " << offset;
+    ExpectViewUntouched();
+  }
+}
+
+TEST_F(SnapshotDeltaRobustnessTest, KindAndRMismatchRejected) {
+  // A frame from a different engine kind / different r must not patch
+  // this view even when sizes and generations line up.
+  auto other = MakeEngine(EngineKind::kUniform, Opts(8));
+  DiskGenerator gen(31);
+  other->InsertBatch(gen.Take(200));
+  (void)other->EncodeView();
+  other->InsertBatch(gen.Take(200));
+  std::string delta;
+  ASSERT_TRUE(other->EncodeSummaryDelta(200, &delta).ok());
+  const Status st = ApplySummaryDelta(delta, &view_);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+  ExpectViewUntouched();
+
+  auto wide = MakeEngine(EngineKind::kAdaptive, Opts(16));
+  DiskGenerator gen2(31);
+  wide->InsertBatch(gen2.Take(200));
+  (void)wide->EncodeView();
+  wide->InsertBatch(gen2.Take(200));
+  ASSERT_TRUE(wide->EncodeSummaryDelta(200, &delta).ok());
+  EXPECT_EQ(ApplySummaryDelta(delta, &view_).code(),
+            StatusCode::kInvalidArgument);
+  ExpectViewUntouched();
+}
+
+// Hand-crafted frames for attacks an honest producer cannot emit.
+class DeltaFrameBuilder {
+ public:
+  DeltaFrameBuilder& Header(uint32_t kind, uint32_t r, uint32_t upserts,
+                            uint32_t retires, uint64_t base_points,
+                            uint64_t num_points) {
+    bytes_.clear();
+    U32(0x53484c33);
+    U32(3);
+    U32(kind);
+    U32(r);
+    U32(upserts);
+    U32(retires);
+    U32(0);
+    U32(0);
+    U64(base_points);
+    U64(num_points);
+    F64(0.0);  // Perimeter.
+    F64(0.0);  // Error bound.
+    return *this;
+  }
+  DeltaFrameBuilder& Upsert(uint64_t num, uint32_t level, double x, double y,
+                            double slack) {
+    U64(num);
+    U32(level);
+    F64(x);
+    F64(y);
+    F64(slack);
+    return *this;
+  }
+  DeltaFrameBuilder& Retire(uint64_t num, uint32_t level) {
+    U64(num);
+    U32(level);
+    return *this;
+  }
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  void U32(uint32_t v) {
+    bytes_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void U64(uint64_t v) {
+    bytes_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void F64(double v) {
+    bytes_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  std::string bytes_;
+};
+
+class SnapshotDeltaCraftedFrameTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A uniform r=8 view: 8 level-0 samples, directions 0..7, generation
+    // 100 — easy to aim crafted records at.
+    auto engine = MakeEngine(EngineKind::kUniform, Opts(8));
+    DiskGenerator gen(33);
+    engine->InsertBatch(gen.Take(100));
+    ASSERT_TRUE(DecodeSummaryView(engine->EncodeView(), &view_).ok());
+    ASSERT_EQ(view_.samples.size(), 8u);
+    baseline_ = EncodeSummaryView(view_);
+  }
+
+  void ExpectRejected(const std::string& frame, StatusCode code) {
+    const Status st = ApplySummaryDelta(frame, &view_);
+    EXPECT_EQ(st.code(), code) << st.ToString();
+    EXPECT_EQ(EncodeSummaryView(view_), baseline_);
+  }
+
+  DecodedSummaryView view_;
+  std::string baseline_;
+};
+
+TEST_F(SnapshotDeltaCraftedFrameTest, RetireOfUnknownDirectionRejected) {
+  DeltaFrameBuilder b;
+  b.Header(/*kind=*/0, /*r=*/8, /*upserts=*/0, /*retires=*/1,
+           /*base_points=*/100, /*num_points=*/101)
+      .Retire(/*num=*/1, /*level=*/1);  // Refined direction: not in view.
+  ExpectRejected(b.bytes(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotDeltaCraftedFrameTest, UpsertAndRetireOfSameDirectionRejected) {
+  DeltaFrameBuilder b;
+  b.Header(0, 8, /*upserts=*/1, /*retires=*/1, 100, 101)
+      .Upsert(/*num=*/2, /*level=*/0, 1.0, 2.0, 0.0)
+      .Retire(/*num=*/2, /*level=*/0);
+  ExpectRejected(b.bytes(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotDeltaCraftedFrameTest, RetiringEveryDirectionRejected) {
+  DeltaFrameBuilder b;
+  b.Header(0, 8, 0, /*retires=*/8, 100, 101);
+  for (uint64_t j = 0; j < 8; ++j) b.Retire(j, 0);
+  ExpectRejected(b.bytes(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotDeltaCraftedFrameTest, NonAscendingRecordsRejected) {
+  DeltaFrameBuilder b;
+  b.Header(0, 8, /*upserts=*/2, 0, 100, 101)
+      .Upsert(3, 0, 1.0, 2.0, 0.0)
+      .Upsert(2, 0, 1.0, 2.0, 0.0);
+  ExpectRejected(b.bytes(), StatusCode::kInvalidArgument);
+  b.Header(0, 8, 0, /*retires=*/2, 100, 101).Retire(3, 0).Retire(2, 0);
+  ExpectRejected(b.bytes(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotDeltaCraftedFrameTest, NonCanonicalDirectionsRejected) {
+  DeltaFrameBuilder b;
+  // level > 0 with an even num is non-canonical; num beyond r << level is
+  // out of range; level 41 exceeds kMaxLevel.
+  b.Header(0, 8, /*upserts=*/1, 0, 100, 101).Upsert(2, 1, 1.0, 2.0, 0.0);
+  ExpectRejected(b.bytes(), StatusCode::kInvalidArgument);
+  b.Header(0, 8, /*upserts=*/1, 0, 100, 101).Upsert(16, 0, 1.0, 2.0, 0.0);
+  ExpectRejected(b.bytes(), StatusCode::kInvalidArgument);
+  b.Header(0, 8, 0, /*retires=*/1, 100, 101).Retire(1, 41);
+  ExpectRejected(b.bytes(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotDeltaCraftedFrameTest, NegativeOrNonFiniteSlackRejected) {
+  DeltaFrameBuilder b;
+  b.Header(0, 8, /*upserts=*/1, 0, 100, 101).Upsert(2, 0, 1.0, 2.0, -1.0);
+  ExpectRejected(b.bytes(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotDeltaCraftedFrameTest, SampleChangesWithoutProgressRejected) {
+  DeltaFrameBuilder b;
+  // Same generation on both ends but claiming a sample moved: a state
+  // change without stream progress is impossible for an honest producer.
+  b.Header(0, 8, /*upserts=*/1, 0, 100, /*num_points=*/100)
+      .Upsert(2, 0, 1.0, 2.0, 0.0);
+  ExpectRejected(b.bytes(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotDeltaCraftedFrameTest, CountBudgetOverflowRejected) {
+  // 4r+4 = 36 for r=8; a crafted count beyond it must be rejected before
+  // any allocation sized from it (the exact-size check fires first).
+  DeltaFrameBuilder b;
+  b.Header(0, 8, /*upserts=*/5000, 0, 100, 101);
+  ExpectRejected(b.bytes(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotDeltaCraftedFrameTest, UnknownMagicReportsVersionZero) {
+  std::string junk = "XXXXjunkjunkjunk";
+  EXPECT_EQ(SnapshotVersion(junk), 0u);
+  DeltaFrameBuilder b;
+  b.Header(0, 8, 0, 0, 100, 101);
+  EXPECT_EQ(SnapshotVersion(b.bytes()), 3u);
+}
+
+}  // namespace
+}  // namespace streamhull

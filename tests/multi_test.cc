@@ -502,5 +502,172 @@ TEST(StreamGroupTest, PollCachesPerStreamGeometryAcrossPairsAndPolls) {
       << "only the mutated stream re-materializes";
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot v3 delta frames through the multi-stream layers
+// ---------------------------------------------------------------------------
+
+TEST(StreamGroupRemoteTest, RemoteStreamRunsOnDeltasAfterOneFullFrame) {
+  AdaptiveHull producer(Opts());
+  DiskGenerator gen(91);
+  producer.InsertBatch(gen.Take(1000));
+
+  StreamGroup sink(Opts());
+  ASSERT_TRUE(sink.AddRemoteStream("remote").ok());
+
+  // A delta cannot arrive before any full frame: there is nothing to patch.
+  producer.InsertBatch(gen.Take(10));
+  (void)producer.EncodeView();  // Establishes the producer-side baseline.
+  std::string delta;
+  producer.InsertBatch(gen.Take(10));
+  ASSERT_TRUE(producer.EncodeSummaryDelta(1010, &delta).ok());
+  EXPECT_EQ(sink.UpdateRemoteStream("remote", delta).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Full frame, then steady-state deltas; every update invalidates the
+  // generation-tagged view cache exactly once.
+  ASSERT_TRUE(sink.UpdateRemoteStream("remote", producer.EncodeView()).ok());
+  ASSERT_TRUE(sink.AddStream("local").ok());
+  ASSERT_TRUE(sink.Insert("local", {10.0, 10.0}).ok());
+  ASSERT_TRUE(sink.WatchPair("remote", "local").ok());
+  (void)sink.Poll();
+  const uint64_t mat0 = sink.view_materializations();
+
+  for (int round = 0; round < 5; ++round) {
+    producer.InsertBatch(gen.Take(200));
+    std::string frame;
+    ASSERT_TRUE(
+        producer.EncodeSummaryDelta(producer.num_points() - 200, &frame)
+            .ok());
+    EXPECT_EQ(SnapshotVersion(frame), 3u);
+    ASSERT_TRUE(sink.UpdateRemoteStream("remote", frame).ok());
+    (void)sink.Poll();
+  }
+  EXPECT_EQ(sink.view_materializations(), mat0 + 5)
+      << "each applied delta invalidates the cached view exactly once";
+
+  // The patched remote view answers queries exactly like the producer.
+  SummaryView remote_view;
+  ASSERT_TRUE(sink.View("remote", &remote_view).ok());
+  const SummaryView truth(producer.Polygon(), producer.OuterPolygon());
+  EXPECT_EQ(CertifiedDiameter(remote_view).value.lo,
+            CertifiedDiameter(truth).value.lo);
+  EXPECT_EQ(CertifiedDiameter(remote_view).value.hi,
+            CertifiedDiameter(truth).value.hi);
+}
+
+TEST(StreamGroupRemoteTest, GenerationGapSurfacesAndFullFrameRecovers) {
+  AdaptiveHull producer(Opts());
+  DiskGenerator gen(92);
+  producer.InsertBatch(gen.Take(500));
+
+  StreamGroup sink(Opts());
+  ASSERT_TRUE(sink.AddRemoteStream("remote").ok());
+  ASSERT_TRUE(sink.UpdateRemoteStream("remote", producer.EncodeView()).ok());
+
+  // This delta is lost in transit; the producer's baseline moves on.
+  producer.InsertBatch(gen.Take(100));
+  std::string lost;
+  ASSERT_TRUE(producer.EncodeSummaryDelta(500, &lost).ok());
+
+  producer.InsertBatch(gen.Take(100));
+  std::string next;
+  ASSERT_TRUE(producer.EncodeSummaryDelta(600, &next).ok());
+  EXPECT_EQ(sink.UpdateRemoteStream("remote", next).code(),
+            StatusCode::kFailedPrecondition);
+
+  // The held view survived the failed patch and still serves queries.
+  SummaryView view;
+  ASSERT_TRUE(sink.View("remote", &view).ok());
+  EXPECT_FALSE(view.empty());
+
+  // Resync, after which deltas chain again.
+  ASSERT_TRUE(sink.UpdateRemoteStream("remote", producer.EncodeView()).ok());
+  producer.InsertBatch(gen.Take(100));
+  std::string resumed;
+  ASSERT_TRUE(producer.EncodeSummaryDelta(700, &resumed).ok());
+  EXPECT_TRUE(sink.UpdateRemoteStream("remote", resumed).ok());
+}
+
+TEST(RegionHullTest, DeltaMergeMatchesFullViewMerge) {
+  const std::vector<ConvexPolygon> partition = {
+      ConvexPolygon({{-20, -20}, {0, -20}, {0, 20}, {-20, 20}}),
+      ConvexPolygon({{1, -20}, {20, -20}, {20, 20}, {1, 20}})};
+  Status st;
+  auto node = RegionPartitionedHull::Create(partition, Opts(), &st);
+  ASSERT_TRUE(st.ok());
+  auto sink_delta = RegionPartitionedHull::Create(partition, Opts(), &st);
+  ASSERT_TRUE(st.ok());
+  auto sink_full = RegionPartitionedHull::Create(partition, Opts(), &st);
+  ASSERT_TRUE(st.ok());
+
+  DiskGenerator left(93, 2.0, {-10, 0}), right(94, 2.0, {10, 0});
+  auto feed = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      node->Insert(left.Next());
+      node->Insert(right.Next());
+    }
+  };
+
+  // Round 0: both sinks start from full frames. The delta sink keeps the
+  // peer's decoded views to patch; the full sink re-decodes every round.
+  feed(500);
+  std::vector<DecodedSummaryView> held(node->OutlierIndex() + 1);
+  for (size_t i = 0; i < node->num_regions(); ++i) {
+    const std::string wire = node->EncodeRegionResync(i);
+    ASSERT_FALSE(wire.empty());
+    ASSERT_TRUE(DecodeSummaryView(wire, &held[i]).ok());
+    ASSERT_TRUE(sink_delta->MergeDecodedView(i, held[i]).ok());
+    ASSERT_TRUE(sink_full->MergeDecodedView(i, held[i]).ok());
+  }
+
+  for (int round = 1; round <= 5; ++round) {
+    feed(200);
+    for (size_t i = 0; i < node->num_regions(); ++i) {
+      std::string delta;
+      ASSERT_TRUE(
+          node->EncodeRegionDelta(i, held[i].num_points, &delta).ok())
+          << "region " << i << " round " << round;
+      ASSERT_TRUE(sink_delta->MergeDecodedDelta(i, delta, &held[i]).ok());
+      // The patched view must match a fresh full encode of the region.
+      EXPECT_EQ(EncodeSummaryView(held[i]),
+                EncodeSummaryView(node->RegionHull(i)));
+      ASSERT_TRUE(sink_full->MergeDecodedView(i, held[i]).ok());
+    }
+  }
+
+  // Both sinks ingested exactly the same point *set* (every sample that
+  // ever appeared in a frame — the full sink via whole views, the delta
+  // sink via increments), just with different multiplicities and order.
+  // Adaptive merging is order-sensitive within its error bound, so the
+  // summaries need not be bit-equal; the sandwich guarantee is that each
+  // sink's inner polygon lies inside the other's certified outer polygon
+  // (both outer polygons contain the common true hull).
+  for (size_t i = 0; i < node->num_regions(); ++i) {
+    const ConvexPolygon outer_full = sink_full->RegionHull(i).OuterPolygon();
+    const ConvexPolygon outer_delta =
+        sink_delta->RegionHull(i).OuterPolygon();
+    const ConvexPolygon inner_full = sink_full->RegionHull(i).Polygon();
+    const ConvexPolygon inner_delta = sink_delta->RegionHull(i).Polygon();
+    for (const Point2& v : inner_delta.vertices()) {
+      EXPECT_LE(outer_full.DistanceOutside(v), 1e-9) << "region " << i;
+    }
+    for (const Point2& v : inner_full.vertices()) {
+      EXPECT_LE(outer_delta.DistanceOutside(v), 1e-9) << "region " << i;
+    }
+    EXPECT_TRUE(sink_delta->RegionHull(i).CheckConsistency().ok());
+  }
+
+  // Error paths: out-of-range index, empty region, generation gap.
+  std::string out;
+  EXPECT_EQ(node->EncodeRegionDelta(99, 0, &out).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(node->EncodeRegionDelta(node->OutlierIndex(), 0, &out).code(),
+            StatusCode::kFailedPrecondition);  // Catch-all never fed.
+  EXPECT_TRUE(node->EncodeRegionResync(node->OutlierIndex()).empty());
+  feed(10);
+  EXPECT_EQ(node->EncodeRegionDelta(0, 1, &out).code(),
+            StatusCode::kFailedPrecondition);  // Stale base generation.
+}
+
 }  // namespace
 }  // namespace streamhull

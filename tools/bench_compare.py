@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate.
+
+Compares the current run's Google-Benchmark JSON files (BENCH_*.json)
+against the cached last-main baseline and fails (exit 1) when:
+
+  * throughput regresses by more than --threshold (default 25%):
+    items_per_second when both runs report it, otherwise real_time
+    (inverted: slower is worse), or
+  * an allocs_per_point counter increases beyond a small absolute epsilon
+    (allocation regressions are deterministic, so no noise allowance).
+
+Byte-size counters (bytes/update, full_bytes/delta_bytes, ...) are
+deterministic protocol properties pinned by tests, so they are reported
+here but not gated.
+
+A missing baseline (first run on a branch, cache evicted) is not an
+error: the gate prints a notice and passes, and the main-branch job saves
+the fresh baseline for the next run.
+
+Usage:
+  bench_compare.py --baseline DIR --current DIR [--threshold 0.25]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+ALLOC_EPSILON = 0.01  # Absolute allowance on allocs/point counters.
+
+
+def load_benchmarks(path):
+    """Returns {benchmark name: entry} for one benchmark JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for entry in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if entry.get("run_type") == "aggregate":
+            continue
+        out[entry["name"]] = entry
+    return out
+
+
+def compare_file(name, baseline, current, threshold):
+    """Compares one JSON file pair; returns a list of failure strings."""
+    failures = []
+    for bench, cur in sorted(current.items()):
+        base = baseline.get(bench)
+        if base is None:
+            print(f"  {bench}: new benchmark (no baseline)")
+            continue
+
+        if "items_per_second" in cur and "items_per_second" in base:
+            b, c = base["items_per_second"], cur["items_per_second"]
+            ratio = c / b if b > 0 else 1.0
+            verdict = "OK"
+            if ratio < 1.0 - threshold:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}:{bench}: items/s fell {100 * (1 - ratio):.1f}% "
+                    f"({b:.3g} -> {c:.3g})")
+            print(f"  {bench}: items/s {b:.3g} -> {c:.3g} "
+                  f"({100 * (ratio - 1):+.1f}%) {verdict}")
+        else:
+            b, c = base["real_time"], cur["real_time"]
+            ratio = c / b if b > 0 else 1.0
+            verdict = "OK"
+            if ratio > 1.0 + threshold:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}:{bench}: real_time rose {100 * (ratio - 1):.1f}% "
+                    f"({b:.3g} -> {c:.3g} {cur.get('time_unit', 'ns')})")
+            print(f"  {bench}: time {b:.3g} -> {c:.3g} "
+                  f"({100 * (ratio - 1):+.1f}%) {verdict}")
+
+        for counter, cur_val in cur.items():
+            if "allocs_per_point" not in counter:
+                continue
+            base_val = base.get(counter)
+            if base_val is None:
+                continue
+            if cur_val > base_val + ALLOC_EPSILON:
+                failures.append(
+                    f"{name}:{bench}: {counter} increased "
+                    f"{base_val:.4f} -> {cur_val:.4f}")
+                print(f"  {bench}: {counter} {base_val:.4f} -> "
+                      f"{cur_val:.4f} REGRESSION")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=pathlib.Path)
+    parser.add_argument("--current", required=True, type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=0.25)
+    args = parser.parse_args()
+
+    current_files = sorted(args.current.glob("BENCH_*.json"))
+    if not current_files:
+        print(f"error: no BENCH_*.json under {args.current}", file=sys.stderr)
+        return 2
+
+    if not args.baseline.is_dir():
+        print(f"no baseline at {args.baseline}: first run, gate passes")
+        return 0
+
+    failures = []
+    compared = 0
+    for cur_path in current_files:
+        base_path = args.baseline / cur_path.name
+        if not base_path.exists():
+            print(f"{cur_path.name}: no baseline file, skipping")
+            continue
+        print(f"{cur_path.name}:")
+        failures += compare_file(cur_path.name, load_benchmarks(base_path),
+                                 load_benchmarks(cur_path), args.threshold)
+        compared += 1
+
+    if compared == 0:
+        print("no comparable baseline files: gate passes")
+        return 0
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s) beyond "
+              f"{100 * args.threshold:.0f}%:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} benchmark file(s) within "
+          f"{100 * args.threshold:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
