@@ -59,6 +59,7 @@ void Run(benchmark::State& state, bool batched) {
   const auto stream = MakeMixedStream(n, interior_pct, 20040614);
 
   uint64_t rejected = 0, offered = 0;
+  uint64_t simd = 0, scalar = 0, refreshes = 0;
   for (auto _ : state) {
     auto engine = MakeEngine(kind, Opts());
     if (batched) {
@@ -71,14 +72,19 @@ void Run(benchmark::State& state, bool batched) {
     }
     benchmark::DoNotOptimize(engine->num_points());
     rejected = engine->stats().batch_prefilter_rejections;
+    simd = engine->stats().batch_simd_rejections;
+    scalar = engine->stats().batch_scalar_rejections;
+    refreshes = engine->stats().batch_cache_refreshes;
     offered = engine->num_points();
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(stream.size()));
-  state.counters["reject%"] =
-      offered > 0 ? 100.0 * static_cast<double>(rejected) /
-                        static_cast<double>(offered)
-                  : 0.0;
+  const double denom = offered > 0 ? static_cast<double>(offered) : 1.0;
+  state.counters["reject%"] = 100.0 * static_cast<double>(rejected) / denom;
+  state.counters["simd_reject%"] = 100.0 * static_cast<double>(simd) / denom;
+  state.counters["scalar_reject%"] =
+      100.0 * static_cast<double>(scalar) / denom;
+  state.counters["cache_refreshes"] = static_cast<double>(refreshes);
 }
 
 void BM_PointAtATime(benchmark::State& state) { Run(state, /*batched=*/false); }

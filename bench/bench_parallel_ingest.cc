@@ -119,6 +119,7 @@ void RunGroupIngest(benchmark::State& state) {
   const size_t num_streams = static_cast<size_t>(state.range(1));
   const auto workload = MakeWorkload(num_streams);
 
+  AdaptiveHullStats stats;
   for (auto _ : state) {
     state.PauseTiming();  // Group construction is not ingestion.
     StreamGroup group(Opts(), EngineKind::kAdaptive);
@@ -148,12 +149,22 @@ void RunGroupIngest(benchmark::State& state) {
     }
     group.Flush();
     benchmark::DoNotOptimize(group.Hull(StreamName(0))->num_points());
+    stats = group.AggregateIngestStats();
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(num_streams) *
                           static_cast<int64_t>(kPointsPerStream));
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["streams"] = static_cast<double>(num_streams);
+  const double denom = stats.points_processed > 0
+                           ? static_cast<double>(stats.points_processed)
+                           : 1.0;
+  state.counters["reject%"] =
+      100.0 * static_cast<double>(stats.batch_prefilter_rejections) / denom;
+  state.counters["simd_reject%"] =
+      100.0 * static_cast<double>(stats.batch_simd_rejections) / denom;
+  state.counters["cache_refreshes"] =
+      static_cast<double>(stats.batch_cache_refreshes);
 }
 
 void BM_SequentialIngest(benchmark::State& state) { RunGroupIngest(state); }

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "core/snapshot.h"  // InvariantOffset (defined below).
 #include "geom/convex_view.h"
+#include "geom/kernels.h"
 
 namespace streamhull {
 
@@ -1024,6 +1025,20 @@ void AdaptiveHull::RefreshBatchCache() {
     scale = std::max({scale, std::abs(v.x), std::abs(v.y)});
   }
   batch_cache_scale_ = scale;
+  ++stats_.batch_cache_refreshes;
+  // SoA mirror for the SIMD tier: a coarse sub-polygon of every stride-th
+  // vertex, capped at kBatchSoaMaxEdges edges. Any vertex subset of a
+  // convex polygon spans a convex polygon contained in it, so certifying
+  // strict interiority against the subset certifies it against the full
+  // polygon — and the lane kernel's cost stays O(1) per point no matter
+  // how large r makes the cache.
+  const size_t m = batch_cache_.size();
+  const size_t stride = (m + kBatchSoaMaxEdges - 1) / kBatchSoaMaxEdges;
+  if (m >= 3) {
+    batch_soa_.Build(batch_cache_, stride, batch_cache_scale_);
+  } else {
+    batch_soa_.Clear();
+  }
 }
 
 namespace {
@@ -1050,7 +1065,35 @@ bool StrictlyLeftByMargin(Point2 a, Point2 b, Point2 p, double scale) {
 bool AdaptiveHull::BatchCacheRejects(Point2 p) const {
   const std::vector<Point2>& v = batch_cache_;
   const size_t m = v.size();
-  if (m < 3) return false;
+  if (m < 3) {
+    // Degenerate caches (a repeated-point or collinear-start stream) still
+    // prefilter, but only where a certificate exists. An exact duplicate of
+    // a stored vertex evaluates every Beats() dot product to the identical
+    // float, so the strict > can never fire: provably a no-op. (NaN
+    // coordinates fail == and fall through to the full path.)
+    if (m == 1) return p == v[0];
+    if (m == 2) {
+      if (p == v[0] || p == v[1]) return true;
+      // Axis-aligned collinear and strictly between the endpoints: with
+      // the off-axis coordinate exactly shared, every Beats() comparison
+      // reduces to fl(c*t + k) vs fl(c*t' + k) with t strictly between t'
+      // of the endpoints — rounding a monotone function keeps it weakly
+      // monotone, and a cache this small means incumbents came from the
+      // brute winning-set path (FP running maxima), so the duplicate-free
+      // strict > cannot fire. General-slope collinearity has no such
+      // certificate and takes the full path.
+      const Point2 a = v[0];
+      const Point2 b = v[1];
+      if (a.y == b.y && p.y == a.y) {
+        return p.x > std::min(a.x, b.x) && p.x < std::max(a.x, b.x);
+      }
+      if (a.x == b.x && p.x == a.x) {
+        return p.y > std::min(a.y, b.y) && p.y < std::max(a.y, b.y);
+      }
+      return false;
+    }
+    return false;
+  }
   const double scale =
       std::max({batch_cache_scale_, std::abs(p.x), std::abs(p.y)});
   // Wedge binary search from v[0] (plain predicates; a wrong wedge near a
@@ -1085,6 +1128,7 @@ void AdaptiveHull::Reserve(size_t expected_points) {
   nodes_.reserve(3 * static_cast<size_t>(options_.r) + 4);
   free_nodes_.reserve(dirs);
   batch_cache_.reserve(dirs);
+  batch_soa_.Reserve(kBatchSoaMaxEdges);
   won_scratch_.reserve(dirs);
   ws_rside_.reserve(dirs);
   brute_dirs_.reserve(dirs);
@@ -1111,17 +1155,22 @@ void AdaptiveHull::InsertBatch(std::span<const Point2> points) {
   ++stats_.batches;
   bool cache_valid = false;
   // Each accepted point invalidates the cache; rebuilding it costs O(r).
-  // The cooldown makes the next rebuild wait for ~cache/8 offered points
-  // (which meanwhile take the plain Insert path), so accept-heavy streams
-  // pay O(1) amortized refresh work per point instead of O(r), while
-  // interior-heavy streams — where accepts are rare — still spend almost
-  // the whole batch in the prefilter.
+  // The cooldown makes the next rebuild wait for ~cache/divisor offered
+  // points (which meanwhile take the plain Insert path), so accept-heavy
+  // streams pay O(1) amortized refresh work per point instead of O(r),
+  // while interior-heavy streams — where accepts are rare — still spend
+  // almost the whole batch in the prefilter.
   size_t cooldown = 0;
-  for (; i < points.size(); ++i) {
-    const Point2 p = points[i];
-    ++stats_.points_processed;
-    ++num_points_;
+  const uint32_t divisor = options_.batch_cooldown_divisor;
+  // The SIMD tier only pays off when a lane kernel actually backs it;
+  // under scalar dispatch the wedge test alone is the faster filter.
+  const bool use_lanes = ActiveSimdIsa() != SimdIsa::kScalar;
+  while (i < points.size()) {
     if (!cache_valid) {
+      const Point2 p = points[i];
+      ++stats_.points_processed;
+      ++num_points_;
+      ++i;
       if (cooldown > 0) {
         --cooldown;
         InsertNonEmpty(p);
@@ -1129,16 +1178,77 @@ void AdaptiveHull::InsertBatch(std::span<const Point2> points) {
       }
       RefreshBatchCache();
       cache_valid = true;
+      // Fall through: p must still be offered against the fresh cache.
+      if (BatchCacheRejects(p)) {
+        ++stats_.points_discarded;
+        ++stats_.batch_prefilter_rejections;
+        ++stats_.batch_scalar_rejections;
+        continue;
+      }
+      if (InsertNonEmpty(p)) {
+        cache_valid = false;
+        cooldown = divisor == 0 ? 0 : batch_cache_.size() / divisor;
+      }
+      continue;
     }
+    if (use_lanes && batch_soa_.CanCertify()) {
+      // SIMD tier: certify a block of points against the coarse
+      // sub-polygon in one branch-free sweep, then walk the mask. An
+      // accepted point invalidates the cache mid-block; the remaining
+      // mask entries are discarded (they were certified against the
+      // now-stale polygon).
+      const size_t block = std::min(kPrefilterBlock, points.size() - i);
+      CertifyInteriorBatch(batch_soa_, points.data() + i, block,
+                           prefilter_mask_.data());
+      // Counters accumulate in locals and flush once per block: the
+      // member RMWs alias the (char-typed) mask array in the compiler's
+      // eyes, so per-point increments would re-load the mask every
+      // iteration. InsertNonEmpty never reads num_points_ or the
+      // ingestion counters, so deferring the flush is unobservable.
+      size_t j = 0;
+      uint64_t lane_rejects = 0;
+      uint64_t wedge_rejects = 0;
+      for (; j < block; ++j) {
+        if (prefilter_mask_[j]) {
+          ++lane_rejects;
+          continue;
+        }
+        const Point2 p = points[i + j];
+        if (BatchCacheRejects(p)) {
+          ++wedge_rejects;
+          continue;
+        }
+        if (InsertNonEmpty(p)) {
+          cache_valid = false;
+          cooldown = divisor == 0 ? 0 : batch_cache_.size() / divisor;
+          ++j;
+          break;
+        }
+      }
+      i += j;
+      stats_.points_processed += j;
+      num_points_ += j;
+      stats_.points_discarded += lane_rejects + wedge_rejects;
+      stats_.batch_prefilter_rejections += lane_rejects + wedge_rejects;
+      stats_.batch_simd_rejections += lane_rejects;
+      stats_.batch_scalar_rejections += wedge_rejects;
+      continue;
+    }
+    // Scalar tier: the O(log r) wedge test, one point at a time.
+    const Point2 p = points[i];
+    ++stats_.points_processed;
+    ++num_points_;
+    ++i;
     if (BatchCacheRejects(p)) {
       ++stats_.points_discarded;
       ++stats_.batch_prefilter_rejections;
+      ++stats_.batch_scalar_rejections;
       continue;
     }
     // Full per-point pipeline; identical to Insert().
     if (InsertNonEmpty(p)) {
       cache_valid = false;
-      cooldown = batch_cache_.size() / 8;
+      cooldown = divisor == 0 ? 0 : batch_cache_.size() / divisor;
     }
   }
 }

@@ -38,6 +38,7 @@
 #ifndef STREAMHULL_CORE_ADAPTIVE_HULL_H_
 #define STREAMHULL_CORE_ADAPTIVE_HULL_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <span>
@@ -51,6 +52,7 @@
 #include "geom/convex_polygon.h"
 #include "geom/direction.h"
 #include "geom/point.h"
+#include "geom/soa.h"
 
 namespace streamhull {
 
@@ -75,15 +77,23 @@ class AdaptiveHull : public HullEngine {
   void Insert(Point2 p) override;
 
   /// \brief Batched ingestion fast path. Produces exactly the summary a
-  /// point-at-a-time Insert() loop would, but prefilters each point with an
-  /// O(log r) strictly-inside test against a cached copy of the current
-  /// sampled polygon: an interior point can never win a sample direction,
-  /// so it skips the winning-set machinery, and the cache (and therefore
-  /// the per-point perimeter / unrefinement bookkeeping it guards) is
-  /// refreshed at most once per accepted point rather than once per offered
-  /// point. On interior-heavy streams almost every point takes the
-  /// contiguous-memory rejection test instead of the skip-list search. See
-  /// DESIGN.md, "Batched ingestion".
+  /// point-at-a-time Insert() loop would, but prefilters each point with a
+  /// strictly-inside test against a cached copy of the current sampled
+  /// polygon: an interior point can never win a sample direction, so it
+  /// skips the winning-set machinery, and the cache (and therefore the
+  /// per-point perimeter / unrefinement bookkeeping it guards) is refreshed
+  /// at most once per accepted point rather than once per offered point.
+  ///
+  /// The prefilter has two conservative tiers. When SIMD dispatch is
+  /// active, blocks of up to 8 points first run the branch-free lane
+  /// kernel (kernels::CertifyInteriorBatch) against a coarse <= 16-vertex
+  /// sub-polygon of the cache; points it certifies are discarded outright.
+  /// Points it declines — near-boundary, degenerate, or simply outside the
+  /// coarse polygon — fall back to the scalar O(log r) wedge test, and
+  /// only then to the full insert path. Both tiers discard only points
+  /// provably unable to win any direction, so the summary is bit-identical
+  /// whichever tier fires (only the stats_ tier counters differ). See
+  /// DESIGN.md, "Batched ingestion" and "SIMD kernels".
   ///
   /// Calls Reserve() on entry; after the warm-up reservations, the batch
   /// hot path performs no heap allocation per offered point (rejected or
@@ -379,6 +389,19 @@ class AdaptiveHull : public HullEngine {
   // rebuilt, so steady-state refreshes allocate nothing.
   std::vector<Point2> batch_cache_;
   double batch_cache_scale_ = 0;
+  // Points per SIMD prefilter block (a multiple of every lane width).
+  static constexpr size_t kPrefilterBlock = 8;
+  // Coarse sub-polygon of batch_cache_ in SoA edge form for the lane
+  // kernel: every stride-th vertex so at most kBatchSoaMaxEdges edges are
+  // tested per point regardless of r. Rebuilt alongside batch_cache_;
+  // capacity persists, so steady-state refreshes allocate nothing.
+  // 8 keeps the kernel at two 4-lane edge groups per point: a coarser
+  // sub-polygon certifies slightly fewer near-boundary interiors (they
+  // fall to the wedge tier, unchanged summary), but halves the edge-loop
+  // cost paid by every block the inscribed circle cannot dispose of.
+  static constexpr size_t kBatchSoaMaxEdges = 8;
+  PolygonEdgeSoA batch_soa_;
+  std::array<uint8_t, kPrefilterBlock> prefilter_mask_{};
 
   // Insertion scratch buffers, reused across insertions so the per-point
   // hot path performs zero heap allocations once warmed up (Reserve()

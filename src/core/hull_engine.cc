@@ -9,6 +9,7 @@
 #include "core/partially_adaptive.h"
 #include "core/static_adaptive.h"
 #include "geom/convex_hull.h"
+#include "geom/kernels.h"
 
 namespace streamhull {
 
@@ -124,12 +125,49 @@ ConvexPolygon SupportIntersection(const std::vector<HullSample>& samples,
   // (m == 0) clipping against a non-degenerate subject.
   const double h =
       4.0 * m + 1e-12 * (1.0 + std::abs(c.x) + std::abs(c.y));
-  std::vector<Point2> poly{c + Point2{-h, -h}, c + Point2{h, -h},
-                           c + Point2{h, h}, c + Point2{-h, h}};
 
-  for (size_t i = 0; i < anchors.size() && !poly.empty(); ++i) {
-    ClipByHalfPlane(&poly, anchors[i], normals[i]);
+  // Sutherland–Hodgman over SoA coordinate arrays: the per-vertex signed
+  // offsets of each half-plane come from the vectorized SignedOffsets
+  // kernel, and the rebuild mirrors ClipByHalfPlane's arithmetic term for
+  // term (same subtraction, division, and interpolation order), so the
+  // result is bit-identical to clipping a vector<Point2> — whichever ISA
+  // the kernel dispatches to.
+  std::vector<double> xs{c.x - h, c.x + h, c.x + h, c.x - h};
+  std::vector<double> ys{c.y - h, c.y - h, c.y + h, c.y + h};
+  std::vector<double> offs, next_xs, next_ys;
+  const size_t max_verts = 4 + anchors.size() + 1;
+  offs.reserve(max_verts);
+  next_xs.reserve(max_verts);
+  next_ys.reserve(max_verts);
+  for (size_t i = 0; i < anchors.size() && !xs.empty(); ++i) {
+    const size_t k = xs.size();
+    offs.resize(k);
+    SignedOffsets(xs.data(), ys.data(), k, anchors[i].x, anchors[i].y,
+                  normals[i].x, normals[i].y, offs.data());
+    next_xs.clear();
+    next_ys.clear();
+    for (size_t j = 0; j < k; ++j) {
+      const size_t jp = (j + k - 1) % k;
+      const double dc = offs[j];
+      const double dp = offs[jp];
+      const bool cur_in = dc <= 0;
+      const bool prev_in = dp <= 0;
+      if (cur_in != prev_in) {
+        // Signs differ, so dp - dc != 0 and t lands in [0, 1].
+        const double t = dp / (dp - dc);
+        next_xs.push_back(xs[jp] + (xs[j] - xs[jp]) * t);
+        next_ys.push_back(ys[jp] + (ys[j] - ys[jp]) * t);
+      }
+      if (cur_in) {
+        next_xs.push_back(xs[j]);
+        next_ys.push_back(ys[j]);
+      }
+    }
+    xs.swap(next_xs);
+    ys.swap(next_ys);
   }
+  std::vector<Point2> poly(xs.size());
+  for (size_t j = 0; j < xs.size(); ++j) poly[j] = Point2{xs[j], ys[j]};
   return ConvexPolygon(ConvexHullOf(std::move(poly)));
 }
 

@@ -49,6 +49,15 @@ struct AdaptiveHullOptions {
   /// Priority queue backing the unrefinement thresholds.
   ThresholdQueueKind queue_kind = ThresholdQueueKind::kBucket;
 
+  /// \brief Accept-cooldown divisor for the batched-ingestion prefilter.
+  /// After an accepted point invalidates the cached polygon, the next
+  /// rebuild waits for ~cache_size / batch_cooldown_divisor offered points
+  /// (which take the plain insert path meanwhile), amortizing the O(r)
+  /// refresh on accept-heavy streams. 0 disables the cooldown (refresh
+  /// immediately after every accept). Affects performance only, never the
+  /// summary: the prefilter discards only provably-no-op points.
+  uint32_t batch_cooldown_divisor = 8;
+
   /// Validates option consistency.
   Status Validate() const;
 
@@ -71,9 +80,19 @@ struct AdaptiveHullStats {
   uint64_t directions_unrefined = 0;  ///< Unrefinement steps.
   uint64_t vertices_deleted = 0;   ///< Sample vertices displaced by arrivals.
   uint64_t batches = 0;            ///< InsertBatch calls taking the fast path.
-  /// Batched points rejected by the O(log r) inner-polygon prefilter
-  /// without touching the winning-set machinery.
+  /// Batched points rejected by the inner-polygon prefilter without
+  /// touching the winning-set machinery. Always equals
+  /// batch_simd_rejections + batch_scalar_rejections.
   uint64_t batch_prefilter_rejections = 0;
+  /// Prefilter rejections certified by the SIMD lane kernel (the coarse
+  /// sub-polygon test of geom/kernels.h). 0 in scalar-dispatch builds.
+  uint64_t batch_simd_rejections = 0;
+  /// Prefilter rejections certified by the scalar O(log r) wedge test
+  /// (points the conservative SIMD tier declined to certify, or all
+  /// rejections when SIMD dispatch is off).
+  uint64_t batch_scalar_rejections = 0;
+  /// Times the prefilter cache (and its SoA mirror) was rebuilt.
+  uint64_t batch_cache_refreshes = 0;
   uint64_t rebuild_nodes_visited = 0;  ///< Refinement-tree nodes touched.
   uint64_t rebalance_exchanges = 0;    ///< Fixed-size mode migrations.
   /// Times the uniformly-sampled-hull perimeter measured *lower* than its

@@ -184,23 +184,37 @@ std::optional<VisibleChain> FindVisibleChain(const View& view, Point2 q) {
   // than pi (convexity), so one of the two bracketing edges qualifies.
   const Point2 u = v0 - q;
   if (u == Point2{0, 0}) return FindVisibleChainBrute(view, q);
-  auto normal_angle = [&](size_t e) {
-    const Point2 n = (view[(e + 1) % m] - view[e]).PerpCw();
-    return std::atan2(n.y, n.x);
+  // Angular comparisons use exact cross/dot sign predicates instead of
+  // atan2: classify a vector into the half-turn [0, pi) or [pi, 2*pi) of
+  // CCW angle from edge 0's normal, then order within a half-turn by a
+  // single cross product. atan2 here was a measured hot spot (a handful of
+  // libm calls per outside query), and the searched-for barrier need not
+  // be a specific edge — any provably invisible edge works, and both
+  // candidates are verified with EdgeVisible below.
+  auto normal = [&](size_t e) {
+    return (view[(e + 1) % m] - view[e]).PerpCw();
   };
-  const double base = normal_angle(0);
-  auto rel = [&](double ang) {
-    double d = ang - base;
-    const double kTwoPi = 6.283185307179586476925286766559;
-    while (d < 0) d += kTwoPi;
-    while (d >= kTwoPi) d -= kTwoPi;
-    return d;
+  const Point2 nbase = normal(0);
+  auto half = [&](Point2 w) {
+    const double cr = nbase.x * w.y - nbase.y * w.x;
+    if (cr > 0) return 0;
+    if (cr < 0) return 1;
+    const double dt = nbase.x * w.x + nbase.y * w.y;
+    return dt >= 0 ? 0 : 1;
   };
-  const double target = rel(std::atan2(u.y, u.x));
-  size_t blo = 0, bhi = m;  // Largest edge index with rel(normal) <= target.
+  const int u_half = half(u);
+  // True iff the CCW angle from nbase to w does not exceed the angle to u.
+  // Within one half-turn the angular gap is < pi, so the sign of
+  // cross(w, u) decides the order.
+  auto angle_le_u = [&](Point2 w) {
+    const int wh = half(w);
+    if (wh != u_half) return wh < u_half;
+    return w.x * u.y - w.y * u.x >= 0;
+  };
+  size_t blo = 0, bhi = m;  // Largest edge index with rel angle <= u's.
   while (bhi - blo > 1) {
     const size_t mid = blo + (bhi - blo) / 2;
-    if (rel(normal_angle(mid)) <= target) {
+    if (angle_le_u(normal(mid))) {
       blo = mid;
     } else {
       bhi = mid;

@@ -161,6 +161,28 @@ std::vector<std::string> StreamGroup::StreamNames() const {
   return names;
 }
 
+AdaptiveHullStats StreamGroup::AggregateIngestStats() const {
+  AdaptiveHullStats total;
+  for (const auto& [name, entry] : streams_) {
+    if (entry.remote()) continue;
+    const AdaptiveHullStats& s = entry.engine->stats();
+    total.points_processed += s.points_processed;
+    total.points_discarded += s.points_discarded;
+    total.directions_refined += s.directions_refined;
+    total.directions_unrefined += s.directions_unrefined;
+    total.vertices_deleted += s.vertices_deleted;
+    total.batches += s.batches;
+    total.batch_prefilter_rejections += s.batch_prefilter_rejections;
+    total.batch_simd_rejections += s.batch_simd_rejections;
+    total.batch_scalar_rejections += s.batch_scalar_rejections;
+    total.batch_cache_refreshes += s.batch_cache_refreshes;
+    total.rebuild_nodes_visited += s.rebuild_nodes_visited;
+    total.rebalance_exchanges += s.rebalance_exchanges;
+    total.perimeter_decreases += s.perimeter_decreases;
+  }
+  return total;
+}
+
 const SummaryView* StreamGroup::MaterializeView(const std::string& name) {
   auto it = streams_.find(name);
   if (it == streams_.end()) return nullptr;

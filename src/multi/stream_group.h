@@ -212,6 +212,14 @@ class StreamGroup {
   /// Registered stream names, sorted.
   std::vector<std::string> StreamNames() const;
 
+  /// \brief Element-wise sum of every local stream's operation counters
+  /// (remote streams run no engine here and contribute nothing) — the
+  /// group-level ingestion telemetry the benches export: prefilter
+  /// rejections by tier, cache refreshes, points processed/discarded.
+  /// Call only while the group is quiescent (after Flush()) — engines
+  /// mid-async-batch are not safe to read.
+  AdaptiveHullStats AggregateIngestStats() const;
+
   /// \brief Computes the current certified relationship of two streams.
   /// Fails on unknown names; both summaries must be non-empty (a local
   /// stream needs at least one point, a remote one at least one decoded

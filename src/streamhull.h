@@ -24,6 +24,10 @@
 //                           ParallelIngestor facade behind
 //                           StreamGroup::InsertBatchAsync and the
 //                           region-parallel paths
+//   geom/kernels.h          the vectorized geometry kernels behind the
+//                           ingestion prefilter and the clip loop, with
+//                           the runtime ISA dispatch controls
+//                           (ActiveSimdIsa, ForceSimdIsa)
 //   stream/generators.h     deterministic synthetic workloads
 //
 // Individual headers remain includable on their own; this umbrella exists
@@ -49,7 +53,9 @@
 #include "geom/convex_hull.h"
 #include "geom/convex_polygon.h"
 #include "geom/direction.h"
+#include "geom/kernels.h"
 #include "geom/point.h"
+#include "geom/soa.h"
 #include "multi/region_hull.h"
 #include "multi/stream_group.h"
 #include "queries/certified.h"

@@ -12,7 +12,10 @@ against the cached last-main baseline and fails (exit 1) when:
 
 Byte-size counters (bytes/update, full_bytes/delta_bytes, ...) are
 deterministic protocol properties pinned by tests, so they are reported
-here but not gated.
+here but not gated. Prefilter telemetry (reject%, simd_reject%,
+scalar_reject%, cache_refreshes) is likewise printed for trend-watching
+but never gated: rejection *totals* are deterministic, but the tier split
+depends on which ISA the runner dispatches to.
 
 A missing baseline (first run on a branch, cache evicted) is not an
 error: the gate prints a notice and passes, and the main-branch job saves
@@ -28,6 +31,10 @@ import pathlib
 import sys
 
 ALLOC_EPSILON = 0.01  # Absolute allowance on allocs/point counters.
+
+# Informational counters printed when they move, never gated.
+TREND_COUNTERS = ("reject%", "simd_reject%", "scalar_reject%",
+                  "cache_refreshes")
 
 
 def load_benchmarks(path):
@@ -87,6 +94,15 @@ def compare_file(name, baseline, current, threshold):
                     f"{base_val:.4f} -> {cur_val:.4f}")
                 print(f"  {bench}: {counter} {base_val:.4f} -> "
                       f"{cur_val:.4f} REGRESSION")
+
+        for counter in TREND_COUNTERS:
+            cur_val = cur.get(counter)
+            base_val = base.get(counter)
+            if cur_val is None or base_val is None:
+                continue
+            if abs(cur_val - base_val) > 1e-9:
+                print(f"  {bench}: {counter} {base_val:.2f} -> "
+                      f"{cur_val:.2f} (informational)")
     return failures
 
 
