@@ -1,0 +1,221 @@
+// streamhulld pipeline benchmarks. The headline numbers — CI archives them
+// as BENCH_bench_server_pipeline.json and gates regressions on them — are
+// BM_ServerPipeline's items/s (DATA frames fully processed per second
+// through the transport -> decoder -> strand -> StreamGroup -> ACK path)
+// and its counters:
+//
+//   bytes/update   wire bytes shipped per producer update (deltas plus the
+//                  resync fulls the injected losses force)
+//   resync_rate    fraction of produced frames that were chain-repairing
+//                  full frames (loss-triggered, not first-contact)
+//
+// The micro benches isolate the two fixed per-frame costs on either side
+// of the server: session-frame encode/decode (BM_SessionFrameRoundtrip)
+// and producer-side frame production through DeltaSender
+// (BM_DeltaSenderNextFrame).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/delta_sender.h"
+#include "server/streamhulld.h"
+#include "server/transport.h"
+#include "server/wire.h"
+#include "stream/generators.h"
+
+namespace {
+
+using namespace streamhull;
+
+constexpr int kProducers = 4;
+constexpr int kRounds = 24;
+constexpr int kPointsPerRound = 500;
+
+struct PipelineResult {
+  uint64_t frames = 0;       // DATA frames the server processed.
+  uint64_t bytes = 0;        // Snapshot payload bytes shipped.
+  uint64_t resyncs = 0;      // Loss-triggered full frames.
+  uint64_t updates = 0;      // Producer update opportunities.
+};
+
+// One full run: kProducers stream over pipes into a StreamHullServer,
+// every 7th frame of producer 0 is dropped in transit (forcing the
+// NAK -> resync path), and every frame is driven to its ACK.
+PipelineResult RunServerPipeline(uint32_t r, size_t threads) {
+  ServerOptions options;
+  options.engine.hull.r = r;
+  options.num_threads = threads;
+  StreamHullServer server(options);
+  if (!server.AddTenant("bench", "bench-token").ok()) return {};
+
+  struct Node {
+    std::unique_ptr<HullEngine> engine;
+    std::unique_ptr<DeltaSender> sender;
+    std::unique_ptr<PipeTransport> link;
+    FrameDecoder replies;
+    bool opened = false;
+    std::string stream;
+  };
+  std::vector<Node> nodes(kProducers);
+  EngineOptions engine_options;
+  engine_options.hull.r = r;
+  for (int i = 0; i < kProducers; ++i) {
+    Node& n = nodes[i];
+    n.stream = "s" + std::to_string(i);
+    n.engine = MakeEngine(EngineKind::kAdaptive, engine_options);
+    n.sender = std::make_unique<DeltaSender>(n.engine.get());
+    auto [client_end, server_end] = PipeTransport::CreatePair();
+    n.link = std::move(client_end);
+    server.AttachSession(std::move(server_end));
+    SessionMessage hello;
+    hello.type = SessionMessageType::kHello;
+    hello.version = kServerProtocolVersion;
+    hello.token = "bench-token";
+    (void)n.link->Send(EncodeSessionFrame(hello));
+  }
+
+  PipelineResult result;
+  auto drain = [&](Node& n) {
+    std::string bytes;
+    (void)n.link->Recv(&bytes);
+    n.replies.Feed(bytes);
+    for (;;) {
+      std::string frame;
+      bool got = false;
+      if (!n.replies.Next(&frame, &got).ok() || !got) break;
+      SessionMessage msg;
+      if (!DecodeSessionMessage(frame, &msg).ok()) break;
+      if (msg.type == SessionMessageType::kHelloOk) {
+        SessionMessage open;
+        open.type = SessionMessageType::kOpen;
+        open.stream = n.stream;
+        (void)n.link->Send(EncodeSessionFrame(open));
+      } else if (msg.type == SessionMessageType::kOpenOk) {
+        n.opened = true;
+      } else if (msg.type == SessionMessageType::kAck) {
+        n.sender->OnAck(msg.generation);
+      } else if (msg.type == SessionMessageType::kNak) {
+        n.sender->OnNak();
+      }
+    }
+  };
+  auto settle = [&](int cycles) {
+    for (int c = 0; c < cycles; ++c) {
+      server.PumpOnce();
+      server.Flush();
+      for (Node& n : nodes) drain(n);
+    }
+  };
+  settle(3);
+
+  DriftWalkGenerator gen(41);
+  for (int round = 0; round < kRounds; ++round) {
+    for (Node& n : nodes) {
+      n.engine->InsertBatch(gen.Take(kPointsPerRound));
+      if (!n.opened) continue;
+      ++result.updates;
+      DeltaSender::Frame frame;
+      if (!n.sender->NextFrame(&frame).ok()) continue;
+      if (&n == &nodes[0] && round % 7 == 3) n.link->DropNextSends(1);
+      SessionMessage data;
+      data.type = SessionMessageType::kData;
+      data.stream = n.stream;
+      data.payload = frame.bytes;
+      (void)n.link->Send(EncodeSessionFrame(data));
+      result.bytes += frame.bytes.size();
+    }
+    settle(2);
+  }
+  settle(2);
+
+  TenantMetrics tm;
+  if (server.Metrics("bench", &tm).ok()) {
+    result.frames = tm.full_frames + tm.delta_frames;
+  }
+  for (const Node& n : nodes) result.resyncs += n.sender->stats().resyncs;
+  return result;
+}
+
+void BM_ServerPipeline(benchmark::State& state) {
+  const uint32_t r = static_cast<uint32_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  PipelineResult result;
+  for (auto _ : state) {
+    result = RunServerPipeline(r, threads);
+  }
+  // frames/s: items_per_second over DATA frames fully processed (decoded,
+  // sequenced, applied, acked) by the server.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(result.frames));
+  state.counters["bytes/update"] =
+      static_cast<double>(result.bytes) /
+      static_cast<double>(result.updates ? result.updates : 1);
+  state.counters["resync_rate"] =
+      static_cast<double>(result.resyncs) /
+      static_cast<double>(result.frames ? result.frames : 1);
+}
+
+void BM_SessionFrameRoundtrip(benchmark::State& state) {
+  // A representative DATA frame: a mid-stream delta payload.
+  AdaptiveHullOptions o;
+  o.r = static_cast<uint32_t>(state.range(0));
+  AdaptiveHull hull(o);
+  DriftWalkGenerator gen(42);
+  hull.InsertBatch(gen.Take(5000));
+  (void)hull.EncodeView();
+  const uint64_t base = hull.num_points();
+  hull.InsertBatch(gen.Take(200));
+  SessionMessage data;
+  data.type = SessionMessageType::kData;
+  data.stream = "bench-stream";
+  (void)hull.EncodeSummaryDelta(base, &data.payload);
+  for (auto _ : state) {
+    const std::string frame = EncodeSessionFrame(data);
+    FrameDecoder decoder;
+    decoder.Feed(frame);
+    std::string payload;
+    bool got = false;
+    benchmark::DoNotOptimize(decoder.Next(&payload, &got).ok());
+    SessionMessage decoded;
+    benchmark::DoNotOptimize(DecodeSessionMessage(payload, &decoded).ok());
+  }
+  state.counters["frame_bytes"] =
+      static_cast<double>(EncodeSessionFrame(data).size());
+}
+
+void BM_DeltaSenderNextFrame(benchmark::State& state) {
+  AdaptiveHullOptions o;
+  o.r = static_cast<uint32_t>(state.range(0));
+  AdaptiveHull hull(o);
+  DeltaSender sender(&hull);
+  DriftWalkGenerator gen(43);
+  hull.InsertBatch(gen.Take(5000));
+  uint64_t bytes = 0, frames = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    hull.InsertBatch(gen.Take(200));
+    state.ResumeTiming();
+    DeltaSender::Frame frame;
+    benchmark::DoNotOptimize(sender.NextFrame(&frame).ok());
+    sender.OnAck(frame.generation);
+    bytes += frame.bytes.size();
+    ++frames;
+  }
+  state.counters["bytes/frame"] =
+      static_cast<double>(bytes) / static_cast<double>(frames ? frames : 1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServerPipeline)
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->Args({64, 4});
+BENCHMARK(BM_SessionFrameRoundtrip)->Arg(16)->Arg(64);
+BENCHMARK(BM_DeltaSenderNextFrame)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

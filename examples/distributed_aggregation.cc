@@ -1,13 +1,14 @@
 // Distributed aggregation: the sensor-network deployment the paper's
 // introduction motivates, now running the full snapshot v3 delta protocol.
 // Field nodes summarize their local detections with AdaptiveHull; each
-// reporting round they uplink a *delta frame* — only the samples whose
-// point or certified slack moved since the last acknowledged frame — and
-// fall back to a full v2 resync frame when the protocol demands it (first
-// contact, a dropped frame, or a periodic forced resync). The sink never
-// touches a raw detection: it patches its decoded views in place, registers
-// them as remote streams in a StreamGroup, and watches the whole field
-// against a locally-observed vehicle convoy.
+// reporting round a DeltaSender (server/delta_sender.h) produces the
+// uplink frame — a *delta* carrying only the samples whose point or
+// certified slack moved since the last frame, or a full v2 resync frame
+// when the protocol demands it (first contact, a dropped frame, or a
+// periodic forced resync). The sink never touches a raw detection: it
+// patches its decoded views in place, registers them as remote streams in
+// a StreamGroup, and watches the whole field against a locally-observed
+// vehicle convoy.
 
 #include <cstdio>
 #include <memory>
@@ -27,13 +28,17 @@ int main() {
   constexpr int kForcedResyncEvery = 5;  // Belt-and-braces full frame.
 
   // --- Field tier: 6 sensor nodes, each observing a patch of a drifting
-  // plume. Each node tracks the generation its sink last confirmed.
+  // plume. Each node's DeltaSender tracks the delta chain to its sink;
+  // the senders run optimistic (unbounded window, no transport acks), so
+  // a lost frame surfaces as a sink NAK on the next round.
   std::vector<std::unique_ptr<AdaptiveHull>> nodes;
+  std::vector<std::unique_ptr<DeltaSender>> uplinks;
   nodes.reserve(kNodes);
+  uplinks.reserve(kNodes);
   for (int n = 0; n < kNodes; ++n) {
     nodes.push_back(std::make_unique<AdaptiveHull>(options));
+    uplinks.push_back(std::make_unique<DeltaSender>(nodes.back().get()));
   }
-  std::vector<uint64_t> acked(kNodes, 0);  // Sink-held generation per node.
 
   // --- Sink tier: remote streams in a StreamGroup plus a local convoy.
   StreamGroup watch(options);
@@ -48,7 +53,7 @@ int main() {
 
   Rng rng(99);
   uint64_t delta_bytes = 0, full_bytes = 0, hypothetical_full = 0;
-  uint64_t delta_frames = 0, full_frames = 0, resyncs_after_loss = 0;
+  uint64_t delta_frames = 0, full_frames = 0;
 
   std::printf("== %d nodes x %d rounds, %d detections/node/round ==\n",
               kNodes, kRounds, kDetectionsPerRound);
@@ -70,43 +75,37 @@ int main() {
 
     for (int n = 0; n < kNodes; ++n) {
       const std::string name = "plume-" + std::to_string(n);
-      const bool force_full =
-          round % kForcedResyncEvery == 0 && round > 0;
-      std::string frame;
-      bool is_delta = false;
-      if (!force_full &&
-          nodes[n]->EncodeSummaryDelta(acked[n], &frame).ok()) {
-        is_delta = true;
-      } else {
-        frame = nodes[n]->EncodeView();
+      if (round % kForcedResyncEvery == 0 && round > 0) {
+        uplinks[n]->ForceResync();
       }
-      // Optimistic sender: assume delivery, let the sink NAK gaps.
-      acked[n] = nodes[n]->num_points();
+      DeltaSender::Frame frame;
+      (void)uplinks[n]->NextFrame(&frame);
       hypothetical_full += EncodeSummaryView(*nodes[n]).size();
 
       if (fade && n == 2) continue;  // Frame lost; the sink goes stale.
 
-      Status st = watch.UpdateRemoteStream(name, frame);
+      Status st = watch.UpdateRemoteStream(name, frame.bytes);
       if (!st.ok()) {
         // Generation gap: the sink asks for a full frame (the NAK path).
         std::printf("round %d: sink NAKs %s (%s); resyncing\n", round,
                     name.c_str(), st.ToString().c_str());
-        frame = nodes[n]->EncodeView();
-        is_delta = false;
-        ++resyncs_after_loss;
-        st = watch.UpdateRemoteStream(name, frame);
+        uplinks[n]->OnNak();
+        (void)uplinks[n]->NextFrame(&frame);
+        st = watch.UpdateRemoteStream(name, frame.bytes);
       }
       if (!st.ok()) {
         std::printf("round %d: %s update failed: %s\n", round, name.c_str(),
                     st.ToString().c_str());
         continue;
       }
-      if (is_delta) {
+      // Delivered-frame accounting (the radio's view: produced frames the
+      // fade swallowed do not count as uplink traffic).
+      if (frame.is_delta) {
         ++delta_frames;
-        delta_bytes += frame.size();
+        delta_bytes += frame.bytes.size();
       } else {
         ++full_frames;
-        full_bytes += frame.size();
+        full_bytes += frame.bytes.size();
       }
       (void)DecodeSummaryView(EncodeSummaryView(*nodes[n]), &views[n]);
     }
@@ -139,7 +138,11 @@ int main() {
     }
   }
 
-  // --- Uplink accounting: the whole point of shipping deltas.
+  // --- Uplink accounting: the whole point of shipping deltas. The senders
+  // also kept their own books; their NAK count is exactly the
+  // loss-triggered resyncs the field performed.
+  uint64_t resyncs_after_loss = 0;
+  for (const auto& uplink : uplinks) resyncs_after_loss += uplink->stats().naks;
   std::printf("\n== uplink accounting ==\n");
   std::printf("delta frames: %llu (%llu bytes), full frames: %llu "
               "(%llu bytes), loss-triggered resyncs: %llu\n",

@@ -1,0 +1,450 @@
+// streamhulld soak: the server subsystem end-to-end, under churn.
+//
+// N producers stream points into private engines and uplink v3 delta
+// frames to a StreamHullServer over in-process pipe transports, through
+// DeltaSenders with a bounded in-flight window. The run injects every
+// failure the protocol is built to survive:
+//
+//   * lost frames            (pipe-level drop injection -> sink NAK -> resync)
+//   * periodic forced full frames
+//   * a producer disconnect and later reconnect (session churn)
+//   * a producer *crash*: its engine and raw points are gone; it rebuilds
+//     a live engine from its last self-checkpoint via MakeEngineFromView
+//     and resumes the delta chain against the server's held view
+//   * a full server restart: the old instance persists every held view,
+//     a new instance restores them, and every producer re-attaches
+//   * wire-protocol certified queries from an analyst session throughout
+//
+// The run ends with a differential check: after a final resync frame from
+// every producer, each stream's server-side certified intervals (diameter
+// and eight directional extents) must bracket the brute-force value over
+// *every point that producer ever observed* — including the points the
+// crashed producer forgot and only its restored slack floors still cover.
+// Exit status 0 iff everything held; CI smoke-runs a short configuration.
+//
+//   streamhulld_soak [producers] [rounds] [points_per_round]
+//
+// Defaults: 5 producers, 36 rounds, 250 points/round.
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "streamhull.h"
+
+using namespace streamhull;
+
+namespace {
+
+struct ProducerClient {
+  int id = 0;
+  std::string stream;
+  EngineKind kind = EngineKind::kAdaptive;
+  std::unique_ptr<HullEngine> engine;
+  std::unique_ptr<DeltaSender> sender;
+  std::unique_ptr<PipeTransport> link;  // Our end; the server owns the other.
+  FrameDecoder replies;
+  bool helloed = false;
+  bool opened = false;
+  std::string checkpoint;     // Last self-checkpoint (full v2 bytes).
+  std::vector<Point2> truth;  // Every point ever observed: ground truth.
+  uint64_t acks = 0;
+  uint64_t naks = 0;
+  uint64_t dropped = 0;
+  uint64_t reconnects = 0;
+};
+
+struct AnalystClient {
+  std::unique_ptr<PipeTransport> link;
+  FrameDecoder replies;
+  bool helloed = false;
+  uint64_t results = 0;
+};
+
+constexpr const char* kTenant = "field";
+constexpr const char* kToken = "field-token";
+
+void Connect(StreamHullServer* server, ProducerClient* p) {
+  auto [client_end, server_end] = PipeTransport::CreatePair();
+  p->link = std::move(client_end);
+  p->replies = FrameDecoder();
+  p->helloed = false;
+  p->opened = false;
+  server->AttachSession(std::move(server_end));
+  SessionMessage hello;
+  hello.type = SessionMessageType::kHello;
+  hello.version = kServerProtocolVersion;
+  hello.token = kToken;
+  (void)p->link->Send(EncodeSessionFrame(hello));
+}
+
+void ConnectAnalyst(StreamHullServer* server, AnalystClient* a) {
+  auto [client_end, server_end] = PipeTransport::CreatePair();
+  a->link = std::move(client_end);
+  a->replies = FrameDecoder();
+  a->helloed = false;
+  server->AttachSession(std::move(server_end));
+  SessionMessage hello;
+  hello.type = SessionMessageType::kHello;
+  hello.version = kServerProtocolVersion;
+  hello.token = kToken;
+  (void)a->link->Send(EncodeSessionFrame(hello));
+}
+
+/// Drains one producer's reply stream and advances its session state
+/// machine. Returns false on an unrecoverable protocol error.
+bool DrainReplies(ProducerClient* p) {
+  std::string bytes;
+  const Status rst = p->link->Recv(&bytes);
+  p->replies.Feed(bytes);
+  for (;;) {
+    std::string frame;
+    bool got = false;
+    if (!p->replies.Next(&frame, &got).ok()) return false;
+    if (!got) break;
+    SessionMessage msg;
+    if (!DecodeSessionMessage(frame, &msg).ok()) return false;
+    switch (msg.type) {
+      case SessionMessageType::kHelloOk: {
+        p->helloed = true;
+        SessionMessage open;
+        open.type = SessionMessageType::kOpen;
+        open.stream = p->stream;
+        (void)p->link->Send(EncodeSessionFrame(open));
+        break;
+      }
+      case SessionMessageType::kOpenOk:
+        p->opened = true;
+        // The server tells us where its view stands. If that is not where
+        // our chain stands (it restored an older snapshot, or we are
+        // fresh), open with a full frame instead of a doomed delta.
+        if (msg.generation != p->sender->last_sent_generation()) {
+          p->sender->ForceResync();
+        }
+        break;
+      case SessionMessageType::kAck:
+        ++p->acks;
+        p->sender->OnAck(msg.generation);
+        break;
+      case SessionMessageType::kNak:
+        ++p->naks;
+        p->sender->OnNak();
+        break;
+      case SessionMessageType::kError:
+        std::printf("producer %d: server error: %s\n", p->id,
+                    msg.payload.c_str());
+        return false;
+      default:
+        break;
+    }
+  }
+  (void)rst;  // A closed transport just means reconnect is pending.
+  return true;
+}
+
+void DrainAnalyst(AnalystClient* a) {
+  std::string bytes;
+  (void)a->link->Recv(&bytes);
+  a->replies.Feed(bytes);
+  for (;;) {
+    std::string frame;
+    bool got = false;
+    if (!a->replies.Next(&frame, &got).ok()) return;
+    if (!got) break;
+    SessionMessage msg;
+    if (!DecodeSessionMessage(frame, &msg).ok()) return;
+    if (msg.type == SessionMessageType::kHelloOk) a->helloed = true;
+    if (msg.type == SessionMessageType::kQueryResult) ++a->results;
+  }
+}
+
+/// A few pump+drain cycles so handshakes and pending frames settle.
+void Settle(StreamHullServer* server, std::vector<ProducerClient>* producers,
+            AnalystClient* analyst, int cycles = 4) {
+  for (int c = 0; c < cycles; ++c) {
+    server->PumpOnce();
+    server->Flush();
+    for (ProducerClient& p : *producers) {
+      if (p.link != nullptr) (void)DrainReplies(&p);
+    }
+    if (analyst->link != nullptr) DrainAnalyst(analyst);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int kProducers = argc > 1 ? std::atoi(argv[1]) : 5;
+  const int kRounds = argc > 2 ? std::atoi(argv[2]) : 36;
+  const int kPointsPerRound = argc > 3 ? std::atoi(argv[3]) : 250;
+
+  const std::filesystem::path snapshot_dir =
+      std::filesystem::temp_directory_path() /
+      ("streamhulld_soak_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(snapshot_dir);
+
+  ServerOptions server_options;
+  server_options.engine.hull.r = 16;
+  server_options.num_threads = 4;
+  server_options.max_pending_per_session = 8;
+  server_options.snapshot_dir = snapshot_dir.string();
+
+  EngineOptions engine_options;
+  engine_options.hull.r = 16;
+
+  auto server = std::make_unique<StreamHullServer>(server_options);
+  if (Status st = server->AddTenant(kTenant, kToken); !st.ok()) {
+    std::printf("AddTenant: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ProducerClient> producers(kProducers);
+  Rng rng(2024);
+  for (int i = 0; i < kProducers; ++i) {
+    ProducerClient& p = producers[i];
+    p.id = i;
+    p.stream = "s" + std::to_string(i);
+    p.kind = AllEngineKinds()[i % AllEngineKinds().size()];
+    p.engine = MakeEngine(p.kind, engine_options);
+    DeltaSenderOptions sender_options;
+    sender_options.max_in_flight = 4;
+    p.sender = std::make_unique<DeltaSender>(p.engine.get(), sender_options);
+    Connect(server.get(), &p);
+  }
+  AnalystClient analyst;
+  ConnectAnalyst(server.get(), &analyst);
+  Settle(server.get(), &producers, &analyst);
+
+  const int kDisconnectRound = kRounds / 3;
+  const int kReconnectRound = kDisconnectRound + 2;
+  const int kCrashRound = kRounds / 2;
+  const int kRestartRound = 2 * kRounds / 3;
+  uint64_t frames_lost = 0;
+
+  std::printf("== soak: %d producers x %d rounds x %d points/round ==\n",
+              kProducers, kRounds, kPointsPerRound);
+
+  for (int round = 0; round < kRounds; ++round) {
+    // --- Session churn events.
+    if (round == kDisconnectRound && kProducers > 1) {
+      std::printf("round %d: producer 1 disconnects\n", round);
+      producers[1].link->Close();
+      producers[1].link.reset();
+      producers[1].opened = false;
+    }
+    if (round == kReconnectRound && kProducers > 1) {
+      std::printf("round %d: producer 1 reconnects\n", round);
+      ++producers[1].reconnects;
+      Connect(server.get(), &producers[1]);
+      Settle(server.get(), &producers, &analyst);
+    }
+    if (round == kCrashRound && kProducers > 2) {
+      // The crash: engine, sender, connection, and every raw point are
+      // gone. Only the last self-checkpoint survives; MakeEngineFromView
+      // turns it back into a live engine whose frozen slack floors still
+      // cover everything the dead engine had summarized away.
+      ProducerClient& p = producers[2];
+      std::printf("round %d: producer 2 crashes; restoring from its %zu-byte"
+                  " checkpoint\n", round, p.checkpoint.size());
+      p.engine.reset();
+      p.sender.reset();
+      if (p.link != nullptr) p.link->Close();
+      p.link.reset();
+      DecodedSummaryView view;
+      if (Status st = DecodeSummaryView(p.checkpoint, &view); !st.ok()) {
+        std::printf("checkpoint decode failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::unique_ptr<HullEngine> restored;
+      if (Status st = MakeEngineFromView(view, engine_options, &restored);
+          !st.ok()) {
+        std::printf("restore failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      p.engine = std::move(restored);
+      DeltaSenderOptions sender_options;
+      sender_options.max_in_flight = 4;
+      p.sender = std::make_unique<DeltaSender>(p.engine.get(),
+                                               sender_options);
+      // The restored engine seeded the checkpoint as its wire baseline,
+      // so the chain resumes at the checkpoint's generation; if the
+      // server is past it, the NAK/OPEN_OK machinery resyncs as usual.
+      p.sender->Resume(view.num_points);
+      ++p.reconnects;
+      Connect(server.get(), &p);
+      Settle(server.get(), &producers, &analyst);
+    }
+    if (round == kRestartRound) {
+      std::printf("round %d: server restarts; %s\n", round,
+                  "views persisted and restored from snapshots");
+      server->PumpOnce();
+      server->Flush();
+      if (Status st = server->SaveSnapshots(); !st.ok()) {
+        std::printf("SaveSnapshots: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      server = std::make_unique<StreamHullServer>(server_options);
+      if (Status st = server->AddTenant(kTenant, kToken); !st.ok()) {
+        std::printf("AddTenant after restart: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      for (ProducerClient& p : producers) {
+        if (p.engine == nullptr) continue;
+        ++p.reconnects;
+        Connect(server.get(), &p);
+      }
+      ConnectAnalyst(server.get(), &analyst);
+      Settle(server.get(), &producers, &analyst);
+    }
+
+    // --- Points arrive: each producer's patch orbits its home position.
+    for (ProducerClient& p : producers) {
+      if (p.engine == nullptr) continue;
+      const double phase = 0.1 * round + p.id;
+      const Point2 center{6.0 * p.id + 2.0 * std::cos(phase),
+                          3.0 * std::sin(phase) + 0.05 * round};
+      for (int i = 0; i < kPointsPerRound; ++i) {
+        const Point2 pt =
+            center + Point2{1.5 * rng.Normal(), 0.8 * rng.Normal()};
+        p.engine->Insert(pt);
+        p.truth.push_back(pt);
+      }
+    }
+
+    // --- Uplink: one frame per connected producer, window permitting.
+    for (ProducerClient& p : producers) {
+      if (p.engine == nullptr || p.link == nullptr || !p.opened) continue;
+      if (round % 9 == 8) p.sender->ForceResync();
+      if (!p.sender->Ready()) continue;  // Backpressure: skip this round.
+      DeltaSender::Frame frame;
+      if (!p.sender->NextFrame(&frame).ok()) continue;
+      // Deterministic radio fades.
+      if ((round * 13 + p.id * 7) % 17 == 0) {
+        p.link->DropNextSends(1);
+        ++p.dropped;
+        ++frames_lost;
+      }
+      SessionMessage data;
+      data.type = SessionMessageType::kData;
+      data.stream = p.stream;
+      data.payload = frame.bytes;
+      (void)p.link->Send(EncodeSessionFrame(data));
+      // Self-checkpoint (const encode: does not disturb the delta chain).
+      p.checkpoint = EncodeSummaryView(*p.engine);
+    }
+
+    // --- Analyst traffic over the same wire protocol.
+    if (round % 5 == 3 && analyst.helloed) {
+      SessionMessage q;
+      q.type = SessionMessageType::kQuery;
+      q.query = ServerQueryKind::kDiameter;
+      q.stream = "s0";
+      (void)analyst.link->Send(EncodeSessionFrame(q));
+      if (kProducers > 1) {
+        q.query = ServerQueryKind::kSeparation;
+        q.stream_b = "s1";
+        (void)analyst.link->Send(EncodeSessionFrame(q));
+      }
+    }
+
+    server->PumpOnce();
+    server->Flush();
+    for (ProducerClient& p : producers) {
+      if (p.link != nullptr) {
+        if (!DrainReplies(&p)) return 1;
+      }
+    }
+    DrainAnalyst(&analyst);
+  }
+
+  // --- Final resync: a clean full frame from every survivor, so the
+  // server's held views cover every point ever observed.
+  for (ProducerClient& p : producers) {
+    if (p.engine == nullptr || p.link == nullptr) continue;
+    p.sender->ForceResync();
+    DeltaSender::Frame frame;
+    if (!p.sender->NextFrame(&frame).ok()) continue;
+    SessionMessage data;
+    data.type = SessionMessageType::kData;
+    data.stream = p.stream;
+    data.payload = frame.bytes;
+    (void)p.link->Send(EncodeSessionFrame(data));
+  }
+  Settle(server.get(), &producers, &analyst);
+
+  // --- Differential check: certified intervals vs brute-force truth.
+  std::printf("\n== differential check ==\n");
+  bool all_ok = true;
+  constexpr double kEps = 1e-9;
+  for (ProducerClient& p : producers) {
+    if (p.engine == nullptr) continue;
+    SummaryView view;
+    if (Status st = server->View(kTenant, p.stream, &view); !st.ok()) {
+      std::printf("%s: view unavailable: %s\n", p.stream.c_str(),
+                  st.ToString().c_str());
+      all_ok = false;
+      continue;
+    }
+    const ConvexPolygon brute = ConvexPolygon::HullOf(p.truth);
+    const double true_diameter = Diameter(brute).value;
+    const CertifiedScalar diam = CertifiedDiameter(view);
+    bool ok = diam.value.lo <= true_diameter + kEps &&
+              true_diameter <= diam.value.hi + kEps;
+    for (int k = 0; k < 8 && ok; ++k) {
+      const double angle = 0.25 * 3.14159265358979323846 * k;
+      const Point2 dir{std::cos(angle), std::sin(angle)};
+      const double true_extent = DirectionalExtent(brute, dir);
+      const Interval extent = CertifiedExtent(view, dir);
+      ok = extent.lo <= true_extent + kEps && true_extent <= extent.hi + kEps;
+    }
+    std::printf("%s (%s, %zu pts, acks=%llu naks=%llu lost=%llu "
+                "reconnects=%llu): diameter %.3f in [%.3f, %.3f] %s\n",
+                p.stream.c_str(), EngineKindName(p.kind), p.truth.size(),
+                (unsigned long long)p.acks, (unsigned long long)p.naks,
+                (unsigned long long)p.dropped,
+                (unsigned long long)p.reconnects, true_diameter,
+                diam.value.lo, diam.value.hi, ok ? "OK" : "VIOLATED");
+    if (!ok) all_ok = false;
+  }
+  if (kProducers > 1 && producers[0].engine != nullptr &&
+      producers[1].engine != nullptr) {
+    SummaryView a, b;
+    if (server->View(kTenant, "s0", &a).ok() &&
+        server->View(kTenant, "s1", &b).ok()) {
+      const double true_sep =
+          Separation(ConvexPolygon::HullOf(producers[0].truth),
+                     ConvexPolygon::HullOf(producers[1].truth))
+              .distance;
+      const CertifiedSeparationResult sep = CertifiedSeparation(a, b);
+      const bool ok = sep.distance.lo <= true_sep + kEps &&
+                      true_sep <= sep.distance.hi + kEps;
+      std::printf("separation(s0, s1): %.3f in [%.3f, %.3f] %s\n", true_sep,
+                  sep.distance.lo, sep.distance.hi, ok ? "OK" : "VIOLATED");
+      if (!ok) all_ok = false;
+    }
+  }
+  if (analyst.results == 0) {
+    std::printf("analyst received no query results\n");
+    all_ok = false;
+  }
+
+  std::printf("\n%s", server->MetricsText().c_str());
+  std::printf("frames lost in transit: %llu, analyst results: %llu\n",
+              (unsigned long long)frames_lost,
+              (unsigned long long)analyst.results);
+  std::filesystem::remove_all(snapshot_dir);
+  if (!all_ok) {
+    std::printf("\nSOAK FAILED: a certified interval missed the truth\n");
+    return 1;
+  }
+  std::printf("\nSOAK PASSED: every certified interval bracketed "
+              "brute-force truth through loss, churn, a producer crash, "
+              "and a server restart\n");
+  return 0;
+}

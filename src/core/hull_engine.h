@@ -233,6 +233,22 @@ class HullEngine {
   /// new baseline. Default: no-op.
   virtual void OnWireBaselineCaptured() {}
 
+  /// \brief Installs a wire baseline this engine never itself encoded: the
+  /// exact samples/slacks a sink already holds, tagged with the generation
+  /// it holds them at. This is the restore hook (core/restore.h): an engine
+  /// rebuilt from a decoded view seeds the view as its baseline, so its
+  /// first EncodeSummaryDelta(\p generation) chains onto the sink's held
+  /// view and a restarted producer rejoins the delta stream without a full
+  /// resync frame.
+  void SeedWireBaseline(uint64_t generation, std::vector<HullSample> samples,
+                        std::vector<double> slacks) {
+    wire_baseline_.samples = std::move(samples);
+    wire_baseline_.slacks = std::move(slacks);
+    wire_baseline_.generation = generation;
+    wire_baseline_.valid = true;
+    OnWireBaselineCaptured();
+  }
+
  private:
   // Producer-side state of the v3 delta protocol: the samples and slacks
   // as of the last encoded frame, tagged with the generation (num_points)

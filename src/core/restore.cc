@@ -1,0 +1,153 @@
+#include "core/restore.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "geom/convex_polygon.h"
+#include "geom/point.h"
+
+namespace streamhull {
+
+namespace {
+
+/// The engine behind MakeEngineFromView: a thin wrapper that delegates the
+/// live summary to a fresh engine of the view's kind and widens its
+/// certified slacks to the frozen floor derived from the view's outer
+/// polygon (see restore.h for the argument). Constructed only through
+/// MakeEngineFromView, which validates the view first.
+class RestoredEngine final : public HullEngine {
+ public:
+  RestoredEngine(const DecodedSummaryView& view, const EngineOptions& options,
+                 std::vector<Point2> seed)
+      : kind_(view.kind),
+        inner_(MakeEngine(view.kind, options)),
+        floor_outer_(view.Outer()),
+        floor_perimeter_(view.perimeter),
+        restore_debt_(view.error_bound) {
+    inner_->InsertBatch(seed);
+    point_debt_ = view.num_points - inner_->num_points();
+    SeedWireBaseline(view.num_points, view.samples, view.slacks);
+  }
+
+  EngineKind kind() const override { return kind_; }
+  void Insert(Point2 p) override { inner_->Insert(p); }
+  void InsertBatch(std::span<const Point2> points) override {
+    inner_->InsertBatch(points);
+  }
+  void Seal() override { inner_->Seal(); }
+  void Reserve(size_t expected_points) override {
+    inner_->Reserve(expected_points);
+  }
+
+  /// Continues the producer's stream-length count: the seed re-inserts are
+  /// bookkeeping, not new stream points, so generations (the v3 protocol's
+  /// chaining key) advance exactly one per post-restore point.
+  uint64_t num_points() const override {
+    return inner_->num_points() + point_debt_;
+  }
+  uint32_t r() const override { return inner_->r(); }
+
+  ConvexPolygon Polygon() const override { return inner_->Polygon(); }
+  std::vector<HullSample> Samples() const override {
+    return inner_->Samples();
+  }
+  std::vector<UncertaintyTriangle> Triangles() const override {
+    return inner_->Triangles();
+  }
+
+  /// The engine's own certified slacks, widened per direction to the
+  /// frozen floor h_floor(u) - dot(s, u): the floor covers every forgotten
+  /// pre-snapshot point, the engine's own slack covers everything inserted
+  /// since the restore.
+  std::vector<double> SampleSlacks() const override {
+    const std::vector<HullSample> samples = inner_->Samples();
+    std::vector<double> slacks = inner_->SampleSlacks();
+    if (slacks.empty()) slacks.assign(samples.size(), 0.0);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      const Point2 u = samples[i].direction.ToVector();
+      const double floor =
+          floor_outer_.Support(u) - Dot(samples[i].point, u);
+      if (floor > slacks[i]) slacks[i] = floor;
+    }
+    return slacks;
+  }
+
+  double EffectivePerimeter() const override {
+    return std::max(inner_->EffectivePerimeter(), floor_perimeter_);
+  }
+
+  /// The live engine's bound on its own (seed + post-restore) stream, plus
+  /// the view's shipped bound — what the snapshot itself may already have
+  /// lost of the pre-snapshot stream.
+  double ErrorBound() const override {
+    return inner_->ErrorBound() + restore_debt_;
+  }
+
+  const AdaptiveHullStats& stats() const override { return inner_->stats(); }
+  Status CheckConsistency() const override {
+    return inner_->CheckConsistency();
+  }
+
+  // Change tracking stays at the conservative default ("unknown"): the
+  // inner engine's hint accessors are protected on HullEngine, and a full
+  // baseline diff on a restored engine's occasional frames is cheap.
+
+ private:
+  EngineKind kind_;
+  std::unique_ptr<HullEngine> inner_;
+  ConvexPolygon floor_outer_;  ///< The view's outer polygon, frozen.
+  double floor_perimeter_;     ///< The view's effective P (metadata floor).
+  double restore_debt_;        ///< The view's shipped error bound.
+  uint64_t point_debt_ = 0;    ///< view.num_points minus seed insertions.
+};
+
+}  // namespace
+
+Status MakeEngineFromView(const DecodedSummaryView& view,
+                          const EngineOptions& options,
+                          std::unique_ptr<HullEngine>* out) {
+  if (view.samples.empty()) {
+    return Status::InvalidArgument("cannot restore from an empty view");
+  }
+  if (view.num_points == 0) {
+    return Status::InvalidArgument(
+        "cannot restore a view with zero stream length");
+  }
+  if (!view.slacks.empty() && view.slacks.size() != view.samples.size()) {
+    return Status::InvalidArgument(
+        "view slack count does not match its sample count");
+  }
+  for (const HullSample& s : view.samples) {
+    if (s.direction.base_r() != view.r) {
+      return Status::InvalidArgument(
+          "view sample direction r does not match the view's r");
+    }
+  }
+  // Distinct sample points, in CCW order of first appearance. Samples are
+  // genuine stream points, so distinct count can never exceed the stream
+  // length on an honest view.
+  std::vector<Point2> seed;
+  seed.reserve(view.samples.size());
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (const HullSample& s : view.samples) {
+    const auto key = std::make_pair(std::bit_cast<uint64_t>(s.point.x),
+                                    std::bit_cast<uint64_t>(s.point.y));
+    if (seen.insert(key).second) seed.push_back(s.point);
+  }
+  if (seed.size() > view.num_points) {
+    return Status::InvalidArgument(
+        "view holds more distinct sample points than stream points");
+  }
+  EngineOptions restored_options = options;
+  restored_options.hull.r = view.r;  // Wire frames must keep the view's r.
+  STREAMHULL_RETURN_IF_ERROR(restored_options.Validate(view.kind));
+  *out = std::make_unique<RestoredEngine>(view, restored_options,
+                                          std::move(seed));
+  return Status::OK();
+}
+
+}  // namespace streamhull

@@ -1,0 +1,70 @@
+// streamhull: live-engine restore from a decoded snapshot.
+//
+// Snapshot v2 lets a sink *answer queries* from a decoded view, but nothing
+// in the wire layer rebuilds a view into an engine that keeps ingesting —
+// which is exactly what shard migration, crash recovery, and rolling
+// restarts need: the producer's points are gone, only its certified
+// sandwich survived, and the restored engine must keep certifying against
+// the union of the forgotten pre-snapshot stream and everything inserted
+// after the restore.
+//
+// MakeEngineFromView does this with two ingredients:
+//
+//   1. The view's sample points are re-inserted into a fresh engine of the
+//      view's kind. Samples are genuine stream points, so the restored
+//      inner polygon remains a true-hull subset, and the engine's own
+//      machinery (refinement, Lemma 5.3 slack capture, batched ingestion)
+//      runs unmodified from there.
+//
+//   2. The view's outer polygon is frozen as a *floor*: every forgotten
+//      pre-snapshot point lies inside it, so for any sample direction u
+//      with stored point s, relaxing the supporting line to the floor's
+//      support value — slack >= h_floor(u) - dot(s, u) — re-covers all of
+//      them. The reported slack per direction is the maximum of this floor
+//      and the engine's own certified slack, which covers post-restore
+//      points by Lemma 5.3 (directions activated after the restore capture
+//      fresh offsets, exactly as on a cold stream). The floor only ever
+//      tightens: supporting lines move outward with new extrema, so
+//      h_floor(u) - dot(s, u) shrinks monotonically, and for directions the
+//      view itself carried it starts no looser than the shipped slack.
+//
+// The restored engine also seeds the view as its v3 wire baseline, so a
+// restarted producer whose sink still holds that view rejoins the delta
+// stream with its first EncodeSummaryDelta(view.num_points) — no resync
+// frame needed. See DESIGN.md, "Server architecture" (restore semantics).
+
+#ifndef STREAMHULL_CORE_RESTORE_H_
+#define STREAMHULL_CORE_RESTORE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/hull_engine.h"
+#include "core/snapshot.h"
+
+/// \file
+/// \brief Rebuilds a *live* HullEngine from a decoded v2 snapshot view: the
+/// engine continues ingesting, and its certified sandwich keeps bracketing
+/// the true hull of the union stream (forgotten pre-snapshot points
+/// included) via frozen per-direction slack floors.
+
+namespace streamhull {
+
+/// \brief Rebuilds a live engine from \p view. The engine reports the
+/// view's kind and r (\p options.hull.r is overridden by view.r so wire
+/// frames keep chaining), starts at num_points() == view.num_points, and
+/// certifies the union stream: its [Polygon(), OuterPolygon()] sandwich
+/// brackets the true hull of all points the original producer ever saw plus
+/// all points inserted after the restore. ErrorBound() is the engine's own
+/// bound plus the view's shipped bound (what the snapshot may already have
+/// lost). Fails with InvalidArgument on structurally inconsistent views
+/// (no samples, zero stream length, more distinct sample points than
+/// stream points, slack/sample length mismatch, direction r mismatch) and
+/// on invalid options; views produced by DecodeSummaryView always pass.
+Status MakeEngineFromView(const DecodedSummaryView& view,
+                          const EngineOptions& options,
+                          std::unique_ptr<HullEngine>* out);
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_CORE_RESTORE_H_

@@ -43,23 +43,73 @@ Status StreamGroup::UpdateRemoteStream(const std::string& name,
     return Status::FailedPrecondition("stream '" + name +
                                       "' is local; feed it points instead");
   }
+  RemoteStreamStats& stats = entry.remote_stats;
   if (SnapshotVersion(bytes) == 3) {
     // Delta frame: patch the held view in place. ApplySummaryDelta is
     // atomic (the view survives any failure), and a generation gap comes
     // back as FailedPrecondition — the caller's cue to fetch a full frame.
+    // Each protocol outcome lands in its own counter: a chain break is a
+    // resync owed by the producer, a malformed frame is a rejection.
     if (entry.remote_updates == 0) {
+      ++stats.resyncs_needed;
       return Status::FailedPrecondition(
           "stream '" + name +
           "' holds no view to patch; send a full v2 snapshot first");
     }
-    STREAMHULL_RETURN_IF_ERROR(
-        ApplySummaryDelta(bytes, &entry.remote_decoded));
+    Status st = ApplySummaryDelta(bytes, &entry.remote_decoded);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kFailedPrecondition) {
+        ++stats.resyncs_needed;
+      } else {
+        ++stats.rejected_frames;
+      }
+      return st;
+    }
+    ++stats.delta_frames;
   } else {
     DecodedSummaryView decoded;
-    STREAMHULL_RETURN_IF_ERROR(DecodeSummaryView(bytes, &decoded));
+    Status st = DecodeSummaryView(bytes, &decoded);
+    if (!st.ok()) {
+      ++stats.rejected_frames;
+      return st;
+    }
     entry.remote_decoded = std::move(decoded);
+    ++stats.full_frames;
   }
+  stats.held_generation = entry.remote_decoded.num_points;
   ++entry.remote_updates;  // Invalidates the generation-tagged cache.
+  return Status::OK();
+}
+
+Status StreamGroup::RemoteStats(const std::string& name,
+                                RemoteStreamStats* out) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::InvalidArgument("unknown stream '" + name + "'");
+  }
+  if (!it->second.remote()) {
+    return Status::FailedPrecondition("stream '" + name +
+                                      "' is local; it receives no frames");
+  }
+  *out = it->second.remote_stats;
+  return Status::OK();
+}
+
+Status StreamGroup::RemoteView(const std::string& name,
+                               DecodedSummaryView* out) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::InvalidArgument("unknown stream '" + name + "'");
+  }
+  if (!it->second.remote()) {
+    return Status::FailedPrecondition("stream '" + name +
+                                      "' is local; it holds no decoded view");
+  }
+  if (it->second.remote_updates == 0) {
+    return Status::FailedPrecondition("stream '" + name +
+                                      "' has not decoded a view yet");
+  }
+  *out = it->second.remote_decoded;
   return Status::OK();
 }
 

@@ -116,6 +116,29 @@ struct PairEvent {
   uint64_t poll_index = 0;  ///< Which Poll() call surfaced the event.
 };
 
+/// \brief Per-remote-stream ingest accounting, maintained by
+/// UpdateRemoteStream. The protocol outcomes a sink operator needs are all
+/// distinct counters — in particular a delta that fails to chain
+/// (resyncs_needed, the FailedPrecondition outcome that obliges the caller
+/// to fetch a full frame) is never conflated with a malformed frame
+/// (rejected_frames, the InvalidArgument outcome that indicates corruption
+/// or a bug, not ordinary loss).
+struct RemoteStreamStats {
+  uint64_t full_frames = 0;   ///< v2 frames decoded and installed.
+  uint64_t delta_frames = 0;  ///< v3 frames successfully patched in.
+  /// Frames refused because they do not chain onto the held view: a delta
+  /// with a generation gap, or a delta arriving before any full frame.
+  /// Each increment corresponds to one FailedPrecondition returned to the
+  /// caller — i.e. one resync the producer owes this stream.
+  uint64_t resyncs_needed = 0;
+  /// Structurally malformed frames (InvalidArgument): truncated, bad
+  /// magic, out-of-range fields. The held view survives untouched.
+  uint64_t rejected_frames = 0;
+  /// The generation (producer stream length) of the currently held view;
+  /// 0 before the first successful update.
+  uint64_t held_generation = 0;
+};
+
 /// \brief Named collection of stream summaries with pairwise monitoring.
 class StreamGroup {
  public:
@@ -154,6 +177,17 @@ class StreamGroup {
   /// the signal to request a full v2 frame from the producer. The
   /// previous view is kept on every failure.
   Status UpdateRemoteStream(const std::string& name, std::string_view bytes);
+
+  /// \brief The named remote stream's frame accounting (see
+  /// RemoteStreamStats). Fails on unknown names and on local streams
+  /// (which receive no frames).
+  Status RemoteStats(const std::string& name, RemoteStreamStats* out) const;
+
+  /// \brief Copies the named remote stream's currently held decoded view —
+  /// what a persistence layer re-encodes (EncodeSummaryView) to survive a
+  /// restart. Fails on unknown or local names, and FailedPrecondition
+  /// before the first successful update (nothing held yet).
+  Status RemoteView(const std::string& name, DecodedSummaryView* out) const;
 
   /// Feeds one point to the named stream. Fails on unknown names and on
   /// remote streams (their points live on the producer). With parallel
@@ -280,6 +314,7 @@ class StreamGroup {
     uint64_t cached_generation = 0;
     bool cache_valid = false;
     uint64_t remote_updates = 0;  ///< Remote generation counter.
+    RemoteStreamStats remote_stats;  ///< Frame accounting (remote only).
     uint64_t generation() const {
       return remote() ? remote_updates : engine->num_points();
     }

@@ -1,0 +1,80 @@
+#include "server/delta_sender.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace streamhull {
+
+DeltaSender::DeltaSender(HullEngine* engine, DeltaSenderOptions options)
+    : engine_(engine), options_(options) {
+  SH_CHECK(engine_ != nullptr);
+}
+
+bool DeltaSender::Ready() const {
+  return options_.max_in_flight == 0 ||
+         in_flight_.size() < options_.max_in_flight;
+}
+
+Status DeltaSender::NextFrame(Frame* out) {
+  if (!Ready()) {
+    ++stats_.blocked;
+    return Status::FailedPrecondition(
+        "delta sender window full (" +
+        std::to_string(options_.max_in_flight) + " frames in flight)");
+  }
+  Frame frame;
+  // A caller-forced full frame is a resync only once a chain exists to
+  // break; first-contact fulls are just first contact.
+  bool is_resync = resync_needed_ || (force_full_ && sent_anything_);
+  if (!force_full_ && !resync_needed_ && sent_anything_) {
+    // The happy path: chain a delta onto the last produced frame. The
+    // engine itself arbitrates — if its wire baseline no longer matches
+    // (e.g. another encode path touched it), that is a baseline loss and
+    // the fallback below resyncs with a full frame.
+    Status st = engine_->EncodeSummaryDelta(last_sent_generation_,
+                                            &frame.bytes);
+    if (st.ok()) {
+      frame.is_delta = true;
+    } else if (st.code() == StatusCode::kFailedPrecondition) {
+      is_resync = true;  // Baseline loss: full frame, counted as a resync.
+    } else {
+      return st;  // Internal failure; nothing sensible to fall back to.
+    }
+  }
+  if (!frame.is_delta) {
+    frame.bytes = engine_->EncodeView();
+  }
+  frame.generation = engine_->num_points();
+
+  ++stats_.frames;
+  if (frame.is_delta) {
+    ++stats_.delta_frames;
+    stats_.delta_bytes += frame.bytes.size();
+  } else {
+    ++stats_.full_frames;
+    stats_.full_bytes += frame.bytes.size();
+    if (is_resync) ++stats_.resyncs;
+  }
+  last_sent_generation_ = frame.generation;
+  sent_anything_ = true;
+  force_full_ = false;
+  resync_needed_ = false;
+  if (options_.max_in_flight > 0) in_flight_.push_back(frame.generation);
+  *out = std::move(frame);
+  return Status::OK();
+}
+
+void DeltaSender::OnAck(uint64_t generation) {
+  while (!in_flight_.empty() && in_flight_.front() <= generation) {
+    in_flight_.pop_front();
+  }
+}
+
+void DeltaSender::OnNak() {
+  ++stats_.naks;
+  resync_needed_ = true;
+  in_flight_.clear();  // Frames past the break will never be confirmed.
+}
+
+}  // namespace streamhull

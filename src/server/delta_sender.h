@@ -1,0 +1,134 @@
+// streamhull: the producer side of the v3 delta protocol, as an object.
+//
+// Every producer that ships summaries — the distributed_aggregation
+// example, the soak harness's field nodes, any embedded sensor loop —
+// needs the same small state machine around EncodeSummaryDelta:
+//
+//   * track which generation the sink last confirmed (or, optimistically,
+//     which one it was last sent);
+//   * prefer a delta frame chained on that generation, and fall back to a
+//     full v2 frame whenever the chain cannot hold: first contact, a NAK
+//     from the sink, an explicit forced resync, or the engine refusing the
+//     base generation (baseline loss);
+//   * bound how many frames may be un-acknowledged at once, so a slow or
+//     dead sink exerts backpressure instead of letting the producer run
+//     arbitrarily far ahead.
+//
+// DeltaSender is that state machine, extracted once. It owns no transport
+// and does no I/O: NextFrame() hands back wire-ready snapshot bytes and the
+// caller ships them however it likes, reporting the sink's verdicts back
+// through OnAck/OnNak. With max_in_flight == 0 the window is unbounded and
+// the sender degenerates to the optimistic fire-and-forget mode the
+// aggregation example runs (no transport acks at all; gaps surface as sink
+// NAKs).
+
+#ifndef STREAMHULL_SERVER_DELTA_SENDER_H_
+#define STREAMHULL_SERVER_DELTA_SENDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/status.h"
+#include "core/hull_engine.h"
+
+namespace streamhull {
+
+/// \brief Configuration of a DeltaSender.
+struct DeltaSenderOptions {
+  /// Maximum produced-but-unacknowledged frames before NextFrame reports
+  /// FailedPrecondition (backpressure). 0 disables the window: the sender
+  /// is optimistic and never blocks.
+  size_t max_in_flight = 0;
+};
+
+/// \brief Frame accounting of one sender. All counters refer to *produced*
+/// frames; what reached the sink is the transport's business.
+struct DeltaSenderStats {
+  uint64_t frames = 0;        ///< Total frames produced.
+  uint64_t delta_frames = 0;  ///< v3 delta frames produced.
+  uint64_t full_frames = 0;   ///< Full v2 frames produced.
+  uint64_t delta_bytes = 0;   ///< Bytes across the delta frames.
+  uint64_t full_bytes = 0;    ///< Bytes across the full frames.
+  uint64_t naks = 0;          ///< OnNak notifications received.
+  /// Full frames produced *because* the chain broke: a NAK, a ForceResync,
+  /// or the engine rejecting the base generation. First-contact full
+  /// frames are not resyncs — there was no chain to lose yet.
+  uint64_t resyncs = 0;
+  uint64_t blocked = 0;  ///< NextFrame calls refused by a full window.
+};
+
+/// \brief Produces the next frame a sink should receive from \p engine:
+/// delta when the chain allows, full when it does not. Not thread-safe;
+/// one sender serves one (engine, sink) pair — a producer fanning out to
+/// several sinks runs one sender per sink.
+class DeltaSender {
+ public:
+  /// \param engine the summarized stream; borrowed, must outlive the
+  ///        sender, and must not be encoded through any other path while
+  ///        the sender is active (the engine's wire baseline is the chain
+  ///        state).
+  explicit DeltaSender(HullEngine* engine, DeltaSenderOptions options = {});
+
+  /// One produced frame plus what the caller needs for accounting and acks.
+  struct Frame {
+    std::string bytes;  ///< Wire-ready snapshot v2 or v3 message.
+    bool is_delta = false;
+    /// The engine generation this frame brings the sink to; quote it back
+    /// via OnAck when the sink confirms.
+    uint64_t generation = 0;
+  };
+
+  /// True when the in-flight window has room for another frame.
+  bool Ready() const;
+
+  /// \brief Produces the next frame. FailedPrecondition when the window is
+  /// full (counted in stats().blocked; retry after an ack). Never fails
+  /// otherwise: any reason a delta cannot be produced falls back to a full
+  /// frame.
+  Status NextFrame(Frame* out);
+
+  /// \brief The sink confirmed holding \p generation: every in-flight
+  /// frame up to it leaves the window.
+  void OnAck(uint64_t generation);
+
+  /// \brief The sink reported a chain break (lost or unappliable frame).
+  /// The window empties — frames past the break will never be acked — and
+  /// the next frame is a full resync.
+  void OnNak();
+
+  /// Forces the next frame to be a full v2 frame (the belt-and-braces
+  /// periodic resync a deployment may run on top of the protocol).
+  void ForceResync() { force_full_ = true; }
+
+  /// \brief Marks the chain as already established at \p generation — the
+  /// restore path. An engine rebuilt by MakeEngineFromView seeds the
+  /// decoded view as its wire baseline, so a sender resumed at the view's
+  /// generation may open with a delta chained onto what the sink already
+  /// holds; if the sink has since moved on, its NAK triggers the ordinary
+  /// resync.
+  void Resume(uint64_t generation) {
+    last_sent_generation_ = generation;
+    sent_anything_ = true;
+  }
+
+  /// Produced-frame accounting.
+  const DeltaSenderStats& stats() const { return stats_; }
+
+  /// The generation of the newest produced frame (0 before the first).
+  uint64_t last_sent_generation() const { return last_sent_generation_; }
+
+ private:
+  HullEngine* engine_;
+  DeltaSenderOptions options_;
+  DeltaSenderStats stats_;
+  std::deque<uint64_t> in_flight_;  // Generations awaiting ack, ascending.
+  uint64_t last_sent_generation_ = 0;
+  bool sent_anything_ = false;
+  bool force_full_ = false;   // Caller-requested full frame.
+  bool resync_needed_ = false;  // NAK received: next full frame is a resync.
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_SERVER_DELTA_SENDER_H_

@@ -1,0 +1,189 @@
+// streamhull: streamhulld — the multi-tenant ingest/query server.
+//
+// This is the deployment shape the paper's introduction sketches and the
+// ROADMAP names: producers summarize locally and ship certified sandwiches;
+// a central server ingests v2/v3 frames from many tenants, answers
+// certified queries from the decoded views alone, and survives restarts by
+// persisting nothing but the views.
+//
+// Architecture (full walkthrough in DESIGN.md, "Server architecture"):
+//
+//   * Sessions speak the wire protocol of server/wire.h over any Transport.
+//     Session I/O and frame decoding run on the *pump* thread —
+//     PumpOnce() drains every session's transport, validates frames, and
+//     dispatches messages. The server never spawns its own I/O threads, so
+//     a test (or the soak) drives it deterministically: attach pipe
+//     transports, PumpOnce()+Flush(), assert.
+//
+//   * Each tenant owns a StreamGroup of remote streams and one Sequencer
+//     strand on the shared runtime pool. Every group-touching operation
+//     (DATA apply, OPEN, QUERY) is posted to the tenant's strand, so the
+//     group sees single-threaded access in arrival order while distinct
+//     tenants ingest concurrently across the pool — the same single-writer
+//     sharding discipline as StreamGroup::InsertBatchAsync.
+//
+//   * Backpressure: each session has a bounded count of posted-but-
+//     unprocessed frames. When a session reaches the bound, PumpOnce stops
+//     draining *that session's* decoder (bytes stay buffered in transport
+//     order) until its strand catches up; other sessions are unaffected.
+//
+//   * Restart: SaveSnapshots() re-encodes every held view into
+//     snapshot_dir; a new server instance loads them in AddTenant, so
+//     OPEN_OK reports the pre-restart held generation and producers whose
+//     delta chain matches continue without a resync (those that ran ahead
+//     get a NAK, exactly as for a lost frame).
+//
+// Thread-safety: construct, AddTenant, and AttachSession from the owning
+// thread before pumping; PumpOnce/Flush from one thread at a time.
+// MetricsText and SaveSnapshots flush internally and must come from the
+// pump thread. Counters are atomics, updated from pool strands.
+
+#ifndef STREAMHULL_SERVER_STREAMHULLD_H_
+#define STREAMHULL_SERVER_STREAMHULLD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "multi/stream_group.h"
+#include "runtime/parallel_ingestor.h"
+#include "server/transport.h"
+#include "server/wire.h"
+
+namespace streamhull {
+
+/// \brief Configuration of a StreamHullServer.
+struct ServerOptions {
+  /// Engine options for the tenant StreamGroups (remote streams run no
+  /// engine; this mainly configures any future local streams and
+  /// validation defaults).
+  EngineOptions engine;
+  /// Runtime pool workers; 0 selects the hardware concurrency.
+  size_t num_threads = 0;
+  /// Per-frame payload cap handed to each session's FrameDecoder.
+  size_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Backpressure bound: posted-but-unprocessed frames per session before
+  /// PumpOnce stops draining that session.
+  size_t max_pending_per_session = 64;
+  /// Directory for view persistence (SaveSnapshots / restart restore);
+  /// empty disables persistence.
+  std::string snapshot_dir;
+};
+
+/// \brief Point-in-time copy of one tenant's counters.
+struct TenantMetrics {
+  uint64_t streams = 0;          ///< Streams currently registered.
+  uint64_t restored_streams = 0; ///< Streams loaded from snapshot_dir.
+  uint64_t frames = 0;           ///< DATA frames received (any outcome).
+  uint64_t bytes = 0;            ///< Payload bytes across those frames.
+  uint64_t full_frames = 0;      ///< v2 frames applied.
+  uint64_t delta_frames = 0;     ///< v3 frames applied.
+  uint64_t resyncs = 0;          ///< NAKs sent (generation gaps).
+  uint64_t rejected_frames = 0;  ///< Malformed frames refused.
+  uint64_t queries = 0;          ///< QUERY messages answered.
+};
+
+/// \brief Server-wide counters.
+struct ServerMetrics {
+  uint64_t sessions_attached = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t polls = 0;            ///< PumpOnce calls.
+  uint64_t poll_ns = 0;          ///< Wall time across those calls.
+  uint64_t frames_dispatched = 0;  ///< Session messages handled.
+};
+
+/// \brief The streamhulld server core: tenants, sessions, pump loop,
+/// metrics, persistence. Transport-agnostic — the daemon main wires it to
+/// Unix sockets, the tests to pipes.
+class StreamHullServer {
+ public:
+  explicit StreamHullServer(ServerOptions options);
+  ~StreamHullServer();
+
+  StreamHullServer(const StreamHullServer&) = delete;
+  StreamHullServer& operator=(const StreamHullServer&) = delete;
+
+  /// \brief Registers a tenant with its auth token and, when persistence
+  /// is configured, restores every stream snapshot found under
+  /// snapshot_dir/<tenant>/. Fails on duplicate names or tokens. Call
+  /// before pumping.
+  Status AddTenant(const std::string& name, const std::string& token);
+
+  /// \brief Adopts a connected transport as a new session. The session
+  /// starts unauthenticated; its first frame must be a valid HELLO.
+  void AttachSession(std::unique_ptr<Transport> transport);
+
+  /// \brief One deterministic pump: reap closed sessions, drain every
+  /// session's transport through its frame decoder (respecting the
+  /// per-session backpressure bound), dispatch the decoded messages, and
+  /// return how many were dispatched. Strand work may still be running
+  /// when it returns; Flush() is the barrier.
+  size_t PumpOnce();
+
+  /// Barrier: every dispatched message has been fully processed (and its
+  /// reply handed to the transport) when this returns.
+  void Flush();
+
+  /// Sessions currently attached (closed-but-unreaped ones included).
+  size_t session_count() const { return sessions_.size(); }
+
+  /// \brief Re-encodes every tenant's held views into snapshot_dir (one
+  /// file per stream). Flushes first. FailedPrecondition when persistence
+  /// is disabled; IOError on filesystem failure.
+  Status SaveSnapshots();
+
+  /// \brief Human-readable metrics: one server line plus one line per
+  /// tenant. Flushes first (so stream counts are stable to read).
+  std::string MetricsText();
+
+  /// Point-in-time copy of a tenant's counters (flushes first). Fails on
+  /// unknown tenants.
+  Status Metrics(const std::string& tenant, TenantMetrics* out);
+
+  /// Server-wide counters.
+  ServerMetrics metrics() const;
+
+  /// \brief Direct certified-query access for embedders and tests: the
+  /// named tenant's stream sandwich, bypassing the wire protocol. Flushes
+  /// first.
+  Status View(const std::string& tenant, const std::string& stream,
+              SummaryView* out);
+
+ private:
+  struct Tenant;
+  struct Session;
+
+  /// Dispatches one decoded message on \p session. Returns false when the
+  /// session should stop being drained this pump (backpressure).
+  void HandleMessage(Session* session, SessionMessage msg);
+
+  void SendOnSession(Session* session, const SessionMessage& msg);
+  void CloseSession(Session* session, StatusCode code,
+                    const std::string& reason);
+
+  /// Valid stream names: non-empty, at most 128 chars, [A-Za-z0-9._-]
+  /// only — they double as snapshot file names.
+  static bool ValidStreamName(const std::string& name);
+
+  Status LoadTenantSnapshots(Tenant* tenant);
+
+  ServerOptions options_;
+  std::unique_ptr<ParallelIngestor> runtime_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::map<std::string, Tenant*> tenants_by_token_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::atomic<uint64_t> sessions_attached_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
+  std::atomic<uint64_t> polls_{0};
+  std::atomic<uint64_t> poll_ns_{0};
+  std::atomic<uint64_t> frames_dispatched_{0};
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_SERVER_STREAMHULLD_H_

@@ -1,0 +1,236 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace streamhull {
+
+namespace {
+
+// Little-endian scalar append/read helpers, matching the snapshot codecs'
+// convention (this library targets little-endian hosts).
+template <typename T>
+void Append(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+void AppendString(std::string* out, std::string_view s) {
+  Append<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Bounded cursor over a frame payload: every read checks remaining length
+// and reports truncation as a Status, so no input can read out of bounds.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  Status Read(T* out) {
+    if (data_.size() - pos_ < sizeof(T)) {
+      return Status::InvalidArgument("session frame truncated mid-field");
+    }
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    uint32_t len = 0;
+    STREAMHULL_RETURN_IF_ERROR(Read(&len));
+    if (data_.size() - pos_ < len) {
+      return Status::InvalidArgument(
+          "session frame string length points past the frame end");
+    }
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ExpectEnd() const {
+    if (pos_ != data_.size()) {
+      return Status::InvalidArgument("session frame has trailing bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* SessionMessageTypeName(SessionMessageType type) {
+  switch (type) {
+    case SessionMessageType::kHello: return "HELLO";
+    case SessionMessageType::kHelloOk: return "HELLO_OK";
+    case SessionMessageType::kOpen: return "OPEN";
+    case SessionMessageType::kOpenOk: return "OPEN_OK";
+    case SessionMessageType::kData: return "DATA";
+    case SessionMessageType::kAck: return "ACK";
+    case SessionMessageType::kNak: return "NAK";
+    case SessionMessageType::kQuery: return "QUERY";
+    case SessionMessageType::kQueryResult: return "QUERY_RESULT";
+    case SessionMessageType::kError: return "ERROR";
+    case SessionMessageType::kBye: return "BYE";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeSessionFrame(const SessionMessage& msg) {
+  std::string body;
+  Append<uint8_t>(&body, static_cast<uint8_t>(msg.type));
+  switch (msg.type) {
+    case SessionMessageType::kHello:
+      Append<uint32_t>(&body, msg.version);
+      AppendString(&body, msg.token);
+      break;
+    case SessionMessageType::kHelloOk:
+      Append<uint32_t>(&body, msg.version);
+      break;
+    case SessionMessageType::kOpen:
+      AppendString(&body, msg.stream);
+      break;
+    case SessionMessageType::kOpenOk:
+    case SessionMessageType::kAck:
+    case SessionMessageType::kNak:
+      AppendString(&body, msg.stream);
+      Append<uint64_t>(&body, msg.generation);
+      break;
+    case SessionMessageType::kData:
+      AppendString(&body, msg.stream);
+      AppendString(&body, msg.payload);
+      break;
+    case SessionMessageType::kQuery:
+      Append<uint8_t>(&body, static_cast<uint8_t>(msg.query));
+      AppendString(&body, msg.stream);
+      AppendString(&body, msg.stream_b);
+      Append<double>(&body, msg.dir_x);
+      Append<double>(&body, msg.dir_y);
+      break;
+    case SessionMessageType::kQueryResult:
+      Append<uint8_t>(&body, static_cast<uint8_t>(msg.query));
+      Append<double>(&body, msg.lo);
+      Append<double>(&body, msg.hi);
+      Append<uint8_t>(&body, msg.certainty);
+      break;
+    case SessionMessageType::kError:
+      Append<uint8_t>(&body, msg.code);
+      AppendString(&body, msg.payload);
+      break;
+    case SessionMessageType::kBye:
+      break;
+  }
+  std::string frame;
+  frame.reserve(4 + body.size());
+  Append<uint32_t>(&frame, static_cast<uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+Status DecodeSessionMessage(std::string_view payload, SessionMessage* out) {
+  Reader r(payload);
+  uint8_t raw_type = 0;
+  STREAMHULL_RETURN_IF_ERROR(r.Read(&raw_type));
+  if (raw_type < static_cast<uint8_t>(SessionMessageType::kHello) ||
+      raw_type > static_cast<uint8_t>(SessionMessageType::kBye)) {
+    return Status::InvalidArgument("unknown session message type " +
+                                   std::to_string(raw_type));
+  }
+  SessionMessage msg;
+  msg.type = static_cast<SessionMessageType>(raw_type);
+  switch (msg.type) {
+    case SessionMessageType::kHello:
+      STREAMHULL_RETURN_IF_ERROR(r.Read(&msg.version));
+      STREAMHULL_RETURN_IF_ERROR(r.ReadString(&msg.token));
+      break;
+    case SessionMessageType::kHelloOk:
+      STREAMHULL_RETURN_IF_ERROR(r.Read(&msg.version));
+      break;
+    case SessionMessageType::kOpen:
+      STREAMHULL_RETURN_IF_ERROR(r.ReadString(&msg.stream));
+      break;
+    case SessionMessageType::kOpenOk:
+    case SessionMessageType::kAck:
+    case SessionMessageType::kNak:
+      STREAMHULL_RETURN_IF_ERROR(r.ReadString(&msg.stream));
+      STREAMHULL_RETURN_IF_ERROR(r.Read(&msg.generation));
+      break;
+    case SessionMessageType::kData:
+      STREAMHULL_RETURN_IF_ERROR(r.ReadString(&msg.stream));
+      STREAMHULL_RETURN_IF_ERROR(r.ReadString(&msg.payload));
+      break;
+    case SessionMessageType::kQuery: {
+      uint8_t kind = 0;
+      STREAMHULL_RETURN_IF_ERROR(r.Read(&kind));
+      if (kind < static_cast<uint8_t>(ServerQueryKind::kDiameter) ||
+          kind > static_cast<uint8_t>(ServerQueryKind::kSeparation)) {
+        return Status::InvalidArgument("unknown server query kind " +
+                                       std::to_string(kind));
+      }
+      msg.query = static_cast<ServerQueryKind>(kind);
+      STREAMHULL_RETURN_IF_ERROR(r.ReadString(&msg.stream));
+      STREAMHULL_RETURN_IF_ERROR(r.ReadString(&msg.stream_b));
+      STREAMHULL_RETURN_IF_ERROR(r.Read(&msg.dir_x));
+      STREAMHULL_RETURN_IF_ERROR(r.Read(&msg.dir_y));
+      break;
+    }
+    case SessionMessageType::kQueryResult: {
+      uint8_t kind = 0;
+      STREAMHULL_RETURN_IF_ERROR(r.Read(&kind));
+      msg.query = static_cast<ServerQueryKind>(kind);
+      STREAMHULL_RETURN_IF_ERROR(r.Read(&msg.lo));
+      STREAMHULL_RETURN_IF_ERROR(r.Read(&msg.hi));
+      STREAMHULL_RETURN_IF_ERROR(r.Read(&msg.certainty));
+      break;
+    }
+    case SessionMessageType::kError:
+      STREAMHULL_RETURN_IF_ERROR(r.Read(&msg.code));
+      STREAMHULL_RETURN_IF_ERROR(r.ReadString(&msg.payload));
+      break;
+    case SessionMessageType::kBye:
+      break;
+  }
+  STREAMHULL_RETURN_IF_ERROR(r.ExpectEnd());
+  *out = std::move(msg);
+  return Status::OK();
+}
+
+Status FrameDecoder::Next(std::string* out, bool* got) {
+  *got = false;
+  if (poisoned_) {
+    return Status::InvalidArgument(
+        "frame stream poisoned by an oversized length prefix");
+  }
+  if (buffer_.size() < 4) return Status::OK();
+  uint32_t len = 0;
+  std::memcpy(&len, buffer_.data(), 4);
+  if (len > max_payload_) {
+    poisoned_ = true;
+    return Status::InvalidArgument(
+        "frame length prefix " + std::to_string(len) +
+        " exceeds the payload cap of " + std::to_string(max_payload_));
+  }
+  if (buffer_.size() - 4 < len) return Status::OK();  // Mid-payload: wait.
+  out->assign(buffer_, 4, len);
+  buffer_.erase(0, 4 + static_cast<size_t>(len));
+  *got = true;
+  return Status::OK();
+}
+
+Status FrameDecoder::Finish() const {
+  if (poisoned_) {
+    return Status::InvalidArgument(
+        "frame stream poisoned by an oversized length prefix");
+  }
+  if (!buffer_.empty()) {
+    return Status::InvalidArgument(
+        "peer disconnected mid-frame with " +
+        std::to_string(buffer_.size()) + " bytes pending");
+  }
+  return Status::OK();
+}
+
+}  // namespace streamhull

@@ -1,0 +1,160 @@
+// streamhull: the streamhulld session wire protocol.
+//
+// The snapshot layer (core/snapshot.h) defines what a summary looks like in
+// bytes; this header defines how those bytes travel between a producer and
+// a streamhulld server: length-prefixed frames carrying a small set of
+// session messages. The split keeps the trust boundaries explicit —
+// FrameDecoder turns an untrusted byte stream into bounded frames (or a
+// Status; never a crash, never unbounded buffering), DecodeSessionMessage
+// turns one frame into a validated message, and the snapshot decoders then
+// validate the summary payload itself. Each layer rejects what the next
+// layer must never see.
+//
+// Framing: every frame is a 4-byte little-endian payload length followed by
+// the payload. The decoder enforces a maximum payload size, so a corrupted
+// or hostile length prefix costs one InvalidArgument, not an allocation.
+//
+// Session protocol (state machine in DESIGN.md, "Server architecture"):
+//
+//   client                          server
+//   ------                          ------
+//   HELLO(version, tenant token) ->
+//                                <- HELLO_OK | ERROR (bad token/version)
+//   OPEN(stream)                 ->
+//                                <- OPEN_OK(stream, held_generation)
+//   DATA(stream, snapshot bytes) ->
+//                                <- ACK(stream, generation)      on success
+//                                <- NAK(stream, held_generation) on a
+//                                   generation gap: resync with a full frame
+//                                <- ERROR                        on malformed
+//   QUERY(kind, a[, b][, dir])   ->
+//                                <- QUERY_RESULT(interval, certainty)
+//   BYE                          ->                      (either direction)
+//
+// Generations are producer stream lengths, exactly as in the v3 delta
+// protocol; OPEN_OK's held_generation tells a reconnecting producer where
+// the server's view stands, so it can resume the delta chain (0 means the
+// server holds nothing and the first DATA must be a full v2 frame).
+
+#ifndef STREAMHULL_SERVER_WIRE_H_
+#define STREAMHULL_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace streamhull {
+
+/// Session protocol version carried in HELLO; bumped on incompatible
+/// message changes.
+inline constexpr uint32_t kServerProtocolVersion = 1;
+
+/// \brief Default cap on a frame payload. A full v2 frame is 48 bytes plus
+/// 36 per sample, so even r = 4096 summaries fit with two orders of
+/// magnitude to spare; anything larger is a corrupted or hostile prefix.
+inline constexpr size_t kDefaultMaxFramePayload = 4u << 20;
+
+/// \brief The session message types. Values are wire bytes: never reorder.
+enum class SessionMessageType : uint8_t {
+  kHello = 1,        ///< client->server: version + tenant token.
+  kHelloOk = 2,      ///< server->client: session accepted.
+  kOpen = 3,         ///< client->server: attach to (or create) a stream.
+  kOpenOk = 4,       ///< server->client: stream ready, held generation.
+  kData = 5,         ///< client->server: one snapshot v2/v3 frame.
+  kAck = 6,          ///< server->client: frame applied, new generation.
+  kNak = 7,          ///< server->client: generation gap, resync required.
+  kQuery = 8,        ///< client->server: certified query request.
+  kQueryResult = 9,  ///< server->client: certified interval answer.
+  kError = 10,       ///< server->client: protocol or payload error.
+  kBye = 11,         ///< either direction: orderly close.
+};
+
+/// Stable name for a message type (logs and test failures).
+const char* SessionMessageTypeName(SessionMessageType type);
+
+/// \brief The certified queries streamhulld serves remotely. Values are
+/// wire bytes: never reorder.
+enum class ServerQueryKind : uint8_t {
+  kDiameter = 1,    ///< CertifiedDiameter(stream_a).
+  kExtent = 2,      ///< CertifiedExtent(stream_a, (dir_x, dir_y)).
+  kSeparation = 3,  ///< CertifiedSeparation(stream_a, stream_b).
+};
+
+/// \brief One decoded session message: a type tag plus the union of every
+/// message's fields (unused fields keep their defaults). Kept flat — the
+/// protocol is small enough that a tagged struct beats a class hierarchy.
+struct SessionMessage {
+  SessionMessageType type = SessionMessageType::kBye;
+
+  uint32_t version = 0;    ///< HELLO: client's protocol version.
+  std::string token;       ///< HELLO: tenant auth token.
+  std::string stream;      ///< OPEN/OPEN_OK/DATA/ACK/NAK/QUERY: stream name.
+  std::string stream_b;    ///< QUERY (separation): second stream name.
+  std::string payload;     ///< DATA: snapshot bytes. ERROR: message text.
+  uint64_t generation = 0; ///< OPEN_OK/NAK: held generation. ACK: applied.
+  ServerQueryKind query = ServerQueryKind::kDiameter;  ///< QUERY kind.
+  double dir_x = 0;        ///< QUERY (extent): direction x.
+  double dir_y = 0;        ///< QUERY (extent): direction y.
+  double lo = 0;           ///< QUERY_RESULT: certified interval lower end.
+  double hi = 0;           ///< QUERY_RESULT: certified interval upper end.
+  uint8_t certainty = 0;   ///< QUERY_RESULT: Certainty as its enum value.
+  uint8_t code = 0;        ///< ERROR: StatusCode as its enum value.
+};
+
+/// \brief Serializes \p msg as a complete frame: length prefix included,
+/// ready for Transport::Send. Encoding is infallible; callers are trusted
+/// to fill the fields their type uses.
+std::string EncodeSessionFrame(const SessionMessage& msg);
+
+/// \brief Parses one frame *payload* (no length prefix — FrameDecoder has
+/// already stripped it) into a session message. Rejects unknown types,
+/// truncated fields, embedded lengths pointing past the end, and trailing
+/// bytes, always with InvalidArgument. On error \p *out is untouched.
+Status DecodeSessionMessage(std::string_view payload, SessionMessage* out);
+
+/// \brief Incremental length-prefix frame extractor over an untrusted byte
+/// stream. Feed() bytes as they arrive (in any fragmentation — a frame per
+/// call, a byte per call, ten frames per call), then drain complete frames
+/// with Next(). The decoder buffers at most one maximum-size frame plus
+/// whatever one Feed() delivered.
+///
+/// Errors are sticky: once a length prefix exceeds the payload cap the
+/// stream is unframeable (there is no way to find the next boundary), so
+/// every later call reports the same InvalidArgument and the session must
+/// be torn down.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends arriving bytes. Cheap; validation happens lazily in Next().
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// \brief Extracts the next complete frame payload into \p *out and
+  /// returns OK with \p *got = true; returns OK with \p *got = false when
+  /// the buffered bytes end mid-prefix or mid-payload (more bytes may
+  /// still arrive); returns InvalidArgument (sticky) when the prefix
+  /// exceeds the payload cap.
+  Status Next(std::string* out, bool* got);
+
+  /// \brief End-of-stream check: OK when the peer disconnected exactly on
+  /// a frame boundary, InvalidArgument when it vanished mid-prefix or
+  /// mid-payload (a truncated frame — data was lost, not just the
+  /// connection).
+  Status Finish() const;
+
+  /// Bytes currently buffered (test support).
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_SERVER_WIRE_H_

@@ -12,6 +12,9 @@
 //                           alone; v3 delta frames ship only the samples
 //                           that moved since the last frame, with a
 //                           generation-gap resync protocol
+//   core/restore.h          live-engine restore: rebuild a summarizing
+//                           engine from a decoded view (shard migration,
+//                           crash recovery) with still-certified slacks
 //   geom/convex_polygon.h   the polygon value type summaries materialize
 //   queries/queries.h       raw extremal queries over one polygon
 //   queries/certified.h     interval-valued certified queries over the
@@ -24,6 +27,11 @@
 //                           ParallelIngestor facade behind
 //                           StreamGroup::InsertBatchAsync and the
 //                           region-parallel paths
+//   server/...              streamhulld: the session wire protocol,
+//                           byte transports (in-process pipes and Unix
+//                           sockets), the reusable DeltaSender producer
+//                           state machine, and the multi-tenant
+//                           ingest/query server core
 //   geom/kernels.h          the vectorized geometry kernels behind the
 //                           ingestion prefilter and the clip loop, with
 //                           the runtime ISA dispatch controls
@@ -48,6 +56,7 @@
 #include "core/adaptive_hull.h"
 #include "core/hull_engine.h"
 #include "core/options.h"
+#include "core/restore.h"
 #include "core/snapshot.h"
 #include "core/static_adaptive.h"
 #include "geom/convex_hull.h"
@@ -63,6 +72,10 @@
 #include "runtime/parallel_ingestor.h"
 #include "runtime/sequencer.h"
 #include "runtime/thread_pool.h"
+#include "server/delta_sender.h"
+#include "server/streamhulld.h"
+#include "server/transport.h"
+#include "server/wire.h"
 #include "stream/generators.h"
 
 #endif  // STREAMHULL_STREAMHULL_H_

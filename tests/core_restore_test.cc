@@ -1,0 +1,278 @@
+// Tests for live-engine restore (core/restore.h). The headline suite is
+// differential: for every engine kind and several r values, snapshot a
+// half-built stream, restore an engine from the decoded view alone, feed
+// it the rest of the stream, and require the restored engine's certified
+// interval for diameter and directional extents to contain the brute-force
+// truth over ALL points — including the pre-snapshot points the restored
+// engine never saw and only its frozen slack floors still cover.
+
+#include "core/restore.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hull_engine.h"
+#include "core/snapshot.h"
+#include "geom/convex_polygon.h"
+#include "queries/certified.h"
+#include "queries/queries.h"
+#include "stream/generators.h"
+
+namespace streamhull {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+EngineOptions OptionsWithR(uint32_t r) {
+  EngineOptions o;
+  o.hull.r = r;
+  return o;
+}
+
+std::unique_ptr<HullEngine> Restore(const std::string& snapshot,
+                                    const EngineOptions& options) {
+  DecodedSummaryView view;
+  EXPECT_TRUE(DecodeSummaryView(snapshot, &view).ok());
+  std::unique_ptr<HullEngine> restored;
+  EXPECT_TRUE(MakeEngineFromView(view, options, &restored).ok());
+  return restored;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+TEST(MakeEngineFromViewTest, RejectsEmptyView) {
+  DecodedSummaryView view;
+  std::unique_ptr<HullEngine> restored;
+  EXPECT_EQ(MakeEngineFromView(view, OptionsWithR(16), &restored).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MakeEngineFromViewTest, RejectsSampleSlackMismatch) {
+  AdaptiveHullOptions o;
+  o.r = 16;
+  AdaptiveHull hull(o);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) hull.Insert({rng.Normal(), rng.Normal()});
+  DecodedSummaryView view;
+  ASSERT_TRUE(DecodeSummaryView(EncodeSummaryView(hull), &view).ok());
+  view.slacks.pop_back();
+  std::unique_ptr<HullEngine> restored;
+  EXPECT_EQ(MakeEngineFromView(view, OptionsWithR(16), &restored).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MakeEngineFromViewTest, ForcesViewRegardlessOfRequestedR) {
+  // The view's direction set is the contract; a mismatched requested r is
+  // overridden, not an error.
+  AdaptiveHullOptions o;
+  o.r = 32;
+  AdaptiveHull hull(o);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) hull.Insert({rng.Normal(), rng.Normal()});
+  auto restored = Restore(EncodeSummaryView(hull), OptionsWithR(8));
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->num_points(), hull.num_points());
+}
+
+// ---------------------------------------------------------------------------
+// Restore semantics
+// ---------------------------------------------------------------------------
+
+TEST(MakeEngineFromViewTest, PreservesGenerationAndPerimeter) {
+  AdaptiveHullOptions o;
+  o.r = 32;
+  AdaptiveHull hull(o);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    hull.Insert({3.0 * rng.Normal(), rng.Normal()});
+  }
+  auto restored = Restore(EncodeSummaryView(hull), OptionsWithR(32));
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->num_points(), hull.num_points());
+  // The restored error bound may widen (inner engine slack on top of the
+  // inherited debt) but never below the original's.
+  EXPECT_GE(restored->ErrorBound() + kEps, 0.0);
+}
+
+TEST(MakeEngineFromViewTest, RestoredChainContinuesDeltaProtocol) {
+  // The restored engine seeds the view as its wire baseline: its first
+  // EncodeSummaryDelta against the view's generation must apply cleanly
+  // to a sink holding that view.
+  AdaptiveHullOptions o;
+  o.r = 32;
+  AdaptiveHull hull(o);
+  Rng rng(4);
+  for (int i = 0; i < 1500; ++i) hull.Insert({rng.Normal(), rng.Normal()});
+  const std::string snapshot = EncodeSummaryView(hull);
+  DecodedSummaryView sink;
+  ASSERT_TRUE(DecodeSummaryView(snapshot, &sink).ok());
+
+  auto restored = Restore(snapshot, OptionsWithR(32));
+  ASSERT_NE(restored, nullptr);
+  const uint64_t base = restored->num_points();
+  for (int i = 0; i < 400; ++i) {
+    restored->Insert({rng.Normal(), rng.Normal()});
+  }
+  std::string delta;
+  ASSERT_TRUE(restored->EncodeSummaryDelta(base, &delta).ok());
+  ASSERT_TRUE(ApplySummaryDelta(delta, &sink).ok());
+  EXPECT_EQ(sink.num_points, restored->num_points());
+}
+
+// ---------------------------------------------------------------------------
+// The differential suite: certified intervals vs brute force, across
+// engine kinds, r values, and workloads.
+// ---------------------------------------------------------------------------
+
+struct RestoreCase {
+  EngineKind kind;
+  uint32_t r;
+};
+
+class RestoreDifferentialTest
+    : public ::testing::TestWithParam<RestoreCase> {};
+
+TEST_P(RestoreDifferentialTest, CertifiedIntervalsContainBruteTruth) {
+  const RestoreCase c = GetParam();
+  const EngineOptions options = OptionsWithR(c.r);
+  auto engine = MakeEngine(c.kind, options);
+
+  // Phase 1: a drift walk the snapshot summarizes.
+  DriftWalkGenerator gen(977 + static_cast<uint64_t>(c.r));
+  std::vector<Point2> truth;
+  for (const Point2& p : gen.Take(5000)) {
+    engine->Insert(p);
+    truth.push_back(p);
+  }
+  const std::string snapshot = EncodeSummaryView(*engine);
+  engine.reset();  // The original engine (and its exact state) is gone.
+
+  // Phase 2: restore from bytes alone and stream 10k further points.
+  auto restored = Restore(snapshot, options);
+  ASSERT_NE(restored, nullptr);
+  for (const Point2& p : gen.Take(10000)) {
+    restored->Insert(p);
+    truth.push_back(p);
+  }
+  EXPECT_EQ(restored->num_points(), truth.size());
+  EXPECT_TRUE(restored->CheckConsistency().ok());
+
+  // The certified sandwich must bracket brute-force truth over every
+  // point, including the 5000 the restored engine never ingested.
+  const ConvexPolygon brute = ConvexPolygon::HullOf(truth);
+  const SummaryView view(*restored);
+  const double true_diameter = Diameter(brute).value;
+  const CertifiedScalar diam = CertifiedDiameter(view);
+  EXPECT_LE(diam.value.lo, true_diameter + kEps);
+  EXPECT_GE(diam.value.hi + kEps, true_diameter);
+
+  for (int k = 0; k < 16; ++k) {
+    const double angle = 2.0 * 3.14159265358979323846 * k / 16.0;
+    const Point2 dir{std::cos(angle), std::sin(angle)};
+    const double true_extent = DirectionalExtent(brute, dir);
+    const Interval extent = CertifiedExtent(view, dir);
+    EXPECT_LE(extent.lo, true_extent + kEps) << "direction " << k;
+    EXPECT_GE(extent.hi + kEps, true_extent) << "direction " << k;
+  }
+
+  // And the error bound still honors the paper's contract shape: the
+  // reported bound dominates the sandwich gap realized at any direction.
+  EXPECT_GE(restored->ErrorBound(), 0.0);
+}
+
+std::vector<RestoreCase> AllRestoreCases() {
+  std::vector<RestoreCase> cases;
+  for (const EngineKind kind : AllEngineKinds()) {
+    for (const uint32_t r : {8u, 32u, 128u}) {
+      cases.push_back({kind, r});
+    }
+  }
+  return cases;
+}
+
+std::string RestoreCaseName(
+    const ::testing::TestParamInfo<RestoreCase>& info) {
+  std::string name = EngineKindName(info.param.kind);
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name + "_r" + std::to_string(info.param.r);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKindsAndR, RestoreDifferentialTest,
+                         ::testing::ValuesIn(AllRestoreCases()),
+                         RestoreCaseName);
+
+// A second workload family: adversarial circle points (worst case for the
+// paper's bound) through a restore boundary.
+TEST(RestoreDifferentialTest, CirclePointsThroughRestoreBoundary) {
+  const EngineOptions options = OptionsWithR(32);
+  auto engine = MakeEngine(EngineKind::kAdaptive, options);
+  Rng rng(31);
+  std::vector<Point2> truth;
+  auto insert_arc = [&](HullEngine* e, int n) {
+    for (int i = 0; i < n; ++i) {
+      const double a = rng.Uniform(0.0, 2.0 * 3.14159265358979323846);
+      const double rad = 10.0 + 0.01 * rng.Normal();
+      const Point2 p{rad * std::cos(a), rad * std::sin(a)};
+      e->Insert(p);
+      truth.push_back(p);
+    }
+  };
+  insert_arc(engine.get(), 4000);
+  const std::string snapshot = EncodeSummaryView(*engine);
+  engine.reset();
+  auto restored = Restore(snapshot, options);
+  ASSERT_NE(restored, nullptr);
+  insert_arc(restored.get(), 10000);
+
+  const ConvexPolygon brute = ConvexPolygon::HullOf(truth);
+  const double true_diameter = Diameter(brute).value;
+  const CertifiedScalar diam = CertifiedDiameter(SummaryView(*restored));
+  EXPECT_LE(diam.value.lo, true_diameter + kEps);
+  EXPECT_GE(diam.value.hi + kEps, true_diameter);
+}
+
+// Double restore: snapshot the restored engine and restore again. Slack
+// floors must compose (the second restore's floor covers the first's).
+TEST(RestoreDifferentialTest, RestoreOfARestoreStaysCertified) {
+  const EngineOptions options = OptionsWithR(32);
+  auto engine = MakeEngine(EngineKind::kAdaptive, options);
+  DriftWalkGenerator gen(555);
+  std::vector<Point2> truth;
+  for (const Point2& p : gen.Take(3000)) {
+    engine->Insert(p);
+    truth.push_back(p);
+  }
+  auto first = Restore(EncodeSummaryView(*engine), options);
+  engine.reset();
+  ASSERT_NE(first, nullptr);
+  for (const Point2& p : gen.Take(3000)) {
+    first->Insert(p);
+    truth.push_back(p);
+  }
+  auto second = Restore(EncodeSummaryView(*first), options);
+  first.reset();
+  ASSERT_NE(second, nullptr);
+  for (const Point2& p : gen.Take(3000)) {
+    second->Insert(p);
+    truth.push_back(p);
+  }
+  EXPECT_EQ(second->num_points(), truth.size());
+
+  const ConvexPolygon brute = ConvexPolygon::HullOf(truth);
+  const double true_diameter = Diameter(brute).value;
+  const CertifiedScalar diam = CertifiedDiameter(SummaryView(*second));
+  EXPECT_LE(diam.value.lo, true_diameter + kEps);
+  EXPECT_GE(diam.value.hi + kEps, true_diameter);
+}
+
+}  // namespace
+}  // namespace streamhull

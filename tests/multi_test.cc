@@ -391,6 +391,94 @@ TEST(StreamGroupRemoteTest, SinkCertifiesPairsFromDecodedViewsAlone) {
   EXPECT_TRUE(lost) << "remote view update must drive certified events";
 }
 
+TEST(StreamGroupRemoteTest, RemoteStatsDistinguishResyncsFromRejections) {
+  EngineOptions opts;
+  opts.hull.r = 16;
+  auto producer = MakeEngine(EngineKind::kAdaptive, opts);
+  producer->InsertBatch(DiskGenerator(91, 1.0, {0, 0}).Take(1000));
+
+  StreamGroup sink(Opts());
+  ASSERT_TRUE(sink.AddRemoteStream("r").ok());
+  RemoteStreamStats stats;
+  ASSERT_TRUE(sink.RemoteStats("r", &stats).ok());
+  EXPECT_EQ(stats.full_frames, 0u);
+  EXPECT_EQ(stats.held_generation, 0u);
+
+  // A delta arriving before any full frame is a generation gap: a resync
+  // request, not a malformed-frame rejection. (The producer establishes
+  // its own wire baseline with an encode the sink never receives.)
+  (void)producer->EncodeView();
+  uint64_t base = producer->num_points();
+  producer->InsertBatch(DiskGenerator(92, 1.0, {0, 0}).Take(500));
+  std::string delta;
+  ASSERT_TRUE(producer->EncodeSummaryDelta(base, &delta).ok());
+  EXPECT_EQ(sink.UpdateRemoteStream("r", delta).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(sink.RemoteStats("r", &stats).ok());
+  EXPECT_EQ(stats.resyncs_needed, 1u);
+  EXPECT_EQ(stats.rejected_frames, 0u);
+
+  // Full frame -> chained delta: both counted, generation tracked.
+  ASSERT_TRUE(sink.UpdateRemoteStream("r", producer->EncodeView()).ok());
+  base = producer->num_points();
+  producer->InsertBatch(DiskGenerator(93, 1.0, {0, 0}).Take(500));
+  ASSERT_TRUE(producer->EncodeSummaryDelta(base, &delta).ok());
+  ASSERT_TRUE(sink.UpdateRemoteStream("r", delta).ok());
+  ASSERT_TRUE(sink.RemoteStats("r", &stats).ok());
+  EXPECT_EQ(stats.full_frames, 1u);
+  EXPECT_EQ(stats.delta_frames, 1u);
+  EXPECT_EQ(stats.held_generation, producer->num_points());
+
+  // Garbage is a rejection, not a resync.
+  EXPECT_EQ(sink.UpdateRemoteStream("r", "garbage").code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(sink.RemoteStats("r", &stats).ok());
+  EXPECT_EQ(stats.rejected_frames, 1u);
+  EXPECT_EQ(stats.resyncs_needed, 1u);
+  EXPECT_EQ(stats.held_generation, producer->num_points());  // Unchanged.
+
+  // A delta whose predecessor was lost in transit is again a resync
+  // request: the sink holds an older generation than the frame's base.
+  base = producer->num_points();
+  producer->InsertBatch(DiskGenerator(94, 1.0, {0, 0}).Take(500));
+  std::string lost;
+  ASSERT_TRUE(producer->EncodeSummaryDelta(base, &lost).ok());
+  base = producer->num_points();
+  producer->InsertBatch(DiskGenerator(95, 1.0, {0, 0}).Take(500));
+  ASSERT_TRUE(producer->EncodeSummaryDelta(base, &delta).ok());
+  EXPECT_EQ(sink.UpdateRemoteStream("r", delta).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(sink.RemoteStats("r", &stats).ok());
+  EXPECT_EQ(stats.resyncs_needed, 2u);
+
+  // Stats accessors police stream identity like the update path does.
+  ASSERT_TRUE(sink.AddStream("local").ok());
+  EXPECT_FALSE(sink.RemoteStats("local", &stats).ok());
+  EXPECT_FALSE(sink.RemoteStats("zzz", &stats).ok());
+}
+
+TEST(StreamGroupRemoteTest, RemoteViewExposesHeldDecodedView) {
+  EngineOptions opts;
+  opts.hull.r = 16;
+  auto producer = MakeEngine(EngineKind::kAdaptive, opts);
+  producer->InsertBatch(DiskGenerator(95, 1.0, {2, 3}).Take(1500));
+
+  StreamGroup sink(Opts());
+  ASSERT_TRUE(sink.AddRemoteStream("r").ok());
+  DecodedSummaryView view;
+  // Before the first update there is nothing to expose.
+  EXPECT_EQ(sink.RemoteView("r", &view).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(sink.UpdateRemoteStream("r", producer->EncodeView()).ok());
+  ASSERT_TRUE(sink.RemoteView("r", &view).ok());
+  EXPECT_EQ(view.num_points, producer->num_points());
+  EXPECT_FALSE(view.samples.empty());
+  // Local and unknown streams are refused.
+  ASSERT_TRUE(sink.AddStream("local").ok());
+  EXPECT_FALSE(sink.RemoteView("local", &view).ok());
+  EXPECT_FALSE(sink.RemoteView("zzz", &view).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Region-partitioned distribution: per-region v2 emit + merge.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,261 @@
+// Tests for the DeltaSender producer state machine (server/delta_sender.h):
+// first-contact full frames, steady-state delta chains, NAK-triggered
+// resyncs, the bounded in-flight window, and the restore path (Resume on
+// an engine rebuilt by MakeEngineFromView).
+
+#include "server/delta_sender.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/adaptive_hull.h"
+#include "core/restore.h"
+#include "core/snapshot.h"
+
+namespace streamhull {
+namespace {
+
+AdaptiveHullOptions SmallOptions() {
+  AdaptiveHullOptions o;
+  o.r = 16;
+  return o;
+}
+
+void InsertCloud(HullEngine* engine, Rng* rng, int n) {
+  for (int i = 0; i < n; ++i) {
+    engine->Insert({rng->Normal(), rng->Normal()});
+  }
+}
+
+TEST(DeltaSenderTest, FirstContactIsFullAndNotAResync) {
+  AdaptiveHull hull(SmallOptions());
+  Rng rng(1);
+  InsertCloud(&hull, &rng, 500);
+  DeltaSender sender(&hull);
+  DeltaSender::Frame frame;
+  ASSERT_TRUE(sender.NextFrame(&frame).ok());
+  EXPECT_FALSE(frame.is_delta);
+  EXPECT_EQ(frame.generation, hull.num_points());
+  EXPECT_EQ(sender.stats().full_frames, 1u);
+  EXPECT_EQ(sender.stats().resyncs, 0u);
+
+  // The frame is a decodable full v2 snapshot.
+  DecodedSummaryView view;
+  ASSERT_TRUE(DecodeSummaryView(frame.bytes, &view).ok());
+  EXPECT_EQ(view.num_points, hull.num_points());
+}
+
+TEST(DeltaSenderTest, SteadyStateChainsDeltasTheSinkCanApply) {
+  AdaptiveHull hull(SmallOptions());
+  Rng rng(2);
+  InsertCloud(&hull, &rng, 500);
+  DeltaSender sender(&hull);
+  DeltaSender::Frame frame;
+  ASSERT_TRUE(sender.NextFrame(&frame).ok());
+  DecodedSummaryView view;
+  ASSERT_TRUE(DecodeSummaryView(frame.bytes, &view).ok());
+
+  for (int round = 0; round < 5; ++round) {
+    InsertCloud(&hull, &rng, 200);
+    ASSERT_TRUE(sender.NextFrame(&frame).ok());
+    EXPECT_TRUE(frame.is_delta) << "round " << round;
+    ASSERT_TRUE(ApplySummaryDelta(frame.bytes, &view).ok());
+    EXPECT_EQ(view.num_points, hull.num_points());
+  }
+  EXPECT_EQ(sender.stats().delta_frames, 5u);
+  EXPECT_EQ(sender.stats().resyncs, 0u);
+}
+
+TEST(DeltaSenderTest, NakEmptiesWindowAndForcesResyncFull) {
+  AdaptiveHull hull(SmallOptions());
+  Rng rng(3);
+  InsertCloud(&hull, &rng, 500);
+  DeltaSenderOptions options;
+  options.max_in_flight = 8;
+  DeltaSender sender(&hull, options);
+  DeltaSender::Frame frame;
+  ASSERT_TRUE(sender.NextFrame(&frame).ok());
+  InsertCloud(&hull, &rng, 100);
+  ASSERT_TRUE(sender.NextFrame(&frame).ok());
+  EXPECT_TRUE(frame.is_delta);
+
+  sender.OnNak();
+  EXPECT_TRUE(sender.Ready());  // The window emptied.
+  InsertCloud(&hull, &rng, 100);
+  ASSERT_TRUE(sender.NextFrame(&frame).ok());
+  EXPECT_FALSE(frame.is_delta);
+  EXPECT_EQ(sender.stats().naks, 1u);
+  EXPECT_EQ(sender.stats().resyncs, 1u);
+
+  // The resync frame stands alone: a fresh sink decodes it directly.
+  DecodedSummaryView view;
+  EXPECT_TRUE(DecodeSummaryView(frame.bytes, &view).ok());
+}
+
+TEST(DeltaSenderTest, ForceResyncProducesFullCountedAsResync) {
+  AdaptiveHull hull(SmallOptions());
+  Rng rng(4);
+  InsertCloud(&hull, &rng, 300);
+  DeltaSender sender(&hull);
+  DeltaSender::Frame frame;
+  ASSERT_TRUE(sender.NextFrame(&frame).ok());
+  InsertCloud(&hull, &rng, 100);
+  sender.ForceResync();
+  ASSERT_TRUE(sender.NextFrame(&frame).ok());
+  EXPECT_FALSE(frame.is_delta);
+  EXPECT_EQ(sender.stats().resyncs, 1u);
+  // One-shot: the next frame chains again.
+  InsertCloud(&hull, &rng, 100);
+  ASSERT_TRUE(sender.NextFrame(&frame).ok());
+  EXPECT_TRUE(frame.is_delta);
+}
+
+TEST(DeltaSenderTest, WindowBlocksAtCapacityAndDrainsOnAck) {
+  AdaptiveHull hull(SmallOptions());
+  Rng rng(5);
+  InsertCloud(&hull, &rng, 300);
+  DeltaSenderOptions options;
+  options.max_in_flight = 2;
+  DeltaSender sender(&hull, options);
+
+  DeltaSender::Frame f1, f2, f3;
+  ASSERT_TRUE(sender.NextFrame(&f1).ok());
+  InsertCloud(&hull, &rng, 50);
+  ASSERT_TRUE(sender.NextFrame(&f2).ok());
+  EXPECT_FALSE(sender.Ready());
+  InsertCloud(&hull, &rng, 50);
+  EXPECT_EQ(sender.NextFrame(&f3).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sender.stats().blocked, 1u);
+
+  // A cumulative ack of the *second* generation releases both slots.
+  sender.OnAck(f2.generation);
+  EXPECT_TRUE(sender.Ready());
+  ASSERT_TRUE(sender.NextFrame(&f3).ok());
+  EXPECT_TRUE(f3.is_delta);
+}
+
+TEST(DeltaSenderTest, StaleAckReleasesOnlyOlderFrames) {
+  AdaptiveHull hull(SmallOptions());
+  Rng rng(6);
+  InsertCloud(&hull, &rng, 300);
+  DeltaSenderOptions options;
+  options.max_in_flight = 2;
+  DeltaSender sender(&hull, options);
+  DeltaSender::Frame f1, f2;
+  ASSERT_TRUE(sender.NextFrame(&f1).ok());
+  InsertCloud(&hull, &rng, 50);
+  ASSERT_TRUE(sender.NextFrame(&f2).ok());
+  sender.OnAck(f1.generation);  // Only the first frame leaves the window.
+  EXPECT_TRUE(sender.Ready());
+  InsertCloud(&hull, &rng, 50);
+  DeltaSender::Frame f3;
+  ASSERT_TRUE(sender.NextFrame(&f3).ok());
+  EXPECT_FALSE(sender.Ready());  // f2 and f3 still in flight.
+}
+
+TEST(DeltaSenderTest, UnboundedWindowNeverBlocks) {
+  AdaptiveHull hull(SmallOptions());
+  Rng rng(7);
+  InsertCloud(&hull, &rng, 200);
+  DeltaSender sender(&hull);  // max_in_flight = 0: optimistic.
+  DeltaSender::Frame frame;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(sender.Ready());
+    ASSERT_TRUE(sender.NextFrame(&frame).ok());
+    InsertCloud(&hull, &rng, 20);
+  }
+  EXPECT_EQ(sender.stats().blocked, 0u);
+}
+
+TEST(DeltaSenderTest, ResumeOnRestoredEngineChainsOntoHeldView) {
+  // Producer A streams and checkpoints; it then "crashes". A restored
+  // engine plus Resume(checkpoint generation) must produce a *delta* the
+  // sink holding that checkpoint can apply — no full-frame resync.
+  AdaptiveHull original(SmallOptions());
+  Rng rng(8);
+  InsertCloud(&original, &rng, 800);
+  const std::string checkpoint = EncodeSummaryView(original);
+  DecodedSummaryView sink_view;
+  ASSERT_TRUE(DecodeSummaryView(checkpoint, &sink_view).ok());
+
+  DecodedSummaryView restore_view;
+  ASSERT_TRUE(DecodeSummaryView(checkpoint, &restore_view).ok());
+  EngineOptions engine_options;
+  engine_options.hull.r = 16;
+  std::unique_ptr<HullEngine> restored;
+  ASSERT_TRUE(
+      MakeEngineFromView(restore_view, engine_options, &restored).ok());
+
+  DeltaSender sender(restored.get());
+  sender.Resume(restore_view.num_points);
+  EXPECT_EQ(sender.last_sent_generation(), restore_view.num_points);
+
+  InsertCloud(restored.get(), &rng, 200);
+  DeltaSender::Frame frame;
+  ASSERT_TRUE(sender.NextFrame(&frame).ok());
+  EXPECT_TRUE(frame.is_delta);
+  ASSERT_TRUE(ApplySummaryDelta(frame.bytes, &sink_view).ok());
+  EXPECT_EQ(sink_view.num_points, restored->num_points());
+  EXPECT_EQ(sender.stats().resyncs, 0u);
+}
+
+TEST(DeltaSenderTest, ResumeAgainstAdvancedSinkRecoversViaNak) {
+  // The sink moved past the producer's checkpoint before the crash. The
+  // resumed delta does not apply; the NAK path repairs the chain.
+  AdaptiveHull original(SmallOptions());
+  Rng rng(9);
+  InsertCloud(&original, &rng, 500);
+  const std::string checkpoint = EncodeSummaryView(original);
+  InsertCloud(&original, &rng, 200);
+  DecodedSummaryView sink_view;
+  ASSERT_TRUE(DecodeSummaryView(EncodeSummaryView(original),
+                                &sink_view).ok());  // Sink is ahead.
+
+  DecodedSummaryView restore_view;
+  ASSERT_TRUE(DecodeSummaryView(checkpoint, &restore_view).ok());
+  EngineOptions engine_options;
+  engine_options.hull.r = 16;
+  std::unique_ptr<HullEngine> restored;
+  ASSERT_TRUE(
+      MakeEngineFromView(restore_view, engine_options, &restored).ok());
+  DeltaSender sender(restored.get());
+  sender.Resume(restore_view.num_points);
+
+  InsertCloud(restored.get(), &rng, 100);
+  DeltaSender::Frame frame;
+  ASSERT_TRUE(sender.NextFrame(&frame).ok());
+  Status apply = frame.is_delta ? ApplySummaryDelta(frame.bytes, &sink_view)
+                                : Status::OK();
+  if (!apply.ok()) {
+    sender.OnNak();
+    ASSERT_TRUE(sender.NextFrame(&frame).ok());
+    EXPECT_FALSE(frame.is_delta);
+    ASSERT_TRUE(DecodeSummaryView(frame.bytes, &sink_view).ok());
+  }
+  EXPECT_EQ(sink_view.num_points, restored->num_points());
+}
+
+TEST(DeltaSenderTest, ByteAccountingSumsToFrames) {
+  AdaptiveHull hull(SmallOptions());
+  Rng rng(10);
+  InsertCloud(&hull, &rng, 400);
+  DeltaSender sender(&hull);
+  uint64_t expected_bytes = 0;
+  for (int i = 0; i < 10; ++i) {
+    DeltaSender::Frame frame;
+    ASSERT_TRUE(sender.NextFrame(&frame).ok());
+    expected_bytes += frame.bytes.size();
+    InsertCloud(&hull, &rng, 50);
+    if (i == 4) sender.ForceResync();
+  }
+  const DeltaSenderStats& stats = sender.stats();
+  EXPECT_EQ(stats.frames, 10u);
+  EXPECT_EQ(stats.frames, stats.delta_frames + stats.full_frames);
+  EXPECT_EQ(stats.delta_bytes + stats.full_bytes, expected_bytes);
+}
+
+}  // namespace
+}  // namespace streamhull

@@ -1,0 +1,308 @@
+// Tests for the session wire protocol (server/wire.h): message codec
+// round-trips plus the adversarial framing suite — the FrameDecoder parses
+// bytes straight off a network socket, so truncation, oversized prefixes,
+// garbage, interleaving, and mid-frame disconnects must all surface as
+// Status (or clean partial states), never as crashes or hangs.
+
+#include "server/wire.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace streamhull {
+namespace {
+
+std::string Frame(const std::string& payload) {
+  std::string out;
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  out.append(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.append(payload);
+  return out;
+}
+
+// EncodeSessionFrame produces [length prefix][payload]; the payload alone
+// is what DecodeSessionMessage parses (the FrameDecoder strips prefixes).
+std::string EncodePayload(const SessionMessage& msg) {
+  return EncodeSessionFrame(msg).substr(4);
+}
+
+// ---------------------------------------------------------------------------
+// Message codec round-trips
+// ---------------------------------------------------------------------------
+
+TEST(SessionMessageTest, HelloRoundTrip) {
+  SessionMessage msg;
+  msg.type = SessionMessageType::kHello;
+  msg.version = kServerProtocolVersion;
+  msg.token = "secret-token";
+  SessionMessage decoded;
+  ASSERT_TRUE(DecodeSessionMessage(EncodePayload(msg), &decoded).ok());
+  EXPECT_EQ(decoded.type, SessionMessageType::kHello);
+  EXPECT_EQ(decoded.version, kServerProtocolVersion);
+  EXPECT_EQ(decoded.token, "secret-token");
+}
+
+TEST(SessionMessageTest, DataRoundTripPreservesBinaryPayload) {
+  SessionMessage msg;
+  msg.type = SessionMessageType::kData;
+  msg.stream = "sensor-7";
+  msg.payload.assign(512, '\0');
+  Rng rng(7);
+  for (char& c : msg.payload) c = static_cast<char>(rng.UniformInt(256));
+  SessionMessage decoded;
+  ASSERT_TRUE(DecodeSessionMessage(EncodePayload(msg), &decoded).ok());
+  EXPECT_EQ(decoded.type, SessionMessageType::kData);
+  EXPECT_EQ(decoded.stream, "sensor-7");
+  EXPECT_EQ(decoded.payload, msg.payload);
+}
+
+TEST(SessionMessageTest, QueryRoundTripCarriesDirectionAndStreams) {
+  SessionMessage msg;
+  msg.type = SessionMessageType::kQuery;
+  msg.query = ServerQueryKind::kSeparation;
+  msg.stream = "a";
+  msg.stream_b = "b";
+  msg.dir_x = 0.25;
+  msg.dir_y = -1.5;
+  SessionMessage decoded;
+  ASSERT_TRUE(DecodeSessionMessage(EncodePayload(msg), &decoded).ok());
+  EXPECT_EQ(decoded.query, ServerQueryKind::kSeparation);
+  EXPECT_EQ(decoded.stream, "a");
+  EXPECT_EQ(decoded.stream_b, "b");
+  EXPECT_EQ(decoded.dir_x, 0.25);
+  EXPECT_EQ(decoded.dir_y, -1.5);
+}
+
+TEST(SessionMessageTest, AckNakCarryGeneration) {
+  for (const SessionMessageType type :
+       {SessionMessageType::kAck, SessionMessageType::kNak}) {
+    SessionMessage msg;
+    msg.type = type;
+    msg.stream = "s";
+    msg.generation = 123456789012345ull;
+    SessionMessage decoded;
+    ASSERT_TRUE(DecodeSessionMessage(EncodePayload(msg), &decoded).ok());
+    EXPECT_EQ(decoded.type, type);
+    EXPECT_EQ(decoded.generation, 123456789012345ull);
+  }
+}
+
+TEST(SessionMessageTest, QueryResultRoundTrip) {
+  SessionMessage msg;
+  msg.type = SessionMessageType::kQueryResult;
+  msg.lo = 1.25;
+  msg.hi = 2.5;
+  msg.certainty = 2;
+  SessionMessage decoded;
+  ASSERT_TRUE(DecodeSessionMessage(EncodePayload(msg), &decoded).ok());
+  EXPECT_EQ(decoded.lo, 1.25);
+  EXPECT_EQ(decoded.hi, 2.5);
+  EXPECT_EQ(decoded.certainty, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial payload decoding (bytes already deframed)
+// ---------------------------------------------------------------------------
+
+TEST(SessionMessageTest, EmptyPayloadRejected) {
+  SessionMessage decoded;
+  EXPECT_EQ(DecodeSessionMessage("", &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionMessageTest, UnknownTypeRejected) {
+  SessionMessage decoded;
+  std::string payload(1, '\x7f');
+  EXPECT_EQ(DecodeSessionMessage(payload, &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionMessageTest, TruncatedAtEveryPrefixNeverCrashes) {
+  SessionMessage msg;
+  msg.type = SessionMessageType::kQuery;
+  msg.query = ServerQueryKind::kExtent;
+  msg.stream = "stream-name";
+  msg.dir_x = 1.0;
+  const std::string payload = EncodePayload(msg);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    SessionMessage decoded;
+    const Status st = DecodeSessionMessage(payload.substr(0, len), &decoded);
+    EXPECT_FALSE(st.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  SessionMessage decoded;
+  EXPECT_TRUE(DecodeSessionMessage(payload, &decoded).ok());
+}
+
+TEST(SessionMessageTest, TrailingBytesRejected) {
+  SessionMessage msg;
+  msg.type = SessionMessageType::kBye;
+  std::string payload = EncodePayload(msg);
+  payload.push_back('x');
+  SessionMessage decoded;
+  EXPECT_EQ(DecodeSessionMessage(payload, &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionMessageTest, StringLengthPastEndRejected) {
+  // A HELLO whose token length claims more bytes than the payload holds.
+  std::string payload;
+  payload.push_back(static_cast<char>(SessionMessageType::kHello));
+  const uint32_t version = 1;
+  payload.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint32_t huge = 0xFFFFFFFFu;
+  payload.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  payload.append("short");
+  SessionMessage decoded;
+  EXPECT_EQ(DecodeSessionMessage(payload, &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionMessageTest, RandomBytesNeverCrash) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string payload(rng.UniformInt(64), '\0');
+    for (char& c : payload) c = static_cast<char>(rng.UniformInt(256));
+    SessionMessage decoded;
+    (void)DecodeSessionMessage(payload, &decoded);  // Status either way.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FrameDecoder: framing adversaries
+// ---------------------------------------------------------------------------
+
+TEST(FrameDecoderTest, ReassemblesByteAtATime) {
+  const std::string frame = Frame("hello") + Frame("") + Frame("world!");
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  for (const char c : frame) {
+    decoder.Feed(std::string(1, c));
+    std::string payload;
+    bool got = false;
+    ASSERT_TRUE(decoder.Next(&payload, &got).ok());
+    if (got) out.push_back(payload);
+  }
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "hello");
+  EXPECT_EQ(out[1], "");
+  EXPECT_EQ(out[2], "world!");
+  EXPECT_TRUE(decoder.Finish().ok());
+}
+
+TEST(FrameDecoderTest, InterleavedFramesInOneFeed) {
+  std::string bytes;
+  for (int i = 0; i < 50; ++i) bytes += Frame(std::string(i, 'a' + i % 26));
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  int frames = 0;
+  for (;;) {
+    std::string payload;
+    bool got = false;
+    ASSERT_TRUE(decoder.Next(&payload, &got).ok());
+    if (!got) break;
+    EXPECT_EQ(payload.size(), static_cast<size_t>(frames));
+    ++frames;
+  }
+  EXPECT_EQ(frames, 50);
+}
+
+TEST(FrameDecoderTest, OversizedPrefixPoisonsTheStream) {
+  FrameDecoder decoder(/*max_payload=*/1024);
+  const uint32_t huge = 1 << 20;
+  decoder.Feed(std::string(reinterpret_cast<const char*>(&huge),
+                           sizeof(huge)));
+  std::string payload;
+  bool got = false;
+  EXPECT_EQ(decoder.Next(&payload, &got).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(got);
+  // Sticky: even a subsequently valid frame is refused — the framing is
+  // unrecoverable once the length channel lies.
+  decoder.Feed(Frame("ok"));
+  EXPECT_EQ(decoder.Next(&payload, &got).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FrameDecoderTest, MaxPayloadBoundaryAccepted) {
+  FrameDecoder decoder(/*max_payload=*/8);
+  decoder.Feed(Frame("12345678"));  // Exactly the bound: fine.
+  std::string payload;
+  bool got = false;
+  ASSERT_TRUE(decoder.Next(&payload, &got).ok());
+  EXPECT_TRUE(got);
+  EXPECT_EQ(payload, "12345678");
+  decoder.Feed(Frame("123456789"));  // One past: poisoned.
+  EXPECT_FALSE(decoder.Next(&payload, &got).ok());
+}
+
+TEST(FrameDecoderTest, MidFrameDisconnectDetectedByFinish) {
+  FrameDecoder decoder;
+  const std::string frame = Frame("a complete payload");
+  decoder.Feed(frame.substr(0, frame.size() - 3));
+  std::string payload;
+  bool got = false;
+  ASSERT_TRUE(decoder.Next(&payload, &got).ok());
+  EXPECT_FALSE(got);  // Incomplete: waiting, not an error.
+  EXPECT_EQ(decoder.Finish().code(), StatusCode::kInvalidArgument);
+  // Whereas a clean boundary is a clean shutdown.
+  FrameDecoder clean;
+  clean.Feed(frame);
+  ASSERT_TRUE(clean.Next(&payload, &got).ok());
+  EXPECT_TRUE(got);
+  EXPECT_TRUE(clean.Finish().ok());
+}
+
+TEST(FrameDecoderTest, TruncatedLengthPrefixIsPending) {
+  FrameDecoder decoder;
+  decoder.Feed("\x02");  // One byte of a four-byte prefix.
+  std::string payload;
+  bool got = false;
+  EXPECT_TRUE(decoder.Next(&payload, &got).ok());
+  EXPECT_FALSE(got);
+  EXPECT_FALSE(decoder.Finish().ok());  // ...but a disconnect here is torn.
+}
+
+TEST(FrameDecoderTest, GarbageBeforeHelloSurfacesAsStatusNotCrash) {
+  // A client speaking HTTP (or anything else) at the socket: the first
+  // four bytes parse as an absurd length and poison the stream.
+  FrameDecoder decoder;
+  std::string payload;
+  bool got = false;
+  decoder.Feed("GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+  const Status st = decoder.Next(&payload, &got);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(got);
+}
+
+TEST(FrameDecoderTest, RandomChunkedGarbageNeverCrashes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    FrameDecoder decoder;
+    bool poisoned = false;
+    for (int chunk = 0; chunk < 10 && !poisoned; ++chunk) {
+      std::string bytes(rng.UniformInt(40), '\0');
+      for (char& c : bytes) c = static_cast<char>(rng.UniformInt(256));
+      decoder.Feed(bytes);
+      for (;;) {
+        std::string payload;
+        bool got = false;
+        if (!decoder.Next(&payload, &got).ok()) {
+          poisoned = true;
+          break;
+        }
+        if (!got) break;
+        SessionMessage msg;
+        (void)DecodeSessionMessage(payload, &msg);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamhull
