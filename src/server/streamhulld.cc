@@ -100,9 +100,15 @@ Status StreamHullServer::LoadTenantSnapshots(Tenant* tenant) {
   const fs::path dir = fs::path(options_.snapshot_dir) / tenant->name;
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) return Status::OK();  // Nothing saved.
-  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
-    if (ec) break;
-    if (!entry.is_regular_file() || entry.path().extension() != ".shl2") {
+  // Explicit increment(ec), not range-for: range-based iteration uses the
+  // throwing operator++, which would turn a filesystem error mid-listing
+  // into an exception out of AddTenant instead of a Status.
+  fs::directory_iterator it(dir, ec);
+  for (; !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    const fs::directory_entry& entry = *it;
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec ||
+        entry.path().extension() != ".shl2") {
       continue;
     }
     const std::string stream = entry.path().stem().string();
@@ -119,6 +125,10 @@ Status StreamHullServer::LoadTenantSnapshots(Tenant* tenant) {
         tenant->group.UpdateRemoteStream(stream, bytes));
     tenant->streams.fetch_add(1, std::memory_order_relaxed);
     tenant->restored_streams.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (ec) {
+    return Status::IOError("listing snapshot dir " + dir.string() + ": " +
+                           ec.message());
   }
   return Status::OK();
 }
@@ -331,13 +341,26 @@ size_t StreamHullServer::PumpOnce() {
   for (auto& owned : sessions_) {
     Session* session = owned.get();
     if (session->state == Session::State::kClosed) continue;
+
+    // Backpressure starts at the transport: a session at its pending
+    // bound is not read at all, so its bytes stay queued on the sending
+    // side (kernel or pipe buffer) and per-session buffering stays
+    // bounded — the decoder never grows while the tenant strand is
+    // behind, and a producer that keeps pushing eventually blocks in its
+    // own Send. Reading resumes (and a vanished peer is noticed) once
+    // the strand catches up.
+    if (session->pending.load(std::memory_order_acquire) >=
+        options_.max_pending_per_session) {
+      continue;
+    }
+
     session->scratch.clear();
     const Status recv_status = session->transport->Recv(&session->scratch);
     if (!session->scratch.empty()) session->decoder.Feed(session->scratch);
 
     for (;;) {
-      // Backpressure: a session at its pending bound keeps its remaining
-      // bytes buffered until the tenant strand catches up.
+      // Frames already decoded stop dispatching at the bound too; they
+      // wait in the decoder until the next pump finds headroom.
       if (session->pending.load(std::memory_order_acquire) >=
           options_.max_pending_per_session) {
         break;

@@ -24,8 +24,10 @@
 //
 //   * Backpressure: each session has a bounded count of posted-but-
 //     unprocessed frames. When a session reaches the bound, PumpOnce stops
-//     draining *that session's* decoder (bytes stay buffered in transport
-//     order) until its strand catches up; other sessions are unaffected.
+//     reading *that session's* transport entirely (bytes stay queued on
+//     the sending side, in kernel/pipe order) until its strand catches
+//     up, so per-session buffering is bounded; other sessions are
+//     unaffected.
 //
 //   * Restart: SaveSnapshots() re-encodes every held view into
 //     snapshot_dir; a new server instance loads them in AddTenant, so
@@ -67,7 +69,8 @@ struct ServerOptions {
   /// Per-frame payload cap handed to each session's FrameDecoder.
   size_t max_frame_payload = kDefaultMaxFramePayload;
   /// Backpressure bound: posted-but-unprocessed frames per session before
-  /// PumpOnce stops draining that session.
+  /// PumpOnce stops reading that session's transport (0 pauses reading
+  /// entirely — a test hook).
   size_t max_pending_per_session = 64;
   /// Directory for view persistence (SaveSnapshots / restart restore);
   /// empty disables persistence.

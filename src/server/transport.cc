@@ -1,11 +1,13 @@
 #include "server/transport.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <mutex>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -95,6 +97,11 @@ uint64_t PipeTransport::dropped() const {
   return is_a_ ? shared_->dropped_a : shared_->dropped_b;
 }
 
+size_t PipeTransport::outbox_bytes() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return (is_a_ ? shared_->a_to_b : shared_->b_to_a).size();
+}
+
 // ---------------------------------------------------------------------------
 // UnixSocketTransport
 // ---------------------------------------------------------------------------
@@ -105,13 +112,18 @@ struct UnixSocketTransport::Impl {
   int fd = -1;
   bool closed = false;
   bool peer_eof = false;
+  int send_unwritable_timeout_ms = kDefaultSendUnwritableTimeoutMs;
 };
 
 namespace {
 
+// Granularity of each poll(POLLOUT) wait while the kernel buffer is full;
+// the overall bound is Impl::send_unwritable_timeout_ms.
+constexpr int kSendPollSliceMs = 20;
+
 void SetNonBlocking(int fd) {
-  // Recv must never park the pump thread; Send handles EAGAIN by spinning
-  // through the kernel buffer (frames are small, sockets are local).
+  // Recv must never park the pump thread; Send waits for writability with
+  // a bounded poll() (see Send) instead of blocking in the kernel.
   int flags = fcntl(fd, F_GETFL, 0);
   if (flags >= 0) (void)fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
@@ -153,18 +165,53 @@ Status UnixSocketTransport::Send(std::string_view bytes) {
     return Status::IOError("socket transport is closed");
   }
   size_t sent = 0;
+  bool waiting = false;
+  std::chrono::steady_clock::time_point deadline;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(impl_->fd, bytes.data() + sent,
                              bytes.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<size_t>(n);
+      waiting = false;
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: the peer has stopped draining. Wait for
+      // writability with a hard wall-clock bound — a reader that stays
+      // stuck must cost one session, never wedge the sending thread
+      // (a tenant strand or the pump) in a 100%-CPU spin that freezes
+      // the whole daemon.
+      const auto now = std::chrono::steady_clock::now();
+      if (!waiting) {
+        waiting = true;
+        deadline = now + std::chrono::milliseconds(
+                             impl_->send_unwritable_timeout_ms);
+      } else if (now >= deadline) {
+        return Status::IOError(
+            "send(): peer unwritable for " +
+            std::to_string(impl_->send_unwritable_timeout_ms) +
+            " ms (reader stopped draining)");
+      }
+      pollfd pfd{};
+      pfd.fd = impl_->fd;
+      pfd.events = POLLOUT;
+      const int rc = ::poll(&pfd, 1, kSendPollSliceMs);
+      if (rc < 0 && errno != EINTR) {
+        return Status::IOError(std::string("poll(): ") +
+                               std::strerror(errno));
+      }
+      // On POLLERR/POLLHUP the retried send() reports the precise error.
+      continue;
+    }
     return Status::IOError(std::string("send(): ") + std::strerror(errno));
   }
   return Status::OK();
+}
+
+void UnixSocketTransport::set_send_unwritable_timeout_ms(int ms) {
+  std::lock_guard<std::mutex> lock(impl_->send_mu);
+  impl_->send_unwritable_timeout_ms = ms;
 }
 
 Status UnixSocketTransport::Recv(std::string* out) {

@@ -16,12 +16,16 @@
 //     accepts connections on a filesystem path.
 //
 // Contract shared by all implementations: Send() either queues the entire
-// byte string or fails; Recv() is non-blocking and appends whatever bytes
-// are currently available (possibly none); both are safe to call
-// concurrently from different threads (the server sends ACKs from pool
-// strands while the pump thread reads). Recv() reports IOError exactly
-// when no bytes are available *and* no more can ever arrive — the
-// disconnect signal; until then a quiet peer just yields OK with nothing.
+// byte string or fails within a bounded time — it never waits forever on
+// a peer that stopped draining (UnixSocketTransport polls for
+// writability up to a configurable deadline and then reports IOError, so
+// one stuck reader costs one session, not a wedged sending thread);
+// Recv() is non-blocking and appends whatever bytes are currently
+// available (possibly none); both are safe to call concurrently from
+// different threads (the server sends ACKs from pool strands while the
+// pump thread reads). Recv() reports IOError exactly when no bytes are
+// available *and* no more can ever arrive — the disconnect signal; until
+// then a quiet peer just yields OK with nothing.
 
 #ifndef STREAMHULL_SERVER_TRANSPORT_H_
 #define STREAMHULL_SERVER_TRANSPORT_H_
@@ -41,8 +45,10 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
-  /// Queues \p bytes for the peer, atomically (all or nothing).
-  /// Fails IOError once either end is closed.
+  /// \brief Queues \p bytes for the peer, atomically (all or nothing).
+  /// Fails IOError once either end is closed, and — within a bounded
+  /// time, never an unbounded wait — when the peer stops accepting
+  /// bytes.
   virtual Status Send(std::string_view bytes) = 0;
 
   /// \brief Non-blocking receive: appends every currently available byte
@@ -84,6 +90,11 @@ class PipeTransport : public Transport {
   /// Frames dropped so far through DropNextSends (test assertions).
   uint64_t dropped() const;
 
+  /// \brief Bytes sent from this end and not yet received by the peer
+  /// (test assertions for backpressure: a server refusing to read leaves
+  /// them queued here).
+  size_t outbox_bytes() const;
+
   ~PipeTransport() override;
 
  private:
@@ -92,6 +103,10 @@ class PipeTransport : public Transport {
   std::shared_ptr<Shared> shared_;
   bool is_a_;
 };
+
+/// \brief How long UnixSocketTransport::Send waits for a full kernel
+/// buffer to drain before failing the session with IOError.
+inline constexpr int kDefaultSendUnwritableTimeoutMs = 5000;
 
 /// \brief A connected non-blocking AF_UNIX stream socket. Used by the
 /// streamhulld daemon and its clients; tests use PipeTransport.
@@ -109,6 +124,12 @@ class UnixSocketTransport : public Transport {
   Status Recv(std::string* out) override;
   void Close() override;
   bool closed() const override;
+
+  /// \brief Overrides how long Send() waits for an unwritable peer
+  /// before failing with IOError (default
+  /// kDefaultSendUnwritableTimeoutMs). Mainly for tests; deployments
+  /// may shorten it to shed slow consumers faster.
+  void set_send_unwritable_timeout_ms(int ms);
 
  private:
   struct Impl;

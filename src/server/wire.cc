@@ -180,6 +180,13 @@ Status DecodeSessionMessage(std::string_view payload, SessionMessage* out) {
     case SessionMessageType::kQueryResult: {
       uint8_t kind = 0;
       STREAMHULL_RETURN_IF_ERROR(r.Read(&kind));
+      // Same range check as kQuery: a malformed or hostile *server*
+      // frame must not hand clients an out-of-range enum value.
+      if (kind < static_cast<uint8_t>(ServerQueryKind::kDiameter) ||
+          kind > static_cast<uint8_t>(ServerQueryKind::kSeparation)) {
+        return Status::InvalidArgument("unknown server query kind " +
+                                       std::to_string(kind));
+      }
       msg.query = static_cast<ServerQueryKind>(kind);
       STREAMHULL_RETURN_IF_ERROR(r.Read(&msg.lo));
       STREAMHULL_RETURN_IF_ERROR(r.Read(&msg.hi));

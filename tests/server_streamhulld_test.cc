@@ -391,6 +391,69 @@ TEST(StreamHullServerTest, TenantsAreIsolated) {
   EXPECT_FALSE(server.View("beta", "shared-name", &view).ok());
 }
 
+TEST(StreamHullServerTest, AtThePendingBoundThePumpStopsReadingTheTransport) {
+  // max_pending_per_session = 0 keeps the session permanently at its
+  // bound: the pump must not Recv at all, so the client's bytes stay
+  // queued in the pipe instead of accumulating in the server-side
+  // decoder — per-session buffering is bounded by refusing to read the
+  // transport, never grown behind the strand's back.
+  ServerOptions options = SmallServerOptions();
+  options.max_pending_per_session = 0;
+  StreamHullServer server(options);
+  ASSERT_TRUE(server.AddTenant(kTenant, kToken).ok());
+  Client c = Attach(&server);
+  SessionMessage hello;
+  hello.type = SessionMessageType::kHello;
+  hello.version = kServerProtocolVersion;
+  hello.token = kToken;
+  c.Send(hello);
+  const size_t queued = c.link->outbox_bytes();
+  ASSERT_GT(queued, 0u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(server.PumpOnce(), 0u);
+    server.Flush();
+  }
+  EXPECT_EQ(c.link->outbox_bytes(), queued);
+}
+
+TEST(StreamHullServerTest, BoundOneDrainsABurstWithoutLossOrDeadlock) {
+  // Liveness of transport-level backpressure: a burst far past the bound
+  // is read as the strand catches up, and every frame is eventually
+  // ACKed in order.
+  ServerOptions options = SmallServerOptions();
+  options.max_pending_per_session = 1;
+  StreamHullServer server(options);
+  ASSERT_TRUE(server.AddTenant(kTenant, kToken).ok());
+  Client c = Attach(&server);
+  Handshake(&server, &c, "s0");
+
+  EngineOptions engine_options;
+  engine_options.hull.r = 16;
+  auto engine = MakeEngine(EngineKind::kAdaptive, engine_options);
+  DeltaSender sender(engine.get());
+  Rng rng(23);
+  constexpr int kFrames = 16;
+  for (int f = 0; f < kFrames; ++f) {
+    for (int i = 0; i < 100; ++i) {
+      engine->Insert({rng.Normal(), rng.Normal()});
+    }
+    DeltaSender::Frame frame;
+    ASSERT_TRUE(sender.NextFrame(&frame).ok());
+    SessionMessage data;
+    data.type = SessionMessageType::kData;
+    data.stream = "s0";
+    data.payload = frame.bytes;
+    c.Send(data);  // The whole burst queues before the server reads any.
+  }
+  SessionMessage reply;
+  for (int acks = 0; acks < kFrames; ++acks) {
+    ASSERT_TRUE(c.Await(&server, &reply));
+    ASSERT_EQ(reply.type, SessionMessageType::kAck);
+  }
+  EXPECT_EQ(reply.generation, engine->num_points());
+  EXPECT_EQ(c.link->outbox_bytes(), 0u);
+}
+
 TEST(StreamHullServerTest, MiniSoakManyProducersWithLossAndBackpressure) {
   // Sanitizer-facing mini soak: several concurrent sessions, injected
   // frame loss, NAK recovery, bounded windows, interleaved queries.

@@ -106,6 +106,23 @@ TEST(SessionMessageTest, QueryResultRoundTrip) {
   EXPECT_EQ(decoded.certainty, 2);
 }
 
+TEST(SessionMessageTest, QueryResultUnknownKindRejected) {
+  // A malformed or hostile *server* frame gets the same query-kind range
+  // check as client QUERY frames: no out-of-range enum ever reaches a
+  // client's SessionMessage.
+  SessionMessage msg;
+  msg.type = SessionMessageType::kQueryResult;
+  std::string payload = EncodePayload(msg);
+  // The kind byte immediately follows the type byte.
+  for (const char bad : {'\x00', '\x04', '\x7f'}) {
+    payload[1] = bad;
+    SessionMessage decoded;
+    EXPECT_EQ(DecodeSessionMessage(payload, &decoded).code(),
+              StatusCode::kInvalidArgument)
+        << "kind byte " << static_cast<int>(bad) << " decoded";
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Adversarial payload decoding (bytes already deframed)
 // ---------------------------------------------------------------------------
