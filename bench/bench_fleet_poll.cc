@@ -1,0 +1,192 @@
+// Fleet-scale certified monitoring: all-pairs Poll() cost per tick at 2k,
+// 10k, and 16k streams, with the broad-phase precision counters CI gates
+// (tools/bench_compare.py): candidate_ratio — the fraction of the n*(n-1)/2
+// possible pairs that survived broad-phase pruning — and pairs_evaluated,
+// the narrow-phase work per tick. A precision regression (the index
+// admitting more pairs) moves these counters even when wall time hides it
+// in noise, so the gate fails on counter increases, not just on slowdowns.
+//
+// The workload is a dispatch-grid fleet: streams on a spacing-3 grid, a
+// small per-tick subset ("movers") receiving fresh fixes that change their
+// outer-hull box without materially growing it, so every tick pays the
+// realistic incremental cost — refresh the changed streams, re-sweep,
+// evaluate surviving candidates — while the candidate set stays stable
+// across iterations (a benchmark whose hulls keep growing into each other
+// would measure a drifting workload, not a steady state). A few deliberate
+// collision/containment pairs keep the narrow phase and the event path on
+// real work. The quiescent config (movers = 0) pins the track-what-changed
+// floor: no box moves, the candidate cache serves, no geometry is derived.
+//
+// BM_FleetPollForceAll is the same 2k workload with pruning disabled —
+// every pair through the narrow phase — so the JSON archives the measured
+// pruning factor itself (candidate_ratio 1.0 vs the indexed run's).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "multi/stream_group.h"
+#include "stream/generators.h"
+
+namespace {
+
+using namespace streamhull;
+
+EngineOptions Opts() {
+  EngineOptions o;
+  o.hull.r = 16;
+  return o;
+}
+
+std::string StreamName(int i) { return "s" + std::to_string(i); }
+
+constexpr double kSpacing = 3.0;
+constexpr int kGridWidth = 128;
+
+Point2 Cell(int i) {
+  return {(i % kGridWidth) * kSpacing, (i / kGridWidth) * kSpacing};
+}
+
+// Builds the fleet: unit-radius clusters on the grid, plus every 97th
+// stream overlapping its right neighbor (narrow-phase work and baseline
+// events) and every 512th pair nested (containment events).
+void BuildFleet(StreamGroup& group, int streams) {
+  for (int i = 0; i < streams; ++i) {
+    benchmark::DoNotOptimize(
+        group.AddStream(StreamName(i), EngineKind::kUniform).ok());
+  }
+  for (int i = 0; i < streams; ++i) {
+    Point2 c = Cell(i);
+    double radius = 1.0;
+    if (i % 97 == 1) c.x -= 0.5 * kSpacing;  // Overlaps the left neighbor.
+    if (i % 512 == 4) {                      // Nested inside stream i-1.
+      radius = 0.1;
+      c = Cell(i - 1);
+    }
+    DiskGenerator gen(1000 + static_cast<uint64_t>(i), radius, c);
+    benchmark::DoNotOptimize(
+        group.InsertBatch(StreamName(i), gen.Take(16)).ok());
+  }
+}
+
+// One tick of incremental work: `movers` streams get fresh fixes whose
+// radius creeps by 1e-6 — enough to change the outer box (forcing refresh
+// and re-sweep, the realistic steady state) without growing the hull into
+// new candidate pairs.
+void FeedMovers(StreamGroup& group, int streams, int movers, uint64_t tick) {
+  if (movers == 0) return;
+  const int stride = streams / movers;
+  for (int m = 0; m < movers; ++m) {
+    const int i = m * stride;
+    DiskGenerator gen(5000 + tick * 131 + static_cast<uint64_t>(i),
+                      1.0 + 1e-6 * static_cast<double>(tick + 1), Cell(i));
+    benchmark::DoNotOptimize(
+        group.InsertBatch(StreamName(i), gen.Take(6)).ok());
+  }
+}
+
+void ReportFleetCounters(benchmark::State& state, const StreamGroup& group,
+                         int streams) {
+  const FleetPollStats& fs = group.fleet_stats();
+  const double possible = static_cast<double>(fs.last_possible_pairs);
+  state.counters["streams"] = static_cast<double>(streams);
+  state.counters["candidate_ratio"] =
+      possible > 0 ? static_cast<double>(fs.last_candidates) / possible : 0;
+  state.counters["pairs_evaluated"] =
+      fs.fleet_polls > 0 ? static_cast<double>(fs.total_pairs_evaluated) /
+                               static_cast<double>(fs.fleet_polls)
+                         : 0;
+  state.counters["events"] = static_cast<double>(fs.total_events);
+  state.counters["sweeps"] =
+      static_cast<double>(group.broad_phase_stats().sweeps);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(streams));
+}
+
+// Args: {streams, movers_per_tick}. Each iteration is one monitoring tick:
+// feed the movers, then certified all-pairs Poll.
+void BM_FleetPollTick(benchmark::State& state) {
+  const int streams = static_cast<int>(state.range(0));
+  const int movers = static_cast<int>(state.range(1));
+  StreamGroup group(Opts(), EngineKind::kUniform);
+  BuildFleet(group, streams);
+  benchmark::DoNotOptimize(group.WatchAllPairs().ok());
+  benchmark::DoNotOptimize(group.Poll().size());  // Baseline: index build.
+
+  uint64_t tick = 0;
+  for (auto _ : state) {
+    FeedMovers(group, streams, movers, tick++);
+    benchmark::DoNotOptimize(group.Poll().size());
+  }
+  ReportFleetCounters(state, group, streams);
+}
+
+BENCHMARK(BM_FleetPollTick)
+    ->ArgNames({"streams", "movers"})
+    ->Args({2048, 32})
+    ->Args({10000, 100})
+    ->Args({10000, 0})  // Quiescent: the track-what-changed floor.
+    ->Args({16384, 160})
+    ->Unit(benchmark::kMillisecond);
+
+// The pruning-disabled control: identical 2k workload, every pair through
+// the narrow phase. candidate_ratio reports 1.0 and the wall-time gap to
+// the indexed run is the measured speedup of the broad phase.
+void BM_FleetPollForceAll(benchmark::State& state) {
+  const int streams = static_cast<int>(state.range(0));
+  const int movers = static_cast<int>(state.range(1));
+  StreamGroup group(Opts(), EngineKind::kUniform);
+  BuildFleet(group, streams);
+  benchmark::DoNotOptimize(group.WatchAllPairs().ok());
+  group.set_fleet_force_all_candidates(true);
+  benchmark::DoNotOptimize(group.Poll().size());
+
+  uint64_t tick = 0;
+  for (auto _ : state) {
+    FeedMovers(group, streams, movers, tick++);
+    benchmark::DoNotOptimize(group.Poll().size());
+  }
+  ReportFleetCounters(state, group, streams);
+}
+
+BENCHMARK(BM_FleetPollForceAll)
+    ->ArgNames({"streams", "movers"})
+    ->Args({2048, 32})
+    ->Unit(benchmark::kMillisecond);
+
+// The parallel fan-out: same tick loop with the candidate evaluation and
+// view refresh on a pool. On a many-core host this is the 10k+ headline
+// configuration; the determinism suite separately proves the events are
+// bit-identical to the sequential run, so this only measures.
+void BM_FleetPollParallel(benchmark::State& state) {
+  const int streams = static_cast<int>(state.range(0));
+  const int movers = static_cast<int>(state.range(1));
+  const size_t threads = static_cast<size_t>(state.range(2));
+  StreamGroup group(Opts(), EngineKind::kUniform);
+  group.SetParallelism(threads);
+  BuildFleet(group, streams);
+  benchmark::DoNotOptimize(group.WatchAllPairs().ok());
+  benchmark::DoNotOptimize(group.Poll().size());
+
+  uint64_t tick = 0;
+  for (auto _ : state) {
+    FeedMovers(group, streams, movers, tick++);
+    benchmark::DoNotOptimize(group.Poll().size());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  ReportFleetCounters(state, group, streams);
+}
+
+BENCHMARK(BM_FleetPollParallel)
+    ->ArgNames({"streams", "movers", "threads"})
+    ->Args({10000, 100, 2})
+    ->Args({10000, 100, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+#include "multi/broad_phase.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace streamhull {
+
+Aabb BoundingBoxOf(const ConvexPolygon& poly) {
+  Aabb box;
+  if (poly.empty()) return box;
+  box.min_x = box.max_x = poly[0].x;
+  box.min_y = box.max_y = poly[0].y;
+  for (size_t i = 1; i < poly.size(); ++i) {
+    const Point2 p = poly[i];
+    box.min_x = std::min(box.min_x, p.x);
+    box.max_x = std::max(box.max_x, p.x);
+    box.min_y = std::min(box.min_y, p.y);
+    box.max_y = std::max(box.max_y, p.y);
+  }
+  return box;
+}
+
+bool BroadPhase::MayInteract(const Aabb& a, const Aabb& b) {
+  // Degenerate boxes (inf/NaN coordinates) can never be pruned: every
+  // comparison below would be poisoned, so they go to the narrow phase.
+  if (!a.finite() || !b.finite()) return true;
+  const double margin = kRelativeMargin * std::max(a.Scale(), b.Scale());
+  return b.min_x - a.max_x <= margin && a.min_x - b.max_x <= margin &&
+         b.min_y - a.max_y <= margin && a.min_y - b.max_y <= margin;
+}
+
+BroadPhase::Id BroadPhase::Add(const Aabb& box) {
+  Id id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<Id>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[id].box = box;
+  slots_[id].live = true;
+  ++live_count_;
+  candidates_valid_ = false;
+  return id;
+}
+
+void BroadPhase::Update(Id id, const Aabb& box) {
+  SH_CHECK(alive(id) && "Update on a dead broad-phase slot");
+  Slot& slot = slots_[id];
+  if (slot.box == box) {
+    // Unchanged geometry: the candidate cache stays valid, the sweep stays
+    // skipped. This is what makes a mostly-quiescent fleet tick cheap.
+    ++stats_.noop_updates;
+    return;
+  }
+  slot.box = box;
+  ++stats_.box_updates;
+  candidates_valid_ = false;
+}
+
+void BroadPhase::Remove(Id id) {
+  SH_CHECK(alive(id) && "Remove on a dead broad-phase slot");
+  slots_[id].live = false;
+  free_ids_.push_back(id);
+  --live_count_;
+  candidates_valid_ = false;
+}
+
+const std::vector<std::pair<BroadPhase::Id, BroadPhase::Id>>&
+BroadPhase::Candidates() {
+  if (candidates_valid_) {
+    ++stats_.cached_polls;
+    return candidates_;
+  }
+  Sweep();
+  candidates_valid_ = true;
+  return candidates_;
+}
+
+void BroadPhase::Sweep() {
+  ++stats_.sweeps;
+  candidates_.clear();
+  order_.clear();
+  order_.reserve(live_count_);
+  for (Id id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].live) order_.push_back(id);
+  }
+  // Sort by left edge; id breaks ties so the output order is a pure
+  // function of the box set (NaN left edges compare false both ways and
+  // land by id — the sweep never prunes their pairs, see the break below).
+  std::sort(order_.begin(), order_.end(), [this](Id a, Id b) {
+    const double ax = slots_[a].box.min_x, bx = slots_[b].box.min_x;
+    if (ax != bx) return ax < bx;
+    return a < b;
+  });
+
+  // The early-out needs the largest scale among the not-yet-swept suffix:
+  // box j may only be skipped (with everything after it) when its x-gap
+  // exceeds the margin for *every* remaining pairing, and the margin is
+  // relative to the larger scale of the pair. A non-finite scale makes the
+  // suffix max inf, which simply disables the early-out for that prefix.
+  suffix_scale_.assign(order_.size(), 0.0);
+  for (size_t j = order_.size(); j-- > 0;) {
+    const Aabb& box = slots_[order_[j]].box;
+    const double s = box.finite() ? box.Scale()
+                                  : std::numeric_limits<double>::infinity();
+    suffix_scale_[j] = j + 1 < order_.size() ? std::max(s, suffix_scale_[j + 1])
+                                             : s;
+  }
+
+  for (size_t i = 0; i < order_.size(); ++i) {
+    const Id a = order_[i];
+    const Aabb& box_a = slots_[a].box;
+    const double scale_a =
+        box_a.finite() ? box_a.Scale() : std::numeric_limits<double>::infinity();
+    for (size_t j = i + 1; j < order_.size(); ++j) {
+      const Id b = order_[j];
+      const Aabb& box_b = slots_[b].box;
+      // Monotone-safe early out: min_x is non-decreasing in j while the
+      // suffix scale is non-increasing, so once the x-gap beats the margin
+      // here it beats it for every later j too. NaN gaps compare false and
+      // fall through to MayInteract.
+      const double gap_x = box_b.min_x - box_a.max_x;
+      if (gap_x > kRelativeMargin * std::max(scale_a, suffix_scale_[j])) {
+        break;
+      }
+      ++stats_.pairs_scanned;
+      if (MayInteract(box_a, box_b)) {
+        candidates_.emplace_back(std::min(a, b), std::max(a, b));
+      }
+    }
+  }
+  stats_.candidates_last = candidates_.size();
+}
+
+}  // namespace streamhull

@@ -1,0 +1,176 @@
+// streamhull: the broad-phase index behind fleet-scale monitoring.
+//
+// Certified all-pairs monitoring (StreamGroup::WatchAllPairs) cannot afford
+// to evaluate O(n^2) pair predicates per poll once n is in the thousands.
+// The observation that makes pruning sound is that every watched predicate
+// is *certified from the outer hulls*: two streams whose outer-hull
+// bounding boxes are strictly disjoint have outer hulls with a positive
+// gap, so CertifiedSeparation is necessarily kTrue and CertifiedContainment
+// necessarily kFalse in both directions — the poll knows the exact answer
+// brute force would compute without touching any geometry. Only pairs whose
+// boxes overlap (or come within a conservative relative margin, see
+// kRelativeMargin) need narrow-phase evaluation.
+//
+// BroadPhase maintains one axis-aligned box per live stream and produces
+// that candidate set by an incremental sort-and-sweep over x-intervals
+// with a y-overlap filter. A sweep was chosen over a uniform grid because
+// it is insensitive to coordinate scale — the degenerate-geometry suite
+// runs it at 1e150 and 1e-150 without any cell-index arithmetic to
+// overflow — and because its output order is a pure function of the box
+// set, which the deterministic parallel Poll relies on.
+//
+// The track-what-changed discipline (the psac idiom the per-stream view
+// cache already uses) appears twice: Update() drops box writes that do not
+// change the stored box, and Candidates() serves a cached pair list until
+// some box actually changed — a fully quiescent poll tick costs O(1) here.
+//
+// The index is deliberately conservative, never exact: Candidates() may
+// over-report pairs (the narrow phase re-derives the truth), but the
+// property suite in tests/multi_broad_phase_test.cc proves it never drops
+// a pair whose boxes interact, including after any interleaving of
+// add/update/remove and on degenerate geometry.
+
+#ifndef STREAMHULL_MULTI_BROAD_PHASE_H_
+#define STREAMHULL_MULTI_BROAD_PHASE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geom/convex_polygon.h"
+#include "geom/point.h"
+
+namespace streamhull {
+
+/// \brief An axis-aligned bounding box (closed on all sides).
+struct Aabb {
+  double min_x = 0;  ///< Left edge.
+  double min_y = 0;  ///< Bottom edge.
+  double max_x = 0;  ///< Right edge.
+  double max_y = 0;  ///< Top edge.
+
+  /// Exact memberwise equality (the no-op-update test).
+  bool operator==(const Aabb& o) const {
+    return min_x == o.min_x && min_y == o.min_y && max_x == o.max_x &&
+           max_y == o.max_y;
+  }
+
+  /// True iff every coordinate is finite (no inf/NaN).
+  bool finite() const {
+    return std::isfinite(min_x) && std::isfinite(min_y) &&
+           std::isfinite(max_x) && std::isfinite(max_y);
+  }
+
+  /// \brief The largest coordinate magnitude — the scale the relative
+  /// pruning margin multiplies.
+  double Scale() const {
+    return std::max(std::max(std::fabs(min_x), std::fabs(max_x)),
+                    std::max(std::fabs(min_y), std::fabs(max_y)));
+  }
+};
+
+/// \brief The bounding box of a polygon's vertices. A polygon is contained
+/// in its vertex box, so the box of an outer hull is itself a certified
+/// superset of the true stream hull. Returns a zero box for an empty
+/// polygon (callers index only non-empty summaries).
+Aabb BoundingBoxOf(const ConvexPolygon& poly);
+
+/// \brief Incremental sort-and-sweep broad phase over per-stream bounding
+/// boxes.
+///
+/// Ids are dense slot indices, reused after Remove() — the owner
+/// (StreamGroup) retires any per-pair state before a slot can be
+/// reassigned. Not thread-safe; the owner serializes access (Poll runs it
+/// from the polling thread only).
+class BroadPhase {
+ public:
+  /// A slot handle returned by Add().
+  using Id = uint32_t;
+
+  /// \brief Pruning margin, relative to the pair's coordinate scale: boxes
+  /// are candidates unless separated by more than kRelativeMargin * scale
+  /// on some axis. The margin is what lets the narrow phase trust a pruned
+  /// pair's answer in floating point: a gap this many orders of magnitude
+  /// above one ulp cannot be rounded away by the certified queries' few
+  /// arithmetic operations, so the brute-force evaluation of a pruned pair
+  /// provably computes separable=kTrue / contained=kFalse.
+  static constexpr double kRelativeMargin = 1e-12;
+
+  /// \brief Conservative pair test: true unless the boxes are separated by
+  /// more than the relative margin on the x or y axis. Boxes that touch or
+  /// overlap are always candidates; non-finite boxes are always candidates
+  /// (degenerate geometry falls through to the narrow phase, never gets
+  /// silently pruned).
+  static bool MayInteract(const Aabb& a, const Aabb& b);
+
+  /// Registers a box; returns its slot id (a freed slot when one exists,
+  /// a fresh one otherwise).
+  Id Add(const Aabb& box);
+
+  /// \brief Replaces the box in slot \p id. A write that does not change
+  /// the stored box is dropped without invalidating the candidate cache —
+  /// streams whose geometry did not move cost nothing at the next sweep.
+  void Update(Id id, const Aabb& box);
+
+  /// Frees slot \p id; it no longer participates in sweeps and may be
+  /// returned by a later Add().
+  void Remove(Id id);
+
+  /// Number of live boxes.
+  size_t size() const { return live_count_; }
+
+  /// The box in slot \p id (must be live).
+  const Aabb& box(Id id) const { return slots_[id].box; }
+
+  /// True iff slot \p id is currently live.
+  bool alive(Id id) const {
+    return id < slots_.size() && slots_[id].live;
+  }
+
+  /// \brief The current candidate pairs: every live pair (a, b) with
+  /// a < b for which MayInteract() holds, in a deterministic order that is
+  /// a pure function of the live box set. Served from cache when no box
+  /// changed since the last call; rebuilt by one sort-and-sweep otherwise.
+  /// The reference stays valid until the next mutating call.
+  const std::vector<std::pair<Id, Id>>& Candidates();
+
+  /// Cumulative operation counters (telemetry for the fleet benches).
+  struct Stats {
+    uint64_t sweeps = 0;         ///< Candidate rebuilds actually performed.
+    uint64_t cached_polls = 0;   ///< Candidates() calls served from cache.
+    uint64_t box_updates = 0;    ///< Update() calls that changed a box.
+    uint64_t noop_updates = 0;   ///< Update() calls dropped as unchanged.
+    uint64_t pairs_scanned = 0;  ///< Sweep inner-loop pair visits.
+    uint64_t candidates_last = 0;  ///< Candidate count of the last sweep.
+  };
+
+  /// The cumulative counters.
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    Aabb box;
+    bool live = false;
+  };
+
+  void Sweep();  // Rebuilds candidates_ from the live slots.
+
+  std::vector<Slot> slots_;
+  std::vector<Id> free_ids_;  // LIFO reuse of removed slots.
+  size_t live_count_ = 0;
+
+  std::vector<std::pair<Id, Id>> candidates_;
+  bool candidates_valid_ = false;
+
+  // Sweep scratch, reused across rebuilds.
+  std::vector<Id> order_;
+  std::vector<double> suffix_scale_;
+
+  Stats stats_;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_MULTI_BROAD_PHASE_H_

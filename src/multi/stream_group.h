@@ -42,6 +42,19 @@
 // summaries are bit-identical to sequential ingestion. Flush() is the
 // barrier; Poll() and Report() flush implicitly. See DESIGN.md,
 // "Concurrency model".
+//
+// Beyond explicit pairs, WatchAllPairs() turns the group into a *fleet
+// watch*: every unordered pair of streams is monitored, but Poll() prunes
+// the quadratic pair space through a broad-phase index over outer-hull
+// bounding boxes (multi/broad_phase.h) and evaluates certified geometry
+// only for candidate pairs. Pruning is answer-preserving, not heuristic:
+// a pruned pair's boxes are strictly disjoint, which *certifies*
+// separability true and containment false — exactly what brute force
+// would compute — so fleet Poll events are identical to evaluating every
+// pair. Candidate evaluation fans out over the ingestion runtime's
+// ThreadPool when parallelism is enabled, with a deterministic merge that
+// makes parallel Poll bit-identical to sequential. See DESIGN.md, "Fleet
+// monitoring".
 
 #ifndef STREAMHULL_MULTI_STREAM_GROUP_H_
 #define STREAMHULL_MULTI_STREAM_GROUP_H_
@@ -49,14 +62,17 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "core/hull_engine.h"
 #include "core/snapshot.h"
+#include "multi/broad_phase.h"
 #include "queries/certified.h"
 #include "queries/queries.h"
 #include "runtime/parallel_ingestor.h"
@@ -137,6 +153,32 @@ struct RemoteStreamStats {
   /// The generation (producer stream length) of the currently held view;
   /// 0 before the first successful update.
   uint64_t held_generation = 0;
+};
+
+/// \brief Which predicate families a fleet watch (WatchAllPairs) monitors.
+/// Disabling a family skips its narrow-phase evaluation and suppresses its
+/// events for every pair.
+struct FleetWatchOptions {
+  bool separability = true;  ///< Watch pairwise linear separability.
+  bool containment = true;   ///< Watch containment in both directions.
+};
+
+/// \brief Telemetry for fleet polls (WatchAllPairs). The last_* fields
+/// describe the most recent Poll(); the totals accumulate across polls.
+/// The headline ratio last_candidates / last_possible_pairs is the
+/// broad-phase pruning factor the fleet bench gates on.
+struct FleetPollStats {
+  uint64_t last_streams = 0;         ///< Indexed (non-empty) streams.
+  uint64_t last_possible_pairs = 0;  ///< n*(n-1)/2 over indexed streams.
+  uint64_t last_candidates = 0;      ///< Pairs surviving the broad phase.
+  uint64_t last_pairs_evaluated = 0;  ///< Narrow-phase pair evaluations.
+  uint64_t last_streams_refreshed = 0;  ///< Streams re-indexed this poll.
+  uint64_t last_active_states = 0;   ///< Non-default pair states held.
+  uint64_t last_events = 0;          ///< Fleet events emitted this poll.
+  uint64_t total_candidates = 0;       ///< Sum of last_candidates.
+  uint64_t total_pairs_evaluated = 0;  ///< Sum of last_pairs_evaluated.
+  uint64_t total_events = 0;           ///< Sum of last_events.
+  uint64_t fleet_polls = 0;            ///< Polls with the fleet watch on.
 };
 
 /// \brief Named collection of stream summaries with pairwise monitoring.
@@ -264,6 +306,45 @@ class StreamGroup {
   /// Starts watching the (unordered) pair for transitions. Idempotent.
   Status WatchPair(const std::string& a, const std::string& b);
 
+  /// \brief Turns on the fleet watch: every unordered pair of streams —
+  /// present and future — is monitored for the predicate families enabled
+  /// in \p options, with identical events (kinds, names, order) to
+  /// registering an explicit WatchPair on each pair, but Poll() cost
+  /// proportional to the broad-phase candidate set instead of n². Within a
+  /// pair, event order follows the canonical orientation (lexicographically
+  /// smaller name first). Idempotent; calling again replaces the predicate
+  /// options. A pair that is also explicitly watched reports through both
+  /// paths.
+  Status WatchAllPairs(const FleetWatchOptions& options = {});
+
+  /// True once WatchAllPairs() enabled the fleet watch.
+  bool fleet_watch() const { return fleet_; }
+
+  /// \brief Unregisters a stream: evicts it from the broad-phase index,
+  /// drops its fleet pair states, and retires its explicit watches —
+  /// without touching unrelated pairs, so a later Poll() sees no stale
+  /// events from it. Flushes pending async batches first. Fails on unknown
+  /// names. The name may be re-added later as a fresh stream.
+  Status RemoveStream(const std::string& name);
+
+  /// Fleet poll telemetry (zeros until WatchAllPairs is on and polled).
+  const FleetPollStats& fleet_stats() const { return fleet_stats_; }
+
+  /// The broad-phase index's operation counters (fleet bench telemetry).
+  const BroadPhase::Stats& broad_phase_stats() const {
+    return broad_phase_.stats();
+  }
+
+  /// \brief Test/bench support: when set, fleet polls evaluate every
+  /// possible pair instead of only the broad-phase candidates. The events
+  /// must be identical either way (pruning is answer-preserving) — the
+  /// differential suite and bench_fleet_poll use this as the ground-truth
+  /// control at stream counts where explicit WatchPair registration is
+  /// infeasible.
+  void set_fleet_force_all_candidates(bool force) {
+    fleet_force_all_candidates_ = force;
+  }
+
   /// \brief Re-evaluates every watched pair and returns the certified
   /// transitions since the previous poll. The first poll establishes
   /// baselines and reports transitions from the "separable, uncontained"
@@ -298,10 +379,22 @@ class StreamGroup {
   /// streams keep the raw DecodedSummaryView rather than a materialized
   /// sandwich because v3 delta frames patch it sample-by-sample; the
   /// sandwich geometry is derived per generation by the view cache below.
+  /// Sentinel for "stream not in the broad-phase index".
+  static constexpr BroadPhase::Id kNoSlot = ~BroadPhase::Id{0};
+  /// Sentinel generation for "never refreshed into the index".
+  static constexpr uint64_t kNeverRefreshed = ~uint64_t{0};
+
   struct StreamEntry {
     std::unique_ptr<HullEngine> engine;
     DecodedSummaryView remote_decoded;
     bool remote() const { return engine == nullptr; }
+
+    /// Broad-phase slot (fleet watch only); kNoSlot while the stream has
+    /// never had a non-empty summary.
+    BroadPhase::Id bp_id = kNoSlot;
+    /// Generation the broad-phase box was last refreshed at; unchanged
+    /// streams are skipped entirely by RefreshFleetIndex.
+    uint64_t bp_generation = kNeverRefreshed;
 
     /// Single-writer lane on the runtime; assigned on first async batch.
     ParallelIngestor::ShardId shard = static_cast<size_t>(-1);
@@ -336,13 +429,70 @@ class StreamGroup {
   /// sandwich. The pointer is valid until the stream changes.
   const SummaryView* MaterializeView(const std::string& name);
 
+  /// Same contract as MaterializeView but on an already-resolved entry;
+  /// returns whether the sandwich was actually rebuilt (vs cache-served).
+  bool MaterializeEntry(StreamEntry& entry);
+
+  /// Fleet-watch state for one pair of broad-phase slots, keyed by
+  /// lo<<32|hi. Only pairs that have *deviated* from the fleet default —
+  /// separable certified-true, containment certified-false both ways —
+  /// hold an entry; pruned pairs certify exactly the default, so a fleet
+  /// of mutually distant streams carries no per-pair state at all.
+  struct FleetPairState {
+    PredicateState separable{true};
+    PredicateState a_in_b{false};  ///< canonical-first contained in second.
+    PredicateState b_in_a{false};  ///< canonical-second contained in first.
+    /// Poll index at which this pair was last a broad-phase candidate —
+    /// states not stamped this poll get the certified pruned-pair answer.
+    uint64_t last_candidate_poll = 0;
+    bool IsDefault(const FleetWatchOptions& opts) const {
+      if (opts.separability &&
+          !(separable.certain && separable.last_certified)) {
+        return false;
+      }
+      if (opts.containment &&
+          !(a_in_b.certain && !a_in_b.last_certified && b_in_a.certain &&
+            !b_in_a.last_certified)) {
+        return false;
+      }
+      return true;
+    }
+  };
+
+  /// Broad-phase slot back-references: which stream owns slot i. Slots of
+  /// removed streams are null until the broad phase reuses them.
+  struct FleetSlot {
+    const std::string* name = nullptr;
+    StreamEntry* entry = nullptr;
+  };
+
+  /// Re-indexes streams whose generation moved since their last refresh
+  /// (materializing views in parallel when a runtime is attached) and
+  /// returns how many were refreshed.
+  uint64_t RefreshFleetIndex();
+
+  /// The fleet-watch half of Poll(): refresh the index, evaluate candidate
+  /// pairs (in parallel when a runtime is attached), merge deterministically.
+  void PollFleet(uint64_t poll_index, std::vector<PairEvent>* events);
+
   EngineOptions options_;
   EngineKind default_kind_;
   std::map<std::string, StreamEntry> streams_;
   std::vector<Watch> watches_;
+  /// Canonical-ordered name pairs of watches_, for O(log n) WatchPair
+  /// idempotence instead of a linear scan.
+  std::set<std::pair<std::string, std::string>> watch_index_;
   uint64_t polls_ = 0;
   uint64_t view_materializations_ = 0;
   std::unique_ptr<ParallelIngestor> ingestor_;
+
+  bool fleet_ = false;
+  FleetWatchOptions fleet_options_;
+  BroadPhase broad_phase_;
+  std::vector<FleetSlot> fleet_slots_;
+  std::map<uint64_t, FleetPairState> fleet_states_;
+  FleetPollStats fleet_stats_;
+  bool fleet_force_all_candidates_ = false;
 };
 
 }  // namespace streamhull

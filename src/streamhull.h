@@ -65,10 +65,12 @@
 #include "geom/kernels.h"
 #include "geom/point.h"
 #include "geom/soa.h"
+#include "multi/broad_phase.h"
 #include "multi/region_hull.h"
 #include "multi/stream_group.h"
 #include "queries/certified.h"
 #include "queries/queries.h"
+#include "runtime/parallel_for.h"
 #include "runtime/parallel_ingestor.h"
 #include "runtime/sequencer.h"
 #include "runtime/thread_pool.h"

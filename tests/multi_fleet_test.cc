@@ -1,0 +1,779 @@
+// Differential tests for fleet watches (StreamGroup::WatchAllPairs).
+//
+// The fleet path exists to make Poll() sub-quadratic, but its contract is
+// semantic: events (kinds, names, poll indices) must be *identical* to what
+// brute-force evaluation of every pair produces. The ground truth comes in
+// two interchangeable forms, used at different scales:
+//   - an explicit control group with a WatchPair registered on every
+//     canonical pair (64- and 512-stream configs — the strongest oracle,
+//     since it exercises none of the fleet machinery), and
+//   - the same fleet group with the force-all-candidates hook, which
+//     evaluates every pair through the narrow phase (2k streams, where a
+//     quadratic watch list is too slow to build per case).
+// Event order across pairs legitimately differs between the paths (the
+// fleet iterates candidates in sweep order, the control in registration
+// order), so comparisons sort both sides by (poll, pair, predicate, kind)
+// — a total order, since one poll emits at most one event per pair
+// orientation per predicate.
+//
+// The suite also pins the parallel determinism contract — fleet Poll at
+// {1, 2, 8} threads is byte-identical (same order, not just same set) to
+// the no-pool group — and the RemoveStream lifecycle (10k streams, 1k
+// removals, no stale events, slot reuse cannot resurrect old pair state).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hull_engine.h"
+#include "core/snapshot.h"
+#include "multi/stream_group.h"
+#include "stream/generators.h"
+
+namespace streamhull {
+namespace {
+
+AdaptiveHullOptions Opts(uint32_t r = 8) {
+  AdaptiveHullOptions o;
+  o.r = r;
+  return o;
+}
+
+std::string StreamName(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "s%05d", i);
+  return buf;
+}
+
+std::tuple<uint64_t, const std::string&, const std::string&,
+           PairEvent::Predicate, PairEvent::Kind>
+EventKey(const PairEvent& e) {
+  return {e.poll_index, e.first, e.second, e.predicate, e.kind};
+}
+
+void SortEvents(std::vector<PairEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const PairEvent& a, const PairEvent& b) {
+                     return EventKey(a) < EventKey(b);
+                   });
+}
+
+std::string EventToString(const PairEvent& e) {
+  static const char* kKinds[] = {"sep-lost",  "sep-gained", "cont-started",
+                                 "cont-ended", "cert-lost",  "cert-gained"};
+  static const char* kPreds[] = {"separability", "containment"};
+  return std::string(kKinds[static_cast<int>(e.kind)]) + "/" +
+         kPreds[static_cast<int>(e.predicate)] + " (" + e.first + "," +
+         e.second + ") @poll " + std::to_string(e.poll_index);
+}
+
+void ExpectSameEvents(std::vector<PairEvent> fleet,
+                      std::vector<PairEvent> control, const char* where) {
+  SortEvents(fleet);
+  SortEvents(control);
+  ASSERT_EQ(fleet.size(), control.size())
+      << where << ": fleet emitted " << fleet.size() << " events, control "
+      << control.size();
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    ASSERT_EQ(EventKey(fleet[i]), EventKey(control[i]))
+        << where << " event " << i << ": fleet=" << EventToString(fleet[i])
+        << " control=" << EventToString(control[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario driver
+// ---------------------------------------------------------------------------
+
+// A deterministic fleet scenario: streams on a grid, each fed from one of
+// the generator families, with drifting streams that collide into their
+// right-hand neighbors (separability events), nested big/small pairs
+// (containment events), and optional remote streams fed v2/v3 frames from
+// shadow producer engines. Identical point batches / frame bytes go to
+// every attached group, so any cross-group event divergence is a bug in
+// the poll path, not the data.
+struct ScenarioConfig {
+  int num_streams = 64;
+  EngineKind kind = EngineKind::kAdaptive;
+  int family = 0;          // 0..6, or -1 to mix families per stream.
+  int ticks = 6;
+  int points_per_tick = 24;
+  int remote_every = 0;    // Every k-th stream is remote; 0 = none.
+  uint64_t seed = 1;
+};
+
+constexpr int kNumFamilies = 7;
+
+std::unique_ptr<PointGenerator> MakeFamily(int family, uint64_t seed) {
+  switch (family) {
+    case 0: return std::make_unique<DiskGenerator>(seed);
+    case 1: return std::make_unique<SquareGenerator>(seed, 0.3);
+    case 2: return std::make_unique<EllipseGenerator>(seed, 4.0, 0.7);
+    case 3: return std::make_unique<CircleGenerator>(seed, 64);
+    case 4: return std::make_unique<ClusterGenerator>(seed, 3);
+    case 5: return std::make_unique<DriftWalkGenerator>(seed, 0.05);
+    default: return std::make_unique<SpiralGenerator>(seed, 1e-3);
+  }
+}
+
+class FleetScenario {
+ public:
+  explicit FleetScenario(const ScenarioConfig& config) : config_(config) {
+    for (int i = 0; i < config.num_streams; ++i) {
+      const int family =
+          config.family >= 0 ? config.family : i % kNumFamilies;
+      gens_.push_back(MakeFamily(family, config.seed * 7919 + i));
+      if (IsRemote(i)) {
+        producers_.emplace(i, MakeEngine(config.kind,
+                                         EngineOptions{.hull = Opts()}));
+      }
+    }
+  }
+
+  bool IsRemote(int i) const {
+    return config_.remote_every > 0 && i % config_.remote_every == 1;
+  }
+
+  // The i-th stream's placement: cells on an 8-wide grid with spacing that
+  // keeps unit-extent families separated until a mover reaches them.
+  // Streams with i % 3 == 0 drift right each tick; streams with
+  // i % 16 == 6 are the small half of a nested pair, scaled down into
+  // stream i-1's cell (containment events).
+  void Transform(int i, int tick, std::vector<Point2>* pts) const {
+    const bool nested_small = i % 16 == 6;
+    const int anchor = nested_small ? i - 1 : i;
+    const double spacing = 2.6;
+    double cx = (anchor % 8) * spacing;
+    double cy = (anchor / 8) * spacing;
+    double scale = 1.0;
+    if (nested_small) {
+      scale = 0.12;
+    } else if (i % 3 == 0) {
+      cx += 0.4 * tick;  // Mover: reaches the right neighbor around tick 4.
+    }
+    for (Point2& p : *pts) {
+      p.x = p.x * scale + cx;
+      p.y = p.y * scale + cy;
+    }
+  }
+
+  // Feeds one tick of data to every registered group, identically.
+  // Streams the caller has since removed are skipped (all groups are
+  // assumed to hold the same membership).
+  void FeedTick(int tick, std::vector<StreamGroup*> groups) {
+    for (int i = 0; i < config_.num_streams; ++i) {
+      const std::string name = StreamName(i);
+      SummaryView probe;
+      if (!groups.empty() && !groups[0]->View(name, &probe).ok()) {
+        gens_[i]->Take(config_.points_per_tick);  // Keep streams aligned.
+        continue;
+      }
+      std::vector<Point2> pts = gens_[i]->Take(config_.points_per_tick);
+      Transform(i, tick, &pts);
+      if (IsRemote(i)) {
+        // Shadow producer: same points, then ship bytes — a full v2 frame
+        // on the first tick, v3 deltas after (with v2 fallback, mirroring
+        // a real producer's resync behavior).
+        HullEngine& producer = *producers_.at(i);
+        const uint64_t base = producer.num_points();
+        producer.InsertBatch(pts);
+        std::string bytes;
+        if (tick == 0 ||
+            !producer.EncodeSummaryDelta(base, &bytes).ok()) {
+          bytes = producer.EncodeView();
+        }
+        for (StreamGroup* g : groups) {
+          ASSERT_TRUE(g->UpdateRemoteStream(name, bytes).ok());
+        }
+      } else {
+        for (StreamGroup* g : groups) {
+          ASSERT_TRUE(g->InsertBatch(name, pts).ok());
+        }
+      }
+    }
+  }
+
+  void AddStreamsTo(StreamGroup& group) const {
+    for (int i = 0; i < config_.num_streams; ++i) {
+      if (IsRemote(i)) {
+        ASSERT_TRUE(group.AddRemoteStream(StreamName(i)).ok());
+      } else {
+        ASSERT_TRUE(group.AddStream(StreamName(i), config_.kind).ok());
+      }
+    }
+  }
+
+  const ScenarioConfig& config() const { return config_; }
+
+ private:
+  ScenarioConfig config_;
+  std::vector<std::unique_ptr<PointGenerator>> gens_;
+  std::map<int, std::unique_ptr<HullEngine>> producers_;
+};
+
+// Registers an explicit watch on every canonical pair of current streams.
+void WatchAllExplicitly(StreamGroup& group) {
+  const std::vector<std::string> names = group.StreamNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      ASSERT_TRUE(group.WatchPair(names[i], names[j]).ok());
+    }
+  }
+}
+
+// Runs the scenario against an explicit-watch control group and returns
+// the total number of events both sides agreed on.
+size_t RunDifferentialVsControl(const ScenarioConfig& config) {
+  FleetScenario scenario(config);
+
+  StreamGroup fleet(Opts());
+  scenario.AddStreamsTo(fleet);
+  EXPECT_TRUE(fleet.WatchAllPairs().ok());
+
+  StreamGroup control(Opts());
+  scenario.AddStreamsTo(control);
+  WatchAllExplicitly(control);
+  if (testing::Test::HasFatalFailure()) return 0;
+
+  size_t total = 0;
+  for (int tick = 0; tick < config.ticks; ++tick) {
+    scenario.FeedTick(tick, {&fleet, &control});
+    if (testing::Test::HasFatalFailure()) return 0;
+    std::vector<PairEvent> fe = fleet.Poll();
+    std::vector<PairEvent> ce = control.Poll();
+    ExpectSameEvents(fe, ce, ("tick " + std::to_string(tick)).c_str());
+    if (testing::Test::HasFatalFailure()) return 0;
+    total += fe.size();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// 64-stream matrix: every engine kind x every generator family
+// ---------------------------------------------------------------------------
+
+class FleetMatrixTest
+    : public testing::TestWithParam<std::tuple<EngineKind, int>> {};
+
+TEST_P(FleetMatrixTest, FleetEventsMatchBruteForce) {
+  ScenarioConfig config;
+  config.kind = std::get<0>(GetParam());
+  config.family = std::get<1>(GetParam());
+  config.num_streams = 64;
+  config.ticks = 6;
+  config.seed = 100 + static_cast<uint64_t>(config.family);
+  const size_t events = RunDifferentialVsControl(config);
+  if (testing::Test::HasFatalFailure()) return;
+  // A scenario that never fires is not a differential test: the movers and
+  // nested pairs must generate real transitions.
+  EXPECT_GT(events, 0u) << "scenario produced no events to compare";
+}
+
+std::string MatrixCaseName(
+    const testing::TestParamInfo<std::tuple<EngineKind, int>>& info) {
+  static const char* kFamilies[] = {"disk",     "square", "ellipse", "circle",
+                                    "clusters", "drift",  "spiral"};
+  std::string kind = EngineKindName(std::get<0>(info.param));
+  kind.erase(std::remove(kind.begin(), kind.end(), '-'), kind.end());
+  return kind + "_" + kFamilies[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllFamilies, FleetMatrixTest,
+    testing::Combine(testing::ValuesIn(AllEngineKinds().begin(),
+                                       AllEngineKinds().end()),
+                     testing::Range(0, kNumFamilies)),
+    MatrixCaseName);
+
+// ---------------------------------------------------------------------------
+// Larger configs and remote/churn coverage
+// ---------------------------------------------------------------------------
+
+TEST(FleetDifferentialTest, FiveHundredTwelveStreamsMixedFamilies) {
+  ScenarioConfig config;
+  config.num_streams = 512;
+  config.family = -1;  // Mix all seven families across the fleet.
+  config.ticks = 3;
+  config.points_per_tick = 16;
+  config.seed = 42;
+  const size_t events = RunDifferentialVsControl(config);
+  if (testing::Test::HasFatalFailure()) return;
+  EXPECT_GT(events, 0u);
+}
+
+TEST(FleetDifferentialTest, RemoteStreamsMixedIn) {
+  ScenarioConfig config;
+  config.num_streams = 64;
+  config.family = -1;
+  config.ticks = 6;
+  config.remote_every = 4;  // Streams 1, 5, 9, ... are decoded views.
+  config.seed = 7;
+  const size_t events = RunDifferentialVsControl(config);
+  if (testing::Test::HasFatalFailure()) return;
+  EXPECT_GT(events, 0u);
+}
+
+TEST(FleetDifferentialTest, RemoteShrinkFiresGainedEventsIdentically) {
+  // Local hulls only grow, so separability-lost is forever — unless the
+  // stream is remote and its producer restarts small. The wholesale view
+  // replacement must fire regained/ended events identically on both paths.
+  StreamGroup fleet(Opts());
+  StreamGroup control(Opts());
+  for (StreamGroup* g : {&fleet, &control}) {
+    ASSERT_TRUE(g->AddStream("a", EngineKind::kAdaptive).ok());
+    ASSERT_TRUE(g->AddRemoteStream("b").ok());
+  }
+  ASSERT_TRUE(fleet.WatchAllPairs().ok());
+  ASSERT_TRUE(control.WatchPair("a", "b").ok());
+
+  DiskGenerator near(11);
+  std::vector<Point2> a_pts = near.Take(64);
+  auto big = MakeEngine(EngineKind::kAdaptive, EngineOptions{.hull = Opts()});
+  std::vector<Point2> b_pts = near.Take(64);  // Same disk: overlapping.
+  big->InsertBatch(b_pts);
+  const std::string overlap_frame = big->EncodeView();
+  for (StreamGroup* g : {&fleet, &control}) {
+    ASSERT_TRUE(g->InsertBatch("a", a_pts).ok());
+    ASSERT_TRUE(g->UpdateRemoteStream("b", overlap_frame).ok());
+  }
+  ExpectSameEvents(fleet.Poll(), control.Poll(), "overlap poll");
+
+  // Producer restart: a tiny far-away summary replaces the view.
+  auto small = MakeEngine(EngineKind::kAdaptive, EngineOptions{.hull = Opts()});
+  DiskGenerator far(12, 0.1, Point2{50, 50});
+  small->InsertBatch(far.Take(32));
+  const std::string far_frame = small->EncodeView();
+  for (StreamGroup* g : {&fleet, &control}) {
+    ASSERT_TRUE(g->UpdateRemoteStream("b", far_frame).ok());
+  }
+  std::vector<PairEvent> fe = fleet.Poll();
+  ExpectSameEvents(fe, control.Poll(), "shrink poll");
+  bool gained = false;
+  for (const PairEvent& e : fe) {
+    if (e.kind == PairEvent::Kind::kSeparabilityGained) gained = true;
+  }
+  EXPECT_TRUE(gained) << "shrinking remote view should regain separability";
+}
+
+TEST(FleetDifferentialTest, MidRunChurnMatchesBruteForce) {
+  // Interleaves feeding with stream add/remove while both paths poll.
+  // After each removal the control group re-registers nothing (its watches
+  // on the removed stream are retired); after each add, the control gains
+  // explicit watches on every new pair — the fleet tracks both implicitly.
+  const uint64_t seed = 99;
+  ScenarioConfig config;
+  config.num_streams = 64;
+  config.family = -1;
+  config.seed = seed;
+  FleetScenario scenario(config);
+
+  StreamGroup fleet(Opts());
+  scenario.AddStreamsTo(fleet);
+  ASSERT_TRUE(fleet.WatchAllPairs().ok());
+  StreamGroup control(Opts());
+  scenario.AddStreamsTo(control);
+  WatchAllExplicitly(control);
+
+  Rng rng(seed);
+  int next_id = config.num_streams;
+  for (int tick = 0; tick < 8; ++tick) {
+    scenario.FeedTick(tick % config.ticks, {&fleet, &control});
+    if (tick % 2 == 0) {
+      // Remove a random surviving original stream.
+      const std::vector<std::string> names = fleet.StreamNames();
+      const std::string victim = names[rng.UniformInt(names.size())];
+      ASSERT_TRUE(fleet.RemoveStream(victim).ok());
+      ASSERT_TRUE(control.RemoveStream(victim).ok());
+    } else {
+      // Add a fresh stream placed to overlap the grid, fed immediately.
+      const std::string name = "added" + std::to_string(next_id++);
+      ASSERT_TRUE(fleet.AddStream(name, EngineKind::kUniform).ok());
+      ASSERT_TRUE(control.AddStream(name, EngineKind::kUniform).ok());
+      for (const std::string& other : control.StreamNames()) {
+        if (other != name) {
+          ASSERT_TRUE(control.WatchPair(name, other).ok());
+        }
+      }
+      DiskGenerator g(seed + static_cast<uint64_t>(tick), 1.5,
+                      Point2{2.6 * (tick % 8), 2.6});
+      const std::vector<Point2> pts = g.Take(32);
+      ASSERT_TRUE(fleet.InsertBatch(name, pts).ok());
+      ASSERT_TRUE(control.InsertBatch(name, pts).ok());
+    }
+    ExpectSameEvents(fleet.Poll(), control.Poll(),
+                     ("churn tick " + std::to_string(tick)).c_str());
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2k streams: pruned fleet vs the force-all-candidates ground truth
+// ---------------------------------------------------------------------------
+
+TEST(FleetDifferentialTest, TwoThousandStreamsPrunedMatchesForceAll) {
+  // At 2k streams an explicit watch list (2M pairs) is too expensive to
+  // build per run, so the oracle is the fleet itself with pruning disabled:
+  // every live pair goes through the narrow phase. Identical events prove
+  // the broad phase never dropped a pair whose certified predicate could
+  // have changed.
+  ScenarioConfig config;
+  config.num_streams = 2048;
+  config.family = -1;
+  config.ticks = 2;
+  config.points_per_tick = 10;
+  config.seed = 5;
+  FleetScenario scenario(config);
+
+  StreamGroup pruned(Opts());
+  scenario.AddStreamsTo(pruned);
+  ASSERT_TRUE(pruned.WatchAllPairs().ok());
+
+  StreamGroup forced(Opts());
+  scenario.AddStreamsTo(forced);
+  ASSERT_TRUE(forced.WatchAllPairs().ok());
+  forced.set_fleet_force_all_candidates(true);
+
+  size_t total = 0;
+  for (int tick = 0; tick < config.ticks; ++tick) {
+    scenario.FeedTick(tick, {&pruned, &forced});
+    if (testing::Test::HasFatalFailure()) return;
+    std::vector<PairEvent> pe = pruned.Poll();
+    std::vector<PairEvent> ge = forced.Poll();
+    ExpectSameEvents(pe, ge, ("2k tick " + std::to_string(tick)).c_str());
+    if (testing::Test::HasFatalFailure()) return;
+    total += pe.size();
+  }
+  EXPECT_GT(total, 0u);
+
+  // And the pruning must have been real: the candidate set a fraction of
+  // the 2M possible pairs, while the forced oracle evaluated all of them.
+  const FleetPollStats& ps = pruned.fleet_stats();
+  const FleetPollStats& gs = forced.fleet_stats();
+  EXPECT_EQ(gs.last_pairs_evaluated, gs.last_possible_pairs);
+  EXPECT_LT(ps.last_candidates * 10, ps.last_possible_pairs)
+      << "broad phase pruned less than 90% on a sparse grid fleet";
+}
+
+// ---------------------------------------------------------------------------
+// Reports, stats, and the explicit+fleet interaction
+// ---------------------------------------------------------------------------
+
+TEST(FleetWatchTest, ReportsAgreeWithExplicitGroups) {
+  // Report() is unaffected by watch mode; spot-check that a fleet-watched
+  // group and a control group over identical data return identical
+  // certified intervals.
+  ScenarioConfig config;
+  config.num_streams = 16;
+  config.ticks = 2;
+  FleetScenario scenario(config);
+  StreamGroup fleet(Opts());
+  scenario.AddStreamsTo(fleet);
+  ASSERT_TRUE(fleet.WatchAllPairs().ok());
+  StreamGroup control(Opts());
+  scenario.AddStreamsTo(control);
+  for (int tick = 0; tick < config.ticks; ++tick) {
+    scenario.FeedTick(tick, {&fleet, &control});
+  }
+  (void)fleet.Poll();
+  for (int i = 0; i < 15; ++i) {
+    PairReport a, b;
+    ASSERT_TRUE(fleet.Report(StreamName(i), StreamName(i + 1), &a).ok());
+    ASSERT_TRUE(control.Report(StreamName(i), StreamName(i + 1), &b).ok());
+    EXPECT_EQ(a.distance.lo, b.distance.lo);
+    EXPECT_EQ(a.distance.hi, b.distance.hi);
+    EXPECT_EQ(a.separable, b.separable);
+    EXPECT_EQ(a.a_contains_b, b.a_contains_b);
+    EXPECT_EQ(a.b_contains_a, b.b_contains_a);
+  }
+}
+
+TEST(FleetWatchTest, QuiescentPollsCostNothing) {
+  ScenarioConfig config;
+  config.num_streams = 64;
+  config.ticks = 1;
+  FleetScenario scenario(config);
+  StreamGroup fleet(Opts());
+  scenario.AddStreamsTo(fleet);
+  ASSERT_TRUE(fleet.WatchAllPairs().ok());
+  scenario.FeedTick(0, {&fleet});
+  (void)fleet.Poll();
+  const uint64_t mats = fleet.view_materializations();
+  const uint64_t sweeps = fleet.broad_phase_stats().sweeps;
+
+  // No data changed: the poll must re-derive no geometry and re-sweep
+  // nothing — the generation-tagged skip and the candidate cache in one.
+  std::vector<PairEvent> events = fleet.Poll();
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(fleet.view_materializations(), mats);
+  EXPECT_EQ(fleet.broad_phase_stats().sweeps, sweeps);
+  EXPECT_EQ(fleet.fleet_stats().last_streams_refreshed, 0u);
+  EXPECT_GE(fleet.broad_phase_stats().cached_polls, 1u);
+}
+
+TEST(FleetWatchTest, ExplicitWatchAndFleetBothReport) {
+  // A pair that is both explicitly watched and fleet-covered reports
+  // through both paths (documented behavior): one event per path.
+  StreamGroup group(Opts());
+  ASSERT_TRUE(group.AddStream("a").ok());
+  ASSERT_TRUE(group.AddStream("b").ok());
+  ASSERT_TRUE(group.WatchPair("a", "b").ok());
+  ASSERT_TRUE(group.WatchAllPairs().ok());
+  DiskGenerator g(3);
+  std::vector<Point2> pts = g.Take(32);
+  ASSERT_TRUE(group.InsertBatch("a", pts).ok());
+  ASSERT_TRUE(group.InsertBatch("b", g.Take(32)).ok());  // Same disk.
+  std::vector<PairEvent> events = group.Poll();
+  // Overlapping identical disks: separability lost, certified, twice.
+  int sep_lost = 0;
+  for (const PairEvent& e : events) {
+    if (e.kind == PairEvent::Kind::kSeparabilityLost) ++sep_lost;
+  }
+  EXPECT_EQ(sep_lost, 2);
+}
+
+TEST(FleetWatchTest, PredicateScopedWatchSets) {
+  // Separability-only fleet: containment transitions must not fire.
+  StreamGroup group(Opts());
+  ASSERT_TRUE(group.AddStream("big").ok());
+  ASSERT_TRUE(group.AddStream("small").ok());
+  ASSERT_TRUE(
+      group.WatchAllPairs(FleetWatchOptions{.separability = true,
+                                            .containment = false})
+          .ok());
+  DiskGenerator big(21, 4.0);
+  DiskGenerator small(22, 0.05);
+  ASSERT_TRUE(group.InsertBatch("big", big.Take(256)).ok());
+  ASSERT_TRUE(group.InsertBatch("small", small.Take(32)).ok());
+  std::vector<PairEvent> events = group.Poll();
+  for (const PairEvent& e : events) {
+    EXPECT_NE(e.predicate, PairEvent::Predicate::kContainment)
+        << EventToString(e);
+  }
+  // The separability family still works (nested disks: not separable).
+  bool sep_lost = false;
+  for (const PairEvent& e : events) {
+    if (e.kind == PairEvent::Kind::kSeparabilityLost) sep_lost = true;
+  }
+  EXPECT_TRUE(sep_lost);
+
+  // Disabling every family is a configuration error.
+  EXPECT_FALSE(group
+                   .WatchAllPairs(FleetWatchOptions{.separability = false,
+                                                    .containment = false})
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// RemoveStream lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(FleetRemoveStreamTest, TenThousandStreamsSurviveAThousandRemovals) {
+  // Well-separated fleet: after the baseline poll, nothing ever fires —
+  // unless removal corrupts pair state. 1k removals interleaved with polls
+  // must produce zero events and never reference a removed stream.
+  StreamGroup fleet(Opts());
+  const int n = 10000;
+  Rng rng(123);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(fleet.AddStream(StreamName(i), EngineKind::kUniform).ok());
+  }
+  ASSERT_TRUE(fleet.WatchAllPairs().ok());
+  for (int i = 0; i < n; ++i) {
+    // A tiny cluster per stream, 100 apart: no pair interacts.
+    const double cx = (i % 100) * 100.0, cy = (i / 100) * 100.0;
+    DiskGenerator g(7000 + static_cast<uint64_t>(i), 0.5, Point2{cx, cy});
+    ASSERT_TRUE(fleet.InsertBatch(StreamName(i), g.Take(8)).ok());
+  }
+  EXPECT_TRUE(fleet.Poll().empty());
+  EXPECT_EQ(fleet.fleet_stats().last_streams, static_cast<uint64_t>(n));
+
+  std::set<std::string> removed;
+  for (int round = 0; round < 10; ++round) {
+    for (int k = 0; k < 100; ++k) {
+      std::string victim;
+      do {
+        victim = StreamName(static_cast<int>(rng.UniformInt(n)));
+      } while (removed.count(victim) > 0);
+      ASSERT_TRUE(fleet.RemoveStream(victim).ok());
+      removed.insert(victim);
+    }
+    const std::vector<PairEvent> events = fleet.Poll();
+    for (const PairEvent& e : events) {
+      EXPECT_EQ(removed.count(e.first), 0u) << EventToString(e);
+      EXPECT_EQ(removed.count(e.second), 0u) << EventToString(e);
+    }
+    EXPECT_TRUE(events.empty()) << "separated fleet fired "
+                                << events.size() << " stale events";
+  }
+  EXPECT_EQ(fleet.fleet_stats().last_streams, static_cast<uint64_t>(n - 1000));
+  EXPECT_EQ(fleet.StreamNames().size(), static_cast<size_t>(n - 1000));
+}
+
+TEST(FleetRemoveStreamTest, SlotReuseCannotResurrectPairState) {
+  // Streams a/b overlap and fire events; removing a frees its broad-phase
+  // slot. A new stream c reuses that slot — if a's pair state survived,
+  // c would inherit "inseparable from b" and fire a spurious regained
+  // event. It must instead start from the fleet baseline.
+  StreamGroup fleet(Opts());
+  ASSERT_TRUE(fleet.AddStream("a").ok());
+  ASSERT_TRUE(fleet.AddStream("b").ok());
+  ASSERT_TRUE(fleet.WatchAllPairs().ok());
+  DiskGenerator g(31);
+  ASSERT_TRUE(fleet.InsertBatch("a", g.Take(32)).ok());
+  ASSERT_TRUE(fleet.InsertBatch("b", g.Take(32)).ok());  // Overlapping.
+  std::vector<PairEvent> events = fleet.Poll();
+  bool lost = false;
+  for (const PairEvent& e : events) {
+    if (e.kind == PairEvent::Kind::kSeparabilityLost) lost = true;
+  }
+  ASSERT_TRUE(lost);
+
+  ASSERT_TRUE(fleet.RemoveStream("a").ok());
+  ASSERT_TRUE(fleet.AddStream("c").ok());
+  DiskGenerator far(32, 0.5, Point2{100, 100});
+  ASSERT_TRUE(fleet.InsertBatch("c", far.Take(16)).ok());
+  // c is far from b: certified separable — which is the baseline, so no
+  // event may fire (a kSeparabilityGained here would be resurrected state).
+  EXPECT_TRUE(fleet.Poll().empty());
+
+  // Removing an unknown stream fails cleanly; re-removal too.
+  EXPECT_FALSE(fleet.RemoveStream("a").ok());
+  EXPECT_FALSE(fleet.RemoveStream("nope").ok());
+}
+
+TEST(FleetRemoveStreamTest, RemovalRetiresExplicitWatches) {
+  StreamGroup group(Opts());
+  ASSERT_TRUE(group.AddStream("a").ok());
+  ASSERT_TRUE(group.AddStream("b").ok());
+  ASSERT_TRUE(group.AddStream("c").ok());
+  ASSERT_TRUE(group.WatchPair("a", "b").ok());
+  ASSERT_TRUE(group.WatchPair("b", "c").ok());
+  DiskGenerator g(41);
+  for (const char* name : {"a", "b", "c"}) {
+    ASSERT_TRUE(group.InsertBatch(name, g.Take(32)).ok());  // All overlap.
+  }
+  EXPECT_FALSE(group.Poll().empty());
+  ASSERT_TRUE(group.RemoveStream("b").ok());
+  // Both watches involving b are gone; nothing references it again.
+  for (int i = 0; i < 3; ++i) {
+    for (const PairEvent& e : group.Poll()) {
+      EXPECT_NE(e.first, "b") << EventToString(e);
+      EXPECT_NE(e.second, "b") << EventToString(e);
+    }
+  }
+  // b's name can be reused with a clean baseline.
+  ASSERT_TRUE(group.AddStream("b").ok());
+  ASSERT_TRUE(group.WatchPair("a", "b").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parallel determinism
+// ---------------------------------------------------------------------------
+
+// Full-field equality — byte-identical, order included.
+void ExpectIdenticalSequences(const std::vector<PairEvent>& a,
+                              const std::vector<PairEvent>& b,
+                              const char* where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(EventKey(a[i]), EventKey(b[i]))
+        << where << " event " << i << ": " << EventToString(a[i]) << " vs "
+        << EventToString(b[i]);
+  }
+}
+
+TEST(FleetParallelTest, PollIsByteIdenticalAcrossThreadCounts) {
+  // The same scenario on a no-pool group and on pools of {1, 2, 8}
+  // threads: the full event sequences (order included) must be identical,
+  // and every event must appear exactly once. Ingestion here is
+  // synchronous (InsertBatch) so engine state is trivially identical; the
+  // parallelism under test is the fleet poll's fan-out itself.
+  const size_t kThreads[] = {0, 1, 2, 8};  // 0 = never SetParallelism.
+  std::vector<std::unique_ptr<StreamGroup>> groups;
+  std::vector<StreamGroup*> raw;
+  for (size_t t : kThreads) {
+    auto g = std::make_unique<StreamGroup>(Opts());
+    if (t > 0) g->SetParallelism(t);
+    raw.push_back(g.get());
+    groups.push_back(std::move(g));
+  }
+  ScenarioConfig config;
+  config.num_streams = 128;
+  config.family = -1;
+  config.ticks = 4;
+  config.seed = 77;
+  FleetScenario scenario(config);
+  for (StreamGroup* g : raw) {
+    scenario.AddStreamsTo(*g);
+    ASSERT_TRUE(g->WatchAllPairs().ok());
+  }
+
+  for (int tick = 0; tick < config.ticks; ++tick) {
+    scenario.FeedTick(tick, raw);
+    if (testing::Test::HasFatalFailure()) return;
+    const std::vector<PairEvent> reference = raw[0]->Poll();
+
+    // Exactly-once: no event duplicated within one poll's output.
+    std::set<std::tuple<uint64_t, std::string, std::string,
+                        PairEvent::Predicate, PairEvent::Kind>>
+        unique;
+    for (const PairEvent& e : reference) {
+      EXPECT_TRUE(
+          unique.insert({e.poll_index, e.first, e.second, e.predicate, e.kind})
+              .second)
+          << "duplicate event: " << EventToString(e);
+    }
+
+    for (size_t gi = 1; gi < raw.size(); ++gi) {
+      ExpectIdenticalSequences(
+          raw[gi]->Poll(), reference,
+          ("tick " + std::to_string(tick) + " threads=" +
+           std::to_string(kThreads[gi]))
+              .c_str());
+      if (testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(FleetParallelTest, AsyncIngestThenFleetPoll) {
+  // Fleet polling composes with async ingestion: the poll's implicit Flush
+  // quiesces the engines, then the same pool runs the candidate fan-out.
+  StreamGroup parallel_group(Opts());
+  parallel_group.SetParallelism(4);
+  StreamGroup serial_group(Opts());
+  for (StreamGroup* g : {&parallel_group, &serial_group}) {
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(g->AddStream(StreamName(i)).ok());
+    }
+    ASSERT_TRUE(g->WatchAllPairs().ok());
+  }
+  for (int tick = 0; tick < 3; ++tick) {
+    for (int i = 0; i < 32; ++i) {
+      DiskGenerator g(500 + static_cast<uint64_t>(i * 31 + tick), 1.0,
+                      Point2{(i % 8) * 2.2 + 0.3 * tick * (i % 3 == 0),
+                             (i / 8) * 2.2});
+      const std::vector<Point2> pts = g.Take(24);
+      ASSERT_TRUE(parallel_group
+                      .InsertBatchAsync(StreamName(i),
+                                        std::vector<Point2>(pts))
+                      .ok());
+      ASSERT_TRUE(serial_group.InsertBatch(StreamName(i), pts).ok());
+    }
+    ExpectIdenticalSequences(parallel_group.Poll(), serial_group.Poll(),
+                             ("async tick " + std::to_string(tick)).c_str());
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace streamhull

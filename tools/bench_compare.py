@@ -8,7 +8,11 @@ against the cached last-main baseline and fails (exit 1) when:
     items_per_second when both runs report it, otherwise real_time
     (inverted: slower is worse), or
   * an allocs_per_point counter increases beyond a small absolute epsilon
-    (allocation regressions are deterministic, so no noise allowance).
+    (allocation regressions are deterministic, so no noise allowance), or
+  * a broad-phase precision counter (candidate_ratio, pairs_evaluated)
+    increases by more than --threshold: the fleet workloads are seeded, so
+    these move only when the index starts admitting pairs it used to prune
+    — a precision regression wall time can hide in noise.
 
 Byte-size counters (bytes/update, full_bytes/delta_bytes, ...) are
 deterministic protocol properties pinned by tests, so they are reported
@@ -35,6 +39,13 @@ ALLOC_EPSILON = 0.01  # Absolute allowance on allocs/point counters.
 # Informational counters printed when they move, never gated.
 TREND_COUNTERS = ("reject%", "simd_reject%", "scalar_reject%",
                   "cache_refreshes")
+
+# Broad-phase precision counters: gated on *increase* only (one-sided —
+# pruning getting better is progress, not noise). The relative allowance
+# absorbs the per-run iteration-count wobble in averaged counters; the
+# small absolute epsilon keeps near-zero ratios from tripping on rounding.
+PRECISION_COUNTERS = ("candidate_ratio", "pairs_evaluated")
+PRECISION_EPSILON = 1e-12
 
 
 def load_benchmarks(path):
@@ -94,6 +105,21 @@ def compare_file(name, baseline, current, threshold):
                     f"{base_val:.4f} -> {cur_val:.4f}")
                 print(f"  {bench}: {counter} {base_val:.4f} -> "
                       f"{cur_val:.4f} REGRESSION")
+
+        for counter in PRECISION_COUNTERS:
+            cur_val = cur.get(counter)
+            base_val = base.get(counter)
+            if cur_val is None or base_val is None:
+                continue
+            if cur_val > base_val * (1.0 + threshold) + PRECISION_EPSILON:
+                failures.append(
+                    f"{name}:{bench}: {counter} increased "
+                    f"{base_val:.4g} -> {cur_val:.4g}")
+                print(f"  {bench}: {counter} {base_val:.4g} -> "
+                      f"{cur_val:.4g} REGRESSION")
+            elif abs(cur_val - base_val) > PRECISION_EPSILON:
+                print(f"  {bench}: {counter} {base_val:.4g} -> "
+                      f"{cur_val:.4g} OK")
 
         for counter in TREND_COUNTERS:
             cur_val = cur.get(counter)
