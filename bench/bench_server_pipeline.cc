@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/failpoint.h"
 #include "server/delta_sender.h"
 #include "server/streamhulld.h"
 #include "server/transport.h"
@@ -187,6 +188,26 @@ void BM_SessionFrameRoundtrip(benchmark::State& state) {
       static_cast<double>(EncodeSessionFrame(data).size());
 }
 
+void BM_FailpointDisarmedCheck(benchmark::State& state) {
+  // The cost the fault-injection layer adds to every instrumented hot
+  // path when nothing is armed: one relaxed atomic load and a branch.
+  // Gated via the disarmed_checks_per_s counter (one-sided, decrease
+  // only) so an accidental slow path on the disarmed check — a lock, a
+  // map lookup — shows up as a bench regression, not just a hunch.
+  Failpoints::Instance().DisarmAll();
+  FailpointHit hit;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(
+          FailpointFires("bench.disarmed.site", &hit));
+    }
+  }
+  const double checks = static_cast<double>(state.iterations()) * 64.0;
+  state.SetItemsProcessed(static_cast<int64_t>(checks));
+  state.counters["disarmed_checks_per_s"] =
+      benchmark::Counter(checks, benchmark::Counter::kIsRate);
+}
+
 void BM_DeltaSenderNextFrame(benchmark::State& state) {
   AdaptiveHullOptions o;
   o.r = static_cast<uint32_t>(state.range(0));
@@ -217,5 +238,6 @@ BENCHMARK(BM_ServerPipeline)
     ->Args({64, 4});
 BENCHMARK(BM_SessionFrameRoundtrip)->Arg(16)->Arg(64);
 BENCHMARK(BM_DeltaSenderNextFrame)->Arg(16)->Arg(64);
+BENCHMARK(BM_FailpointDisarmedCheck);
 
 BENCHMARK_MAIN();

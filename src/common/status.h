@@ -21,6 +21,8 @@ enum class StatusCode {
   kFailedPrecondition = 3,
   kIOError = 4,
   kInternal = 5,
+  kResourceExhausted = 6,
+  kDataLoss = 7,
 };
 
 /// \brief Result of a fallible operation: a code plus a human-readable
@@ -47,6 +49,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   /// @}
 
@@ -75,6 +83,8 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kIOError: return "IOError";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kDataLoss: return "DataLoss";
     }
     return "Unknown";
   }

@@ -1,0 +1,204 @@
+#include "core/checked_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "runtime/failpoint.h"
+
+namespace streamhull {
+
+namespace {
+
+constexpr char kFooterMagic[4] = {'S', 'H', 'C', 'K'};
+
+// CRC32C lookup table (reflected polynomial 0x82F63B78), built once.
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status CloseAndFail(int fd, std::string msg) {
+  ::close(fd);
+  return Status::IOError(std::move(msg));
+}
+
+// Writes all of data to fd, retrying short writes and EINTR.
+Status WriteAll(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write(): ") +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t crc) {
+  const uint32_t* table = Crc32cTable();
+  crc = ~crc;
+  for (unsigned char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ c) & 0xFF];
+  }
+  return ~crc;
+}
+
+std::string AppendCheckedFooter(std::string payload) {
+  const uint32_t crc = Crc32c(payload);
+  const uint64_t length = payload.size();
+  payload.append(kFooterMagic, sizeof(kFooterMagic));
+  char scalar[8];
+  std::memcpy(scalar, &crc, 4);
+  payload.append(scalar, 4);
+  std::memcpy(scalar, &length, 8);
+  payload.append(scalar, 8);
+  return payload;
+}
+
+Status WriteFileAtomicChecked(const std::string& path,
+                              std::string_view payload) {
+  FailpointHit hit;
+  if (FailpointFires("snapshot.save.before_write", &hit)) {
+    return hit.ToStatus("snapshot.save.before_write");
+  }
+  const std::string framed = AppendCheckedFooter(std::string(payload));
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + tmp + "): " + std::strerror(errno));
+  }
+  if (FailpointFires("snapshot.save.partial_write", &hit)) {
+    // The torn-write fault: some prefix of the frame reaches the disk,
+    // then the writer dies. The tmp file is deliberately left behind —
+    // recovery must ignore it, and the next save overwrites it.
+    const size_t torn = static_cast<size_t>(hit.arg) < framed.size()
+                            ? static_cast<size_t>(hit.arg)
+                            : framed.size();
+    (void)WriteAll(fd, std::string_view(framed).substr(0, torn));
+    return CloseAndFail(
+        fd, "injected torn write at failpoint 'snapshot.save.partial_write'");
+  }
+  if (Status st = WriteAll(fd, framed); !st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (FailpointFires("snapshot.save.fsync", &hit)) {
+    return CloseAndFail(fd,
+                        "injected failure at failpoint 'snapshot.save.fsync'");
+  }
+  if (::fsync(fd) != 0) {
+    return CloseAndFail(fd,
+                        "fsync(" + tmp + "): " + std::strerror(errno));
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError("close(" + tmp + "): " + std::strerror(errno));
+  }
+  if (FailpointFires("snapshot.save.before_rename", &hit)) {
+    return hit.ToStatus("snapshot.save.before_rename");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename(" + tmp + " -> " + path +
+                           "): " + std::strerror(errno));
+  }
+  // Make the rename itself durable: fsync the containing directory. The
+  // file content was already fsync'd, so a crash after this point cannot
+  // lose or tear anything.
+  const std::string dir = DirOf(path);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) {
+    return Status::IOError("open(" + dir + "): " + std::strerror(errno));
+  }
+  if (FailpointFires("snapshot.save.dir_fsync", &hit)) {
+    return CloseAndFail(
+        dir_fd, "injected failure at failpoint 'snapshot.save.dir_fsync'");
+  }
+  if (::fsync(dir_fd) != 0) {
+    return CloseAndFail(dir_fd,
+                        "fsync(" + dir + "): " + std::strerror(errno));
+  }
+  ::close(dir_fd);
+  return Status::OK();
+}
+
+Status ReadFileChecked(const std::string& path, std::string* payload) {
+  FailpointHit hit;
+  if (FailpointFires("snapshot.load.read", &hit)) {
+    return hit.ToStatus("snapshot.load.read");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  std::string bytes;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return CloseAndFail(fd,
+                          "read(" + path + "): " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (bytes.size() < kCheckedFileFooterSize) {
+    return Status::DataLoss(path + ": " + std::to_string(bytes.size()) +
+                            " bytes is too short to hold a checked footer");
+  }
+  const char* footer =
+      bytes.data() + bytes.size() - kCheckedFileFooterSize;
+  if (std::memcmp(footer, kFooterMagic, sizeof(kFooterMagic)) != 0) {
+    return Status::DataLoss(path + ": checked-file footer magic missing");
+  }
+  uint32_t crc = 0;
+  uint64_t length = 0;
+  std::memcpy(&crc, footer + 4, 4);
+  std::memcpy(&length, footer + 8, 8);
+  const uint64_t actual = bytes.size() - kCheckedFileFooterSize;
+  if (length != actual) {
+    return Status::DataLoss(path + ": footer says " + std::to_string(length) +
+                            " payload bytes, file holds " +
+                            std::to_string(actual) + " (truncated?)");
+  }
+  const std::string_view body(bytes.data(), actual);
+  const uint32_t computed = Crc32c(body);
+  if (computed != crc) {
+    return Status::DataLoss(path + ": CRC32C mismatch (stored " +
+                            std::to_string(crc) + ", computed " +
+                            std::to_string(computed) + ")");
+  }
+  bytes.resize(actual);
+  *payload = std::move(bytes);
+  return Status::OK();
+}
+
+}  // namespace streamhull

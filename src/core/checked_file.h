@@ -1,0 +1,85 @@
+// streamhull: crash-safe checksummed file I/O.
+//
+// The durability of a streaming summary IS the durability of the data —
+// the stream itself is gone the moment a producer dies — so snapshot
+// persistence must survive the classic single-node failure menagerie:
+// a crash between write and rename, a torn write at any offset, a bit
+// rot on disk. This layer provides the two primitives streamhulld's
+// persistence (and any future on-disk frame) builds on:
+//
+//   * WriteFileAtomicChecked: payload + CRC32C footer is written to
+//     <path>.tmp, fsync'd, atomically renamed over <path>, and the
+//     directory entry fsync'd. A crash at ANY point leaves <path> either
+//     absent or holding the previous complete payload — never a torn
+//     mixture. The snapshot.save.* failpoints (see below) let tests
+//     exercise every crash point deterministically.
+//
+//   * ReadFileChecked: reads a file written by WriteFileAtomicChecked,
+//     verifies the footer, and returns the payload with the footer
+//     stripped. Truncation, corruption, or a missing/mismatched footer
+//     all surface as StatusCode::kDataLoss — the caller's cue to
+//     quarantine, never to trust the bytes.
+//
+// Footer format (16 bytes, little-endian, appended after the payload):
+//
+//   offset  size  field
+//   0       4     magic "SHCK"
+//   4       4     CRC32C (Castagnoli) of the payload bytes
+//   8       8     payload length in bytes
+//
+// The length field distinguishes truncation from corruption and guards
+// against a footer that is itself a payload suffix; the CRC catches
+// everything else (bit flips, swapped sectors) with 2^-32 escape odds.
+//
+// Failpoint sites (runtime/failpoint.h), in execution order:
+//
+//   snapshot.save.before_write    fail before the tmp file is created
+//   snapshot.save.partial_write   write only `arg` bytes of the framed
+//                                 payload into the tmp file, then fail
+//                                 (short(N) action; leaves a torn tmp)
+//   snapshot.save.fsync           the tmp-file fsync fails
+//   snapshot.save.before_rename   fail after fsync, before rename
+//   snapshot.save.dir_fsync       the directory fsync fails
+//   snapshot.load.read            ReadFileChecked fails up front
+
+#ifndef STREAMHULL_CORE_CHECKED_FILE_H_
+#define STREAMHULL_CORE_CHECKED_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace streamhull {
+
+/// \brief CRC32C (Castagnoli polynomial, as in iSCSI/ext4) of \p data,
+/// continuing from \p crc (pass 0 to start; chain calls to checksum
+/// scattered buffers).
+uint32_t Crc32c(std::string_view data, uint32_t crc = 0);
+
+/// Bytes the checked-file footer appends after the payload.
+inline constexpr size_t kCheckedFileFooterSize = 16;
+
+/// \brief Frames \p payload with the checked-file footer (exposed so
+/// tests can build legacy/corrupt fixtures byte-by-byte).
+std::string AppendCheckedFooter(std::string payload);
+
+/// \brief Atomically replaces \p path with \p payload + footer via
+/// write-tmp / fsync / rename / fsync-dir. On any failure \p path is
+/// untouched (still absent, or still the previous complete payload); a
+/// stale \p path.tmp may remain and is overwritten by the next attempt.
+/// IOError on filesystem failure (injected ones included).
+Status WriteFileAtomicChecked(const std::string& path,
+                              std::string_view payload);
+
+/// \brief Reads \p path and verifies its footer. On success \p *payload
+/// holds the payload bytes (footer stripped). IOError when the file
+/// cannot be read at all; DataLoss when it can but the footer is
+/// missing, the length disagrees (truncation), or the CRC does not match
+/// (corruption) — quarantine material either way.
+Status ReadFileChecked(const std::string& path, std::string* payload);
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_CORE_CHECKED_FILE_H_

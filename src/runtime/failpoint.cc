@@ -1,0 +1,304 @@
+#include "runtime/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace streamhull {
+
+namespace {
+
+// Registry state for one failpoint. Entries persist after auto-disarm so
+// tests can still read evaluation/fire counts.
+struct Entry {
+  bool armed = false;
+  uint64_t max_fires = 0;   // 0 = unlimited.
+  uint64_t every = 1;       // Fire on every Nth evaluation.
+  FailpointHit hit;
+  uint64_t evaluations = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Entry, std::less<>> entries;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // Leaked: sites may fire at exit.
+  return *r;
+}
+
+Status ParseCode(std::string_view token, StatusCode* out) {
+  if (token == "io") *out = StatusCode::kIOError;
+  else if (token == "invalid") *out = StatusCode::kInvalidArgument;
+  else if (token == "oor") *out = StatusCode::kOutOfRange;
+  else if (token == "precondition") *out = StatusCode::kFailedPrecondition;
+  else if (token == "internal") *out = StatusCode::kInternal;
+  else if (token == "resource") *out = StatusCode::kResourceExhausted;
+  else if (token == "data") *out = StatusCode::kDataLoss;
+  else {
+    return Status::InvalidArgument("unknown failpoint error code '" +
+                                   std::string(token) + "'");
+  }
+  return Status::OK();
+}
+
+// Parses "name(N)"-style tokens; \p inner receives the text between the
+// parentheses. False when token is not of the form prefix '(' ... ')'.
+bool ParseCall(std::string_view token, std::string_view prefix,
+               std::string_view* inner) {
+  if (token.size() < prefix.size() + 2 ||
+      token.substr(0, prefix.size()) != prefix ||
+      token[prefix.size()] != '(' || token.back() != ')') {
+    return false;
+  }
+  *inner = token.substr(prefix.size() + 1,
+                        token.size() - prefix.size() - 2);
+  return true;
+}
+
+Status ParseUint(std::string_view token, uint64_t* out) {
+  if (token.empty()) return Status::InvalidArgument("empty number");
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad number '" + std::string(token) +
+                                     "' in failpoint spec");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return Status::OK();
+}
+
+// Parses one activation spec (see failpoint.h for the grammar) into an
+// armed Entry. "off" parses into an unarmed one.
+Status ParseSpec(const std::string& spec, Entry* out) {
+  Entry entry;
+  if (spec == "off") {
+    *out = entry;
+    return Status::OK();
+  }
+  bool have_count = false, have_every = false, have_action = false;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t star = spec.find('*', pos);
+    if (star == std::string::npos) star = spec.size();
+    const std::string_view token(spec.data() + pos, star - pos);
+    pos = star + 1;
+    if (token.empty()) {
+      return Status::InvalidArgument("empty term in failpoint spec '" +
+                                     spec + "'");
+    }
+    std::string_view inner;
+    if (token[0] >= '0' && token[0] <= '9') {
+      if (have_count) {
+        return Status::InvalidArgument("duplicate count in '" + spec + "'");
+      }
+      STREAMHULL_RETURN_IF_ERROR(ParseUint(token, &entry.max_fires));
+      if (entry.max_fires == 0) {
+        return Status::InvalidArgument("count must be >= 1 in '" + spec +
+                                       "' (use 'off' to disarm)");
+      }
+      have_count = true;
+    } else if (ParseCall(token, "every", &inner)) {
+      if (have_every) {
+        return Status::InvalidArgument("duplicate every() in '" + spec + "'");
+      }
+      STREAMHULL_RETURN_IF_ERROR(ParseUint(inner, &entry.every));
+      if (entry.every == 0) {
+        return Status::InvalidArgument("every(0) is meaningless in '" +
+                                       spec + "'");
+      }
+      have_every = true;
+    } else if (have_action) {
+      return Status::InvalidArgument("duplicate action in '" + spec + "'");
+    } else if (ParseCall(token, "error", &inner)) {
+      entry.hit.action = FailpointAction::kError;
+      STREAMHULL_RETURN_IF_ERROR(ParseCode(inner, &entry.hit.code));
+      have_action = true;
+    } else if (ParseCall(token, "short", &inner)) {
+      entry.hit.action = FailpointAction::kShortWrite;
+      uint64_t arg = 0;
+      STREAMHULL_RETURN_IF_ERROR(ParseUint(inner, &arg));
+      entry.hit.arg = static_cast<int64_t>(arg);
+      have_action = true;
+    } else if (token == "eintr") {
+      entry.hit.action = FailpointAction::kEintr;
+      have_action = true;
+    } else if (token == "trigger") {
+      entry.hit.action = FailpointAction::kTrigger;
+      have_action = true;
+    } else if (ParseCall(token, "trigger", &inner)) {
+      entry.hit.action = FailpointAction::kTrigger;
+      uint64_t arg = 0;
+      STREAMHULL_RETURN_IF_ERROR(ParseUint(inner, &arg));
+      entry.hit.arg = static_cast<int64_t>(arg);
+      have_action = true;
+    } else {
+      return Status::InvalidArgument("unknown term '" + std::string(token) +
+                                     "' in failpoint spec '" + spec + "'");
+    }
+    if (pos > spec.size()) break;
+  }
+  if (!have_action) {
+    return Status::InvalidArgument("failpoint spec '" + spec +
+                                   "' has no action");
+  }
+  entry.armed = true;
+  *out = entry;
+  return Status::OK();
+}
+
+// Forces the STREAMHULL_FAILPOINTS parse before main() runs, so env-armed
+// failpoints fire in any binary without code changes.
+const bool g_env_parsed = [] {
+  const Status st = Failpoints::Instance().ArmFromEnv();
+  if (!st.ok()) {
+    std::fprintf(stderr, "streamhull: ignoring STREAMHULL_FAILPOINTS: %s\n",
+                 st.ToString().c_str());
+  }
+  return true;
+}();
+
+}  // namespace
+
+Status FailpointHit::ToStatus(std::string_view site) const {
+  const std::string msg =
+      "injected failure at failpoint '" + std::string(site) + "'";
+  switch (code) {
+    case StatusCode::kInvalidArgument: return Status::InvalidArgument(msg);
+    case StatusCode::kOutOfRange: return Status::OutOfRange(msg);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(msg);
+    case StatusCode::kInternal: return Status::Internal(msg);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(msg);
+    case StatusCode::kDataLoss: return Status::DataLoss(msg);
+    case StatusCode::kIOError:
+    case StatusCode::kOk: break;
+  }
+  return Status::IOError(msg);
+}
+
+namespace failpoint_detail {
+
+bool EvalSlow(std::string_view name, FailpointHit* hit) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.entries.find(name);
+  if (it == reg.entries.end() || !it->second.armed) return false;
+  Entry& entry = it->second;
+  ++entry.evaluations;
+  if (entry.evaluations % entry.every != 0) return false;
+  *hit = entry.hit;
+  ++entry.fires;
+  if (entry.max_fires > 0 && entry.fires >= entry.max_fires) {
+    entry.armed = false;
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace failpoint_detail
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+Status Failpoints::Arm(const std::string& name, const std::string& spec) {
+  if (name.empty()) {
+    return Status::InvalidArgument("empty failpoint name");
+  }
+  Entry parsed;
+  STREAMHULL_RETURN_IF_ERROR(ParseSpec(spec, &parsed));
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Entry& entry = reg.entries[name];
+  const bool was_armed = entry.armed;
+  entry = parsed;
+  if (entry.armed && !was_armed) {
+    failpoint_detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+  } else if (!entry.armed && was_armed) {
+    failpoint_detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.entries.find(name);
+  if (it == reg.entries.end() || !it->second.armed) return;
+  it->second.armed = false;
+  failpoint_detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Failpoints::DisarmAll() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, entry] : reg.entries) {
+    if (entry.armed) {
+      entry.armed = false;
+      failpoint_detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Status Failpoints::ArmList(const std::string& list) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t semi = list.find(';', pos);
+    if (semi == std::string::npos) semi = list.size();
+    const std::string item = list.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (item.empty()) {
+      if (pos > list.size()) break;
+      continue;
+    }
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint list entry '" + item +
+                                     "' has no '='");
+    }
+    STREAMHULL_RETURN_IF_ERROR(
+        Arm(item.substr(0, eq), item.substr(eq + 1)));
+    if (pos > list.size()) break;
+  }
+  return Status::OK();
+}
+
+Status Failpoints::ArmFromEnv() {
+  const char* env = std::getenv("STREAMHULL_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  return ArmList(env);
+}
+
+std::vector<std::string> Failpoints::ArmedNames() const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : reg.entries) {
+    if (entry.armed) names.push_back(name);
+  }
+  return names;
+}
+
+uint64_t Failpoints::evaluations(const std::string& name) const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.entries.find(name);
+  return it == reg.entries.end() ? 0 : it->second.evaluations;
+}
+
+uint64_t Failpoints::fires(const std::string& name) const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.entries.find(name);
+  return it == reg.entries.end() ? 0 : it->second.fires;
+}
+
+}  // namespace streamhull

@@ -1,0 +1,138 @@
+// streamhull: deterministic fault injection (failpoints).
+//
+// A failpoint is a named site in production code where a test, a soak run,
+// or an operator can inject a failure the surrounding code must already
+// survive: an IOError from a transport, a torn write in the snapshot
+// saver, a chain break in a delta sender. Sites are compiled in
+// permanently — the disarmed cost is a single relaxed atomic load — and
+// armed at runtime, either programmatically:
+//
+//   Failpoints::Instance().Arm("snapshot.save.before_rename", "1*error(io)");
+//
+// or from the environment (parsed once at process start):
+//
+//   STREAMHULL_FAILPOINTS=
+//     "transport.send.ioerror=every(7)*error(io);snapshot.save.fsync=2*error(io)"
+//
+// Activation spec grammar (terms joined by '*', at most one of each kind):
+//
+//   spec    := "off" | [count '*'] [every '*'] action
+//   count   := integer N          fire at most N times, then auto-disarm
+//                                 (N = 1 is the one-shot form)
+//   every   := "every(" N ")"     fire on every Nth evaluation only
+//                                 (the Nth, 2Nth, ... since arming)
+//   action  := "error(" code ")"  site returns a Status of that code
+//              "short(" N ")"     site performs a short write of N bytes
+//              "eintr"            site behaves as an EINTR'd syscall
+//              "trigger" | "trigger(" N ")"   site-defined behavior
+//   code    := "io" | "invalid" | "oor" | "precondition" | "internal"
+//              | "resource" | "data"
+//
+// Examples: "error(io)" (every evaluation), "1*error(io)" (one-shot),
+// "3*short(20)", "every(5)*eintr", "2*every(3)*error(precondition)".
+//
+// Naming scheme: dot-separated <subsystem>.<operation>.<event>, e.g.
+// snapshot.save.before_rename, transport.send.ioerror,
+// delta_sender.baseline_loss. The full site list lives in DESIGN.md
+// ("Crash safety & fault injection").
+//
+// Threading: Arm/Disarm/Eval are all thread-safe. The disarmed fast path
+// is wait-free; an armed evaluation takes a mutex (fault injection is not
+// a hot path once it fires).
+
+#ifndef STREAMHULL_RUNTIME_FAILPOINT_H_
+#define STREAMHULL_RUNTIME_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace streamhull {
+
+/// \brief What an armed failpoint asks its site to do.
+enum class FailpointAction : uint8_t {
+  kError,       ///< Fail with the Status code in FailpointHit::code.
+  kShortWrite,  ///< Write only FailpointHit::arg bytes, then fail the call.
+  kEintr,       ///< Behave as one EINTR-interrupted syscall (site retries).
+  kTrigger,     ///< Site-defined behavior, parameterized by arg.
+};
+
+/// \brief One firing of an armed failpoint, interpreted by the site.
+struct FailpointHit {
+  FailpointAction action = FailpointAction::kError;
+  StatusCode code = StatusCode::kIOError;
+  int64_t arg = 0;
+
+  /// Builds the injected Status for kError hits (sites embed \p site in
+  /// the message so injected failures are recognizable in logs/tests).
+  Status ToStatus(std::string_view site) const;
+};
+
+namespace failpoint_detail {
+/// Count of currently armed failpoints; the disarmed fast path is one
+/// relaxed load of this.
+inline std::atomic<int> g_armed{0};
+bool EvalSlow(std::string_view name, FailpointHit* hit);
+}  // namespace failpoint_detail
+
+/// \brief The site-side check. Returns true — with \p *hit describing the
+/// injected behavior — when the named failpoint is armed and its
+/// count/every-Nth gates elect this evaluation. When nothing at all is
+/// armed this is a single relaxed atomic load and a branch.
+inline bool FailpointFires(std::string_view name, FailpointHit* hit) {
+  if (failpoint_detail::g_armed.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  return failpoint_detail::EvalSlow(name, hit);
+}
+
+/// \brief The process-wide failpoint registry.
+class Failpoints {
+ public:
+  /// The singleton. First access parses STREAMHULL_FAILPOINTS (a static
+  /// initializer in failpoint.cc forces that parse at process start, so
+  /// env-armed failpoints are active before main()).
+  static Failpoints& Instance();
+
+  /// \brief Arms \p name with an activation \p spec (grammar above;
+  /// "off" disarms). Re-arming an armed failpoint replaces its spec and
+  /// resets its evaluation/fire counts. InvalidArgument on a malformed
+  /// spec, in which case the failpoint's previous state is untouched.
+  Status Arm(const std::string& name, const std::string& spec);
+
+  /// Disarms \p name. Unknown or already-disarmed names are a no-op.
+  void Disarm(const std::string& name);
+
+  /// Disarms everything (test teardown; also the soak's pre-differential
+  /// cleanup).
+  void DisarmAll();
+
+  /// \brief Arms every entry of a "name=spec;name=spec" list (the
+  /// STREAMHULL_FAILPOINTS format; empty entries are skipped). Stops at
+  /// the first malformed entry, leaving earlier ones armed.
+  Status ArmList(const std::string& list);
+
+  /// Parses and arms the STREAMHULL_FAILPOINTS environment variable.
+  /// OK when the variable is unset.
+  Status ArmFromEnv();
+
+  /// Names currently armed, sorted (metrics/log surfaces).
+  std::vector<std::string> ArmedNames() const;
+
+  /// Evaluations of \p name since it was last armed (0 if never armed).
+  uint64_t evaluations(const std::string& name) const;
+
+  /// Fires of \p name since it was last armed (0 if never armed).
+  uint64_t fires(const std::string& name) const;
+
+ private:
+  Failpoints() = default;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_RUNTIME_FAILPOINT_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "runtime/failpoint.h"
 
 namespace streamhull {
 
@@ -27,6 +28,15 @@ Status DeltaSender::NextFrame(Frame* out) {
   // A caller-forced full frame is a resync only once a chain exists to
   // break; first-contact fulls are just first contact.
   bool is_resync = resync_needed_ || (force_full_ && sent_anything_);
+  // Failpoint: a simulated baseline loss (the producer-side analogue of a
+  // corrupted chain) — the delta path is skipped and the frame is a full
+  // resync, exactly as when the engine refuses the base generation.
+  FailpointHit fp;
+  if (sent_anything_ && !force_full_ && !resync_needed_ &&
+      FailpointFires("delta_sender.baseline_loss", &fp)) {
+    is_resync = true;
+    force_full_ = true;
+  }
   if (!force_full_ && !resync_needed_ && sent_anything_) {
     // The happy path: chain a delta onto the last produced frame. The
     // engine itself arbitrates — if its wire baseline no longer matches

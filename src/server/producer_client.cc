@@ -1,0 +1,187 @@
+#include "server/producer_client.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace streamhull {
+
+namespace {
+
+// splitmix64: a full-period mixer — the standard way to turn (seed,
+// attempt) into decorrelated jitter without carrying RNG state.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t BackoffDelayMs(const BackoffPolicy& policy, uint64_t attempt) {
+  double base = static_cast<double>(policy.initial_delay_ms);
+  const double cap = static_cast<double>(policy.max_delay_ms);
+  for (uint64_t k = 0; k < attempt && base < cap; ++k) {
+    base *= policy.multiplier;
+  }
+  if (base > cap) base = cap;
+  // Jitter shortens, never lengthens: the cap stays a true worst case.
+  const double frac =
+      static_cast<double>(Mix64(policy.seed ^ (attempt + 1)) >> 11) *
+      0x1.0p-53;
+  const double jitter = policy.jitter < 0   ? 0.0
+                        : policy.jitter > 1 ? 1.0
+                                            : policy.jitter;
+  return static_cast<uint64_t>(base * (1.0 - jitter * frac));
+}
+
+ProducerClient::ProducerClient(HullEngine* engine, TransportFactory factory,
+                               ProducerClientOptions options)
+    : factory_(std::move(factory)),
+      options_(std::move(options)),
+      sender_(engine, options_.sender) {
+  SH_CHECK(factory_ != nullptr);
+}
+
+Status ProducerClient::TryConnect(uint64_t now_ms) {
+  std::unique_ptr<Transport> transport;
+  if (Status st = factory_(&transport); !st.ok() || transport == nullptr) {
+    ++stats_.connect_failures;
+    next_reconnect_at_ms_ = now_ms + BackoffDelayMs(options_.backoff,
+                                                    attempt_);
+    ++attempt_;
+    return st.ok() ? Status::IOError("transport factory returned null") : st;
+  }
+  transport_ = std::move(transport);
+  replies_ = FrameDecoder();
+  helloed_ = false;
+  opened_ = false;
+  ++stats_.connects;
+  if (ever_connected_) ++stats_.reconnects;
+  ever_connected_ = true;
+  SessionMessage hello;
+  hello.type = SessionMessageType::kHello;
+  hello.version = kServerProtocolVersion;
+  hello.token = options_.token;
+  // A failed HELLO send is not handled here: the server may have shed
+  // this connection with an ERROR frame already queued for us, and the
+  // next Pump must read that verdict (or the bare disconnect) before the
+  // transport goes away.
+  (void)transport_->Send(EncodeSessionFrame(hello));
+  return Status::OK();
+}
+
+void ProducerClient::HandleDisconnect(uint64_t now_ms) {
+  if (transport_ != nullptr) transport_->Close();
+  transport_.reset();
+  helloed_ = false;
+  opened_ = false;
+  next_reconnect_at_ms_ = now_ms + BackoffDelayMs(options_.backoff, attempt_);
+  ++attempt_;
+}
+
+void ProducerClient::Disconnect(uint64_t now_ms) { HandleDisconnect(now_ms); }
+
+bool ProducerClient::HandleReply(const SessionMessage& msg) {
+  switch (msg.type) {
+    case SessionMessageType::kHelloOk: {
+      helloed_ = true;
+      SessionMessage open;
+      open.type = SessionMessageType::kOpen;
+      open.stream = options_.stream;
+      if (!transport_->Send(EncodeSessionFrame(open)).ok()) return false;
+      break;
+    }
+    case SessionMessageType::kOpenOk:
+      opened_ = true;
+      attempt_ = 0;  // A full handshake resets the backoff schedule.
+      // The server tells us where its view stands. If that is not where
+      // our chain stands (it restored an older snapshot, or we are
+      // fresh), open with a full frame instead of a doomed delta.
+      if (msg.generation != sender_.last_sent_generation()) {
+        sender_.ForceResync();
+      }
+      break;
+    case SessionMessageType::kAck:
+      ++stats_.acks;
+      sender_.OnAck(msg.generation);
+      break;
+    case SessionMessageType::kNak:
+      ++stats_.naks;
+      sender_.OnNak();
+      break;
+    case SessionMessageType::kError:
+      // Shedding is the server protecting itself, not us misbehaving:
+      // counted apart, and retried on the same backoff schedule.
+      if (static_cast<StatusCode>(msg.code) ==
+          StatusCode::kResourceExhausted) {
+        ++stats_.shed;
+      } else {
+        ++stats_.server_errors;
+      }
+      return false;
+    case SessionMessageType::kBye:
+      return false;
+    default:
+      break;  // QUERY_RESULT etc.: not ours, ignore.
+  }
+  return true;
+}
+
+Status ProducerClient::Pump(uint64_t now_ms) {
+  if (transport_ == nullptr) {
+    if (!options_.auto_reconnect || now_ms < next_reconnect_at_ms_) {
+      return Status::OK();
+    }
+    return TryConnect(now_ms);
+  }
+  std::string bytes;
+  const Status recv_status = transport_->Recv(&bytes);
+  if (!bytes.empty()) replies_.Feed(bytes);
+  for (;;) {
+    std::string frame;
+    bool got = false;
+    if (Status st = replies_.Next(&frame, &got); !st.ok()) {
+      HandleDisconnect(now_ms);
+      return st;
+    }
+    if (!got) break;
+    SessionMessage msg;
+    if (Status st = DecodeSessionMessage(frame, &msg); !st.ok()) {
+      HandleDisconnect(now_ms);
+      return st;
+    }
+    if (!HandleReply(msg)) {
+      HandleDisconnect(now_ms);
+      return Status::OK();
+    }
+  }
+  if (!recv_status.ok()) HandleDisconnect(now_ms);  // Peer is gone.
+  return Status::OK();
+}
+
+Status ProducerClient::SendUpdate(uint64_t now_ms) {
+  if (!ReadyToSend()) {
+    return Status::FailedPrecondition(
+        transport_ == nullptr ? "not connected"
+        : !opened_            ? "stream not open yet"
+                              : "sender window full");
+  }
+  DeltaSender::Frame frame;
+  STREAMHULL_RETURN_IF_ERROR(sender_.NextFrame(&frame));
+  SessionMessage data;
+  data.type = SessionMessageType::kData;
+  data.stream = options_.stream;
+  data.payload = std::move(frame.bytes);
+  if (Status st = transport_->Send(EncodeSessionFrame(data)); !st.ok()) {
+    ++stats_.send_failures;
+    HandleDisconnect(now_ms);
+    return st;
+  }
+  ++stats_.frames_sent;
+  return Status::OK();
+}
+
+}  // namespace streamhull

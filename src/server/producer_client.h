@@ -1,0 +1,161 @@
+// streamhull: the producer's session client, with graceful degradation.
+//
+// DeltaSender (server/delta_sender.h) is the frame state machine; this is
+// the *session* state machine wrapped around it — the part every producer
+// deployment otherwise rewrites by hand (and the soak harness used to):
+//
+//   * dial the server through a caller-supplied TransportFactory, speak
+//     HELLO/OPEN, and read the held generation out of OPEN_OK — resuming
+//     the delta chain when it matches, forcing a full resync when the
+//     server restored an older view;
+//   * route ACK/NAK/ERROR replies into the sender (and into counters);
+//   * on any transport failure or server error, drop the connection and
+//     redial with exponential backoff plus deterministic jitter, so a
+//     thousand producers bounced by one server restart do not stampede
+//     back in lockstep;
+//   * treat a ResourceExhausted ERROR (the server shedding load) as its
+//     own case: counted separately, retried on the same backoff schedule.
+//
+// The client does no clocks and no sleeping: every method that involves
+// time takes `now_ms` from the caller. A test (or the soak) drives it with
+// a logical clock and the whole reconnect schedule is reproducible; the
+// daemon feeds it a monotonic clock. Single-threaded by design — one
+// producer loop owns one client.
+
+#ifndef STREAMHULL_SERVER_PRODUCER_CLIENT_H_
+#define STREAMHULL_SERVER_PRODUCER_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/hull_engine.h"
+#include "server/delta_sender.h"
+#include "server/transport.h"
+#include "server/wire.h"
+
+namespace streamhull {
+
+/// \brief Reconnect schedule: exponential backoff with deterministic
+/// jitter. Attempt k (0-based) waits
+///   base = min(max_delay_ms, initial_delay_ms * multiplier^k)
+/// scaled down by up to `jitter` via a hash of (seed, k) — deterministic
+/// for a given seed, decorrelated across producers with distinct seeds.
+struct BackoffPolicy {
+  uint64_t initial_delay_ms = 100;
+  uint64_t max_delay_ms = 10000;
+  double multiplier = 2.0;
+  /// Fraction of the base delay the jitter may remove, in [0, 1].
+  double jitter = 0.25;
+  /// Jitter seed; give each producer its own (e.g. its id).
+  uint64_t seed = 0;
+};
+
+/// The delay before reconnect attempt \p attempt (0-based) under \p policy.
+uint64_t BackoffDelayMs(const BackoffPolicy& policy, uint64_t attempt);
+
+/// \brief Dials one new connection to the server. Called on every
+/// (re)connect attempt, so it must construct a fresh transport each time —
+/// e.g. UnixSocketTransport::Connect, or a PipeTransport pair whose far
+/// end is handed to a StreamHullServer under test.
+using TransportFactory = std::function<Status(std::unique_ptr<Transport>*)>;
+
+/// \brief Configuration of a ProducerClient.
+struct ProducerClientOptions {
+  std::string token;    ///< Tenant auth token for HELLO.
+  std::string stream;   ///< Stream name for OPEN.
+  DeltaSenderOptions sender;  ///< In-flight window of the wrapped sender.
+  BackoffPolicy backoff;
+  /// When false the client never redials on its own; the caller decides
+  /// when (Pump still reports the disconnection via connected()).
+  bool auto_reconnect = true;
+};
+
+/// \brief Session accounting of one producer client.
+struct ProducerClientStats {
+  uint64_t connects = 0;          ///< Successful dials (HELLO sent).
+  uint64_t connect_failures = 0;  ///< TransportFactory failures.
+  uint64_t reconnects = 0;        ///< Successful dials after the first.
+  uint64_t acks = 0;
+  uint64_t naks = 0;
+  /// ERROR frames that were not shedding (protocol or payload errors).
+  uint64_t server_errors = 0;
+  /// ResourceExhausted ERROR frames: the server shed us; retry later.
+  uint64_t shed = 0;
+  uint64_t frames_sent = 0;     ///< DATA frames handed to the transport.
+  uint64_t send_failures = 0;   ///< DATA sends the transport refused.
+};
+
+/// \brief One producer's resilient uplink: engine -> DeltaSender -> wire
+/// protocol -> transport, with automatic redial. Drive it from a single
+/// loop: Pump(now) every iteration, SendUpdate(now) whenever there are new
+/// points worth shipping.
+class ProducerClient {
+ public:
+  /// \param engine borrowed; must outlive the client and must not be
+  ///        encoded through any other path (same contract as DeltaSender).
+  ProducerClient(HullEngine* engine, TransportFactory factory,
+                 ProducerClientOptions options);
+
+  /// \brief Advances the session: redials when disconnected and the
+  /// backoff has elapsed, drains every reply frame, and feeds the sender.
+  /// Always safe to call; returns OK unless a reply was unparseable (the
+  /// connection is dropped and redialed either way).
+  Status Pump(uint64_t now_ms);
+
+  /// \brief Produces and ships one frame when the session is open and the
+  /// sender's window has room. FailedPrecondition when not ReadyToSend()
+  /// (not an error worth logging — just try again after the next Pump);
+  /// IOError when the transport refused the frame (the client disconnects
+  /// and schedules a redial; the un-acked frame heals via NAK/resync).
+  Status SendUpdate(uint64_t now_ms);
+
+  /// A transport exists and has not failed.
+  bool connected() const { return transport_ != nullptr; }
+  /// OPEN_OK received on the current connection: DATA may flow.
+  bool opened() const { return opened_; }
+  /// connected, opened, and the sender window has room.
+  bool ReadyToSend() const {
+    return transport_ != nullptr && opened_ && sender_.Ready();
+  }
+
+  /// See DeltaSender::ForceResync.
+  void ForceResync() { sender_.ForceResync(); }
+  /// See DeltaSender::Resume — the restored-from-checkpoint path.
+  void Resume(uint64_t generation) { sender_.Resume(generation); }
+
+  /// \brief Drops the connection deliberately (test support / shutdown).
+  /// With auto_reconnect, the next Pump at/after now_ms + backoff redials.
+  void Disconnect(uint64_t now_ms);
+
+  /// When the next redial may happen (meaningful while disconnected).
+  uint64_t next_reconnect_at_ms() const { return next_reconnect_at_ms_; }
+
+  const ProducerClientStats& stats() const { return stats_; }
+  const DeltaSender& sender() const { return sender_; }
+
+ private:
+  void HandleDisconnect(uint64_t now_ms);
+  Status TryConnect(uint64_t now_ms);
+  /// Applies one decoded reply. Returns false when the connection must
+  /// drop (server error / shed).
+  bool HandleReply(const SessionMessage& msg);
+
+  TransportFactory factory_;
+  ProducerClientOptions options_;
+  DeltaSender sender_;
+  std::unique_ptr<Transport> transport_;
+  FrameDecoder replies_;
+  bool helloed_ = false;
+  bool opened_ = false;
+  bool ever_connected_ = false;
+  uint64_t attempt_ = 0;  // Consecutive failed/aborted connections.
+  uint64_t next_reconnect_at_ms_ = 0;
+  ProducerClientStats stats_;
+};
+
+}  // namespace streamhull
+
+#endif  // STREAMHULL_SERVER_PRODUCER_CLIENT_H_

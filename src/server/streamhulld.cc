@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/checked_file.h"
 #include "core/snapshot.h"
 #include "queries/certified.h"
 
@@ -35,6 +36,8 @@ struct StreamHullServer::Tenant {
   std::atomic<uint64_t> resyncs{0};
   std::atomic<uint64_t> rejected_frames{0};
   std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> quarantined_snapshots{0};
+  std::atomic<uint64_t> shed_streams{0};
 };
 
 // One attached connection. State and tenant binding are touched only by
@@ -95,6 +98,20 @@ Status StreamHullServer::AddTenant(const std::string& name,
   return Status::OK();
 }
 
+namespace {
+
+// Moves a corrupt snapshot aside as <file>.corrupt so the next boot does
+// not trip over it again and an operator can post-mortem the bytes. Best
+// effort: if even the rename fails, fall back to removing the file, and
+// if that fails too the file is merely skipped this boot.
+void QuarantineSnapshot(const fs::path& file) {
+  std::error_code ec;
+  fs::rename(file, fs::path(file.string() + ".corrupt"), ec);
+  if (ec) fs::remove(file, ec);
+}
+
+}  // namespace
+
 Status StreamHullServer::LoadTenantSnapshots(Tenant* tenant) {
   if (options_.snapshot_dir.empty()) return Status::OK();
   const fs::path dir = fs::path(options_.snapshot_dir) / tenant->name;
@@ -109,20 +126,48 @@ Status StreamHullServer::LoadTenantSnapshots(Tenant* tenant) {
     std::error_code entry_ec;
     if (!entry.is_regular_file(entry_ec) || entry_ec ||
         entry.path().extension() != ".shl2") {
-      continue;
+      continue;  // Quarantined (.corrupt), torn tmps (.tmp), strangers.
     }
     const std::string stream = entry.path().stem().string();
     if (!ValidStreamName(stream)) continue;  // Not a file we wrote.
-    std::ifstream in(entry.path(), std::ios::binary);
-    std::string bytes((std::istreambuf_iterator<char>(in)),
+
+    // A single bad file must cost exactly that stream, never the tenant:
+    // verify the checksum footer, fall back to a legacy footer-less
+    // decode, and quarantine anything that fails both.
+    std::string bytes;
+    Status st = ReadFileChecked(entry.path().string(), &bytes);
+    if (st.code() == StatusCode::kDataLoss) {
+      // No valid footer. Pre-checksum snapshots are raw frames; accept
+      // the file iff its raw bytes decode as a complete summary view
+      // (the next SaveSnapshots rewrites it checksummed).
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::string raw((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-    if (!in.good() && !in.eof()) {
-      return Status::IOError("failed reading snapshot " +
-                             entry.path().string());
+      DecodedSummaryView probe;
+      if ((in.good() || in.eof()) &&
+          DecodeSummaryView(raw, &probe).ok()) {
+        bytes = std::move(raw);
+      } else {
+        QuarantineSnapshot(entry.path());
+        tenant->quarantined_snapshots.fetch_add(1,
+                                                std::memory_order_relaxed);
+        continue;
+      }
+    } else if (!st.ok()) {
+      // Unreadable (I/O failure, not bad bytes): skip it this boot — the
+      // file may be fine once the disk recovers, so no quarantine.
+      continue;
     }
-    STREAMHULL_RETURN_IF_ERROR(tenant->group.AddRemoteStream(stream));
-    STREAMHULL_RETURN_IF_ERROR(
-        tenant->group.UpdateRemoteStream(stream, bytes));
+    if (!tenant->group.AddRemoteStream(stream).ok()) continue;
+    st = tenant->group.UpdateRemoteStream(stream, bytes);
+    if (!st.ok()) {
+      // Checksum-valid but undecodable (or a decoder regression): the
+      // stream boots empty-less, the tenant boots regardless.
+      (void)tenant->group.RemoveStream(stream);
+      QuarantineSnapshot(entry.path());
+      tenant->quarantined_snapshots.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     tenant->streams.fetch_add(1, std::memory_order_relaxed);
     tenant->restored_streams.fetch_add(1, std::memory_order_relaxed);
   }
@@ -133,8 +178,30 @@ Status StreamHullServer::LoadTenantSnapshots(Tenant* tenant) {
   return Status::OK();
 }
 
+size_t StreamHullServer::LiveSessionCount() const {
+  size_t live = 0;
+  for (const auto& s : sessions_) {
+    if (s->state != Session::State::kClosed) ++live;
+  }
+  return live;
+}
+
 void StreamHullServer::AttachSession(std::unique_ptr<Transport> transport) {
   SH_CHECK(transport != nullptr);
+  if (options_.max_sessions > 0 &&
+      LiveSessionCount() >= options_.max_sessions) {
+    // Shed, don't queue: an overloaded server tells the client so
+    // explicitly (the ProducerClient backs off on this), then hangs up.
+    SessionMessage err;
+    err.type = SessionMessageType::kError;
+    err.code = static_cast<uint8_t>(StatusCode::kResourceExhausted);
+    err.payload = "session limit reached (" +
+                  std::to_string(options_.max_sessions) + ")";
+    (void)transport->Send(EncodeSessionFrame(err));
+    transport->Close();
+    shed_sessions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   sessions_.push_back(std::make_unique<Session>(std::move(transport),
                                                 options_.max_frame_payload));
   sessions_attached_.fetch_add(1, std::memory_order_relaxed);
@@ -203,11 +270,28 @@ void StreamHullServer::HandleMessage(Session* session, SessionMessage msg) {
         // Idempotent attach: an existing stream is simply re-opened, and
         // OPEN_OK reports whatever generation the server already holds —
         // the reconnecting producer's cue for where to resume the chain.
-        if (tenant->group.AddRemoteStream(name).ok()) {
+        RemoteStreamStats rs;
+        const bool exists = tenant->group.RemoteStats(name, &rs).ok();
+        if (!exists && options_.max_streams_per_tenant > 0 &&
+            tenant->streams.load(std::memory_order_relaxed) >=
+                options_.max_streams_per_tenant) {
+          // Shed the stream, keep the session: the producer may hold
+          // other, already-open streams on this connection.
+          tenant->shed_streams.fetch_add(1, std::memory_order_relaxed);
+          SessionMessage err;
+          err.type = SessionMessageType::kError;
+          err.code = static_cast<uint8_t>(StatusCode::kResourceExhausted);
+          err.payload = "stream limit reached (" +
+                        std::to_string(options_.max_streams_per_tenant) +
+                        "); refusing OPEN " + name;
+          SendOnSession(session, err);
+          session->pending.fetch_sub(1, std::memory_order_release);
+          return;
+        }
+        if (!exists && tenant->group.AddRemoteStream(name).ok()) {
           tenant->streams.fetch_add(1, std::memory_order_relaxed);
         }
         uint64_t held = 0;
-        RemoteStreamStats rs;
         if (tenant->group.RemoteStats(name, &rs).ok()) {
           held = rs.held_generation;
         }
@@ -411,28 +495,43 @@ Status StreamHullServer::SaveSnapshots() {
     return Status::FailedPrecondition("persistence disabled: no snapshot_dir");
   }
   Flush();
+  // Best-effort across the whole fleet: one stream's bad disk must not
+  // cost another tenant its snapshots. Failures are counted, the first
+  // one is quoted in the aggregate status, and every stream is attempted.
+  uint64_t failures = 0;
+  std::string first_error;
   for (const auto& [name, tenant] : tenants_) {
     const fs::path dir = fs::path(options_.snapshot_dir) / name;
     std::error_code ec;
     fs::create_directories(dir, ec);
     if (ec) {
-      return Status::IOError("create_directories(" + dir.string() +
-                             "): " + ec.message());
+      ++failures;
+      if (first_error.empty()) {
+        first_error =
+            "create_directories(" + dir.string() + "): " + ec.message();
+      }
+      continue;
     }
     for (const std::string& stream : tenant->group.StreamNames()) {
       DecodedSummaryView view;
       if (!tenant->group.RemoteView(stream, &view).ok()) {
         continue;  // Local stream or nothing held yet: nothing to persist.
       }
-      const std::string bytes = EncodeSummaryView(view);
       const fs::path file = dir / (stream + ".shl2");
-      std::ofstream out(file, std::ios::binary | std::ios::trunc);
-      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-      out.close();
-      if (!out.good()) {
-        return Status::IOError("failed writing snapshot " + file.string());
+      const Status st =
+          WriteFileAtomicChecked(file.string(), EncodeSummaryView(view));
+      if (!st.ok()) {
+        ++failures;
+        if (first_error.empty()) {
+          first_error = file.string() + ": " + st.ToString();
+        }
       }
     }
+  }
+  if (failures > 0) {
+    snapshot_save_failures_.fetch_add(failures, std::memory_order_relaxed);
+    return Status::IOError(std::to_string(failures) +
+                           " snapshot write(s) failed; first: " + first_error);
   }
   return Status::OK();
 }
@@ -455,6 +554,9 @@ Status StreamHullServer::Metrics(const std::string& tenant,
   m.resyncs = t.resyncs.load(std::memory_order_relaxed);
   m.rejected_frames = t.rejected_frames.load(std::memory_order_relaxed);
   m.queries = t.queries.load(std::memory_order_relaxed);
+  m.quarantined_snapshots =
+      t.quarantined_snapshots.load(std::memory_order_relaxed);
+  m.shed_streams = t.shed_streams.load(std::memory_order_relaxed);
   *out = m;
   return Status::OK();
 }
@@ -466,6 +568,9 @@ ServerMetrics StreamHullServer::metrics() const {
   m.polls = polls_.load(std::memory_order_relaxed);
   m.poll_ns = poll_ns_.load(std::memory_order_relaxed);
   m.frames_dispatched = frames_dispatched_.load(std::memory_order_relaxed);
+  m.shed_sessions = shed_sessions_.load(std::memory_order_relaxed);
+  m.snapshot_save_failures =
+      snapshot_save_failures_.load(std::memory_order_relaxed);
   return m;
 }
 
@@ -477,10 +582,24 @@ std::string StreamHullServer::MetricsText() {
       sm.polls == 0 ? 0.0
                     : static_cast<double>(sm.poll_ns) / 1000.0 /
                           static_cast<double>(sm.polls);
+  // Health degrades to "shedding" while any configured load bound is
+  // saturated — the line an operator's probe watches.
+  bool shedding = options_.max_sessions > 0 &&
+                  LiveSessionCount() >= options_.max_sessions;
+  for (const auto& [name, tenant] : tenants_) {
+    if (options_.max_streams_per_tenant > 0 &&
+        tenant->streams.load(std::memory_order_relaxed) >=
+            options_.max_streams_per_tenant) {
+      shedding = true;
+    }
+  }
   out << "streamhulld: tenants=" << tenants_.size()
       << " sessions=" << sessions_.size() << " polls=" << sm.polls
       << " avg_poll_us=" << avg_poll_us
-      << " messages=" << sm.frames_dispatched << "\n";
+      << " messages=" << sm.frames_dispatched
+      << " shed_sessions=" << sm.shed_sessions
+      << " snapshot_save_failures=" << sm.snapshot_save_failures
+      << " health=" << (shedding ? "shedding" : "ok") << "\n";
   for (const auto& [name, tenant] : tenants_) {
     TenantMetrics m;
     (void)Metrics(name, &m);
@@ -489,7 +608,8 @@ std::string StreamHullServer::MetricsText() {
         << " bytes=" << m.bytes << " full=" << m.full_frames
         << " delta=" << m.delta_frames << " resyncs=" << m.resyncs
         << " rejected=" << m.rejected_frames << " queries=" << m.queries
-        << "\n";
+        << " quarantined=" << m.quarantined_snapshots
+        << " shed=" << m.shed_streams << "\n";
   }
   return out.str();
 }

@@ -75,6 +75,13 @@ struct ServerOptions {
   /// Directory for view persistence (SaveSnapshots / restart restore);
   /// empty disables persistence.
   std::string snapshot_dir;
+  /// Load shedding: sessions beyond this bound are refused at
+  /// AttachSession with a ResourceExhausted ERROR frame (0 = unlimited).
+  size_t max_sessions = 0;
+  /// Load shedding: OPENs that would create a stream beyond this
+  /// per-tenant bound are refused with a ResourceExhausted ERROR frame —
+  /// the session itself stays up (0 = unlimited).
+  size_t max_streams_per_tenant = 0;
 };
 
 /// \brief Point-in-time copy of one tenant's counters.
@@ -88,6 +95,11 @@ struct TenantMetrics {
   uint64_t resyncs = 0;          ///< NAKs sent (generation gaps).
   uint64_t rejected_frames = 0;  ///< Malformed frames refused.
   uint64_t queries = 0;          ///< QUERY messages answered.
+  /// Snapshot files found corrupt/undecodable at boot and renamed to
+  /// <name>.shl2.corrupt (the tenant booted without them).
+  uint64_t quarantined_snapshots = 0;
+  /// OPENs refused by the per-tenant stream bound (ResourceExhausted).
+  uint64_t shed_streams = 0;
 };
 
 /// \brief Server-wide counters.
@@ -97,6 +109,12 @@ struct ServerMetrics {
   uint64_t polls = 0;            ///< PumpOnce calls.
   uint64_t poll_ns = 0;          ///< Wall time across those calls.
   uint64_t frames_dispatched = 0;  ///< Session messages handled.
+  /// Connections refused by the max_sessions bound (ResourceExhausted).
+  uint64_t shed_sessions = 0;
+  /// Per-stream snapshot writes that failed across every SaveSnapshots
+  /// call (each save is best-effort; failures aggregate here and in the
+  /// returned Status).
+  uint64_t snapshot_save_failures = 0;
 };
 
 /// \brief The streamhulld server core: tenants, sessions, pump loop,
@@ -118,6 +136,8 @@ class StreamHullServer {
 
   /// \brief Adopts a connected transport as a new session. The session
   /// starts unauthenticated; its first frame must be a valid HELLO.
+  /// When max_sessions is configured and reached, the connection is shed
+  /// instead: one ResourceExhausted ERROR frame, then close.
   void AttachSession(std::unique_ptr<Transport> transport);
 
   /// \brief One deterministic pump: reap closed sessions, drain every
@@ -135,8 +155,12 @@ class StreamHullServer {
   size_t session_count() const { return sessions_.size(); }
 
   /// \brief Re-encodes every tenant's held views into snapshot_dir (one
-  /// file per stream). Flushes first. FailedPrecondition when persistence
-  /// is disabled; IOError on filesystem failure.
+  /// checksummed file per stream, written atomically: tmp -> fsync ->
+  /// rename -> dir fsync, so a crash at any point leaves the previous
+  /// snapshot intact). Flushes first. Best-effort: a failed stream or
+  /// tenant never blocks the rest; failures aggregate into the returned
+  /// IOError (and metrics().snapshot_save_failures). FailedPrecondition
+  /// when persistence is disabled.
   Status SaveSnapshots();
 
   /// \brief Human-readable metrics: one server line plus one line per
@@ -172,7 +196,15 @@ class StreamHullServer {
   /// only — they double as snapshot file names.
   static bool ValidStreamName(const std::string& name);
 
+  /// \brief Restores every decodable snapshot under
+  /// snapshot_dir/<tenant>/. Corrupt, truncated, or undecodable files are
+  /// quarantined (renamed to <name>.shl2.corrupt, counted in
+  /// quarantined_snapshots) and the tenant boots with whatever survived;
+  /// only a failure to list the directory itself aborts.
   Status LoadTenantSnapshots(Tenant* tenant);
+
+  /// Live (attached, not yet closed) sessions.
+  size_t LiveSessionCount() const;
 
   ServerOptions options_;
   std::unique_ptr<ParallelIngestor> runtime_;
@@ -185,6 +217,8 @@ class StreamHullServer {
   std::atomic<uint64_t> polls_{0};
   std::atomic<uint64_t> poll_ns_{0};
   std::atomic<uint64_t> frames_dispatched_{0};
+  std::atomic<uint64_t> shed_sessions_{0};
+  std::atomic<uint64_t> snapshot_save_failures_{0};
 };
 
 }  // namespace streamhull

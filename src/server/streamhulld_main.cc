@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/failpoint.h"
 #include "server/streamhulld.h"
 #include "server/transport.h"
 
@@ -115,6 +116,12 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   std::printf("streamhulld: listening on %s (%zu tenants)\n",
               socket_path.c_str(), tenants.size());
+  // Armed failpoints (STREAMHULL_FAILPOINTS) are loud on purpose: a chaos
+  // configuration that leaks into production should be obvious from the
+  // first lines of the log.
+  for (const std::string& site : Failpoints::Instance().ArmedNames()) {
+    std::printf("streamhulld: FAILPOINT ARMED: %s\n", site.c_str());
+  }
   std::fflush(stdout);
 
   auto last_metrics = std::chrono::steady_clock::now();

@@ -12,7 +12,19 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "runtime/failpoint.h"
+
 namespace streamhull {
+
+// Failpoint sites shared by every Transport implementation (the chaos
+// soak and the crash-recovery tests arm these process-wide):
+//
+//   transport.send.ioerror   Send fails outright (peer "vanished")
+//   transport.send.short     short(N): only the first N bytes reach the
+//                            peer, then the send fails — a torn frame
+//   transport.send.eintr     one simulated EINTR per fire (socket path
+//                            only; exercises the retry loop)
+//   transport.recv.ioerror   Recv fails as if the peer disconnected
 
 // ---------------------------------------------------------------------------
 // PipeTransport
@@ -57,11 +69,30 @@ Status PipeTransport::Send(std::string_view bytes) {
     ++(is_a_ ? shared_->dropped_a : shared_->dropped_b);
     return Status::OK();  // The fault model: sender believes it delivered.
   }
+  FailpointHit hit;
+  if (FailpointFires("transport.send.ioerror", &hit)) {
+    return hit.ToStatus("transport.send.ioerror");
+  }
+  if (FailpointFires("transport.send.short", &hit)) {
+    // Torn write: a prefix reaches the peer, then the connection dies.
+    // The peer's FrameDecoder sees a mid-frame truncation (and, if more
+    // bytes ever follow, a poisoned stream) — exactly a real half-sent
+    // frame.
+    const size_t torn = static_cast<size_t>(hit.arg) < bytes.size()
+                            ? static_cast<size_t>(hit.arg)
+                            : bytes.size();
+    (is_a_ ? shared_->a_to_b : shared_->b_to_a).append(bytes.substr(0, torn));
+    return hit.ToStatus("transport.send.short");
+  }
   (is_a_ ? shared_->a_to_b : shared_->b_to_a).append(bytes);
   return Status::OK();
 }
 
 Status PipeTransport::Recv(std::string* out) {
+  FailpointHit hit;
+  if (FailpointFires("transport.recv.ioerror", &hit)) {
+    return hit.ToStatus("transport.recv.ioerror");
+  }
   std::lock_guard<std::mutex> lock(shared_->mu);
   std::string& inbox = is_a_ ? shared_->b_to_a : shared_->a_to_b;
   if (!inbox.empty()) {
@@ -164,12 +195,28 @@ Status UnixSocketTransport::Send(std::string_view bytes) {
   if (impl_->closed || impl_->fd < 0) {
     return Status::IOError("socket transport is closed");
   }
+  FailpointHit hit;
+  if (FailpointFires("transport.send.ioerror", &hit)) {
+    return hit.ToStatus("transport.send.ioerror");
+  }
+  // short(N): cap every kernel write at N bytes, forcing the
+  // partial-write resend loop below to finish the frame in pieces.
+  size_t chunk_cap = bytes.size();
+  if (FailpointFires("transport.send.short", &hit) && hit.arg > 0) {
+    chunk_cap = static_cast<size_t>(hit.arg);
+  }
   size_t sent = 0;
   bool waiting = false;
   std::chrono::steady_clock::time_point deadline;
   while (sent < bytes.size()) {
+    if (FailpointFires("transport.send.eintr", &hit)) {
+      continue;  // One simulated EINTR'd send(); the loop retries.
+    }
+    const size_t len = bytes.size() - sent < chunk_cap
+                           ? bytes.size() - sent
+                           : chunk_cap;
     const ssize_t n = ::send(impl_->fd, bytes.data() + sent,
-                             bytes.size() - sent, MSG_NOSIGNAL);
+                             len, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<size_t>(n);
       waiting = false;
@@ -215,6 +262,10 @@ void UnixSocketTransport::set_send_unwritable_timeout_ms(int ms) {
 }
 
 Status UnixSocketTransport::Recv(std::string* out) {
+  FailpointHit hit;
+  if (FailpointFires("transport.recv.ioerror", &hit)) {
+    return hit.ToStatus("transport.recv.ioerror");
+  }
   std::lock_guard<std::mutex> lock(impl_->recv_mu);
   if (impl_->fd < 0) return Status::IOError("socket transport is closed");
   char buf[16384];

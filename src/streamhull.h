@@ -54,6 +54,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/adaptive_hull.h"
+#include "core/checked_file.h"
 #include "core/hull_engine.h"
 #include "core/options.h"
 #include "core/restore.h"
@@ -70,11 +71,13 @@
 #include "multi/stream_group.h"
 #include "queries/certified.h"
 #include "queries/queries.h"
+#include "runtime/failpoint.h"
 #include "runtime/parallel_for.h"
 #include "runtime/parallel_ingestor.h"
 #include "runtime/sequencer.h"
 #include "runtime/thread_pool.h"
 #include "server/delta_sender.h"
+#include "server/producer_client.h"
 #include "server/streamhulld.h"
 #include "server/transport.h"
 #include "server/wire.h"

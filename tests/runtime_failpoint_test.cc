@@ -1,0 +1,246 @@
+// Tests for the deterministic fault-injection framework
+// (runtime/failpoint.h): spec parsing (including every malformed shape),
+// count / every-Nth / one-shot gating, re-arm semantics, the
+// STREAMHULL_FAILPOINTS list format, evaluation/fire accounting, and the
+// disarmed fast path staying false under concurrent evaluation.
+
+#include "runtime/failpoint.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace streamhull {
+namespace {
+
+// Every test leaves the global registry clean — failpoints are process
+// state, and a leaked arming would poison unrelated suites.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Instance().DisarmAll(); }
+  void TearDown() override { Failpoints::Instance().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedNeverFires) {
+  FailpointHit hit;
+  EXPECT_FALSE(FailpointFires("test.nothing", &hit));
+  EXPECT_EQ(Failpoints::Instance().evaluations("test.nothing"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorActionFiresEveryEvaluation) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.a", "error(io)").ok());
+  for (int i = 0; i < 5; ++i) {
+    FailpointHit hit;
+    ASSERT_TRUE(FailpointFires("test.a", &hit));
+    EXPECT_EQ(hit.action, FailpointAction::kError);
+    EXPECT_EQ(hit.code, StatusCode::kIOError);
+    const Status st = hit.ToStatus("test.a");
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+    EXPECT_NE(st.message().find("test.a"), std::string::npos);
+  }
+  EXPECT_EQ(Failpoints::Instance().evaluations("test.a"), 5u);
+  EXPECT_EQ(Failpoints::Instance().fires("test.a"), 5u);
+}
+
+TEST_F(FailpointTest, EveryStatusCodeParses) {
+  const struct {
+    const char* name;
+    StatusCode code;
+  } kCodes[] = {
+      {"io", StatusCode::kIOError},
+      {"invalid", StatusCode::kInvalidArgument},
+      {"oor", StatusCode::kOutOfRange},
+      {"precondition", StatusCode::kFailedPrecondition},
+      {"internal", StatusCode::kInternal},
+      {"resource", StatusCode::kResourceExhausted},
+      {"data", StatusCode::kDataLoss},
+  };
+  for (const auto& c : kCodes) {
+    ASSERT_TRUE(Failpoints::Instance()
+                    .Arm("test.code", std::string("error(") + c.name + ")")
+                    .ok())
+        << c.name;
+    FailpointHit hit;
+    ASSERT_TRUE(FailpointFires("test.code", &hit)) << c.name;
+    EXPECT_EQ(hit.code, c.code) << c.name;
+  }
+}
+
+TEST_F(FailpointTest, OneShotAutoDisarms) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.once", "1*error(io)").ok());
+  FailpointHit hit;
+  EXPECT_TRUE(FailpointFires("test.once", &hit));
+  EXPECT_FALSE(FailpointFires("test.once", &hit));
+  EXPECT_FALSE(FailpointFires("test.once", &hit));
+  EXPECT_EQ(Failpoints::Instance().fires("test.once"), 1u);
+  // Auto-disarm removed it from the armed surface.
+  EXPECT_TRUE(Failpoints::Instance().ArmedNames().empty());
+}
+
+TEST_F(FailpointTest, CountLimitsFires) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.n", "3*error(io)").ok());
+  FailpointHit hit;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (FailpointFires("test.n", &hit)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FailpointTest, EveryNthFiresOnMultiplesOnly) {
+  ASSERT_TRUE(
+      Failpoints::Instance().Arm("test.every", "every(3)*error(io)").ok());
+  FailpointHit hit;
+  std::vector<int> fired_at;
+  for (int i = 1; i <= 9; ++i) {
+    if (FailpointFires("test.every", &hit)) fired_at.push_back(i);
+  }
+  EXPECT_EQ(fired_at, (std::vector<int>{3, 6, 9}));
+}
+
+TEST_F(FailpointTest, CountAndEveryCompose) {
+  ASSERT_TRUE(
+      Failpoints::Instance().Arm("test.ce", "2*every(2)*error(io)").ok());
+  FailpointHit hit;
+  std::vector<int> fired_at;
+  for (int i = 1; i <= 10; ++i) {
+    if (FailpointFires("test.ce", &hit)) fired_at.push_back(i);
+  }
+  EXPECT_EQ(fired_at, (std::vector<int>{2, 4}));
+}
+
+TEST_F(FailpointTest, ShortWriteCarriesByteCount) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.short", "short(20)").ok());
+  FailpointHit hit;
+  ASSERT_TRUE(FailpointFires("test.short", &hit));
+  EXPECT_EQ(hit.action, FailpointAction::kShortWrite);
+  EXPECT_EQ(hit.arg, 20);
+}
+
+TEST_F(FailpointTest, EintrAndTriggerActions) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.eintr", "eintr").ok());
+  FailpointHit hit;
+  ASSERT_TRUE(FailpointFires("test.eintr", &hit));
+  EXPECT_EQ(hit.action, FailpointAction::kEintr);
+
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.trig", "trigger").ok());
+  ASSERT_TRUE(FailpointFires("test.trig", &hit));
+  EXPECT_EQ(hit.action, FailpointAction::kTrigger);
+  EXPECT_EQ(hit.arg, 0);
+
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.trig", "trigger(7)").ok());
+  ASSERT_TRUE(FailpointFires("test.trig", &hit));
+  EXPECT_EQ(hit.arg, 7);
+}
+
+TEST_F(FailpointTest, OffSpecDisarms) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.off", "error(io)").ok());
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.off", "off").ok());
+  FailpointHit hit;
+  EXPECT_FALSE(FailpointFires("test.off", &hit));
+}
+
+TEST_F(FailpointTest, RearmReplacesSpecAndResetsCounts) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.re", "error(io)").ok());
+  FailpointHit hit;
+  ASSERT_TRUE(FailpointFires("test.re", &hit));
+  ASSERT_TRUE(FailpointFires("test.re", &hit));
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.re", "1*short(4)").ok());
+  EXPECT_EQ(Failpoints::Instance().evaluations("test.re"), 0u);
+  ASSERT_TRUE(FailpointFires("test.re", &hit));
+  EXPECT_EQ(hit.action, FailpointAction::kShortWrite);
+  EXPECT_FALSE(FailpointFires("test.re", &hit));
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejectedAtomically) {
+  const char* kBad[] = {
+      "",           "*",          "error",       "error()",
+      "error(bogus)", "short",    "short()",     "short(x)",
+      "5",          "every(0)*error(io)", "every()*error(io)",
+      "0*error(io)", "1*2*error(io)", "every(2)*every(3)*error(io)",
+      "error(io)*error(io)", "eintr*",
+  };
+  for (const char* spec : kBad) {
+    EXPECT_FALSE(Failpoints::Instance().Arm("test.bad", spec).ok())
+        << "spec accepted: '" << spec << "'";
+  }
+  // A rejected re-arm leaves the previous arming untouched.
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.keep", "error(io)").ok());
+  EXPECT_FALSE(Failpoints::Instance().Arm("test.keep", "error(").ok());
+  FailpointHit hit;
+  EXPECT_TRUE(FailpointFires("test.keep", &hit));
+}
+
+TEST_F(FailpointTest, ArmListParsesSemicolonSeparatedEntries) {
+  ASSERT_TRUE(Failpoints::Instance()
+                  .ArmList("test.l1=error(io);;test.l2=2*short(8);")
+                  .ok());
+  const std::vector<std::string> names = Failpoints::Instance().ArmedNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "test.l1");
+  EXPECT_EQ(names[1], "test.l2");
+  FailpointHit hit;
+  EXPECT_TRUE(FailpointFires("test.l2", &hit));
+  EXPECT_EQ(hit.arg, 8);
+}
+
+TEST_F(FailpointTest, ArmListStopsAtFirstMalformedEntry) {
+  EXPECT_FALSE(Failpoints::Instance()
+                   .ArmList("test.good=error(io);broken;test.after=eintr")
+                   .ok());
+  FailpointHit hit;
+  EXPECT_TRUE(FailpointFires("test.good", &hit));   // Armed before the stop.
+  EXPECT_FALSE(FailpointFires("test.after", &hit)); // Never reached.
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsTheVariable) {
+  ASSERT_EQ(::setenv("STREAMHULL_FAILPOINTS", "test.env=1*error(data)", 1),
+            0);
+  ASSERT_TRUE(Failpoints::Instance().ArmFromEnv().ok());
+  ::unsetenv("STREAMHULL_FAILPOINTS");
+  FailpointHit hit;
+  ASSERT_TRUE(FailpointFires("test.env", &hit));
+  EXPECT_EQ(hit.code, StatusCode::kDataLoss);
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverything) {
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.x", "error(io)").ok());
+  ASSERT_TRUE(Failpoints::Instance().Arm("test.y", "eintr").ok());
+  Failpoints::Instance().DisarmAll();
+  EXPECT_TRUE(Failpoints::Instance().ArmedNames().empty());
+  FailpointHit hit;
+  EXPECT_FALSE(FailpointFires("test.x", &hit));
+  EXPECT_FALSE(FailpointFires("test.y", &hit));
+}
+
+// Concurrency smoke: one thread arms/disarms while others evaluate; ASan/
+// TSan runs catch races, and a disarmed name must never report a fire.
+TEST_F(FailpointTest, ConcurrentEvaluationIsSafe) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> unexpected{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      FailpointHit hit;
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)FailpointFires("test.conc", &hit);
+        if (FailpointFires("test.never", &hit)) {
+          unexpected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(Failpoints::Instance().Arm("test.conc", "error(io)").ok());
+    Failpoints::Instance().Disarm("test.conc");
+  }
+  stop.store(true);
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(unexpected.load(), 0u);
+}
+
+}  // namespace
+}  // namespace streamhull

@@ -12,7 +12,11 @@ against the cached last-main baseline and fails (exit 1) when:
   * a broad-phase precision counter (candidate_ratio, pairs_evaluated)
     increases by more than --threshold: the fleet workloads are seeded, so
     these move only when the index starts admitting pairs it used to prune
-    — a precision regression wall time can hide in noise.
+    — a precision regression wall time can hide in noise, or
+  * a fixed-cost rate counter (disarmed_checks_per_s) *decreases* by more
+    than --threshold: the disarmed failpoint check must stay one relaxed
+    atomic load, and a slow path sneaking in (a lock, a registry lookup)
+    shows up here long before end-to-end numbers move.
 
 Byte-size counters (bytes/update, full_bytes/delta_bytes, ...) are
 deterministic protocol properties pinned by tests, so they are reported
@@ -46,6 +50,11 @@ TREND_COUNTERS = ("reject%", "simd_reject%", "scalar_reject%",
 # small absolute epsilon keeps near-zero ratios from tripping on rounding.
 PRECISION_COUNTERS = ("candidate_ratio", "pairs_evaluated")
 PRECISION_EPSILON = 1e-12
+
+# Fixed-cost rate counters: gated on *decrease* only (one-sided — the
+# check getting faster is progress). These guard must-stay-cheap code on
+# hot paths, e.g. the disarmed fault-injection probe.
+COST_COUNTERS = ("disarmed_checks_per_s",)
 
 
 def load_benchmarks(path):
@@ -118,6 +127,21 @@ def compare_file(name, baseline, current, threshold):
                 print(f"  {bench}: {counter} {base_val:.4g} -> "
                       f"{cur_val:.4g} REGRESSION")
             elif abs(cur_val - base_val) > PRECISION_EPSILON:
+                print(f"  {bench}: {counter} {base_val:.4g} -> "
+                      f"{cur_val:.4g} OK")
+
+        for counter in COST_COUNTERS:
+            cur_val = cur.get(counter)
+            base_val = base.get(counter)
+            if cur_val is None or base_val is None:
+                continue
+            if cur_val < base_val * (1.0 - threshold):
+                failures.append(
+                    f"{name}:{bench}: {counter} decreased "
+                    f"{base_val:.4g} -> {cur_val:.4g}")
+                print(f"  {bench}: {counter} {base_val:.4g} -> "
+                      f"{cur_val:.4g} REGRESSION")
+            else:
                 print(f"  {bench}: {counter} {base_val:.4g} -> "
                       f"{cur_val:.4g} OK")
 
