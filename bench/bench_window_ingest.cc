@@ -1,0 +1,159 @@
+// Sliding-window ingestion throughput: points/sec of WindowedHullEngine
+// across window sizes on drifting streams — the data CI archives as
+// BENCH_window_ingest.json (--benchmark_format=json). The windowed engine
+// routes every point into one insert-only bucket and drops whole buckets on
+// expiry, so steady-state ingestion should track the bucket kind's
+// insert-only throughput; the interesting costs are the bucket churn (a
+// fresh sub-engine every W/K points) and the K-way merge on query, both
+// reported as counters:
+//
+//   * allocs_per_point — the allocator pressure of bucket churn. Bucket
+//     open/drop is amortized over W/K points, so this should stay far
+//     below 1 even at the 1k window.
+//   * buckets_merged — alive buckets folded per query (K, plus a possible
+//     straddler); the per-query merge cost scales with it.
+//   * buckets_dropped_per_1k — expiry wholesale-drop rate per 1000 points.
+//
+// Streams: a drift walk (the hull never stops moving, so expiry matters —
+// old extremes must actually vanish) and a synthesized orbit (a point
+// circling a drifting center: every window holds a crescent of the orbit,
+// the adversarial case for count-based expiry).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/windowed_hull.h"
+#include "stream/generators.h"
+
+namespace {
+
+std::atomic<uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+// The replacement operator new above allocates with malloc, so free() is
+// the matching deallocator here; the compiler cannot see that pairing
+// across the replaced operators and would flag it under -Werror.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace {
+
+using namespace streamhull;
+
+enum Stream : int64_t { kDrift = 0, kOrbit = 1 };
+
+// Orbit: a point circling a center that itself drifts on a slow walk. The
+// window always holds the last crescent of the orbit, so the certified
+// summary must both forget the far side and track the drift.
+std::vector<Point2> MakeOrbitStream(size_t n, uint64_t seed) {
+  const double kTwoPi = 6.283185307179586476925286766559;
+  Rng rng(seed);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  Point2 center{0, 0};
+  double heading = 0;
+  for (size_t i = 0; i < n; ++i) {
+    heading += rng.Uniform(-0.05, 0.05);
+    center += Point2{std::cos(heading), std::sin(heading)} * 0.002;
+    const double phase = kTwoPi * static_cast<double>(i) / 512.0;
+    pts.push_back(center + Point2{std::cos(phase), std::sin(phase)});
+  }
+  return pts;
+}
+
+std::vector<Point2> MakeStream(Stream which, size_t n) {
+  if (which == kOrbit) return MakeOrbitStream(n, 20040614);
+  DriftWalkGenerator gen(20040614, /*step=*/0.01);
+  return gen.Take(n);
+}
+
+EngineOptions Opts(uint64_t window) {
+  EngineOptions o;
+  o.hull.r = 64;
+  o.window_points = window;
+  return o;
+}
+
+// Steady-state windowed ingestion (batched, the production path), with a
+// query every `query_every` points so the K-way merge cost is on the clock
+// the way a live monitor would pay it.
+void BM_WindowIngest(benchmark::State& state) {
+  const auto window = static_cast<uint64_t>(state.range(0));
+  const auto which = static_cast<Stream>(state.range(1));
+  const size_t kBatch = 512;
+  const size_t kQueryEvery = 8192;
+  const auto stream = MakeStream(which, 400000);
+
+  uint64_t allocs = 0, points = 0;
+  uint64_t merged = 0, dropped = 0;
+  for (auto _ : state) {
+    WindowedHullEngine engine(Opts(window));
+    const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    size_t next_query = kQueryEvery;
+    for (size_t off = 0; off < stream.size(); off += kBatch) {
+      const size_t len = std::min(kBatch, stream.size() - off);
+      engine.InsertBatch(std::span<const Point2>(&stream[off], len));
+      if (off + len >= next_query) {
+        benchmark::DoNotOptimize(engine.ErrorBound());
+        next_query += kQueryEvery;
+      }
+    }
+    allocs += g_allocations.load(std::memory_order_relaxed) - before;
+    points += stream.size();
+    merged = engine.alive_buckets();
+    dropped = engine.buckets_dropped();
+    benchmark::DoNotOptimize(engine.num_points());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(points));
+  state.counters["allocs_per_point"] =
+      points > 0 ? static_cast<double>(allocs) / static_cast<double>(points)
+                 : 0.0;
+  state.counters["buckets_merged"] = static_cast<double>(merged);
+  state.counters["buckets_dropped_per_1k"] =
+      static_cast<double>(dropped) * 1000.0 /
+      static_cast<double>(stream.size());
+}
+
+BENCHMARK(BM_WindowIngest)
+    ->ArgNames({"window", "stream"})
+    ->Args({1000, kDrift})
+    ->Args({1000, kOrbit})
+    ->Args({100000, kDrift})
+    ->Args({100000, kOrbit})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,18 +1,22 @@
-// Sensor-network scenario from the paper's introduction: sensors report the
-// locations where a chemical leak has been detected; the monitoring station
-// keeps a hull engine as a tiny, mergeable summary and periodically
-// answers "what is the smallest convex region containing every detection,
-// and how large is it in each direction?" — with provable O(D/r^2) slack.
+// Sensor-network scenario from the paper's introduction, upgraded to the
+// production question: sensors report the locations where a chemical leak
+// has been detected, and the monitoring station wants the extent of the
+// detections from the *last three hours* — not since boot. An insert-only
+// summary can only answer "everywhere the plume has ever been"; the
+// sliding-window engine forgets old detections by dropping whole buckets,
+// so the certified report tracks the plume as it moves.
 //
-// The report uses the certified query layer: every printed quantity is an
-// interval [lo, hi] guaranteed to bracket the exact value on the true hull
-// of *all* detections, not just the sampled polygon — the operator reads
-// "the plume is between 9.80 and 9.82 km across", never a silently
-// uncertain point estimate.
+// Every printed quantity is an interval [lo, hi] guaranteed to bracket the
+// exact value on the true hull of exactly the in-window detections — the
+// operator reads "the plume is between 9.80 and 9.82 km across", never a
+// silently uncertain point estimate. Watch the `window` column: once the
+// window starts trailing the plume (hour 3), old detections expire, the
+// in-window count plateaus, and the east-west extent stops growing even
+// though the plume keeps advecting east — the visible signature of expiry.
+// An insert-only engine runs alongside for contrast: its extent only grows.
 //
-// The simulated plume drifts and disperses over time (an advecting
-// anisotropic Gaussian). The example prints a monitoring report every
-// "hour" and writes an SVG picture of the final state.
+// The example writes an SVG of the final state: all detections in grey,
+// the windowed sandwich in color — the hull hugs the *recent* plume.
 
 #include <cmath>
 #include <cstdio>
@@ -23,16 +27,21 @@
 int main() {
   using namespace streamhull;
 
+  // Last-3-hours window over 6 buckets: expiry granularity of half an hour.
   EngineOptions options;
   options.hull.r = 24;
-  auto engine = MakeEngine(EngineKind::kAdaptive, options);
-  HullEngine& leak_region = *engine;
+  options.window_seconds = 3.0;
+  options.window_buckets = 6;
+  WindowedHullEngine leak_region(options);
+
+  // The insert-only contrast: same summary strategy, no forgetting.
+  auto since_boot = MakeEngine(EngineKind::kAdaptive, options);
 
   Rng rng(2026);
   std::vector<Point2> all_detections;  // Kept only to draw the picture.
 
-  std::printf("hour  detections  samples  area[lo,hi]          "
-              "diameter[lo,hi]      extent-E/W[lo,hi]\n");
+  std::printf("hour  window  dropped  extent-E/W[lo,hi]    "
+              "diameter[lo,hi]      since-boot-E/W\n");
   const int hours = 12;
   const int reports_per_hour = 2000;
   for (int hour = 0; hour < hours; ++hour) {
@@ -41,48 +50,52 @@ int main() {
     const Point2 center{0.8 * t, 0.25 * t};
     const double sx = 0.4 + 0.22 * t;  // Along-wind spread.
     const double sy = 0.15 + 0.07 * t; // Cross-wind spread.
-    // The hour's detections arrive as one batch through the fast path.
-    std::vector<Point2> hourly;
-    hourly.reserve(reports_per_hour);
     for (int i = 0; i < reports_per_hour; ++i) {
-      hourly.push_back(center + Point2{sx * rng.Normal(), sy * rng.Normal()});
+      const Point2 p = center + Point2{sx * rng.Normal(), sy * rng.Normal()};
+      // Detections carry their report time; the window keys on it.
+      leak_region.InsertTimed(p, t + static_cast<double>(i) /
+                                       static_cast<double>(reports_per_hour));
+      since_boot->Insert(p);
+      all_detections.push_back(p);
     }
-    leak_region.InsertBatch(hourly);
-    all_detections.insert(all_detections.end(), hourly.begin(), hourly.end());
 
     const SummaryView view(leak_region);
     const CertifiedScalar diam = CertifiedDiameter(view);
     const Interval extent_ew = CertifiedExtent(view, {1, 0});
-    std::printf("%4d  %10llu  %7zu  [%7.4f, %7.4f]  [%7.4f, %7.4f]  "
+    const Interval boot_ew =
+        CertifiedExtent(SummaryView(*since_boot), {1, 0});
+    std::printf("%4d  %6llu  %7llu  [%7.4f, %7.4f]  [%7.4f, %7.4f]  "
                 "[%7.4f, %7.4f]\n",
                 hour,
                 static_cast<unsigned long long>(leak_region.num_points()),
-                leak_region.Samples().size(), view.inner().Area(),
-                view.outer().Area(), diam.value.lo, diam.value.hi,
-                extent_ew.lo, extent_ew.hi);
+                static_cast<unsigned long long>(leak_region.buckets_dropped()),
+                extent_ew.lo, extent_ew.hi, diam.value.lo, diam.value.hi,
+                boot_ew.lo, boot_ew.hi);
   }
 
-  // Situation snapshot for the report.
+  // Situation snapshot for the report: the windowed sandwich hugs the
+  // recent plume, while the grey detections show everywhere it has been.
   SvgCanvas canvas(900, 500);
   canvas.AddPoints(all_detections, "#bbbbbb", 0.7);
   canvas.AddHullFigure(leak_region, "#b40426", "#6a9fd8");
-  canvas.AddLabel({0, 3.5}, "leak extent (adaptive summary)", "#b40426");
+  canvas.AddLabel({0, 3.5}, "last-3h extent (windowed summary)", "#b40426");
   const Status st = canvas.WriteFile("sensor_extent.svg");
   std::printf("\n%s\n", st.ok()
                             ? "wrote sensor_extent.svg"
                             : ("svg write failed: " + st.ToString()).c_str());
 
-  const CertifiedCircleResult cover =
-      CertifiedEnclosingCircle(SummaryView(leak_region));
-  std::printf("containment circle: center (%.3f, %.3f) radius %.4f covers "
-              "every detection (true SEC radius >= %.4f)\n",
-              cover.enclosing.center.x, cover.enclosing.center.y,
-              cover.enclosing.radius, cover.radius.lo);
-  std::printf("summary memory: %zu samples for %llu detections "
-              "(%.4f%% of the stream)\n",
-              leak_region.Samples().size(),
+  std::printf("summary memory: %zu samples across %zu buckets for %llu "
+              "in-window detections (stream total %llu)\n",
+              leak_region.Samples().size(), leak_region.alive_buckets(),
               static_cast<unsigned long long>(leak_region.num_points()),
-              100.0 * static_cast<double>(leak_region.Samples().size()) /
-                  static_cast<double>(leak_region.num_points()));
+              static_cast<unsigned long long>(leak_region.inserts_total()));
+
+  // The cleanup crew reports the leak contained: time passes with no new
+  // detections, and the certified window empties on its own.
+  leak_region.AdvanceTime(static_cast<double>(hours) + 3.0);
+  std::printf("+3h with no detections: window holds %llu points "
+              "(%llu buckets dropped in total)\n",
+              static_cast<unsigned long long>(leak_region.num_points()),
+              static_cast<unsigned long long>(leak_region.buckets_dropped()));
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "core/adaptive_hull.h"
 #include "core/partially_adaptive.h"
 #include "core/static_adaptive.h"
+#include "core/windowed_hull.h"
 #include "geom/convex_hull.h"
 #include "geom/kernels.h"
 
@@ -15,11 +16,12 @@ namespace streamhull {
 
 namespace {
 
-constexpr std::array<EngineKind, 4> kAllKinds = {
+constexpr std::array<EngineKind, 5> kAllKinds = {
     EngineKind::kUniform,
     EngineKind::kAdaptive,
     EngineKind::kPartiallyAdaptive,
     EngineKind::kStaticAdaptive,
+    EngineKind::kWindowed,
 };
 
 }  // namespace
@@ -30,6 +32,7 @@ const char* EngineKindName(EngineKind kind) {
     case EngineKind::kAdaptive: return "adaptive";
     case EngineKind::kPartiallyAdaptive: return "partially-adaptive";
     case EngineKind::kStaticAdaptive: return "static-adaptive";
+    case EngineKind::kWindowed: return "windowed";
   }
   return "unknown";
 }
@@ -66,7 +69,18 @@ Status EngineOptions::Validate(EngineKind kind) const {
   STREAMHULL_RETURN_IF_ERROR(hull.Validate());
   // training_points == 0 is the "use the default" sentinel, so any value is
   // acceptable; the field is simply ignored by the other kinds.
-  (void)kind;
+  if (kind == EngineKind::kWindowed) {
+    if (window_inner_kind == EngineKind::kWindowed) {
+      return Status::InvalidArgument(
+          "windowed engine cannot nest windowed buckets");
+    }
+    if (!std::isfinite(window_seconds) || window_seconds < 0) {
+      return Status::InvalidArgument("window_seconds must be finite and >= 0");
+    }
+    if (window_buckets > (uint32_t{1} << 20)) {
+      return Status::InvalidArgument("window_buckets out of range");
+    }
+  }
   return Status::OK();
 }
 
@@ -82,6 +96,8 @@ std::unique_ptr<HullEngine> MakeEngine(EngineKind kind,
           options.hull, options.EffectiveTrainingPoints());
     case EngineKind::kStaticAdaptive:
       return std::make_unique<StaticAdaptiveHull>(options.hull);
+    case EngineKind::kWindowed:
+      return std::make_unique<WindowedHullEngine>(options);
   }
   SH_CHECK(false && "unknown EngineKind");
   return nullptr;

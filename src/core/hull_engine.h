@@ -58,6 +58,7 @@ enum class EngineKind {
   kAdaptive,           ///< Continuously adaptive streaming hull (§4-§5).
   kPartiallyAdaptive,  ///< Adapt on a training prefix, then freeze (§7).
   kStaticAdaptive,     ///< Offline §4 sampling behind a buffering adapter.
+  kWindowed,           ///< Sliding-window composition of bucketed sub-hulls.
 };
 
 /// \brief Streaming convex-hull summary interface.
@@ -100,8 +101,29 @@ class HullEngine {
   /// InsertBatch() implementations call this on entry. Default: no-op.
   virtual void Reserve(size_t expected_points) { (void)expected_points; }
 
-  /// Number of stream points processed so far.
+  /// \brief Number of points currently summarized: the stream length for
+  /// insert-only engines, the in-window count (or a close upper bound; see
+  /// WindowedHullEngine) for expiring ones. Pure metadata — the wire and
+  /// view layers chain frames on Generation(), never on this count.
   virtual uint64_t num_points() const = 0;
+
+  /// \brief Monotone mutation epoch: strictly increases on every observable
+  /// summary mutation — each Insert() and, for expiring engines, each
+  /// expiry event that changes what the summary covers. Two reads returning
+  /// the same value bracket a window with no observable change, so caches,
+  /// delta baselines, and remote views key on this value.
+  ///
+  /// This is the single compatibility shim of the generation-epoch
+  /// redesign: insert-only engines never expire anything, so their epoch
+  /// is exactly the stream length and the default keeps their v2/v3 wire
+  /// frames byte-identical to the pre-epoch format. Engines whose count
+  /// can stall or shrink (WindowedHullEngine, restored engines) override
+  /// it. Invariant: Generation() >= num_points() is NOT required; the wire
+  /// layer only requires per-engine monotonicity and that
+  /// Generation() == num_points() hold iff the compact (unflagged) frame
+  /// encoding is used.
+  virtual uint64_t Generation() const { return num_points(); }
+
   /// True before the first point.
   bool empty() const { return num_points() == 0; }
   /// The base direction count r.
@@ -176,14 +198,17 @@ class HullEngine {
   /// fraction of a full v2 frame on a stable summary. See core/snapshot.h
   /// for the wire format and DESIGN.md for the protocol.
   ///
-  /// Generations are stream lengths: \p base_generation must equal the
-  /// engine's num_points() at the moment the previous frame (full or
-  /// delta) was encoded — i.e. what the sink's view currently holds as
-  /// num_points. On success the wire baseline advances to the current
-  /// state, so consecutive deltas chain. Returns FailedPrecondition when
-  /// no baseline matches \p base_generation (never encoded, a frame was
-  /// skipped, or the engine is empty): the caller must resync by sending
-  /// a full EncodeView() frame instead. Defined in core/snapshot.cc.
+  /// Generations are mutation epochs (Generation()): \p base_generation
+  /// must equal the engine's Generation() at the moment the previous frame
+  /// (full or delta) was encoded — i.e. what the sink's view currently
+  /// holds as its generation. For insert-only engines the epoch equals the
+  /// stream length, so pre-epoch callers that passed num_points() keep
+  /// working unchanged. On success the wire baseline advances to the
+  /// current state, so consecutive deltas chain. Returns
+  /// FailedPrecondition when no baseline matches \p base_generation (never
+  /// encoded, a frame was skipped, or the engine is empty): the caller
+  /// must resync by sending a full EncodeView() frame instead. Defined in
+  /// core/snapshot.cc.
   Status EncodeSummaryDelta(uint64_t base_generation, std::string* out);
 
   /// \brief Uncertainty triangles of all (non-degenerate) current edges, in
@@ -251,9 +276,9 @@ class HullEngine {
 
  private:
   // Producer-side state of the v3 delta protocol: the samples and slacks
-  // as of the last encoded frame, tagged with the generation (num_points)
-  // they correspond to. Maintained by EncodeView()/EncodeSummaryDelta()
-  // in core/snapshot.cc.
+  // as of the last encoded frame, tagged with the Generation() epoch they
+  // correspond to. Maintained by EncodeView()/EncodeSummaryDelta() in
+  // core/snapshot.cc.
   struct WireBaseline {
     bool valid = false;
     uint64_t generation = 0;
@@ -278,12 +303,46 @@ struct EngineOptions {
     return training_points == 0 ? 1024 : training_points;
   }
 
+  /// \brief kWindowed: count-based window width W — the summary covers the
+  /// last W inserted points. 0 selects the default of 65536 (wide enough
+  /// that generic kind sweeps over modest streams see insert-only
+  /// behavior). Ignored when window_seconds selects time-based expiry.
+  uint64_t window_points = 0;
+
+  /// \brief kWindowed: time-based window duration D. When > 0 the engine
+  /// expires by timestamp instead of by count: the summary covers points
+  /// with timestamp strictly greater than now - D, where "now" is the
+  /// engine's monotone time watermark (WindowedHullEngine::InsertTimed /
+  /// AdvanceTime). Must be finite.
+  double window_seconds = 0;
+
+  /// \brief kWindowed: number of expiry buckets K. Points are routed into
+  /// K consecutive sub-hulls and expire bucket-wise; larger K tightens the
+  /// window approximation at the cost of K-way merges on query. 0 selects
+  /// the default of 8.
+  uint32_t window_buckets = 0;
+
+  /// \brief kWindowed: the engine kind run inside each bucket. Must not
+  /// itself be kWindowed (no nested windows).
+  EngineKind window_inner_kind = EngineKind::kAdaptive;
+
+  /// The effective count window after resolving the 0 default.
+  uint64_t EffectiveWindowPoints() const {
+    return window_points == 0 ? 65536 : window_points;
+  }
+
+  /// The effective bucket count after resolving the 0 default.
+  uint32_t EffectiveWindowBuckets() const {
+    return window_buckets == 0 ? 8 : window_buckets;
+  }
+
   /// Validates option consistency for the given kind.
   Status Validate(EngineKind kind) const;
 };
 
 /// Stable lowercase identifier for a kind ("uniform", "adaptive",
-/// "partially-adaptive", "static-adaptive"); used in tables and CLIs.
+/// "partially-adaptive", "static-adaptive", "windowed"); used in tables
+/// and CLIs.
 const char* EngineKindName(EngineKind kind);
 
 /// \brief Parses EngineKindName output back to the kind. Matching is

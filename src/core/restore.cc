@@ -30,7 +30,20 @@ class RestoredEngine final : public HullEngine {
         restore_debt_(view.error_bound) {
     inner_->InsertBatch(seed);
     point_debt_ = view.num_points - inner_->num_points();
-    SeedWireBaseline(view.num_points, view.samples, view.slacks);
+    // Same continuation for the mutation epoch: post-restore mutations
+    // advance Generation() from the view's generation, so the seeded wire
+    // baseline and every later frame chain on one monotone counter.
+    // generation == 0 tolerates hand-built pre-epoch views (DecodeSummary-
+    // View always fills the field). The clamp only engages on views
+    // restored into a tighter window than the producer's (seed re-inserts
+    // can then expire, spending epochs the view never saw); the epoch
+    // stays monotone either way.
+    const uint64_t view_generation =
+        view.generation == 0 ? view.num_points : view.generation;
+    generation_debt_ = view_generation > inner_->Generation()
+                           ? view_generation - inner_->Generation()
+                           : 0;
+    SeedWireBaseline(view_generation, view.samples, view.slacks);
   }
 
   EngineKind kind() const override { return kind_; }
@@ -43,12 +56,20 @@ class RestoredEngine final : public HullEngine {
     inner_->Reserve(expected_points);
   }
 
-  /// Continues the producer's stream-length count: the seed re-inserts are
-  /// bookkeeping, not new stream points, so generations (the v3 protocol's
-  /// chaining key) advance exactly one per post-restore point.
+  /// Continues the producer's point count: the seed re-inserts are
+  /// bookkeeping, not new stream points, so the count advances exactly one
+  /// per post-restore point.
   uint64_t num_points() const override {
     return inner_->num_points() + point_debt_;
   }
+
+  /// Continues the producer's mutation epoch (the v3 protocol's chaining
+  /// key) from view.generation, by the same debt construction as
+  /// num_points().
+  uint64_t Generation() const override {
+    return inner_->Generation() + generation_debt_;
+  }
+
   uint32_t r() const override { return inner_->r(); }
 
   ConvexPolygon Polygon() const override { return inner_->Polygon(); }
@@ -103,6 +124,7 @@ class RestoredEngine final : public HullEngine {
   double floor_perimeter_;     ///< The view's effective P (metadata floor).
   double restore_debt_;        ///< The view's shipped error bound.
   uint64_t point_debt_ = 0;    ///< view.num_points minus seed insertions.
+  uint64_t generation_debt_ = 0;  ///< view.generation minus post-seed epoch.
 };
 
 }  // namespace

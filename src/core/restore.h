@@ -30,7 +30,7 @@
 //
 // The restored engine also seeds the view as its v3 wire baseline, so a
 // restarted producer whose sink still holds that view rejoins the delta
-// stream with its first EncodeSummaryDelta(view.num_points) — no resync
+// stream with its first EncodeSummaryDelta(view.generation) — no resync
 // frame needed. See DESIGN.md, "Server architecture" (restore semantics).
 
 #ifndef STREAMHULL_CORE_RESTORE_H_

@@ -22,6 +22,15 @@ constexpr uint32_t kVersionV2 = 2;
 constexpr uint32_t kMagicV3 = 0x53484c33;  // "SHL3" (delta frames).
 constexpr uint32_t kVersionV3 = 3;
 
+// Flag bit 0 (both versions): the producer's generation diverged from its
+// num_points, so one extra u64 follows the fixed header — the explicit
+// generation in v2, the explicit num_points metadata in v3 (whose two
+// header u64 slots already carry the base/new generations). The flag is
+// canonical: a producer whose generation equals its num_points MUST send
+// the compact frame, so insert-only engines stay byte-identical to the
+// pre-epoch format and a patched view re-encodes to a full frame's bytes.
+constexpr uint32_t kFlagExplicitGeneration = 1;
+
 void AppendU32(std::string* out, uint32_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -59,6 +68,7 @@ uint32_t KindWireCode(EngineKind kind) {
     case EngineKind::kAdaptive: return 1;
     case EngineKind::kPartiallyAdaptive: return 2;
     case EngineKind::kStaticAdaptive: return 3;
+    case EngineKind::kWindowed: return 4;
   }
   SH_CHECK(false && "unknown EngineKind");
   return 0;
@@ -70,6 +80,7 @@ bool KindFromWireCode(uint32_t code, EngineKind* out) {
     case 1: *out = EngineKind::kAdaptive; return true;
     case 2: *out = EngineKind::kPartiallyAdaptive; return true;
     case 3: *out = EngineKind::kStaticAdaptive; return true;
+    case 4: *out = EngineKind::kWindowed; return true;
     default: return false;
   }
 }
@@ -186,23 +197,28 @@ namespace {
 
 // The one v2 serializer behind both EncodeSummaryView overloads, so a
 // producer's frame and a relay's re-encode of the decoded view can never
-// drift apart byte-wise. An empty `slacks` means all-zero.
+// drift apart byte-wise. An empty `slacks` means all-zero. The explicit
+// generation extension is emitted iff generation != num_points (the
+// canonical-flag rule), so insert-only producers keep the legacy layout.
 std::string EncodeV2Frame(EngineKind kind, uint32_t r, uint64_t num_points,
-                          double perimeter, double error_bound,
+                          uint64_t generation, double perimeter,
+                          double error_bound,
                           const std::vector<HullSample>& samples,
                           std::span<const double> slacks) {
   SH_CHECK(slacks.empty() || slacks.size() == samples.size());
+  const bool explicit_generation = generation != num_points;
   std::string out;
-  out.reserve(48 + samples.size() * 36);
+  out.reserve(48 + (explicit_generation ? 8 : 0) + samples.size() * 36);
   AppendU32(&out, kMagicV2);
   AppendU32(&out, kVersionV2);
   AppendU32(&out, KindWireCode(kind));
   AppendU32(&out, r);
   AppendU32(&out, static_cast<uint32_t>(samples.size()));
-  AppendU32(&out, 0);  // Reserved flags; receivers require 0.
+  AppendU32(&out, explicit_generation ? kFlagExplicitGeneration : 0);
   AppendU64(&out, num_points);
   AppendF64(&out, perimeter);
   AppendF64(&out, error_bound);
+  if (explicit_generation) AppendU64(&out, generation);
   for (size_t i = 0; i < samples.size(); ++i) {
     AppendU64(&out, samples[i].direction.num());
     AppendU32(&out, samples[i].direction.level());
@@ -217,31 +233,34 @@ std::string EncodeV2Frame(EngineKind kind, uint32_t r, uint64_t num_points,
 
 std::string EncodeSummaryView(const HullEngine& engine) {
   return EncodeV2Frame(engine.kind(), engine.r(), engine.num_points(),
-                       engine.EffectivePerimeter(), engine.ErrorBound(),
-                       engine.Samples(), engine.SampleSlacks());
+                       engine.Generation(), engine.EffectivePerimeter(),
+                       engine.ErrorBound(), engine.Samples(),
+                       engine.SampleSlacks());
 }
 
 std::string EncodeSummaryView(const DecodedSummaryView& view) {
-  return EncodeV2Frame(view.kind, view.r, view.num_points, view.perimeter,
-                       view.error_bound, view.samples, view.slacks);
+  return EncodeV2Frame(view.kind, view.r, view.num_points, view.generation,
+                       view.perimeter, view.error_bound, view.samples,
+                       view.slacks);
 }
 
 std::string HullEngine::EncodeView() {
   Seal();
   std::vector<HullSample> samples = Samples();
   std::vector<double> slacks = SampleSlacks();
-  std::string out = EncodeV2Frame(kind(), r(), num_points(),
+  std::string out = EncodeV2Frame(kind(), r(), num_points(), Generation(),
                                   EffectivePerimeter(), ErrorBound(),
                                   samples, slacks);
   // A non-empty full frame (re)establishes the delta baseline: the sink
   // that receives these bytes holds exactly this state, so the next
-  // EncodeSummaryDelta(num_points()) can chain onto it. Empty summaries
-  // are not valid transmissions (DecodeSummaryView rejects them), so they
-  // establish nothing.
-  if (num_points() > 0) {
+  // EncodeSummaryDelta(Generation()) can chain onto it. Summaries the sink
+  // rejects — empty engines, and windowed engines in the degenerate
+  // no-complete-bucket state whose sample set is empty (DecodeSummaryView
+  // rejects count == 0 either way) — establish nothing.
+  if (num_points() > 0 && !samples.empty()) {
     wire_baseline_.samples = std::move(samples);
     wire_baseline_.slacks = std::move(slacks);
-    wire_baseline_.generation = num_points();
+    wire_baseline_.generation = Generation();
     wire_baseline_.valid = true;
     OnWireBaselineCaptured();
   }
@@ -269,13 +288,15 @@ Status DecodeSummaryView(std::string_view bytes, DecodedSummaryView* out) {
   if (!r.ReadU32(&count) || count == 0 || count > 4 * base_r + 4) {
     return Status::InvalidArgument("snapshot v2 sample count out of range");
   }
+  if (!r.ReadU32(&flags) || (flags & ~kFlagExplicitGeneration) != 0) {
+    return Status::InvalidArgument("snapshot v2 reserved flags not zero");
+  }
+  const bool explicit_generation = (flags & kFlagExplicitGeneration) != 0;
   // Exact-size check before any count-sized allocation (see v1 decoder).
-  if (bytes.size() != 48 + 36 * static_cast<size_t>(count)) {
+  if (bytes.size() != 48 + (explicit_generation ? 8 : 0) +
+                          36 * static_cast<size_t>(count)) {
     return Status::InvalidArgument(
         "snapshot v2 size does not match its count");
-  }
-  if (!r.ReadU32(&flags) || flags != 0) {
-    return Status::InvalidArgument("snapshot v2 reserved flags not zero");
   }
   if (!r.ReadU64(&view.num_points) || view.num_points == 0) {
     return Status::InvalidArgument("snapshot v2 stream length invalid");
@@ -287,6 +308,19 @@ Status DecodeSummaryView(std::string_view bytes, DecodedSummaryView* out) {
   if (!r.ReadF64(&view.error_bound) || !(view.error_bound >= 0) ||
       !std::isfinite(view.error_bound)) {
     return Status::InvalidArgument("snapshot v2 error bound not finite");
+  }
+  if (explicit_generation) {
+    if (!r.ReadU64(&view.generation) || view.generation == 0) {
+      return Status::InvalidArgument("snapshot v2 generation invalid");
+    }
+    if (view.generation == view.num_points) {
+      // The flag is canonical: this state must be the compact frame, or a
+      // relay's re-encode would not reproduce the producer's bytes.
+      return Status::InvalidArgument(
+          "snapshot v2 explicit generation equals num_points");
+    }
+  } else {
+    view.generation = view.num_points;
   }
   view.samples.reserve(count);
   view.slacks.reserve(count);
@@ -382,20 +416,27 @@ Status HullEngine::EncodeSummaryDelta(uint64_t base_generation,
     }
   }
 
+  // The explicit-num_points extension mirrors v2's canonical-flag rule:
+  // the two header u64 slots carry the base/new generations, and the count
+  // metadata rides in an extra u64 only when it diverged.
+  const uint64_t new_generation = Generation();
+  const bool explicit_num_points = num_points() != new_generation;
   std::string frame;
-  frame.reserve(64 + upserts.size() * 36 + retires.size() * 12);
+  frame.reserve(64 + (explicit_num_points ? 8 : 0) + upserts.size() * 36 +
+                retires.size() * 12);
   AppendU32(&frame, kMagicV3);
   AppendU32(&frame, kVersionV3);
   AppendU32(&frame, KindWireCode(kind()));
   AppendU32(&frame, r());
   AppendU32(&frame, static_cast<uint32_t>(upserts.size()));
   AppendU32(&frame, static_cast<uint32_t>(retires.size()));
-  AppendU32(&frame, 0);  // Reserved flags; receivers require 0.
+  AppendU32(&frame, explicit_num_points ? kFlagExplicitGeneration : 0);
   AppendU32(&frame, 0);  // Reserved; receivers require 0.
   AppendU64(&frame, base_generation);
-  AppendU64(&frame, num_points());
+  AppendU64(&frame, new_generation);
   AppendF64(&frame, EffectivePerimeter());
   AppendF64(&frame, ErrorBound());
+  if (explicit_num_points) AppendU64(&frame, num_points());
   for (size_t i : upserts) {
     AppendU64(&frame, samples[i].direction.num());
     AppendU32(&frame, samples[i].direction.level());
@@ -409,10 +450,10 @@ Status HullEngine::EncodeSummaryDelta(uint64_t base_generation,
   }
 
   // Advance the baseline: the sink that applies this frame holds exactly
-  // the current state, so the next delta chains onto num_points().
+  // the current state, so the next delta chains onto Generation().
   wire_baseline_.samples = std::move(samples);
   wire_baseline_.slacks = std::move(slacks);
-  wire_baseline_.generation = num_points();
+  wire_baseline_.generation = new_generation;
   wire_baseline_.valid = true;
   OnWireBaselineCaptured();
 
@@ -445,27 +486,29 @@ Status ApplySummaryDelta(std::string_view bytes, DecodedSummaryView* view,
   if (!r.ReadU32(&retire_count) || retire_count > max_count) {
     return Status::InvalidArgument("snapshot v3 retire count out of range");
   }
+  if (!r.ReadU32(&flags) || (flags & ~kFlagExplicitGeneration) != 0 ||
+      !r.ReadU32(&reserved) || reserved != 0) {
+    return Status::InvalidArgument("snapshot v3 reserved fields not zero");
+  }
+  const bool explicit_num_points = (flags & kFlagExplicitGeneration) != 0;
   // Exact-size check before any count-sized allocation (see v1 decoder).
-  if (bytes.size() != 64 + 36 * static_cast<size_t>(upsert_count) +
+  if (bytes.size() != 64 + (explicit_num_points ? 8 : 0) +
+                          36 * static_cast<size_t>(upsert_count) +
                           12 * static_cast<size_t>(retire_count)) {
     return Status::InvalidArgument(
         "snapshot v3 size does not match its counts");
   }
-  if (!r.ReadU32(&flags) || flags != 0 || !r.ReadU32(&reserved) ||
-      reserved != 0) {
-    return Status::InvalidArgument("snapshot v3 reserved fields not zero");
-  }
-  uint64_t base_points = 0, num_points = 0;
+  uint64_t base_generation = 0, new_generation = 0;
   double perimeter = 0, error_bound = 0;
-  if (!r.ReadU64(&base_points) || base_points == 0) {
+  if (!r.ReadU64(&base_generation) || base_generation == 0) {
     return Status::InvalidArgument("snapshot v3 base generation invalid");
   }
-  if (!r.ReadU64(&num_points) || num_points < base_points) {
-    return Status::InvalidArgument("snapshot v3 stream length regressed");
+  if (!r.ReadU64(&new_generation) || new_generation < base_generation) {
+    return Status::InvalidArgument("snapshot v3 generation regressed");
   }
-  if (num_points == base_points && upsert_count + retire_count > 0) {
+  if (new_generation == base_generation && upsert_count + retire_count > 0) {
     return Status::InvalidArgument(
-        "snapshot v3 changes samples without advancing the stream");
+        "snapshot v3 changes samples without advancing the generation");
   }
   if (!r.ReadF64(&perimeter) || !(perimeter >= 0) ||
       !std::isfinite(perimeter)) {
@@ -474,6 +517,18 @@ Status ApplySummaryDelta(std::string_view bytes, DecodedSummaryView* view,
   if (!r.ReadF64(&error_bound) || !(error_bound >= 0) ||
       !std::isfinite(error_bound)) {
     return Status::InvalidArgument("snapshot v3 error bound not finite");
+  }
+  uint64_t num_points = new_generation;
+  if (explicit_num_points) {
+    if (!r.ReadU64(&num_points) || num_points == 0) {
+      return Status::InvalidArgument("snapshot v3 num_points invalid");
+    }
+    if (num_points == new_generation) {
+      // Canonical-flag rule (see EncodeV2Frame): this state must be the
+      // compact frame.
+      return Status::InvalidArgument(
+          "snapshot v3 explicit num_points equals the generation");
+    }
   }
   std::vector<HullSample> upserts;
   std::vector<double> upsert_slacks;
@@ -527,10 +582,10 @@ Status ApplySummaryDelta(std::string_view bytes, DecodedSummaryView* view,
   if (base_r != view->r) {
     return Status::InvalidArgument("snapshot v3 r does not match the view");
   }
-  if (base_points != view->num_points) {
+  if (base_generation != view->generation) {
     return Status::FailedPrecondition(
-        "snapshot v3 base generation " + std::to_string(base_points) +
-        " does not match the view's " + std::to_string(view->num_points) +
+        "snapshot v3 base generation " + std::to_string(base_generation) +
+        " does not match the view's " + std::to_string(view->generation) +
         "; request a full snapshot to resync");
   }
 
@@ -597,6 +652,7 @@ Status ApplySummaryDelta(std::string_view bytes, DecodedSummaryView* view,
   }
 
   view->num_points = num_points;
+  view->generation = new_generation;
   view->perimeter = perimeter;
   view->error_bound = error_bound;
   view->samples = std::move(merged);

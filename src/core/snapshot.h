@@ -29,13 +29,22 @@
 //     stable by design (most samples and slacks do not move between
 //     polls), so a producer that just shipped a frame transmits only the
 //     changed/inserted samples, the retired directions, and fresh
-//     metadata. Frames are chained by *generation* (the producer's stream
-//     length): a delta applies only to a view holding exactly its base
-//     generation, and any gap — dropped frame, restarted producer,
-//     reordered delivery — surfaces as a Status telling the caller to
-//     resync with a full v2 frame. ApplySummaryDelta patches a sink-side
-//     DecodedSummaryView in place to the bit-exact state a full v2
-//     re-decode would produce.
+//     metadata. Frames are chained by *generation* — the producer's
+//     monotone mutation epoch (HullEngine::Generation()), which equals the
+//     stream length for insert-only engines but keeps advancing through
+//     expiry on windowed ones: a delta applies only to a view holding
+//     exactly its base generation, and any gap — dropped frame, restarted
+//     producer, reordered delivery — surfaces as a Status telling the
+//     caller to resync with a full v2 frame. ApplySummaryDelta patches a
+//     sink-side DecodedSummaryView in place to the bit-exact state a full
+//     v2 re-decode would produce.
+//
+//     Producers whose generation diverges from num_points set flag bit 0
+//     and append one u64 to the fixed header (v2: the explicit generation;
+//     v3: the explicit num_points metadata, since the two header u64 slots
+//     already carry the base/new generations). Insert-only engines never
+//     set the flag, so their frames are byte-identical to the pre-epoch
+//     format — pinned by the golden-byte tests.
 //
 // Versioning policy: each version has its own magic; decoders reject
 // unknown magics/versions with a Status (never UB), v1 remains decodable
@@ -103,10 +112,16 @@ std::unique_ptr<AdaptiveHull> RestoreHull(const HullSnapshot& snapshot,
 struct DecodedSummaryView {
   EngineKind kind = EngineKind::kAdaptive;  ///< Producer's engine strategy.
   uint32_t r = 0;           ///< Producer's base direction count.
-  /// Stream length the producer had seen. This is also the view's
-  /// *generation* in the v3 delta protocol: a delta frame applies iff its
-  /// base generation equals this value (see ApplySummaryDelta).
+  /// \brief Number of points the producer's summary covered at encode time
+  /// (its num_points()): the stream length for insert-only engines, the
+  /// in-window count for windowed ones. Pure metadata — delta chaining
+  /// keys on `generation`, not on this count.
   uint64_t num_points = 0;
+  /// \brief The producer's mutation epoch (HullEngine::Generation()) at
+  /// encode time: the view's position in the v3 delta chain. A delta frame
+  /// applies iff its base generation equals this value (see
+  /// ApplySummaryDelta). Equals num_points for insert-only producers.
+  uint64_t generation = 0;
   double perimeter = 0;     ///< Producer's effective P (0 if not tracked).
   double error_bound = 0;   ///< Producer's ErrorBound() at encode time.
   std::vector<HullSample> samples;  ///< Active samples, CCW direction order.

@@ -78,7 +78,7 @@ Status StreamGroup::UpdateRemoteStream(const std::string& name,
     entry.remote_decoded = std::move(decoded);
     ++stats.full_frames;
   }
-  stats.held_generation = entry.remote_decoded.num_points;
+  stats.held_generation = entry.remote_decoded.generation;
   ++entry.remote_updates;  // Invalidates the generation-tagged cache.
   return Status::OK();
 }

@@ -150,8 +150,10 @@ struct RemoteStreamStats {
   /// Structurally malformed frames (InvalidArgument): truncated, bad
   /// magic, out-of-range fields. The held view survives untouched.
   uint64_t rejected_frames = 0;
-  /// The generation (producer stream length) of the currently held view;
-  /// 0 before the first successful update.
+  /// The generation (the producer engine's mutation epoch,
+  /// HullEngine::Generation(); equals the stream length for insert-only
+  /// producers) of the currently held view; 0 before the first successful
+  /// update.
   uint64_t held_generation = 0;
 };
 
@@ -400,16 +402,17 @@ class StreamGroup {
     ParallelIngestor::ShardId shard = static_cast<size_t>(-1);
 
     /// Cached sandwich, valid while the generation below matches the
-    /// stream's current state (local: num_points; remote: update count).
-    /// Engines only change through inserts/updates, both of which bump the
-    /// generation, so a matching generation proves the cache current.
+    /// stream's current state (local: the engine's mutation epoch; remote:
+    /// update count). Every observable engine change — insert or expiry —
+    /// bumps the epoch, so a matching generation proves the cache current
+    /// even for windowed engines whose point count can stand still.
     SummaryView cached_view;
     uint64_t cached_generation = 0;
     bool cache_valid = false;
     uint64_t remote_updates = 0;  ///< Remote generation counter.
     RemoteStreamStats remote_stats;  ///< Frame accounting (remote only).
     uint64_t generation() const {
-      return remote() ? remote_updates : engine->num_points();
+      return remote() ? remote_updates : engine->Generation();
     }
   };
 

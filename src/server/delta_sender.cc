@@ -55,7 +55,10 @@ Status DeltaSender::NextFrame(Frame* out) {
   if (!frame.is_delta) {
     frame.bytes = engine_->EncodeView();
   }
-  frame.generation = engine_->num_points();
+  // Frames are tagged with the engine's mutation epoch, not its point
+  // count: the two only differ for expiring engines, whose count can
+  // stall while the summary keeps changing.
+  frame.generation = engine_->Generation();
 
   ++stats_.frames;
   if (frame.is_delta) {

@@ -31,7 +31,8 @@
 //                                <- QUERY_RESULT(interval, certainty)
 //   BYE                          ->                      (either direction)
 //
-// Generations are producer stream lengths, exactly as in the v3 delta
+// Generations are producer mutation epochs (HullEngine::Generation() —
+// the stream length for insert-only engines), exactly as in the v3 delta
 // protocol; OPEN_OK's held_generation tells a reconnecting producer where
 // the server's view stands, so it can resume the delta chain (0 means the
 // server holds nothing and the first DATA must be a full v2 frame).

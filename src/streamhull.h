@@ -60,6 +60,7 @@
 #include "core/restore.h"
 #include "core/snapshot.h"
 #include "core/static_adaptive.h"
+#include "core/windowed_hull.h"
 #include "geom/convex_hull.h"
 #include "geom/convex_polygon.h"
 #include "geom/direction.h"

@@ -1,0 +1,424 @@
+// Differential suite for the sliding-window engine: the certified
+// [Inner(), Outer()] sandwich must bracket the brute-force hull of exactly
+// the last-W points (count mode) or the strictly-in-window points (time
+// mode), across generators x window sizes x bucket counts; expiry
+// adversaries (everything expires, window larger than the stream, duplicate
+// timestamps); batch-vs-incremental bit identity; and the generation-epoch
+// wire contract — v2/v3 frames with generation != num_points round-trip,
+// chain through a DeltaSender into a remote StreamGroup stream, and reject
+// replayed or stale deltas.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hull_engine.h"
+#include "core/restore.h"
+#include "core/snapshot.h"
+#include "core/windowed_hull.h"
+#include "geom/direction.h"
+#include "multi/stream_group.h"
+#include "server/delta_sender.h"
+#include "stream/generators.h"
+
+namespace streamhull {
+namespace {
+
+EngineOptions WindowedOpts(uint64_t window, uint32_t buckets,
+                           uint32_t r = 16) {
+  EngineOptions o;
+  o.hull.r = r;
+  o.window_points = window;
+  o.window_buckets = buckets;
+  return o;
+}
+
+struct NamedStream {
+  std::string name;
+  std::vector<Point2> points;
+};
+
+// The seven stream shapes of the differential sweep: stationary boundaries
+// (disk, square, ellipse, circle), regime change (changing-ellipse),
+// clusters, and a drifting walk (where expiry visibly moves the hull).
+std::vector<NamedStream> TestStreams(size_t n) {
+  std::vector<NamedStream> streams;
+  streams.push_back({"disk", DiskGenerator(11).Take(n)});
+  streams.push_back({"square", SquareGenerator(12, 0.37).Take(n)});
+  streams.push_back({"ellipse", EllipseGenerator(13, 16.0, 0.23).Take(n)});
+  streams.push_back(
+      {"changing", ChangingEllipseGenerator(14, n / 2, 8.0).Take(n)});
+  streams.push_back({"circle", CircleGenerator(15, 64).Take(n)});
+  streams.push_back({"clusters", ClusterGenerator(16, 4).Take(n)});
+  streams.push_back({"drift", DriftWalkGenerator(17).Take(n)});
+  return streams;
+}
+
+// Certification oracle: per base direction, the engine's inner support must
+// not exceed — and inner + slack must cover — the brute-force support of
+// exactly the given window points.
+void ExpectSandwichCertifies(const WindowedHullEngine& engine,
+                             std::span<const Point2> window,
+                             const std::string& context) {
+  const std::vector<HullSample> samples = engine.Samples();
+  const std::vector<double> slacks = engine.SampleSlacks();
+  if (window.empty()) return;
+  ASSERT_FALSE(samples.empty()) << context;
+  ASSERT_EQ(samples.size(), size_t{engine.r()}) << context;
+  ASSERT_EQ(slacks.size(), samples.size()) << context;
+  for (size_t j = 0; j < samples.size(); ++j) {
+    const Point2 u = samples[j].direction.ToVector();
+    double brute = Dot(window[0], u);
+    for (const Point2& p : window) brute = std::max(brute, Dot(p, u));
+    const double inner = Dot(samples[j].point, u);
+    const double tolerance = 1e-9 * std::max(1.0, std::fabs(brute));
+    // Inner stays inside the true window hull: the merged sample is a
+    // genuine in-window point, so this holds with no slop at all.
+    EXPECT_LE(inner, brute + tolerance) << context << " direction " << j;
+    // Inner + slack covers every in-window point.
+    EXPECT_GE(inner + slacks[j], brute - tolerance)
+        << context << " direction " << j;
+  }
+}
+
+TEST(WindowedHullTest, CountWindowCertifiesLastWPoints) {
+  const size_t kStream = 1200;
+  const uint64_t kWindows[] = {64, 256, 1000};
+  const uint32_t kBuckets[] = {1, 4, 16};
+  for (const NamedStream& stream : TestStreams(kStream)) {
+    for (uint64_t window : kWindows) {
+      for (uint32_t buckets : kBuckets) {
+        WindowedHullEngine engine(WindowedOpts(window, buckets));
+        uint64_t last_generation = 0;
+        for (size_t i = 0; i < stream.points.size(); ++i) {
+          engine.Insert(stream.points[i]);
+          ASSERT_GT(engine.Generation(), last_generation)
+              << stream.name << " W=" << window << " K=" << buckets;
+          last_generation = engine.Generation();
+          const size_t in_window =
+              std::min<size_t>(i + 1, static_cast<size_t>(window));
+          ASSERT_EQ(engine.num_points(), in_window);
+          ASSERT_GE(engine.Generation(), engine.num_points());
+          // Check the sandwich at a stride (and at the very end): the
+          // oracle is O(W * r) per check.
+          if (i % 149 == 0 || i + 1 == stream.points.size()) {
+            const std::string context = stream.name + " W=" +
+                                        std::to_string(window) + " K=" +
+                                        std::to_string(buckets) + " i=" +
+                                        std::to_string(i);
+            ExpectSandwichCertifies(
+                engine,
+                std::span<const Point2>(&stream.points[i + 1 - in_window],
+                                        in_window),
+                context);
+            ASSERT_TRUE(engine.CheckConsistency().ok()) << context;
+          }
+        }
+        if (stream.points.size() > window) {
+          // Something expired, so the epoch outran the point count.
+          EXPECT_GT(engine.Generation(), engine.num_points());
+          // A bucket fully exits once the stream outruns window + bucket
+          // capacity; before that the oldest bucket only straddles.
+          const uint64_t capacity = (window + buckets - 1) / buckets;
+          if (stream.points.size() > window + capacity) {
+            EXPECT_GT(engine.buckets_dropped(), 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WindowedHullTest, TimeWindowCertifiesStrictlyInWindowPoints) {
+  const double kWindowSeconds = 2.0;
+  for (const NamedStream& stream : TestStreams(600)) {
+    for (uint32_t buckets : {1u, 4u, 16u}) {
+      EngineOptions o;
+      o.hull.r = 16;
+      o.window_seconds = kWindowSeconds;
+      o.window_buckets = buckets;
+      WindowedHullEngine engine(o);
+      std::vector<std::pair<double, Point2>> timed;
+      double t = 0;
+      uint64_t last_generation = 0;
+      for (size_t i = 0; i < stream.points.size(); ++i) {
+        // Jittery but monotone timestamps, with runs of exact duplicates.
+        if (i % 7 != 0) t += 0.01 * static_cast<double>(i % 3);
+        engine.InsertTimed(stream.points[i], t);
+        timed.emplace_back(t, stream.points[i]);
+        ASSERT_GT(engine.Generation(), last_generation);
+        last_generation = engine.Generation();
+        if (i % 101 == 0 || i + 1 == stream.points.size()) {
+          std::vector<Point2> window;
+          for (const auto& [ts, p] : timed) {
+            if (ts > engine.now() - kWindowSeconds) window.push_back(p);
+          }
+          const std::string context =
+              stream.name + " K=" + std::to_string(buckets) + " i=" +
+              std::to_string(i);
+          // The alive buckets cover at least the in-window points, so
+          // num_points (the alive sum) is an upper bound.
+          ASSERT_GE(engine.num_points(), window.size()) << context;
+          if (!engine.Samples().empty()) {
+            ExpectSandwichCertifies(engine, window, context);
+          }
+          ASSERT_TRUE(engine.CheckConsistency().ok()) << context;
+        }
+      }
+      EXPECT_GT(engine.buckets_dropped(), 0u) << stream.name;
+    }
+  }
+}
+
+TEST(WindowedHullTest, AdvanceTimeExpiresEverything) {
+  EngineOptions o;
+  o.hull.r = 16;
+  o.window_seconds = 1.0;
+  o.window_buckets = 4;
+  WindowedHullEngine engine(o);
+  const auto points = DiskGenerator(21).Take(100);
+  for (size_t i = 0; i < points.size(); ++i) {
+    engine.InsertTimed(points[i], static_cast<double>(i) * 0.01);
+  }
+  EXPECT_EQ(engine.num_points(), 100u);
+  const uint64_t before = engine.Generation();
+
+  engine.AdvanceTime(1000.0);
+  EXPECT_EQ(engine.num_points(), 0u);
+  EXPECT_EQ(engine.alive_buckets(), 0u);
+  EXPECT_GT(engine.Generation(), before);  // Expiry is an observable epoch.
+  EXPECT_TRUE(engine.Samples().empty());
+  EXPECT_TRUE(engine.Polygon().empty());
+  EXPECT_TRUE(engine.OuterPolygon().empty());
+  EXPECT_EQ(engine.ErrorBound(), 0.0);
+  ASSERT_TRUE(engine.CheckConsistency().ok());
+
+  // The engine keeps working after total expiry.
+  engine.InsertTimed({1, 1}, 1000.5);
+  EXPECT_EQ(engine.num_points(), 1u);
+  ASSERT_TRUE(engine.CheckConsistency().ok());
+}
+
+TEST(WindowedHullTest, WindowLargerThanStreamMatchesInsertOnly) {
+  // A window nothing ever leaves: the windowed engine must look exactly
+  // like an insert-only engine — per-direction supports equal, the point
+  // count the stream length, and generation == num_points (the wire
+  // compat rule: such frames take the compact insert-only encoding).
+  const auto points = DriftWalkGenerator(22).Take(500);
+  WindowedHullEngine windowed(WindowedOpts(100000, 8));
+  auto plain = MakeEngine(EngineKind::kAdaptive, WindowedOpts(100000, 8));
+  for (const Point2& p : points) {
+    windowed.Insert(p);
+    plain->Insert(p);
+  }
+  EXPECT_EQ(windowed.num_points(), 500u);
+  EXPECT_EQ(windowed.Generation(), 500u);
+  EXPECT_EQ(windowed.buckets_dropped(), 0u);
+  // The bucket sub-engine saw the identical stream, so the merged inner
+  // support per base direction equals the insert-only engine's (sample
+  // sets may differ — the adaptive engine keeps refined directions too —
+  // but their per-direction maxima cannot).
+  const ConvexPolygon windowed_inner = windowed.Polygon();
+  const ConvexPolygon plain_inner = plain->Polygon();
+  ASSERT_FALSE(windowed_inner.empty());
+  for (uint32_t j = 0; j < windowed.r(); ++j) {
+    const Point2 u = Direction::Uniform(j, windowed.r()).ToVector();
+    EXPECT_EQ(windowed_inner.Support(u), plain_inner.Support(u))
+        << "direction " << j;
+  }
+}
+
+TEST(WindowedHullTest, DuplicateTimestampsStayInOneBucket) {
+  EngineOptions o;
+  o.hull.r = 16;
+  o.window_seconds = 1.0;
+  o.window_buckets = 4;
+  WindowedHullEngine engine(o);
+  const auto points = DiskGenerator(23).Take(300);
+  for (const Point2& p : points) engine.InsertTimed(p, 5.0);
+  // Same timestamp never crosses a bucket span boundary.
+  EXPECT_EQ(engine.alive_buckets(), 1u);
+  EXPECT_EQ(engine.num_points(), 300u);
+  ASSERT_TRUE(engine.CheckConsistency().ok());
+
+  // A single-timestamp bucket has no straddling phase: one time step takes
+  // it from fully-in-window to dropped, charging exactly one epoch.
+  const uint64_t before = engine.Generation();
+  engine.AdvanceTime(6.5);
+  EXPECT_EQ(engine.num_points(), 0u);
+  EXPECT_EQ(engine.Generation(), before + 1);
+}
+
+TEST(WindowedHullTest, BatchMatchesIncrementalBitForBit) {
+  const auto points = DriftWalkGenerator(24).Take(900);
+  for (uint64_t window : {64u, 256u}) {
+    for (size_t batch : {size_t{1}, size_t{7}, size_t{64}, size_t{900}}) {
+      WindowedHullEngine incremental(WindowedOpts(window, 4));
+      WindowedHullEngine batched(WindowedOpts(window, 4));
+      for (const Point2& p : points) incremental.Insert(p);
+      for (size_t off = 0; off < points.size(); off += batch) {
+        const size_t len = std::min(batch, points.size() - off);
+        batched.InsertBatch(std::span<const Point2>(&points[off], len));
+      }
+      const std::string context =
+          "W=" + std::to_string(window) + " batch=" + std::to_string(batch);
+      ASSERT_EQ(batched.Generation(), incremental.Generation()) << context;
+      ASSERT_EQ(batched.num_points(), incremental.num_points()) << context;
+      ASSERT_EQ(batched.alive_buckets(), incremental.alive_buckets())
+          << context;
+      ASSERT_EQ(batched.buckets_dropped(), incremental.buckets_dropped())
+          << context;
+      const auto a = batched.Samples();
+      const auto b = incremental.Samples();
+      ASSERT_EQ(a.size(), b.size()) << context;
+      for (size_t j = 0; j < a.size(); ++j) {
+        EXPECT_EQ(a[j].point, b[j].point) << context << " direction " << j;
+      }
+      const auto sa = batched.SampleSlacks();
+      const auto sb = incremental.SampleSlacks();
+      ASSERT_EQ(sa, sb) << context;
+      EXPECT_EQ(batched.ErrorBound(), incremental.ErrorBound()) << context;
+    }
+  }
+}
+
+TEST(WindowedHullTest, V2RoundTripCarriesNonLengthGeneration) {
+  WindowedHullEngine engine(WindowedOpts(64, 4));
+  const auto points = DriftWalkGenerator(25).Take(200);
+  for (const Point2& p : points) engine.Insert(p);
+  ASSERT_GT(engine.Generation(), engine.num_points());
+
+  const std::string bytes = EncodeSummaryView(engine);
+  DecodedSummaryView view;
+  ASSERT_TRUE(DecodeSummaryView(bytes, &view).ok());
+  EXPECT_EQ(view.num_points, engine.num_points());
+  EXPECT_EQ(view.generation, engine.Generation());
+  EXPECT_EQ(view.kind, EngineKind::kWindowed);
+  // Canonical re-encode: byte identity through a decode/encode cycle.
+  EXPECT_EQ(EncodeSummaryView(view), bytes);
+
+  // Restoring the view continues the mutation epoch, not the point count.
+  std::unique_ptr<HullEngine> restored;
+  EngineOptions restore_options = WindowedOpts(64, 4);
+  restore_options.window_inner_kind = EngineKind::kAdaptive;
+  ASSERT_TRUE(MakeEngineFromView(view, restore_options, &restored).ok());
+  EXPECT_EQ(restored->Generation(), view.generation);
+}
+
+TEST(WindowedHullTest, V3DeltaChainFeedsRemoteStreamGroup) {
+  // The acceptance path end to end: a windowed producer whose generation
+  // has diverged from its point count drives a DeltaSender, the frames
+  // feed a remote StreamGroup stream, and the held view tracks the
+  // producer's epoch while its sandwich keeps certifying the true last-W
+  // window.
+  const uint64_t kWindow = 128;
+  WindowedHullEngine engine(WindowedOpts(kWindow, 4));
+  DeltaSender sender(&engine);
+  StreamGroup group{EngineOptions{}};
+  ASSERT_TRUE(group.AddRemoteStream("w").ok());
+
+  const auto points = DriftWalkGenerator(26).Take(600);
+  uint64_t deltas_applied = 0;
+  for (size_t off = 0; off < points.size(); off += 50) {
+    const size_t len = std::min<size_t>(50, points.size() - off);
+    engine.InsertBatch(std::span<const Point2>(&points[off], len));
+    DeltaSender::Frame frame;
+    ASSERT_TRUE(sender.NextFrame(&frame).ok());
+    EXPECT_EQ(frame.generation, engine.Generation());
+    ASSERT_TRUE(group.UpdateRemoteStream("w", frame.bytes).ok())
+        << "offset " << off;
+    sender.OnAck(frame.generation);
+    if (frame.is_delta) ++deltas_applied;
+  }
+  EXPECT_GT(deltas_applied, 0u);  // The chain ran on deltas, not resyncs.
+  ASSERT_GT(engine.Generation(), engine.num_points());
+
+  RemoteStreamStats stats;
+  ASSERT_TRUE(group.RemoteStats("w", &stats).ok());
+  EXPECT_EQ(stats.held_generation, engine.Generation());
+  EXPECT_EQ(stats.resyncs_needed, 0u);
+
+  DecodedSummaryView view;
+  ASSERT_TRUE(group.RemoteView("w", &view).ok());
+  EXPECT_EQ(view.generation, engine.Generation());
+  EXPECT_EQ(view.num_points, engine.num_points());
+  // The remote sandwich certifies the true last-W window.
+  const std::span<const Point2> window(&points[points.size() - kWindow],
+                                       kWindow);
+  const ConvexPolygon inner = view.Inner();
+  const ConvexPolygon outer = view.Outer();
+  ASSERT_FALSE(inner.empty());
+  ASSERT_FALSE(outer.empty());
+  for (uint32_t j = 0; j < view.r; ++j) {
+    const Point2 u = Direction::Uniform(j, view.r).ToVector();
+    double brute = Dot(window[0], u);
+    for (const Point2& p : window) brute = std::max(brute, Dot(p, u));
+    const double tolerance = 1e-9 * std::max(1.0, std::fabs(brute));
+    EXPECT_LE(inner.Support(u), brute + tolerance) << "direction " << j;
+    EXPECT_GE(outer.Support(u), brute - tolerance) << "direction " << j;
+  }
+}
+
+TEST(WindowedHullTest, ReplayedAndStaleDeltasAreRejected) {
+  WindowedHullEngine engine(WindowedOpts(64, 4));
+  const auto points = DriftWalkGenerator(27).Take(400);
+  engine.InsertBatch(std::span<const Point2>(points.data(), 200));
+
+  DecodedSummaryView original;
+  ASSERT_TRUE(DecodeSummaryView(engine.EncodeView(), &original).ok());
+
+  engine.InsertBatch(std::span<const Point2>(points.data() + 200, 100));
+  std::string delta1;
+  ASSERT_TRUE(engine.EncodeSummaryDelta(original.generation, &delta1).ok());
+  DecodedSummaryView view = original;
+  ASSERT_TRUE(ApplySummaryDelta(delta1, &view, nullptr).ok());
+  EXPECT_EQ(view.generation, engine.Generation());
+  EXPECT_EQ(view.num_points, engine.num_points());
+
+  // Replay: the delta's base generation is now behind the view.
+  DecodedSummaryView advanced = view;
+  Status replay = ApplySummaryDelta(delta1, &advanced, nullptr);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(replay.code(), StatusCode::kFailedPrecondition);
+
+  // Stale sink: a later delta applied to a view that missed delta1.
+  engine.InsertBatch(std::span<const Point2>(points.data() + 300, 100));
+  std::string delta2;
+  ASSERT_TRUE(engine.EncodeSummaryDelta(view.generation, &delta2).ok());
+  DecodedSummaryView behind = original;
+  Status stale = ApplySummaryDelta(delta2, &behind, nullptr);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WindowedHullTest, OptionsValidation) {
+  EngineOptions o;
+  o.hull.r = 16;
+  EXPECT_TRUE(o.Validate(EngineKind::kWindowed).ok());
+  o.window_inner_kind = EngineKind::kWindowed;  // No nesting.
+  EXPECT_FALSE(o.Validate(EngineKind::kWindowed).ok());
+  o.window_inner_kind = EngineKind::kAdaptive;
+  o.window_seconds = -1.0;
+  EXPECT_FALSE(o.Validate(EngineKind::kWindowed).ok());
+  o.window_seconds = 0;
+  o.window_buckets = (1u << 20) + 1;
+  EXPECT_FALSE(o.Validate(EngineKind::kWindowed).ok());
+}
+
+TEST(WindowedHullTest, StatsAggregateAcrossBuckets) {
+  WindowedHullEngine engine(WindowedOpts(64, 4));
+  const auto points = DiskGenerator(28).Take(500);
+  engine.InsertBatch(points);
+  // Dropped buckets keep contributing: the windowed stats are cumulative
+  // over the whole stream, like every other engine's.
+  EXPECT_EQ(engine.stats().points_processed, 500u);
+  EXPECT_GT(engine.buckets_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace streamhull
